@@ -1,0 +1,86 @@
+// Micro-ablations of the force-kernel design choices the paper describes:
+//  * the branch-at-xi=1 polynomial form of gP3M (eq. 3), "optimized for
+//    the evaluation on a SIMD hardware with FMA support", vs calling the
+//    library pow/branchy alternatives;
+//  * the approximate rsqrt (8-bit seed + third-order step -> 24 bits) vs
+//    the exact 1/sqrt; the paper notes full double convergence "will
+//    increase both CPU time and the flops count, without improving the
+//    accuracy of scientific results".
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "pp/cutoff.hpp"
+#include "pp/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace greem;
+
+void BM_GP3MPolynomial(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = rng.uniform(0.0, 2.2);
+  for (auto _ : state) {
+    double sum = 0;
+    for (double x : xs) sum += pp::g_p3m(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(xs.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GP3MPolynomial);
+
+void BM_ApproxRsqrt(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = std::exp(rng.uniform(-10.0, 10.0));
+  for (auto _ : state) {
+    double sum = 0;
+    for (double x : xs) sum += pp::approx_rsqrt(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(xs.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ApproxRsqrt);
+
+void BM_ExactRsqrt(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> xs(4096);
+  for (auto& x : xs) x = std::exp(rng.uniform(-10.0, 10.0));
+  for (auto _ : state) {
+    double sum = 0;
+    for (double x : xs) sum += 1.0 / std::sqrt(x);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["evals/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * static_cast<double>(xs.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExactRsqrt);
+
+/// Accuracy report: worst relative error of the approximate rsqrt, printed
+/// as a counter (paper: ~24-bit = 6e-8).
+void BM_ApproxRsqrtAccuracy(benchmark::State& state) {
+  Rng rng(4);
+  double max_rel = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      const double x = std::exp(rng.uniform(-20.0, 20.0));
+      const double rel = std::abs(pp::approx_rsqrt(x) * std::sqrt(x) - 1.0);
+      max_rel = std::max(max_rel, rel);
+    }
+  }
+  state.counters["max_rel_err"] = benchmark::Counter(max_rel);
+  state.counters["bits"] = benchmark::Counter(-std::log2(max_rel));
+}
+BENCHMARK(BM_ApproxRsqrtAccuracy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Reproduction of §III-B: strong scaling of the full TreePM step.  The
+// paper reports 173.8 s/step on 24576 nodes and 60.2 s/step on 82944
+// nodes for the same N = 10240^3 -- a 2.89x speedup on 3.375x the nodes
+// (86% parallel efficiency), with the PP part scaling near-ideally and
+// the FFT part flat (fixed 4096 FFT processes on both).
+//
+// Here the same code runs a fixed workload over increasing simulated rank
+// counts.  Wall-clock on a single host cannot show real speedup (the ranks
+// share one CPU), so the scaling metric is the per-rank *work*: the
+// maximum over ranks of PP interactions per step (the quantity the kernel
+// time is proportional to on real hardware), plus the flat-FFT check.
+
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "core/parallel_sim.hpp"
+#include "parx/runtime.hpp"
+#include "pp/kernels.hpp"
+#include "util/table.hpp"
+
+using namespace greem;
+
+namespace {
+
+struct ScalingPoint {
+  int ranks = 0;
+  double max_interactions = 0;  ///< busiest rank, per step
+  double sum_interactions = 0;
+  double fft_seconds = 0;
+  double balance = 0;  ///< max/mean interactions
+};
+
+ScalingPoint run(std::array<int, 3> dims, const std::vector<core::Particle>& particles) {
+  const int p = dims[0] * dims[1] * dims[2];
+  core::ParallelSimConfig cfg;
+  cfg.dims = dims;
+  cfg.pm.n_mesh = 32;
+  cfg.pm.conversion.method = pm::MeshConversion::kRelay;
+  cfg.pm.conversion.n_groups = std::max(1, p / 32);
+  cfg.theta = 0.5;
+  cfg.ncrit = 100;
+  cfg.eps = 1e-3;
+  cfg.sampling.target_samples = 20000;
+
+  ScalingPoint out;
+  out.ranks = p;
+  std::mutex mu;
+  parx::run_ranks(p, [&](parx::Comm& world) {
+    std::vector<core::Particle> local =
+        world.rank() == 0 ? particles : std::vector<core::Particle>{};
+    core::ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    sim.step(0.001);  // warmup: boundaries settle
+    sim.step(0.002);
+    const double mine = static_cast<double>(sim.last_step().pp_stats.interactions);
+    const double maxi = world.allreduce_max(mine);
+    const double sum = world.allreduce_sum(mine);
+    const double fft = world.allreduce_max(sim.last_step().pm.get("FFT"));
+    if (world.rank() == 0) {
+      std::lock_guard lock(mu);
+      out.max_interactions = maxi;
+      out.sum_interactions = sum;
+      out.fft_seconds = fft;
+      out.balance = maxi / (sum / p);
+    }
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 32768;
+  auto particles = core::clustered_particles(n, 1.0, 6, 0.7, 0.03, 31415);
+
+  std::printf("Strong scaling of the distributed TreePM step (N = %zu fixed).\n", n);
+  std::printf("Metric: busiest rank's PP interactions per step -- the kernel-time\n");
+  std::printf("proxy on real hardware (all ranks share one CPU here).\n\n");
+
+  TextTable t;
+  t.header({"ranks", "max inter/rank", "ideal", "parallel eff", "balance max/mean",
+            "FFT (s)"});
+  double base = 0;
+  int base_ranks = 0;
+  for (const auto dims : std::vector<std::array<int, 3>>{
+           {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}, {4, 4, 2}}) {
+    const auto pt = run(dims, particles);
+    if (base == 0) {
+      base = pt.max_interactions;
+      base_ranks = pt.ranks;
+    }
+    const double ideal = base * base_ranks / pt.ranks;
+    t.row({TextTable::num((long long)pt.ranks), TextTable::num(pt.max_interactions, 4),
+           TextTable::num(ideal, 4), TextTable::num(ideal / pt.max_interactions, 3),
+           TextTable::num(pt.balance, 3), TextTable::num(pt.fft_seconds, 3)});
+  }
+  t.print(std::cout);
+  std::printf("\nShape check vs the paper: parallel efficiency stays high\n");
+  std::printf("(the paper's 24576 -> 82944 nodes keeps 86%%), the sampling\n");
+  std::printf("method holds max/mean interaction balance near 1 (Table I:\n");
+  std::printf("\"near ideal load balance\"), and the FFT column stays flat\n");
+  std::printf("because the 1-D slab FFT uses a fixed number of processes.\n");
+  return 0;
+}

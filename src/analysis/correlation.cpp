@@ -1,0 +1,89 @@
+#include "analysis/correlation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+namespace greem::analysis {
+
+std::vector<CorrelationBin> correlation_function(std::span<const Vec3> pos,
+                                                 const CorrelationParams& params) {
+  assert(params.r_max < 0.5);
+  const std::size_t n = pos.size();
+  const double lmin = std::log(params.r_min), lmax = std::log(params.r_max);
+  const double dl = (lmax - lmin) / static_cast<double>(params.nbins);
+  const double rmax2 = params.r_max * params.r_max;
+  const double rmin2 = params.r_min * params.r_min;
+
+  // Hash grid with cell >= r_max.
+  const auto ncell = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(1.0 / params.r_max), 128));
+  const double cs = 1.0 / static_cast<double>(ncell);
+  auto cell_of = [&](double v) {
+    return std::min(static_cast<std::size_t>(wrap01(v) / cs), ncell - 1);
+  };
+  auto cell_index = [&](std::size_t cx, std::size_t cy, std::size_t cz) {
+    return (cz * ncell + cy) * ncell + cx;
+  };
+  std::vector<std::uint32_t> count(ncell * ncell * ncell + 1, 0);
+  std::vector<std::uint32_t> cell(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell[i] = static_cast<std::uint32_t>(
+        cell_index(cell_of(pos[i].x), cell_of(pos[i].y), cell_of(pos[i].z)));
+    ++count[cell[i] + 1];
+  }
+  std::partial_sum(count.begin(), count.end(), count.begin());
+  std::vector<std::uint32_t> order(n);
+  {
+    auto cursor = count;
+    for (std::size_t i = 0; i < n; ++i) order[cursor[cell[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<std::uint64_t> dd(params.nbins, 0);
+  auto tally = [&](std::size_t i, std::size_t j) {
+    const double r2 = min_image(pos[i], pos[j]).norm2();
+    if (r2 < rmin2 || r2 >= rmax2) return;
+    const auto b = static_cast<std::size_t>((0.5 * std::log(r2) - lmin) / dl);
+    if (b < params.nbins) ++dd[b];
+  };
+  const auto nc = static_cast<long>(ncell);
+  if (ncell < 3) {
+    // Tiny grid: neighbor offsets would alias; scan all pairs directly.
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) tally(i, j);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cx = cell_of(pos[i].x), cy = cell_of(pos[i].y),
+                        cz = cell_of(pos[i].z);
+      for (long dz = -1; dz <= 1; ++dz)
+        for (long dy = -1; dy <= 1; ++dy)
+          for (long dx = -1; dx <= 1; ++dx) {
+            const auto ncx = static_cast<std::size_t>((static_cast<long>(cx) + dx + nc) % nc);
+            const auto ncy = static_cast<std::size_t>((static_cast<long>(cy) + dy + nc) % nc);
+            const auto ncz = static_cast<std::size_t>((static_cast<long>(cz) + dz + nc) % nc);
+            const std::size_t c = cell_index(ncx, ncy, ncz);
+            for (std::uint32_t k = count[c]; k < count[c + 1]; ++k) {
+              const std::uint32_t j = order[k];
+              if (j > i) tally(i, j);
+            }
+          }
+    }
+  }
+
+  std::vector<CorrelationBin> out(params.nbins);
+  const double npairs = 0.5 * static_cast<double>(n) * static_cast<double>(n - 1);
+  for (std::size_t b = 0; b < params.nbins; ++b) {
+    const double r0 = std::exp(lmin + dl * static_cast<double>(b));
+    const double r1 = std::exp(lmin + dl * static_cast<double>(b + 1));
+    const double shell = 4.0 / 3.0 * std::numbers::pi * (r1 * r1 * r1 - r0 * r0 * r0);
+    out[b].r = std::sqrt(r0 * r1);
+    out[b].pairs = dd[b];
+    const double expected = npairs * shell;  // uniform expectation, V = 1
+    out[b].xi = expected > 0 ? static_cast<double>(dd[b]) / expected - 1.0 : 0.0;
+  }
+  return out;
+}
+
+}  // namespace greem::analysis

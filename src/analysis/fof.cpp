@@ -1,0 +1,133 @@
+#include "analysis/fof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace greem::analysis {
+namespace {
+
+struct UnionFind {
+  explicit UnionFind(std::size_t n) : parent(n) { std::iota(parent.begin(), parent.end(), 0u); }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  }
+
+  std::vector<std::uint32_t> parent;
+};
+
+}  // namespace
+
+double fof_linking_length(std::size_t n_particles, double b) {
+  return b / std::cbrt(static_cast<double>(n_particles));
+}
+
+std::vector<MassFunctionBin> halo_mass_function(const FofGroups& groups,
+                                                double particle_mass, std::size_t nbins) {
+  std::vector<MassFunctionBin> out(nbins);
+  if (groups.group_size.empty() || nbins == 0) return {};
+  const double m_max = particle_mass * groups.group_size.front();
+  const double m_min = particle_mass * groups.group_size.back();
+  const double l0 = std::log10(m_min);
+  const double dl = std::max((std::log10(m_max) - l0) / static_cast<double>(nbins), 1e-12);
+  for (std::size_t b = 0; b < nbins; ++b)
+    out[b].mass = std::pow(10.0, l0 + dl * (static_cast<double>(b) + 0.5));
+  for (const auto sz : groups.group_size) {
+    const double lm = std::log10(particle_mass * sz);
+    const auto b = std::min(static_cast<std::size_t>((lm - l0) / dl), nbins - 1);
+    ++out[b].count;
+  }
+  for (auto& b : out) b.dn_dlog10m = static_cast<double>(b.count) / dl;
+  return out;
+}
+
+FofGroups fof_groups(std::span<const Vec3> pos, double linking_length,
+                     std::uint32_t min_members) {
+  const std::size_t n = pos.size();
+  const double ll2 = linking_length * linking_length;
+
+  // Hash grid with cell size >= linking length, so only the 27 neighbor
+  // cells need scanning.
+  const auto ncell = std::max<std::size_t>(
+      1, std::min<std::size_t>(static_cast<std::size_t>(1.0 / linking_length), 1024));
+  const double cell_size = 1.0 / static_cast<double>(ncell);
+  auto cell_of = [&](double v) {
+    auto c = static_cast<std::size_t>(wrap01(v) / cell_size);
+    return std::min(c, ncell - 1);
+  };
+  auto cell_index = [&](std::size_t cx, std::size_t cy, std::size_t cz) {
+    return (cz * ncell + cy) * ncell + cx;
+  };
+
+  // Counting sort of particles into cells.
+  std::vector<std::uint32_t> cell(n);
+  std::vector<std::uint32_t> count(ncell * ncell * ncell + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    cell[i] = static_cast<std::uint32_t>(
+        cell_index(cell_of(pos[i].x), cell_of(pos[i].y), cell_of(pos[i].z)));
+    ++count[cell[i] + 1];
+  }
+  std::partial_sum(count.begin(), count.end(), count.begin());
+  std::vector<std::uint32_t> order(n);
+  {
+    auto cursor = count;
+    for (std::size_t i = 0; i < n; ++i) order[cursor[cell[i]]++] = static_cast<std::uint32_t>(i);
+  }
+
+  UnionFind uf(n);
+  const auto nc = static_cast<long>(ncell);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cx = cell_of(pos[i].x), cy = cell_of(pos[i].y), cz = cell_of(pos[i].z);
+    for (long dz = -1; dz <= 1; ++dz)
+      for (long dy = -1; dy <= 1; ++dy)
+        for (long dx = -1; dx <= 1; ++dx) {
+          const auto ncx = static_cast<std::size_t>((static_cast<long>(cx) + dx + nc) % nc);
+          const auto ncy = static_cast<std::size_t>((static_cast<long>(cy) + dy + nc) % nc);
+          const auto ncz = static_cast<std::size_t>((static_cast<long>(cz) + dz + nc) % nc);
+          const std::size_t c = cell_index(ncx, ncy, ncz);
+          for (std::uint32_t k = count[c]; k < count[c + 1]; ++k) {
+            const std::uint32_t j = order[k];
+            if (j <= i) continue;
+            if (min_image(pos[i], pos[j]).norm2() <= ll2)
+              uf.unite(static_cast<std::uint32_t>(i), j);
+          }
+        }
+  }
+
+  // Collect roots, apply the membership threshold, order by size.
+  std::unordered_map<std::uint32_t, std::uint32_t> members;
+  for (std::size_t i = 0; i < n; ++i) ++members[uf.find(static_cast<std::uint32_t>(i))];
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> big;  // (root, size)
+  for (const auto& [root, m] : members)
+    if (m >= min_members) big.emplace_back(root, m);
+  std::sort(big.begin(), big.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  FofGroups out;
+  out.group_of.assign(n, FofGroups::kNoGroup);
+  out.group_size.reserve(big.size());
+  std::unordered_map<std::uint32_t, std::int32_t> gid;
+  for (std::size_t g = 0; g < big.size(); ++g) {
+    gid[big[g].first] = static_cast<std::int32_t>(g);
+    out.group_size.push_back(big[g].second);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    auto it = gid.find(uf.find(static_cast<std::uint32_t>(i)));
+    if (it != gid.end()) out.group_of[i] = it->second;
+  }
+  return out;
+}
+
+}  // namespace greem::analysis

@@ -1,0 +1,45 @@
+#pragma once
+// Friends-of-friends halo finder (periodic, grid-hashed union-find):
+// particles closer than the linking length join a group.  Used to identify
+// the "smallest dark matter structures" of the paper's science analysis
+// (the run resolves them with >~ 1e5 particles; scaled runs use the same
+// finder with b = 0.2 mean separations).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace greem::analysis {
+
+struct FofGroups {
+  /// Group index per particle (groups sorted by size, largest = 0);
+  /// kNoGroup for particles in groups below min_members.
+  std::vector<std::int32_t> group_of;
+  /// Per-group member counts (size >= min_members, descending).
+  std::vector<std::uint32_t> group_size;
+
+  static constexpr std::int32_t kNoGroup = -1;
+  std::size_t ngroups() const { return group_size.size(); }
+};
+
+FofGroups fof_groups(std::span<const Vec3> pos, double linking_length,
+                     std::uint32_t min_members = 32);
+
+/// Conventional linking length: b * (mean interparticle spacing), b = 0.2.
+double fof_linking_length(std::size_t n_particles, double b = 0.2);
+
+/// Halo mass function dn/dlog10(M) from a FoF catalog (unit box volume);
+/// log-spaced bins spanning the catalog's mass range.  The microhalo runs
+/// show the characteristic cutoff-scale pileup of the first objects.
+struct MassFunctionBin {
+  double mass = 0;            ///< geometric bin center
+  std::size_t count = 0;      ///< halos in the bin
+  double dn_dlog10m = 0;      ///< count / dex width (V = 1)
+};
+
+std::vector<MassFunctionBin> halo_mass_function(const FofGroups& groups,
+                                                double particle_mass, std::size_t nbins = 8);
+
+}  // namespace greem::analysis

@@ -1,0 +1,29 @@
+#pragma once
+// Matter power spectrum measurement: density assignment, FFT, window
+// deconvolution, spherical shell binning, optional shot-noise subtraction.
+// Closes the loop on the IC generator (tests recover the input spectrum).
+
+#include <span>
+#include <vector>
+
+#include "pm/assign.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::analysis {
+
+struct PowerSpectrumBin {
+  double k = 0;        ///< mean k of the shell (2 pi |n| units)
+  double power = 0;    ///< shell-averaged P(k)
+  std::size_t modes = 0;
+};
+
+struct PowerMeasureParams {
+  std::size_t n_mesh = 64;
+  pm::Scheme scheme = pm::Scheme::kTSC;
+  bool subtract_shot_noise = true;
+};
+
+std::vector<PowerSpectrumBin> measure_power(std::span<const Vec3> pos,
+                                            const PowerMeasureParams& params);
+
+}  // namespace greem::analysis

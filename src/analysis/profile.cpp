@@ -1,0 +1,41 @@
+#include "analysis/profile.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace greem::analysis {
+
+std::vector<ProfileBin> radial_profile(std::span<const Vec3> pos, double particle_mass,
+                                       const Vec3& center, double r_min, double r_max,
+                                       std::size_t nbins) {
+  std::vector<ProfileBin> bins(nbins);
+  const double lmin = std::log(r_min), lmax = std::log(r_max);
+  const double dl = (lmax - lmin) / static_cast<double>(nbins);
+
+  std::vector<std::size_t> counts(nbins, 0);
+  for (const Vec3& p : pos) {
+    const double r = min_image(center, p).norm();
+    if (r < r_min || r >= r_max) continue;
+    const auto b = static_cast<std::size_t>((std::log(r) - lmin) / dl);
+    if (b < nbins) ++counts[b];
+  }
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const double r0 = std::exp(lmin + dl * static_cast<double>(b));
+    const double r1 = std::exp(lmin + dl * static_cast<double>(b + 1));
+    const double vol = 4.0 / 3.0 * std::numbers::pi * (r1 * r1 * r1 - r0 * r0 * r0);
+    bins[b].r = std::sqrt(r0 * r1);
+    bins[b].count = counts[b];
+    bins[b].density = particle_mass * static_cast<double>(counts[b]) / vol;
+  }
+  return bins;
+}
+
+Vec3 periodic_center_of_mass(std::span<const Vec3> pos) {
+  if (pos.empty()) return {};
+  const Vec3 ref = pos[0];
+  Vec3 sum{};
+  for (const Vec3& p : pos) sum += min_image(ref, p);  // p - ref, wrapped
+  return wrap01(ref + sum / static_cast<double>(pos.size()));
+}
+
+}  // namespace greem::analysis

@@ -1,0 +1,28 @@
+#pragma once
+// Spherically averaged radial density profiles around a center (used by
+// the microhalo example to inspect the inner structure of the first
+// objects, the quantity driving the annihilation-signal science case).
+
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace greem::analysis {
+
+struct ProfileBin {
+  double r = 0;        ///< geometric bin center
+  double density = 0;  ///< mass / shell volume
+  std::size_t count = 0;
+};
+
+/// Log-spaced bins over [r_min, r_max] (periodic distances).
+std::vector<ProfileBin> radial_profile(std::span<const Vec3> pos, double particle_mass,
+                                       const Vec3& center, double r_min, double r_max,
+                                       std::size_t nbins);
+
+/// Center-of-mass of a particle subset (periodic-aware, via the minimum
+/// image relative to the first member).
+Vec3 periodic_center_of_mass(std::span<const Vec3> pos);
+
+}  // namespace greem::analysis

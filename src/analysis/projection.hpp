@@ -1,0 +1,28 @@
+#pragma once
+// Projected density images (the paper's Fig. 6 snapshots and zooms):
+// particles inside a sub-box are CIC-deposited along the line of sight
+// onto a 2-D image.
+
+#include <span>
+#include <string>
+
+#include "util/box.hpp"
+#include "util/pgm.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::analysis {
+
+struct ProjectionParams {
+  Box region;                   ///< sub-box to image (full box by default)
+  std::size_t pixels = 512;     ///< image is pixels x pixels
+  int axis = 2;                 ///< projection axis (0=x, 1=y, 2=z)
+};
+
+/// Surface-density image of the particles inside the region.
+GrayImage project_density(std::span<const Vec3> pos, const ProjectionParams& params);
+
+/// Convenience: render and write a log-scaled PGM; returns false on I/O error.
+bool write_projection(std::span<const Vec3> pos, const ProjectionParams& params,
+                      const std::string& path);
+
+}  // namespace greem::analysis

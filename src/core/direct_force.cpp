@@ -1,0 +1,58 @@
+#include "core/direct_force.hpp"
+
+#include <cmath>
+
+#include "pp/cutoff.hpp"
+
+namespace greem::core {
+
+void direct_newton(std::span<const Vec3> pos, std::span<const double> mass,
+                   std::span<Vec3> acc, double eps2) {
+  const std::size_t n = pos.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 a{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const Vec3 d = pos[j] - pos[i];
+      const double r2 = d.norm2() + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      a += d * (mass[j] * rinv * rinv * rinv);
+    }
+    acc[i] += a;
+  }
+}
+
+void direct_short_range(std::span<const Vec3> pos, std::span<const double> mass,
+                        std::span<Vec3> acc, double rcut, double eps2) {
+  const std::size_t n = pos.size();
+  const double rcut2 = rcut * rcut;
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 a{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const Vec3 d = min_image(pos[i], pos[j]);  // pos[j] - pos[i], min image
+      const double d2 = d.norm2();
+      if (d2 >= rcut2) continue;
+      const double r2 = d2 + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double r = r2 * rinv;
+      const double g = pp::g_p3m(2.0 * r / rcut);
+      a += d * (mass[j] * g * rinv * rinv * rinv);
+    }
+    acc[i] += a;
+  }
+}
+
+double direct_potential_energy(std::span<const Vec3> pos, std::span<const double> mass,
+                               double eps2) {
+  const std::size_t n = pos.size();
+  double u = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 d = pos[j] - pos[i];
+      u -= mass[i] * mass[j] / std::sqrt(d.norm2() + eps2);
+    }
+  return u;
+}
+
+}  // namespace greem::core

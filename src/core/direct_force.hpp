@@ -1,0 +1,28 @@
+#pragma once
+// O(N^2) direct-summation forces: the exact baselines.
+//  * open boundary: plain Newton sum (the method of the 1990s Gordon Bell
+//    entries before tree codes, and the small-N reference for them);
+//  * periodic short-range: minimum-image sum with the gP3M cutoff (exact
+//    reference for the tree's short-range part);
+//  * periodic exact: see ewald::Ewald.
+
+#include <span>
+
+#include "util/vec3.hpp"
+
+namespace greem::core {
+
+/// Open-boundary Newtonian accelerations (Plummer softening eps2).
+void direct_newton(std::span<const Vec3> pos, std::span<const double> mass,
+                   std::span<Vec3> acc, double eps2);
+
+/// Periodic minimum-image accelerations with the gP3M(2r/rcut) cutoff:
+/// the exact short-range force of the TreePM split (requires rcut < 0.5).
+void direct_short_range(std::span<const Vec3> pos, std::span<const double> mass,
+                        std::span<Vec3> acc, double rcut, double eps2);
+
+/// Open-boundary potential energy (pairwise, softened).
+double direct_potential_energy(std::span<const Vec3> pos, std::span<const double> mass,
+                               double eps2);
+
+}  // namespace greem::core

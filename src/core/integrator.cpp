@@ -1,0 +1,26 @@
+#include "core/integrator.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace greem::core {
+
+// Step scheduling helpers used by the drivers.
+
+std::vector<double> linear_schedule(double t0, double t1, int nsteps) {
+  std::vector<double> out(static_cast<std::size_t>(nsteps) + 1);
+  for (int i = 0; i <= nsteps; ++i)
+    out[static_cast<std::size_t>(i)] = t0 + (t1 - t0) * static_cast<double>(i) / nsteps;
+  return out;
+}
+
+std::vector<double> log_schedule(double t0, double t1, int nsteps) {
+  std::vector<double> out(static_cast<std::size_t>(nsteps) + 1);
+  const double l0 = std::log(t0), l1 = std::log(t1);
+  for (int i = 0; i <= nsteps; ++i)
+    out[static_cast<std::size_t>(i)] =
+        std::exp(l0 + (l1 - l0) * static_cast<double>(i) / nsteps);
+  return out;
+}
+
+}  // namespace greem::core

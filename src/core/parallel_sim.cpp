@@ -1,0 +1,176 @@
+#include "core/parallel_sim.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "domain/exchange.hpp"
+#include "tree/ghost.hpp"
+#include "tree/octree.hpp"
+
+namespace greem::core {
+
+ParallelSimulation::ParallelSimulation(parx::Comm& world, ParallelSimConfig config,
+                                       std::vector<Particle> local, double t_start)
+    : world_(world),
+      config_(config),
+      pm_(world, config.pm),
+      particles_(std::move(local)),
+      clock_(t_start) {
+  if (config_.dims[0] * config_.dims[1] * config_.dims[2] != world.size())
+    throw std::invalid_argument("ParallelSimulation: dims product != comm size");
+  decomp_ = domain::Decomposition::uniform(config_.dims);
+  // Initial decomposition + short-range forces (one DD + PP cycle).
+  domain_cycle(substep_counter_++);
+  pp_force_cycle();
+}
+
+void ParallelSimulation::domain_cycle(std::uint64_t substep_id) {
+  Stopwatch sw;
+  // Sampling method: rate follows the measured force cost (particle count
+  // before the first measurement exists).
+  const double cost =
+      last_force_cost_ >= 0 ? last_force_cost_ : static_cast<double>(particles_.size());
+  auto pos = positions_of(particles_);
+  auto fresh = domain::sample_and_decompose(world_, config_.dims, pos, cost,
+                                            config_.sampling, substep_id);
+  decomp_ = smoother_.smooth(fresh);
+  report_.dd.add("sampling method", sw.seconds());
+
+  sw.restart();
+  const auto dest = domain::destinations(decomp_, pos);
+  particles_ = domain::exchange_by_rank<Particle>(world_, particles_, dest);
+  report_.dd.add("particle exchange", sw.seconds());
+
+  pm_.update_domain(decomp_.box_of(world_.rank()));
+}
+
+void ParallelSimulation::pp_force_cycle() {
+  const double rcut = config_.rcut();
+  Stopwatch sw;
+
+  // "local tree": select the boundary particles every neighbor needs.
+  auto pos = positions_of(particles_);
+  auto mass = masses_of(particles_);
+  const auto domains = decomp_.boxes();
+  auto exports = tree::select_ghosts(pos, mass, domains, world_.rank(), rcut);
+  report_.pp.add("local tree", sw.seconds());
+
+  // "communication": exchange ghosts.
+  sw.restart();
+  auto gpos = world_.alltoallv(exports.pos);
+  auto gmass = world_.alltoallv(exports.mass);
+  std::size_t n_ghost = 0;
+  for (const auto& v : gpos) n_ghost += v.size();
+  report_.n_ghost_imported += n_ghost;
+  report_.pp.add("communication", sw.seconds());
+
+  // "tree construction": octree over locals followed by ghosts.
+  sw.restart();
+  const std::size_t n_local = particles_.size();
+  pos.reserve(n_local + n_ghost);
+  mass.reserve(n_local + n_ghost);
+  for (std::size_t r = 0; r < gpos.size(); ++r) {
+    pos.insert(pos.end(), gpos[r].begin(), gpos[r].end());
+    mass.insert(mass.end(), gmass[r].begin(), gmass[r].end());
+  }
+  tree::Octree octree(pos, mass, {config_.leaf_capacity, 21});
+  report_.pp.add("tree construction", sw.seconds());
+
+  // "tree traversal" + "force calculation": groups walk, kernel.
+  tree::TraversalParams tp;
+  tp.theta = config_.theta;
+  tp.rcut = rcut;
+  tp.ncrit = config_.ncrit;
+  tp.eps2 = config_.eps * config_.eps;
+  tp.kernel = config_.kernel;
+  std::vector<Vec3> acc(pos.size(), Vec3{});
+  tree::TraversalTimes times;
+  auto stats = tree::tree_accelerations_targets(octree, tp, n_local, acc, {}, &times);
+  report_.pp.add("tree traversal", times.traverse_s);
+  report_.pp.add("force calculation", times.force_s);
+  report_.pp_stats.merge(stats);
+  last_force_cost_ = times.traverse_s + times.force_s;
+
+  for (std::size_t i = 0; i < n_local; ++i) particles_[i].acc_s = acc[i];
+}
+
+void ParallelSimulation::step(double t_next) {
+  const double t0 = clock_;
+  const double t1 = t_next;
+  const TimeMetric& m = config_.metric;
+  report_ = StepReport{};
+
+  const int nsub = config_.nsub;
+  for (int s = 0; s < nsub; ++s) {
+    // Domain decomposition cycle (paper: once per PP cycle).
+    domain_cycle(substep_counter_++);
+
+    if (s == 0) {
+      // PM cycle: closing half-kick of the previous step + opening half of
+      // this one, with the freshly computed long-range force.
+      auto pos = positions_of(particles_);
+      auto mass = masses_of(particles_);
+      std::vector<Vec3> accl(particles_.size(), Vec3{});
+      pm_.accelerations(pos, mass, accl, &report_.pm);
+      const double k = pending_long_kick_ + 0.5 * m.kick(t0, t1);
+      for (std::size_t i = 0; i < particles_.size(); ++i) particles_[i].mom += accl[i] * k;
+      pending_long_kick_ = 0.5 * m.kick(t0, t1);
+    }
+
+    const double ts0 = t0 + (t1 - t0) * static_cast<double>(s) / nsub;
+    const double ts1 = t0 + (t1 - t0) * static_cast<double>(s + 1) / nsub;
+    const double tsm = 0.5 * (ts0 + ts1);
+
+    const double k_open = m.kick(ts0, tsm);
+    for (auto& p : particles_) p.mom += p.acc_s * k_open;
+
+    Stopwatch sw;
+    const double d = m.drift(ts0, ts1);
+    for (auto& p : particles_) p.pos = wrap01(p.pos + p.mom * d);
+    report_.dd.add("position update", sw.seconds());
+
+    pp_force_cycle();
+
+    const double k_close = m.kick(tsm, ts1);
+    for (auto& p : particles_) p.mom += p.acc_s * k_close;
+  }
+
+  clock_ = t1;
+}
+
+void ParallelSimulation::synchronize() {
+  if (pending_long_kick_ == 0) return;
+  auto pos = positions_of(particles_);
+  auto mass = masses_of(particles_);
+  std::vector<Vec3> accl(particles_.size(), Vec3{});
+  pm_.accelerations(pos, mass, accl, nullptr);
+  for (std::size_t i = 0; i < particles_.size(); ++i)
+    particles_[i].mom += accl[i] * pending_long_kick_;
+  pending_long_kick_ = 0;
+}
+
+TimingBreakdown allreduce_max(parx::Comm& comm, const TimingBreakdown& local) {
+  std::vector<double> vals;
+  vals.reserve(local.entries().size());
+  for (const auto& [k, v] : local.entries()) vals.push_back(v);
+  comm.allreduce(std::span<double>(vals), [](double a, double b) { return a > b ? a : b; });
+  TimingBreakdown out;
+  std::size_t i = 0;
+  for (const auto& [k, v] : local.entries()) out.add(k, vals[i++]);
+  return out;
+}
+
+tree::TraversalStats allreduce_sum(parx::Comm& comm, const tree::TraversalStats& local) {
+  std::uint64_t vals[5] = {local.ngroups, local.sum_ni, local.sum_nj, local.interactions,
+                           local.nodes_visited};
+  comm.allreduce_sum(std::span<std::uint64_t>(vals, 5));
+  tree::TraversalStats out;
+  out.ngroups = vals[0];
+  out.sum_ni = vals[1];
+  out.sum_nj = vals[2];
+  out.interactions = vals[3];
+  out.nodes_visited = vals[4];
+  return out;
+}
+
+}  // namespace greem::core

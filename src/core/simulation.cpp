@@ -1,0 +1,72 @@
+#include "core/simulation.hpp"
+
+namespace greem::core {
+
+Simulation::Simulation(SimulationConfig config, std::vector<Particle> particles,
+                       double t_start)
+    : config_(config), force_(config.force), particles_(std::move(particles)), clock_(t_start) {
+  // Initial PP cycle: cache the short-range accelerations at t_start.
+  compute_short(nullptr, nullptr);
+}
+
+void Simulation::compute_short(TimingBreakdown* t, tree::TraversalStats* stats) {
+  const auto pos = positions_of(particles_);
+  const auto mass = masses_of(particles_);
+  std::vector<Vec3> acc(particles_.size(), Vec3{});
+  auto s = force_.short_range(pos, mass, acc, t);
+  for (std::size_t i = 0; i < particles_.size(); ++i) particles_[i].acc_s = acc[i];
+  if (stats) stats->merge(s);
+}
+
+void Simulation::step(double t_next) {
+  const double t0 = clock_;
+  const double t1 = t_next;
+  const TimeMetric& m = config_.metric;
+  diag_ = StepDiagnostics{};
+
+  // ---- PM cycle: fresh long-range force; apply the closing half-kick of
+  // the previous step plus the opening half-kick of this one.
+  {
+    const auto pos = positions_of(particles_);
+    const auto mass = masses_of(particles_);
+    std::vector<Vec3> accl(particles_.size(), Vec3{});
+    force_.long_range(pos, mass, accl, &diag_.pm_timing);
+    const double k = pending_long_kick_ + 0.5 * m.kick(t0, t1);
+    for (std::size_t i = 0; i < particles_.size(); ++i) particles_[i].mom += accl[i] * k;
+    pending_long_kick_ = 0.5 * m.kick(t0, t1);
+  }
+
+  // ---- nsub PP cycles (KDK with the cached short force).
+  const int nsub = config_.nsub;
+  for (int s = 0; s < nsub; ++s) {
+    const double ts0 = t0 + (t1 - t0) * static_cast<double>(s) / nsub;
+    const double ts1 = t0 + (t1 - t0) * static_cast<double>(s + 1) / nsub;
+    const double tsm = 0.5 * (ts0 + ts1);
+
+    const double k_open = m.kick(ts0, tsm);
+    for (auto& p : particles_) p.mom += p.acc_s * k_open;
+
+    const double d = m.drift(ts0, ts1);
+    for (auto& p : particles_) p.pos = wrap01(p.pos + p.mom * d);
+
+    compute_short(&diag_.pp_timing, &diag_.pp);
+
+    const double k_close = m.kick(tsm, ts1);
+    for (auto& p : particles_) p.mom += p.acc_s * k_close;
+  }
+
+  clock_ = t1;
+}
+
+void Simulation::synchronize() {
+  if (pending_long_kick_ == 0) return;
+  const auto pos = positions_of(particles_);
+  const auto mass = masses_of(particles_);
+  std::vector<Vec3> accl(particles_.size(), Vec3{});
+  force_.long_range(pos, mass, accl, nullptr);
+  for (std::size_t i = 0; i < particles_.size(); ++i)
+    particles_[i].mom += accl[i] * pending_long_kick_;
+  pending_long_kick_ = 0;
+}
+
+}  // namespace greem::core

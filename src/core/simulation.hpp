@@ -1,0 +1,59 @@
+#pragma once
+// Serial TreePM simulation facade: the single-process public API.  Owns the
+// particles, the force module and the multiple-stepsize integrator; one
+// step() call advances the clock (scale factor or time) by one PM cycle
+// plus `nsub` PP cycles, exactly the step structure of the paper.
+
+#include <span>
+#include <vector>
+
+#include "core/integrator.hpp"
+#include "core/particle.hpp"
+#include "core/treepm_force.hpp"
+
+namespace greem::core {
+
+struct SimulationConfig {
+  TreePmParams force;
+  TimeMetric metric;  ///< static time by default; set comoving + cosmology
+  int nsub = 2;       ///< PP cycles per PM cycle
+};
+
+class Simulation {
+ public:
+  /// Takes ownership of the particles; `t_start` is the initial clock
+  /// (scale factor in comoving mode).  Computes the initial short-range
+  /// forces (one PP cycle).
+  Simulation(SimulationConfig config, std::vector<Particle> particles, double t_start);
+
+  /// Advance the clock to `t_next` (> clock()).
+  void step(double t_next);
+
+  /// Apply the pending long-range closing half-kick so momenta are
+  /// synchronized with positions (call before measuring energies).
+  void synchronize();
+
+  double clock() const { return clock_; }
+  std::span<const Particle> particles() const { return particles_; }
+  std::vector<Particle> take_particles() && { return std::move(particles_); }
+
+  struct StepDiagnostics {
+    tree::TraversalStats pp;
+    TimingBreakdown pm_timing, pp_timing;
+  };
+  const StepDiagnostics& last_step() const { return diag_; }
+
+  TreePmForce& force() { return force_; }
+
+ private:
+  void compute_short(TimingBreakdown* t, tree::TraversalStats* stats);
+
+  SimulationConfig config_;
+  TreePmForce force_;
+  std::vector<Particle> particles_;
+  double clock_;
+  double pending_long_kick_ = 0;
+  StepDiagnostics diag_;
+};
+
+}  // namespace greem::core

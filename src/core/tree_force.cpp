@@ -1,0 +1,18 @@
+#include "core/tree_force.hpp"
+
+#include "tree/octree.hpp"
+
+namespace greem::core {
+
+tree::TraversalStats tree_newton(std::span<const Vec3> pos, std::span<const double> mass,
+                                 std::span<Vec3> acc, const TreeForceParams& params) {
+  tree::Octree octree(pos, mass, {params.leaf_capacity, 21, params.quadrupole});
+  tree::TraversalParams tp;
+  tp.theta = params.theta;
+  tp.ncrit = params.ncrit;
+  tp.eps2 = params.eps2;
+  tp.kernel = params.quadrupole ? tree::KernelKind::kNewtonQuad : tree::KernelKind::kNewton;
+  return tree::tree_accelerations(octree, tp, acc);
+}
+
+}  // namespace greem::core

@@ -1,0 +1,26 @@
+#pragma once
+// Pure Barnes-Hut tree force (open boundary, no cutoff): the algorithm of
+// the pre-TreePM Gordon Bell winners, kept as the baseline the paper
+// compares against (accuracy-per-operation and interaction-list length).
+
+#include <span>
+
+#include "tree/traversal.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::core {
+
+struct TreeForceParams {
+  double theta = 0.5;
+  std::uint32_t ncrit = 64;
+  std::uint32_t leaf_capacity = 8;
+  double eps2 = 0.0;
+  bool quadrupole = false;  ///< monopole+quadrupole node moments
+};
+
+/// Open-boundary tree accelerations; returns traversal statistics
+/// (interaction counts feed the flops accounting of the baselines).
+tree::TraversalStats tree_newton(std::span<const Vec3> pos, std::span<const double> mass,
+                                 std::span<Vec3> acc, const TreeForceParams& params);
+
+}  // namespace greem::core

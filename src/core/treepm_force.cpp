@@ -1,0 +1,62 @@
+#include "core/treepm_force.hpp"
+
+#include "tree/octree.hpp"
+
+namespace greem::core {
+namespace {
+
+/// The 27 periodic image offsets; the traversal prunes images whose
+/// shifted tree lies beyond rcut of a group (all but the home image for
+/// interior groups, since rcut << 1).
+std::vector<Vec3> image_offsets() {
+  std::vector<Vec3> off;
+  off.reserve(27);
+  off.emplace_back(0.0, 0.0, 0.0);  // home image first: cheapest pruning
+  for (int x = -1; x <= 1; ++x)
+    for (int y = -1; y <= 1; ++y)
+      for (int z = -1; z <= 1; ++z)
+        if (x || y || z) off.emplace_back(x, y, z);
+  return off;
+}
+
+}  // namespace
+
+TreePmForce::TreePmForce(TreePmParams params) : params_(params), pm_(params.pm) {}
+
+void TreePmForce::long_range(std::span<const Vec3> pos, std::span<const double> mass,
+                             std::span<Vec3> acc, TimingBreakdown* t) {
+  pm_.accelerations(pos, mass, acc, t);
+}
+
+tree::TraversalStats TreePmForce::short_range(std::span<const Vec3> pos,
+                                              std::span<const double> mass,
+                                              std::span<Vec3> acc, TimingBreakdown* t) {
+  Stopwatch sw;
+  tree::Octree octree(pos, mass, {params_.leaf_capacity, 21});
+  if (t) t->add("tree construction", sw.seconds());
+
+  tree::TraversalParams tp;
+  tp.theta = params_.theta;
+  tp.rcut = params_.rcut();
+  tp.ncrit = params_.ncrit;
+  tp.eps2 = params_.eps * params_.eps;
+  tp.kernel = params_.kernel;
+
+  static const std::vector<Vec3> kImages = image_offsets();
+  tree::TraversalTimes times;
+  auto stats = tree::tree_accelerations(octree, tp, acc, kImages, &times);
+  if (t) {
+    t->add("tree traversal", times.traverse_s);
+    t->add("force calculation", times.force_s);
+  }
+  return stats;
+}
+
+tree::TraversalStats TreePmForce::total(std::span<const Vec3> pos,
+                                        std::span<const double> mass, std::span<Vec3> acc,
+                                        TimingBreakdown* t) {
+  long_range(pos, mass, acc, t);
+  return short_range(pos, mass, acc, t);
+}
+
+}  // namespace greem::core

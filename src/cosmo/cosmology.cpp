@@ -1,0 +1,64 @@
+#include "cosmo/cosmology.hpp"
+
+#include <numbers>
+
+namespace greem::cosmo {
+namespace {
+
+template <class F>
+double simpson(F&& f, double lo, double hi, int n) {
+  const double h = (hi - lo) / n;
+  double sum = f(lo) + f(hi);
+  for (int i = 1; i < n; ++i) sum += f(lo + i * h) * (i % 2 ? 4.0 : 2.0);
+  return sum * h / 3.0;
+}
+
+}  // namespace
+
+double Cosmology::mean_density() const {
+  return omega_m * 3.0 * H0 * H0 / (8.0 * std::numbers::pi);
+}
+
+double Cosmology::growth_factor(double a) const {
+  // D(a) proportional to H(a) Int_0^a da' / (a' H(a'))^3 (Heath 1977).
+  auto integrand = [&](double x) {
+    if (x <= 0) return 0.0;
+    const double he = x * E(x);
+    return 1.0 / (he * he * he);
+  };
+  auto unnorm = [&](double aa) { return E(aa) * simpson(integrand, 0.0, aa, 1024); };
+  return unnorm(a) / unnorm(1.0);
+}
+
+double Cosmology::growth_rate(double a) const {
+  const double da = 1e-5 * a;
+  const double d1 = growth_factor(a - da), d2 = growth_factor(a + da);
+  return a * (d2 - d1) / (2.0 * da) / growth_factor(a);
+}
+
+double Cosmology::drift_factor(double a0, double a1) const {
+  auto f = [&](double a) { return 1.0 / (a * a * a * hubble(a)); };
+  return simpson(f, a0, a1, 256);
+}
+
+double Cosmology::kick_factor(double a0, double a1) const {
+  auto f = [&](double a) { return 1.0 / (a * a * hubble(a)); };
+  return simpson(f, a0, a1, 256);
+}
+
+Cosmology Cosmology::concordance_unit_mass() {
+  Cosmology c;
+  // mean_density * volume = 1  =>  H0 = sqrt(8 pi / (3 Omega_m)).
+  c.H0 = std::sqrt(8.0 * std::numbers::pi / (3.0 * c.omega_m));
+  return c;
+}
+
+Cosmology Cosmology::eds_unit_mass() {
+  Cosmology c;
+  c.omega_m = 1.0;
+  c.omega_l = 0.0;
+  c.H0 = std::sqrt(8.0 * std::numbers::pi / 3.0);
+  return c;
+}
+
+}  // namespace greem::cosmo

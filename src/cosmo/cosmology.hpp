@@ -1,0 +1,53 @@
+#pragma once
+// Flat FLRW background cosmology and the kick/drift factors of the
+// comoving-coordinate symplectic integrator.
+//
+// Internal units: box length 1, G = 1.  Comoving positions x and momenta
+// p = a^2 dx/dt evolve as dx/dt = p/a^2, dp/dt = g/a with g the comoving
+// peculiar acceleration (computed by TreePM with the mean density
+// subtracted).  Over a scale-factor interval the update factors are
+//   drift = Int dt/a^2 = Int da / (a^3 H),   kick = Int dt/a = Int da / (a^2 H).
+
+#include <cmath>
+
+namespace greem::cosmo {
+
+struct Cosmology {
+  double omega_m = 0.272;   ///< WMAP7 concordance (paper ref. [38])
+  double omega_l = 0.728;
+  double H0 = 1.0;          ///< Hubble constant in internal time units
+
+  double omega_k() const { return 1.0 - omega_m - omega_l; }
+
+  /// E(a) = H(a)/H0.
+  double E(double a) const {
+    return std::sqrt(omega_m / (a * a * a) + omega_k() / (a * a) + omega_l);
+  }
+  double hubble(double a) const { return H0 * E(a); }
+
+  /// Mean comoving matter density of the unit box (G = 1):
+  /// rho_mean = Omega_m * 3 H0^2 / (8 pi).
+  double mean_density() const;
+
+  /// Linear growth factor D(a), normalized to D(1) = 1.
+  double growth_factor(double a) const;
+
+  /// Logarithmic growth rate f = dlnD/dlna.
+  double growth_rate(double a) const;
+
+  double drift_factor(double a0, double a1) const;
+  double kick_factor(double a0, double a1) const;
+
+  static double a_of_z(double z) { return 1.0 / (1.0 + z); }
+  static double z_of_a(double a) { return 1.0 / a - 1.0; }
+
+  /// Concordance cosmology with H0 chosen so the unit box holds total
+  /// matter mass 1 (the convention of the simulation drivers).
+  static Cosmology concordance_unit_mass();
+
+  /// Einstein-de Sitter (Omega_m = 1) with unit box mass; analytic
+  /// D(a) = a makes it the main test cosmology.
+  static Cosmology eds_unit_mass();
+};
+
+}  // namespace greem::cosmo

@@ -1,0 +1,11 @@
+#include "domain/exchange.hpp"
+
+namespace greem::domain {
+
+std::vector<int> destinations(const Decomposition& d, std::span<const Vec3> pos) {
+  std::vector<int> dest(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) dest[i] = d.find_domain(pos[i]);
+  return dest;
+}
+
+}  // namespace greem::domain

@@ -1,0 +1,34 @@
+#pragma once
+// Particle migration across domain boundaries after a decomposition
+// update: route each local item to the rank whose domain now contains it.
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "domain/multisection.hpp"
+#include "parx/comm.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::domain {
+
+/// Destination rank of each local position under `d`.
+std::vector<int> destinations(const Decomposition& d, std::span<const Vec3> pos);
+
+/// Collective: redistribute trivially-copyable items by destination rank;
+/// returns this rank's new items (self-retained items keep relative order,
+/// imports are appended in source-rank order).
+template <class T>
+std::vector<T> exchange_by_rank(parx::Comm& comm, std::span<const T> items,
+                                std::span<const int> dest) {
+  assert(items.size() == dest.size());
+  std::vector<std::vector<T>> send(static_cast<std::size_t>(comm.size()));
+  for (std::size_t i = 0; i < items.size(); ++i)
+    send[static_cast<std::size_t>(dest[i])].push_back(items[i]);
+  auto recv = comm.alltoallv(send);
+  std::vector<T> out;
+  for (auto& part : recv) out.insert(out.end(), part.begin(), part.end());
+  return out;
+}
+
+}  // namespace greem::domain

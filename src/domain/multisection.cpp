@@ -1,0 +1,198 @@
+#include "domain/multisection.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace greem::domain {
+namespace {
+
+/// Cut a sorted coordinate list into `parts` equal-count intervals over
+/// [0,1); boundaries fall midway between the straddling samples.  Falls
+/// back toward uniform spacing when samples are too few.
+std::vector<double> equal_count_cuts(std::span<const double> sorted, int parts) {
+  std::vector<double> cuts(static_cast<std::size_t>(parts) + 1);
+  cuts.front() = 0.0;
+  cuts.back() = 1.0;
+  const std::size_t m = sorted.size();
+  for (int j = 1; j < parts; ++j) {
+    double c;
+    if (m < static_cast<std::size_t>(parts)) {
+      c = static_cast<double>(j) / parts;  // not enough samples: uniform
+    } else {
+      const std::size_t k = m * static_cast<std::size_t>(j) / static_cast<std::size_t>(parts);
+      const double a = sorted[k - 1];
+      const double b = k < m ? sorted[k] : 1.0;
+      c = 0.5 * (a + b);
+    }
+    cuts[static_cast<std::size_t>(j)] = c;
+  }
+  // Enforce strict monotonicity against degenerate sample clusters.
+  for (std::size_t j = 1; j < cuts.size(); ++j)
+    cuts[j] = std::max(cuts[j], cuts[j - 1] + 1e-12);
+  for (std::size_t j = cuts.size() - 1; j > 0; --j)
+    cuts[j - 1] = std::min(cuts[j - 1], cuts[j] - 1e-12);
+  cuts.front() = 0.0;
+  cuts.back() = 1.0;
+  return cuts;
+}
+
+std::size_t lower_cut(std::span<const double> cuts, double v) {
+  // Index i with cuts[i] <= v < cuts[i+1]; v in [0,1).
+  auto it = std::upper_bound(cuts.begin(), cuts.end(), v);
+  std::size_t i = static_cast<std::size_t>(it - cuts.begin());
+  if (i == 0) return 0;
+  if (i >= cuts.size()) return cuts.size() - 2;
+  return i - 1;
+}
+
+}  // namespace
+
+std::array<int, 3> Decomposition::coords_of(int rank) const {
+  return {rank / (dims[1] * dims[2]), (rank / dims[2]) % dims[1], rank % dims[2]};
+}
+
+Box Decomposition::box_of(int rank) const {
+  const auto [ix, iy, iz] = coords_of(rank);
+  Box b;
+  b.lo.x = xcuts[static_cast<std::size_t>(ix)];
+  b.hi.x = xcuts[static_cast<std::size_t>(ix) + 1];
+  const auto& yc = ycuts[static_cast<std::size_t>(ix)];
+  b.lo.y = yc[static_cast<std::size_t>(iy)];
+  b.hi.y = yc[static_cast<std::size_t>(iy) + 1];
+  const auto& zc = zcuts[static_cast<std::size_t>(ix)][static_cast<std::size_t>(iy)];
+  b.lo.z = zc[static_cast<std::size_t>(iz)];
+  b.hi.z = zc[static_cast<std::size_t>(iz) + 1];
+  return b;
+}
+
+int Decomposition::find_domain(const Vec3& p) const {
+  const auto ix = lower_cut(xcuts, p.x);
+  const auto iy = lower_cut(ycuts[ix], p.y);
+  const auto iz = lower_cut(zcuts[ix][iy], p.z);
+  return rank_of(static_cast<int>(ix), static_cast<int>(iy), static_cast<int>(iz));
+}
+
+std::vector<Box> Decomposition::boxes() const {
+  std::vector<Box> out(static_cast<std::size_t>(nranks()));
+  for (int r = 0; r < nranks(); ++r) out[static_cast<std::size_t>(r)] = box_of(r);
+  return out;
+}
+
+std::vector<double> Decomposition::flatten() const {
+  std::vector<double> flat;
+  flat.insert(flat.end(), xcuts.begin(), xcuts.end());
+  for (const auto& yc : ycuts) flat.insert(flat.end(), yc.begin(), yc.end());
+  for (const auto& per_x : zcuts)
+    for (const auto& zc : per_x) flat.insert(flat.end(), zc.begin(), zc.end());
+  return flat;
+}
+
+Decomposition Decomposition::unflatten(std::array<int, 3> dims, std::span<const double> flat) {
+  Decomposition d;
+  d.dims = dims;
+  std::size_t i = 0;
+  auto take = [&](std::size_t n) {
+    std::vector<double> v(flat.begin() + static_cast<std::ptrdiff_t>(i),
+                          flat.begin() + static_cast<std::ptrdiff_t>(i + n));
+    i += n;
+    return v;
+  };
+  const auto nx = static_cast<std::size_t>(dims[0]);
+  const auto ny = static_cast<std::size_t>(dims[1]);
+  const auto nz = static_cast<std::size_t>(dims[2]);
+  d.xcuts = take(nx + 1);
+  d.ycuts.resize(nx);
+  for (auto& yc : d.ycuts) yc = take(ny + 1);
+  d.zcuts.assign(nx, std::vector<std::vector<double>>(ny));
+  for (auto& per_x : d.zcuts)
+    for (auto& zc : per_x) zc = take(nz + 1);
+  assert(i == flat.size());
+  return d;
+}
+
+Decomposition Decomposition::uniform(std::array<int, 3> dims) {
+  auto lin = [](int parts) {
+    std::vector<double> cuts(static_cast<std::size_t>(parts) + 1);
+    for (int j = 0; j <= parts; ++j)
+      cuts[static_cast<std::size_t>(j)] = static_cast<double>(j) / parts;
+    return cuts;
+  };
+  Decomposition d;
+  d.dims = dims;
+  d.xcuts = lin(dims[0]);
+  d.ycuts.assign(static_cast<std::size_t>(dims[0]), lin(dims[1]));
+  d.zcuts.assign(static_cast<std::size_t>(dims[0]),
+                 std::vector<std::vector<double>>(static_cast<std::size_t>(dims[1]), lin(dims[2])));
+  return d;
+}
+
+Decomposition build_multisection(std::array<int, 3> dims, std::vector<Vec3> samples) {
+  Decomposition d;
+  d.dims = dims;
+  const auto nx = static_cast<std::size_t>(dims[0]);
+  const auto ny = static_cast<std::size_t>(dims[1]);
+
+  std::sort(samples.begin(), samples.end(),
+            [](const Vec3& a, const Vec3& b) { return a.x < b.x; });
+  {
+    std::vector<double> xs(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) xs[i] = samples[i].x;
+    d.xcuts = equal_count_cuts(xs, dims[0]);
+  }
+
+  d.ycuts.resize(nx);
+  d.zcuts.assign(nx, std::vector<std::vector<double>>(ny));
+  // Partition samples into x-slabs (samples sorted by x).
+  std::size_t lo = 0;
+  for (std::size_t ix = 0; ix < nx; ++ix) {
+    std::size_t hi = lo;
+    const double xhi = d.xcuts[ix + 1];
+    while (hi < samples.size() && (samples[hi].x < xhi || ix == nx - 1)) ++hi;
+    std::span<Vec3> slab(samples.data() + lo, hi - lo);
+    std::sort(slab.begin(), slab.end(), [](const Vec3& a, const Vec3& b) { return a.y < b.y; });
+    {
+      std::vector<double> ys(slab.size());
+      for (std::size_t i = 0; i < slab.size(); ++i) ys[i] = slab[i].y;
+      d.ycuts[ix] = equal_count_cuts(ys, dims[1]);
+    }
+    std::size_t ylo = 0;
+    for (std::size_t iy = 0; iy < ny; ++iy) {
+      std::size_t yhi = ylo;
+      const double yhi_cut = d.ycuts[ix][iy + 1];
+      while (yhi < slab.size() && (slab[yhi].y < yhi_cut || iy == ny - 1)) ++yhi;
+      std::vector<double> zs;
+      zs.reserve(yhi - ylo);
+      for (std::size_t i = ylo; i < yhi; ++i) zs.push_back(slab[i].z);
+      std::sort(zs.begin(), zs.end());
+      d.zcuts[ix][iy] = equal_count_cuts(zs, dims[2]);
+      ylo = yhi;
+    }
+    lo = hi;
+  }
+  return d;
+}
+
+Decomposition BoundarySmoother::smooth(const Decomposition& latest) {
+  auto flat = latest.flatten();
+  if (!history_.empty() && history_.back().size() != flat.size()) history_.clear();
+  history_.push_back(flat);
+  if (history_.size() > window_) history_.erase(history_.begin());
+
+  // Linear weights: oldest 1 ... newest w.
+  std::vector<double> avg(flat.size(), 0.0);
+  double wsum = 0;
+  for (std::size_t h = 0; h < history_.size(); ++h) {
+    const double w = static_cast<double>(h + 1);
+    wsum += w;
+    for (std::size_t i = 0; i < flat.size(); ++i) avg[i] += w * history_[h][i];
+  }
+  for (double& v : avg) v /= wsum;
+
+  Decomposition out = Decomposition::unflatten(latest.dims, avg);
+  // Averaging preserves per-group monotonicity (each history entry is
+  // monotone within a cut group), and endpoints stay 0/1 exactly.
+  return out;
+}
+
+}  // namespace greem::domain

@@ -1,0 +1,68 @@
+#pragma once
+// 3-D multi-section domain decomposition (Makino 2004), built from sampled
+// particles: space is cut into nx slabs along x with equal sample counts,
+// each slab into ny rows along y, each row into nz boxes along z.  Domain
+// geometries are rectangular; the rank grid matches the paper's
+// "number of divisions on each dimension" configuration.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "util/box.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::domain {
+
+struct Decomposition {
+  std::array<int, 3> dims{1, 1, 1};
+  /// nx+1 x-boundaries (first 0, last 1).
+  std::vector<double> xcuts;
+  /// Per x-slab: ny+1 y-boundaries.
+  std::vector<std::vector<double>> ycuts;
+  /// Per (x-slab, y-row): nz+1 z-boundaries.
+  std::vector<std::vector<std::vector<double>>> zcuts;
+
+  int nranks() const { return dims[0] * dims[1] * dims[2]; }
+  int rank_of(int ix, int iy, int iz) const { return (ix * dims[1] + iy) * dims[2] + iz; }
+  std::array<int, 3> coords_of(int rank) const;
+
+  Box box_of(int rank) const;
+
+  /// Rank of the domain containing p (positions must lie in [0,1)^3).
+  int find_domain(const Vec3& p) const;
+
+  /// All domain boxes in rank order.
+  std::vector<Box> boxes() const;
+
+  /// Flatten/restore the cut coordinates (for bcast and smoothing).
+  std::vector<double> flatten() const;
+  static Decomposition unflatten(std::array<int, 3> dims, std::span<const double> flat);
+
+  /// Uniform grid decomposition (the static baseline of Fig. 3 / the
+  /// domain benchmark).
+  static Decomposition uniform(std::array<int, 3> dims);
+};
+
+/// Build a decomposition so every domain receives the same number of
+/// sample points (the samples already encode cost weighting through their
+/// sampling rates).  Degenerates to uniform cuts where samples run out.
+Decomposition build_multisection(std::array<int, 3> dims, std::vector<Vec3> samples);
+
+/// Linear-weighted moving average of the domain boundaries over the last
+/// `window` steps (paper: 5), suppressing sampling-noise jumps.
+class BoundarySmoother {
+ public:
+  explicit BoundarySmoother(std::size_t window = 5) : window_(window) {}
+
+  /// Feed the newest decomposition; returns the smoothed one.
+  Decomposition smooth(const Decomposition& latest);
+
+  void reset() { history_.clear(); }
+
+ private:
+  std::size_t window_;
+  std::vector<std::vector<double>> history_;  // newest last
+};
+
+}  // namespace greem::domain

@@ -1,0 +1,45 @@
+#include "domain/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greem::domain {
+
+Decomposition sample_and_decompose(parx::Comm& comm, std::array<int, 3> dims,
+                                   std::span<const Vec3> local_pos, double local_cost,
+                                   const SamplingParams& params, std::uint64_t step) {
+  const double total_cost = comm.allreduce_sum(std::max(local_cost, 0.0));
+  const double share = total_cost > 0 ? std::max(local_cost, 0.0) / total_cost
+                                      : 1.0 / comm.size();
+  // Number of samples this rank contributes; proportional to measured cost
+  // so overloaded domains are over-sampled and therefore shrunk.
+  auto want = static_cast<std::size_t>(
+      std::llround(share * static_cast<double>(params.target_samples)));
+  want = std::min(want, local_pos.size());
+
+  Rng rng(params.seed + step, static_cast<std::uint64_t>(comm.rank()));
+  std::vector<Vec3> mine;
+  mine.reserve(want);
+  if (want > 0 && !local_pos.empty()) {
+    // Bernoulli-style index sampling without replacement via a partial
+    // Fisher-Yates over an index vector is overkill here; sampling with
+    // replacement is statistically equivalent at our rates (<< 100%).
+    for (std::size_t i = 0; i < want; ++i)
+      mine.push_back(local_pos[rng.uniform_index(local_pos.size())]);
+  }
+
+  auto gathered = comm.gatherv(std::span<const Vec3>(mine), 0);
+
+  std::vector<double> flat;
+  std::size_t flat_size = 0;
+  if (comm.rank() == 0) {
+    Decomposition d = build_multisection(dims, std::move(gathered));
+    flat = d.flatten();
+    flat_size = flat.size();
+  }
+  comm.bcast(flat, 0);
+  (void)flat_size;
+  return Decomposition::unflatten(dims, flat);
+}
+
+}  // namespace greem::domain

@@ -1,0 +1,31 @@
+#pragma once
+// The sampling method (Blackston & Suel) with the paper's cost-weighted
+// sampling rates: each rank samples its particles at a rate proportional
+// to its measured force-calculation time, the root gathers the samples and
+// builds a multi-section decomposition with equal sample counts per
+// domain, so expensive regions get smaller domains.
+
+#include <cstdint>
+#include <span>
+
+#include "domain/multisection.hpp"
+#include "parx/comm.hpp"
+#include "util/rng.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::domain {
+
+struct SamplingParams {
+  std::size_t target_samples = 50000;  ///< total samples gathered at the root
+  std::uint64_t seed = 12345;
+};
+
+/// Collective: sample local particles (rate proportional to local_cost /
+/// total_cost), gather at root (rank 0), build the decomposition there and
+/// broadcast it.  `local_cost` is the measured force time of this rank for
+/// the previous step (use nlocal as a proxy for the first step).
+Decomposition sample_and_decompose(parx::Comm& comm, std::array<int, 3> dims,
+                                   std::span<const Vec3> local_pos, double local_cost,
+                                   const SamplingParams& params, std::uint64_t step);
+
+}  // namespace greem::domain

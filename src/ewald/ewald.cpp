@@ -1,0 +1,218 @@
+#include "ewald/ewald.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace greem::ewald {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+double two_over_sqrt_pi() { return 2.0 / std::sqrt(kPi); }
+
+}  // namespace
+
+Ewald::Ewald(EwaldParams params) : params_(params) {
+  const int hmax = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(params_.hmax2))));
+  for (int hx = -hmax; hx <= hmax; ++hx)
+    for (int hy = -hmax; hy <= hmax; ++hy)
+      for (int hz = -hmax; hz <= hmax; ++hz) {
+        const int h2 = hx * hx + hy * hy + hz * hz;
+        if (h2 == 0 || h2 > params_.hmax2) continue;
+        reciprocal_.push_back(Vec3(hx, hy, hz));
+        const double a2 = params_.alpha * params_.alpha;
+        recip_amp_.push_back(std::exp(-kPi * kPi * static_cast<double>(h2) / a2) /
+                             static_cast<double>(h2));
+      }
+
+  if (params_.table_n > 0) {
+    const std::size_t n = params_.table_n;
+    table_.resize((n + 1) * (n + 1) * (n + 1));
+    // Boundary nodes sit a hair inside 0.5: min_image(0.5) wraps to -0.5,
+    // which would store the odd-flipped value and corrupt the last cell.
+    const double half = 0.5 * (1.0 - 1e-12);
+    auto node = [&](std::size_t i) {
+      return std::min(0.5 * static_cast<double>(i) / static_cast<double>(n), half);
+    };
+    for (std::size_t iz = 0; iz <= n; ++iz)
+      for (std::size_t iy = 0; iy <= n; ++iy)
+        for (std::size_t ix = 0; ix <= n; ++ix) {
+          const Vec3 x{node(ix), node(iy), node(iz)};
+          table_[(iz * (n + 1) + iy) * (n + 1) + ix] = correction(x);
+        }
+  }
+}
+
+Vec3 Ewald::correction(const Vec3& dx) const {
+  // Smooth periodic correction: full Ewald force minus the minimum-image
+  // Newton term (both singular parts cancel as |dx| -> 0).
+  const Vec3 x{min_image(dx.x), min_image(dx.y), min_image(dx.z)};
+  Vec3 a{};
+
+  const double alpha = params_.alpha;
+  const int nr = params_.nreal;
+  for (int nx = -nr; nx <= nr; ++nx)
+    for (int ny = -nr; ny <= nr; ++ny)
+      for (int nz = -nr; nz <= nr; ++nz) {
+        const Vec3 d = x - Vec3(nx, ny, nz);
+        const double s2 = d.norm2();
+        if (s2 < 1e-24) continue;  // exactly on an image: symmetric, skip
+        const double s = std::sqrt(s2);
+        const double w =
+            std::erfc(alpha * s) + two_over_sqrt_pi() * alpha * s * std::exp(-alpha * alpha * s2);
+        a -= d * (w / (s2 * s));
+      }
+  for (std::size_t i = 0; i < reciprocal_.size(); ++i) {
+    const Vec3& h = reciprocal_[i];
+    const double phase = 2.0 * kPi * h.dot(x);
+    a -= h * (2.0 * recip_amp_[i] * std::sin(phase));
+  }
+
+  // Subtract minimum-image Newton.
+  const double r2 = x.norm2();
+  if (r2 > 1e-24) {
+    const double r = std::sqrt(r2);
+    a += x / (r2 * r);
+  }
+  return a;
+}
+
+Vec3 Ewald::pair_acceleration_exact(const Vec3& dx) const {
+  const Vec3 x{min_image(dx.x), min_image(dx.y), min_image(dx.z)};
+  Vec3 a = correction(x);
+  const double r2 = x.norm2();
+  if (r2 > 1e-24) {
+    const double r = std::sqrt(r2);
+    a -= x / (r2 * r);
+  }
+  return a;
+}
+
+Vec3 Ewald::correction_table(const Vec3& dx) const {
+  assert(!table_.empty());
+  const std::size_t n = params_.table_n;
+  const Vec3 x{min_image(dx.x), min_image(dx.y), min_image(dx.z)};
+  // Odd symmetry per component: component i of the correction is odd in
+  // x_i and even in the others, so the octant table suffices.
+  const double ax = std::abs(x.x), ay = std::abs(x.y), az = std::abs(x.z);
+  const double fx = std::min(ax, 0.5) * 2.0 * static_cast<double>(n);
+  const double fy = std::min(ay, 0.5) * 2.0 * static_cast<double>(n);
+  const double fz = std::min(az, 0.5) * 2.0 * static_cast<double>(n);
+  const auto ix = std::min(static_cast<std::size_t>(fx), n - 1);
+  const auto iy = std::min(static_cast<std::size_t>(fy), n - 1);
+  const auto iz = std::min(static_cast<std::size_t>(fz), n - 1);
+  const double tx = fx - static_cast<double>(ix);
+  const double ty = fy - static_cast<double>(iy);
+  const double tz = fz - static_cast<double>(iz);
+  auto at = [&](std::size_t i, std::size_t j, std::size_t k) -> const Vec3& {
+    return table_[(k * (n + 1) + j) * (n + 1) + i];
+  };
+  Vec3 c{};
+  for (int dzi = 0; dzi < 2; ++dzi)
+    for (int dyi = 0; dyi < 2; ++dyi)
+      for (int dxi = 0; dxi < 2; ++dxi) {
+        const double w = (dxi ? tx : 1 - tx) * (dyi ? ty : 1 - ty) * (dzi ? tz : 1 - tz);
+        c += at(ix + static_cast<std::size_t>(dxi), iy + static_cast<std::size_t>(dyi),
+                iz + static_cast<std::size_t>(dzi)) *
+             w;
+      }
+  if (x.x < 0) c.x = -c.x;
+  if (x.y < 0) c.y = -c.y;
+  if (x.z < 0) c.z = -c.z;
+  return c;
+}
+
+Vec3 Ewald::pair_acceleration(const Vec3& dx) const {
+  if (table_.empty()) return pair_acceleration_exact(dx);
+  const Vec3 x{min_image(dx.x), min_image(dx.y), min_image(dx.z)};
+  Vec3 a = correction_table(x);
+  const double r2 = x.norm2();
+  if (r2 > 1e-24) {
+    const double r = std::sqrt(r2);
+    a -= x / (r2 * r);
+  }
+  return a;
+}
+
+double Ewald::pair_potential(const Vec3& dx) const {
+  const Vec3 x{min_image(dx.x), min_image(dx.y), min_image(dx.z)};
+  double phi = 0;
+  const double alpha = params_.alpha;
+  const int nr = params_.nreal;
+  for (int nx = -nr; nx <= nr; ++nx)
+    for (int ny = -nr; ny <= nr; ++ny)
+      for (int nz = -nr; nz <= nr; ++nz) {
+        const Vec3 d = x - Vec3(nx, ny, nz);
+        const double s = d.norm();
+        if (s < 1e-12) continue;
+        phi -= std::erfc(alpha * s) / s;
+      }
+  for (std::size_t i = 0; i < reciprocal_.size(); ++i)
+    phi -= (1.0 / kPi) * recip_amp_[i] * std::cos(2.0 * kPi * reciprocal_[i].dot(x));
+  phi += kPi / (alpha * alpha);  // neutralizing-background constant
+  return phi;
+}
+
+double Ewald::self_potential() const {
+  // lim_{x->0} [ pair_potential(x) + 1/|x| ]: image + background terms a
+  // particle feels from itself.
+  const double alpha = params_.alpha;
+  double phi = 0;
+  const int nr = params_.nreal;
+  for (int nx = -nr; nx <= nr; ++nx)
+    for (int ny = -nr; ny <= nr; ++ny)
+      for (int nz = -nr; nz <= nr; ++nz) {
+        if (nx == 0 && ny == 0 && nz == 0) continue;
+        const double s = Vec3(nx, ny, nz).norm();
+        phi -= std::erfc(alpha * s) / s;
+      }
+  for (std::size_t i = 0; i < reciprocal_.size(); ++i) phi -= (1.0 / kPi) * recip_amp_[i];
+  phi += kPi / (alpha * alpha);
+  // The n=0 term of pair_potential is -erfc(a s)/s = -1/s + erf(a s)/s;
+  // adding back the 1/s leaves +erf(a s)/s -> +2 a / sqrt(pi) as s -> 0.
+  phi += two_over_sqrt_pi() * alpha;
+  return phi;
+}
+
+void Ewald::accelerations(std::span<const Vec3> pos, std::span<const double> mass,
+                          std::span<Vec3> acc, double eps2) const {
+  const std::size_t n = pos.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 a{};
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const Vec3 x = min_image(pos[j], pos[i]);  // x_i - x_j (field - source)
+      // Periodic correction plus softened min-image Newton (-x direction).
+      Vec3 pa = table_.empty() ? correction(x) : correction_table(x);
+      const double r2 = x.norm2() + eps2;
+      if (r2 > 1e-24) {
+        const double rinv = 1.0 / std::sqrt(r2);
+        pa -= x * (rinv * rinv * rinv);
+      }
+      a += pa * mass[j];
+    }
+    acc[i] += a;
+  }
+}
+
+double Ewald::potential_energy(std::span<const Vec3> pos, std::span<const double> mass,
+                               double eps2) const {
+  const std::size_t n = pos.size();
+  double u = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Vec3 x = min_image(pos[i], pos[j]);
+      // Softened min-image Newton + unsoftened periodic correction.
+      const double r2 = x.norm2() + eps2;
+      const double r = std::sqrt(x.norm2());
+      double phi = pair_potential(x);
+      if (r > 1e-12) phi += 1.0 / r - 1.0 / std::sqrt(r2);
+      u += mass[i] * mass[j] * phi;
+    }
+    u += 0.5 * mass[i] * mass[i] * self_potential();
+  }
+  return u;
+}
+
+}  // namespace greem::ewald

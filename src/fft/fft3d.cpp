@@ -1,0 +1,80 @@
+#include "fft/fft3d.hpp"
+
+#include <cassert>
+
+namespace greem::fft {
+
+Fft3d::Fft3d(std::size_t n) : n_(n), line_(n) {}
+
+void Fft3d::transform(std::vector<Complex>& data, bool inverse) const {
+  assert(data.size() == cells());
+  const std::size_t n = n_;
+  auto line = [&](Complex* p, std::size_t stride) {
+    if (inverse)
+      line_.inverse_strided(p, stride);
+    else
+      line_.forward_strided(p, stride);
+  };
+  // x lines (contiguous)
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y) line(&data[index(0, y, z)], 1);
+  // y lines (stride n)
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t x = 0; x < n; ++x) line(&data[index(x, 0, z)], n);
+  // z lines (stride n^2)
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < n; ++x) line(&data[index(x, y, 0)], n * n);
+}
+
+void Fft3d::forward(std::vector<Complex>& data) const { transform(data, false); }
+
+void Fft3d::inverse(std::vector<Complex>& data) const { transform(data, true); }
+
+std::vector<Complex> Fft3d::forward_real(const std::vector<double>& real) const {
+  assert(real.size() == cells());
+  std::vector<Complex> data(real.size());
+  for (std::size_t i = 0; i < real.size(); ++i) data[i] = {real[i], 0.0};
+  forward(data);
+  return data;
+}
+
+std::vector<double> Fft3d::inverse_to_real(std::vector<Complex> data) const {
+  inverse(data);
+  std::vector<double> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i].real();
+  return out;
+}
+
+Fft3dR2C::Fft3dR2C(std::size_t n) : n_(n), line_(n) {}
+
+std::vector<Complex> Fft3dR2C::forward(const std::vector<double>& real) const {
+  assert(real.size() == n_ * n_ * n_);
+  const std::size_t n = n_, h = hx();
+  std::vector<Complex> out(spectrum_size());
+  // x: real-to-complex lines into the half-width layout.
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      line_.forward_r2c(&real[(z * n + y) * n], &out[index(0, y, z)]);
+  // y and z: complex strided lines over the reduced domain.
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t x = 0; x < h; ++x) line_.forward_strided(&out[index(x, 0, z)], h);
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < h; ++x) line_.forward_strided(&out[index(x, y, 0)], h * n);
+  return out;
+}
+
+std::vector<double> Fft3dR2C::inverse(std::vector<Complex> spec) const {
+  assert(spec.size() == spectrum_size());
+  const std::size_t n = n_, h = hx();
+  for (std::size_t y = 0; y < n; ++y)
+    for (std::size_t x = 0; x < h; ++x) line_.inverse_strided(&spec[index(x, y, 0)], h * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t x = 0; x < h; ++x) line_.inverse_strided(&spec[index(x, 0, z)], h);
+  std::vector<double> out(n * n * n);
+  for (std::size_t z = 0; z < n; ++z)
+    for (std::size_t y = 0; y < n; ++y)
+      line_.inverse_c2r(&spec[index(0, y, z)], &out[(z * n + y) * n]);
+  return out;
+}
+
+}  // namespace greem::fft

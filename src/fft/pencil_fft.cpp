@@ -1,0 +1,176 @@
+#include "fft/pencil_fft.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace greem::fft {
+
+PencilFft::PencilFft(parx::Comm& comm, std::size_t n, int pr, int pc)
+    : comm_(comm), n_(n), pr_(pr), pc_(pc), row_(comm.rank() / pc), col_(comm.rank() % pc),
+      line_(n) {
+  if (pr * pc != comm.size())
+    throw std::invalid_argument("PencilFft: pr*pc must equal comm size");
+  if (static_cast<std::size_t>(pr) > n || static_cast<std::size_t>(pc) > n)
+    throw std::invalid_argument("PencilFft: grid dimension exceeds mesh");
+  row_comm_ = comm_.split(row_, col_);  // same row: pc members, by col
+  col_comm_ = comm_.split(col_, row_);  // same col: pr members, by row
+}
+
+std::vector<Complex> PencilFft::transpose_xy(const std::vector<Complex>& data, bool to_y) {
+  // col_comm exchange: x-ownership (all <-> split over pr by row) against
+  // y-ownership (split over pr by row <-> all); z-range fixed = in_z().
+  const std::size_t n = n_;
+  const Range zr = in_z();
+  const auto p = static_cast<std::size_t>(pr_);
+
+  std::vector<std::vector<Complex>> send(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    const Range xd = split_range(n, pr_, static_cast<int>(d));
+    const Range yd = split_range(n, pr_, static_cast<int>(d));
+    auto& buf = send[d];
+    if (to_y) {
+      // x-pencil -> y-pencil: send block (x in Rx(d), y in Ry(row), z).
+      const Range ym = in_y();
+      buf.reserve(zr.count * ym.count * xd.count);
+      for (std::size_t z = zr.begin; z < zr.end(); ++z)
+        for (std::size_t y = ym.begin; y < ym.end(); ++y)
+          for (std::size_t x = xd.begin; x < xd.end(); ++x)
+            buf.push_back(data[in_index(x, y, z)]);
+    } else {
+      // y-pencil -> x-pencil: send block (x in Rx(row), y in Ry(d), z).
+      const Range xm = split_range(n, pr_, row_);
+      buf.reserve(zr.count * yd.count * xm.count);
+      for (std::size_t z = zr.begin; z < zr.end(); ++z)
+        for (std::size_t y = yd.begin; y < yd.end(); ++y)
+          for (std::size_t x = xm.begin; x < xm.end(); ++x)
+            buf.push_back(data[((z - zr.begin) * xm.count + (x - xm.begin)) * n + y]);
+    }
+  }
+  auto recv = col_comm_.alltoallv(send);
+
+  std::vector<Complex> out;
+  if (to_y) {
+    const Range xm = split_range(n, pr_, row_);
+    out.resize(zr.count * xm.count * n);
+    for (std::size_t s = 0; s < p; ++s) {
+      const Range ys = split_range(n, pr_, static_cast<int>(s));
+      const auto& buf = recv[s];
+      std::size_t i = 0;
+      for (std::size_t z = zr.begin; z < zr.end(); ++z)
+        for (std::size_t y = ys.begin; y < ys.end(); ++y)
+          for (std::size_t x = xm.begin; x < xm.end(); ++x)
+            out[((z - zr.begin) * xm.count + (x - xm.begin)) * n + y] = buf[i++];
+      assert(i == buf.size());
+    }
+  } else {
+    const Range ym = in_y();
+    out.resize(zr.count * ym.count * n);
+    for (std::size_t s = 0; s < p; ++s) {
+      const Range xs = split_range(n, pr_, static_cast<int>(s));
+      const auto& buf = recv[s];
+      std::size_t i = 0;
+      for (std::size_t z = zr.begin; z < zr.end(); ++z)
+        for (std::size_t y = ym.begin; y < ym.end(); ++y)
+          for (std::size_t x = xs.begin; x < xs.end(); ++x) out[in_index(x, y, z)] = buf[i++];
+      assert(i == buf.size());
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> PencilFft::transpose_yz(const std::vector<Complex>& data, bool to_z) {
+  // row_comm exchange: y-ownership (all <-> split over pc by col) against
+  // z-ownership (split over pc by col <-> all); x-range fixed = out_x().
+  const std::size_t n = n_;
+  const Range xm = out_x();
+  const auto p = static_cast<std::size_t>(pc_);
+
+  std::vector<std::vector<Complex>> send(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    const Range yd = split_range(n, pc_, static_cast<int>(d));
+    const Range zd = split_range(n, pc_, static_cast<int>(d));
+    auto& buf = send[d];
+    if (to_z) {
+      // y-pencil -> z-pencil: send block (y in Ryo(d), z in Rz(col), x).
+      const Range zm = in_z();
+      buf.reserve(zm.count * xm.count * yd.count);
+      for (std::size_t z = zm.begin; z < zm.end(); ++z)
+        for (std::size_t x = xm.begin; x < xm.end(); ++x)
+          for (std::size_t y = yd.begin; y < yd.end(); ++y)
+            buf.push_back(data[((z - zm.begin) * xm.count + (x - xm.begin)) * n + y]);
+    } else {
+      // z-pencil -> y-pencil: send block (y in Ryo(col), z in Rz(d), x).
+      const Range ym = out_y();
+      buf.reserve(zd.count * xm.count * ym.count);
+      for (std::size_t z = zd.begin; z < zd.end(); ++z)
+        for (std::size_t x = xm.begin; x < xm.end(); ++x)
+          for (std::size_t y = ym.begin; y < ym.end(); ++y)
+            buf.push_back(data[out_index(x, y, z)]);
+    }
+  }
+  auto recv = row_comm_.alltoallv(send);
+
+  std::vector<Complex> out;
+  if (to_z) {
+    const Range ym = out_y();
+    out.resize(n * xm.count * ym.count);
+    for (std::size_t s = 0; s < p; ++s) {
+      const Range zs = split_range(n, pc_, static_cast<int>(s));
+      const auto& buf = recv[s];
+      std::size_t i = 0;
+      for (std::size_t z = zs.begin; z < zs.end(); ++z)
+        for (std::size_t x = xm.begin; x < xm.end(); ++x)
+          for (std::size_t y = ym.begin; y < ym.end(); ++y) out[out_index(x, y, z)] = buf[i++];
+      assert(i == buf.size());
+    }
+  } else {
+    const Range zm = in_z();
+    out.resize(zm.count * xm.count * n);
+    for (std::size_t s = 0; s < p; ++s) {
+      const Range ys = split_range(n, pc_, static_cast<int>(s));
+      const auto& buf = recv[s];
+      std::size_t i = 0;
+      for (std::size_t z = zm.begin; z < zm.end(); ++z)
+        for (std::size_t x = xm.begin; x < xm.end(); ++x)
+          for (std::size_t y = ys.begin; y < ys.end(); ++y)
+            out[((z - zm.begin) * xm.count + (x - xm.begin)) * n + y] = buf[i++];
+      assert(i == buf.size());
+    }
+  }
+  return out;
+}
+
+std::vector<Complex> PencilFft::forward(const std::vector<Complex>& in) {
+  assert(in.size() == in_cells());
+  // FFT x on contiguous lines of the x-pencils.
+  std::vector<Complex> xp = in;
+  const std::size_t nlines_x = in_y().count * in_z().count;
+  for (std::size_t l = 0; l < nlines_x; ++l) line_.forward(&xp[l * n_]);
+
+  auto yp = transpose_xy(xp, /*to_y=*/true);
+  const std::size_t nlines_y = out_x().count * in_z().count;
+  for (std::size_t l = 0; l < nlines_y; ++l) line_.forward(&yp[l * n_]);
+
+  auto zp = transpose_yz(yp, /*to_z=*/true);
+  const std::size_t nlines_z = out_x().count * out_y().count;
+  for (std::size_t l = 0; l < nlines_z; ++l) line_.forward(&zp[l * n_]);
+  return zp;
+}
+
+std::vector<Complex> PencilFft::inverse(const std::vector<Complex>& in) {
+  assert(in.size() == out_cells());
+  std::vector<Complex> zp = in;
+  const std::size_t nlines_z = out_x().count * out_y().count;
+  for (std::size_t l = 0; l < nlines_z; ++l) line_.inverse(&zp[l * n_]);
+
+  auto yp = transpose_yz(zp, /*to_z=*/false);
+  const std::size_t nlines_y = out_x().count * in_z().count;
+  for (std::size_t l = 0; l < nlines_y; ++l) line_.inverse(&yp[l * n_]);
+
+  auto xp = transpose_xy(yp, /*to_y=*/false);
+  const std::size_t nlines_x = in_y().count * in_z().count;
+  for (std::size_t l = 0; l < nlines_x; ++l) line_.inverse(&xp[l * n_]);
+  return xp;
+}
+
+}  // namespace greem::fft

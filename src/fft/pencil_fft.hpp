@@ -1,0 +1,75 @@
+#pragma once
+// 2-D (pencil) decomposed parallel 3-D FFT.
+//
+// The paper's conclusion names this as the path past the slab bottleneck:
+// "the combination of our novel relay mesh method and a 3-D parallel FFT
+// library will significantly improve the performance and the scalability".
+// A pencil decomposition over a pr x pc rank grid supports up to n^2 ranks
+// (vs n for slabs), at the cost of two transposes per transform, each
+// confined to a row or column communicator of the rank grid.
+//
+// Layouts (n^3 mesh, rank at (row, col) of the pr x pc grid):
+//  * input/x-pencils: own all x, y in Ry(row), z in Rz(col);
+//    index ((z - z0)*ny + (y - y0))*n + x.
+//  * forward output/z-pencils (transposed-output convention, as FFTW MPI):
+//    own x in Rx(row), y in Ryo(col), all z;
+//    index ((y - y0)*nx + (x - x0))*n + z.
+// inverse() consumes z-pencils and returns x-pencils.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "fft/slab_fft.hpp"  // Range / split_range
+#include "parx/comm.hpp"
+
+namespace greem::fft {
+
+class PencilFft {
+ public:
+  /// Collective over `comm`; requires comm.size() == pr*pc, pr <= n,
+  /// pc <= n, n a power of two.  Rank r sits at row r / pc, col r % pc.
+  PencilFft(parx::Comm& comm, std::size_t n, int pr, int pc);
+
+  std::size_t n() const { return n_; }
+  int row() const { return row_; }
+  int col() const { return col_; }
+
+  /// Input ownership (x-pencils).
+  Range in_y() const { return split_range(n_, pr_, row_); }
+  Range in_z() const { return split_range(n_, pc_, col_); }
+  std::size_t in_cells() const { return n_ * in_y().count * in_z().count; }
+  std::size_t in_index(std::size_t x, std::size_t y, std::size_t z) const {
+    return ((z - in_z().begin) * in_y().count + (y - in_y().begin)) * n_ + x;
+  }
+
+  /// Output ownership (z-pencils).
+  Range out_x() const { return split_range(n_, pr_, row_); }
+  Range out_y() const { return split_range(n_, pc_, col_); }
+  std::size_t out_cells() const { return n_ * out_x().count * out_y().count; }
+  std::size_t out_index(std::size_t x, std::size_t y, std::size_t z) const {
+    return ((y - out_y().begin) * out_x().count + (x - out_x().begin)) * n_ + z;
+  }
+
+  /// Forward transform: consumes x-pencil data, returns z-pencil spectrum.
+  std::vector<Complex> forward(const std::vector<Complex>& in);
+
+  /// Inverse transform (with 1/n^3): consumes z-pencils, returns x-pencils.
+  std::vector<Complex> inverse(const std::vector<Complex>& in);
+
+ private:
+  // Intermediate y-pencil layout: own x in Rx(row), all y, z in Rz(col);
+  // index ((z - z0)*nx + (x - x0))*n + y.
+  std::vector<Complex> transpose_xy(const std::vector<Complex>& xp, bool to_y);
+  std::vector<Complex> transpose_yz(const std::vector<Complex>& yp, bool to_z);
+
+  parx::Comm comm_;
+  parx::Comm row_comm_;  ///< ranks sharing this row (pc members)  -- y<->z
+  parx::Comm col_comm_;  ///< ranks sharing this column (pr members) -- x<->y
+  std::size_t n_;
+  int pr_, pc_, row_, col_;
+  Fft1d line_;
+};
+
+}  // namespace greem::fft

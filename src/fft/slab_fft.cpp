@@ -1,0 +1,142 @@
+#include "fft/slab_fft.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace greem::fft {
+
+Range split_range(std::size_t n, int p, int r) {
+  const auto pp = static_cast<std::size_t>(p);
+  const auto rr = static_cast<std::size_t>(r);
+  const std::size_t base = n / pp;
+  const std::size_t rem = n % pp;
+  Range out;
+  out.begin = rr * base + std::min(rr, rem);
+  out.count = base + (rr < rem ? 1 : 0);
+  return out;
+}
+
+SlabFft::SlabFft(parx::Comm comm, std::size_t n) : comm_(comm), n_(n), line_(n) {
+  if (!is_pow2(n)) throw std::invalid_argument("SlabFft: n must be a power of two");
+  if (static_cast<std::size_t>(comm_.size()) > n)
+    throw std::invalid_argument("SlabFft: more ranks than planes (1-D slab limit)");
+}
+
+void SlabFft::plane_transform(std::vector<Complex>& slab, bool inverse) {
+  const std::size_t n = n_;
+  const Range z = local_z();
+  for (std::size_t zi = 0; zi < z.count; ++zi) {
+    Complex* plane = &slab[zi * n * n];
+    for (std::size_t y = 0; y < n; ++y) {
+      if (inverse)
+        line_.inverse(plane + y * n);
+      else
+        line_.forward(plane + y * n);
+    }
+    for (std::size_t x = 0; x < n; ++x) {
+      if (inverse)
+        line_.inverse_strided(plane + x, n);
+      else
+        line_.forward_strided(plane + x, n);
+    }
+  }
+}
+
+void SlabFft::transpose_to_xchunks(const std::vector<Complex>& slab,
+                                   std::vector<Complex>& chunks) {
+  const std::size_t n = n_;
+  const int p = comm_.size();
+  const Range zr = local_z();
+  const Range xr = split_range(n, p, comm_.rank());
+
+  // Pack: block sent to rank d covers (x in d's chunk, all y, my z planes),
+  // iterated z-major, then y, then x.
+  std::vector<std::vector<Complex>> send(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const Range xd = split_range(n, p, d);
+    auto& buf = send[static_cast<std::size_t>(d)];
+    buf.reserve(zr.count * n * xd.count);
+    for (std::size_t zi = 0; zi < zr.count; ++zi)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t x = xd.begin; x < xd.end(); ++x)
+          buf.push_back(slab[(zi * n + y) * n + x]);
+  }
+  auto recv = comm_.alltoallv(send);
+
+  // Unpack into z-fastest layout: chunks[((x - x0)*n + y)*n + z].
+  chunks.assign(xr.count * n * n, Complex{});
+  for (int s = 0; s < p; ++s) {
+    const Range zs = split_range(n, p, s);
+    const auto& buf = recv[static_cast<std::size_t>(s)];
+    std::size_t i = 0;
+    for (std::size_t z = zs.begin; z < zs.end(); ++z)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t xi = 0; xi < xr.count; ++xi)
+          chunks[(xi * n + y) * n + z] = buf[i++];
+  }
+}
+
+void SlabFft::transpose_to_slabs(const std::vector<Complex>& chunks,
+                                 std::vector<Complex>& slab) {
+  const std::size_t n = n_;
+  const int p = comm_.size();
+  const Range zr = local_z();
+  const Range xr = split_range(n, p, comm_.rank());
+
+  std::vector<std::vector<Complex>> send(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const Range zd = split_range(n, p, d);
+    auto& buf = send[static_cast<std::size_t>(d)];
+    buf.reserve(zd.count * n * xr.count);
+    for (std::size_t z = zd.begin; z < zd.end(); ++z)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t xi = 0; xi < xr.count; ++xi)
+          buf.push_back(chunks[(xi * n + y) * n + z]);
+  }
+  auto recv = comm_.alltoallv(send);
+
+  slab.assign(zr.count * n * n, Complex{});
+  for (int s = 0; s < p; ++s) {
+    const Range xs = split_range(n, p, s);
+    const auto& buf = recv[static_cast<std::size_t>(s)];
+    std::size_t i = 0;
+    for (std::size_t z = zr.begin; z < zr.end(); ++z)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t x = xs.begin; x < xs.end(); ++x)
+          slab[((z - zr.begin) * n + y) * n + x] = buf[i++];
+  }
+}
+
+void SlabFft::z_transform(std::vector<Complex>& chunks, bool inverse) {
+  const std::size_t n = n_;
+  const Range xr = split_range(n, comm_.size(), comm_.rank());
+  for (std::size_t xi = 0; xi < xr.count; ++xi) {
+    for (std::size_t y = 0; y < n; ++y) {
+      Complex* zline = &chunks[(xi * n + y) * n];
+      if (inverse)
+        line_.inverse(zline);
+      else
+        line_.forward(zline);
+    }
+  }
+}
+
+void SlabFft::forward(std::vector<Complex>& slab) {
+  assert(slab.size() == slab_cells());
+  plane_transform(slab, false);
+  std::vector<Complex> chunks;
+  transpose_to_xchunks(slab, chunks);
+  z_transform(chunks, false);
+  transpose_to_slabs(chunks, slab);
+}
+
+void SlabFft::inverse(std::vector<Complex>& slab) {
+  assert(slab.size() == slab_cells());
+  std::vector<Complex> chunks;
+  transpose_to_xchunks(slab, chunks);
+  z_transform(chunks, true);
+  transpose_to_slabs(chunks, slab);
+  plane_transform(slab, true);
+}
+
+}  // namespace greem::fft

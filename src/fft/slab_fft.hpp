@@ -1,0 +1,62 @@
+#pragma once
+// 1-D slab-decomposed parallel 3-D FFT over parx (the role FFTW 3.3 MPI
+// plays in the paper).  Each rank owns a contiguous set of z-planes; the z
+// transform is reached by an all-to-all transpose into an x-chunk layout
+// and a transpose back, so both input and output live in the z-slab layout.
+//
+// As in the paper, the parallelism of this transform is limited to at most
+// n ranks (one plane each) — the very limitation that motivates the relay
+// mesh method when the job has far more ranks than planes.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "fft/fft1d.hpp"
+#include "parx/comm.hpp"
+
+namespace greem::fft {
+
+/// Contiguous 1-D block decomposition of [0, n) over p ranks.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  std::size_t end() const { return begin + count; }
+};
+
+Range split_range(std::size_t n, int p, int r);
+
+class SlabFft {
+ public:
+  /// `comm` is the FFT communicator (the paper's COMM_FFT); requires
+  /// comm.size() <= n and n a power of two.
+  SlabFft(parx::Comm comm, std::size_t n);
+
+  std::size_t n() const { return n_; }
+  Range local_z() const { return split_range(n_, comm_.size(), comm_.rank()); }
+
+  std::size_t slab_cells() const { return local_z().count * n_ * n_; }
+
+  /// Index into the local slab: ((z - z0)*n + y)*n + x.
+  std::size_t index(std::size_t x, std::size_t y, std::size_t z) const {
+    return ((z - local_z().begin) * n_ + y) * n_ + x;
+  }
+
+  /// In-place forward transform of this rank's slab (collective).
+  void forward(std::vector<Complex>& slab);
+
+  /// In-place inverse transform including 1/n^3 (collective).
+  void inverse(std::vector<Complex>& slab);
+
+ private:
+  void transpose_to_xchunks(const std::vector<Complex>& slab, std::vector<Complex>& chunks);
+  void transpose_to_slabs(const std::vector<Complex>& chunks, std::vector<Complex>& slab);
+  void plane_transform(std::vector<Complex>& slab, bool inverse);
+  void z_transform(std::vector<Complex>& chunks, bool inverse);
+
+  parx::Comm comm_;
+  std::size_t n_;
+  Fft1d line_;
+};
+
+}  // namespace greem::fft

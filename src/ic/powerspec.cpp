@@ -1,0 +1,21 @@
+#include "ic/powerspec.hpp"
+
+#include <numbers>
+
+namespace greem::ic {
+
+double field_variance(const PowerSpectrum& ps, double kmin, double kmax) {
+  const int n = 4096;
+  const double h = (kmax - kmin) / n;
+  double sum = 0;
+  for (int i = 0; i <= n; ++i) {
+    const double k = kmin + i * h;
+    const double w = (i == 0 || i == n) ? 1.0 : (i % 2 ? 4.0 : 2.0);
+    sum += w * k * k * ps(k);
+  }
+  sum *= h / 3.0;
+  const double two_pi = 2.0 * std::numbers::pi;
+  return 4.0 * std::numbers::pi * sum / (two_pi * two_pi * two_pi);
+}
+
+}  // namespace greem::ic

@@ -1,0 +1,51 @@
+#pragma once
+// Initial power spectra.  The paper's run uses a spectrum with a sharp
+// small-scale cutoff from neutralino free streaming (Green, Hofmann &
+// Schwarz 2004); we model the cutoff as an exponential damping of a
+// power-law spectrum, which reproduces the qualitative feature that
+// matters for the microhalo problem: no power below the cutoff scale, so
+// the first objects form at a characteristic mass.
+
+#include <cmath>
+#include <memory>
+
+namespace greem::ic {
+
+/// P(k) in the unit box (k = 2 pi |n|, volume 1), at the epoch the caller
+/// chooses to interpret it (the IC generator uses it at the start time).
+class PowerSpectrum {
+ public:
+  virtual ~PowerSpectrum() = default;
+  virtual double operator()(double k) const = 0;
+};
+
+/// P(k) = A k^n.
+class PowerLaw final : public PowerSpectrum {
+ public:
+  PowerLaw(double amplitude, double index) : a_(amplitude), n_(index) {}
+  double operator()(double k) const override { return k > 0 ? a_ * std::pow(k, n_) : 0.0; }
+
+ private:
+  double a_, n_;
+};
+
+/// P(k) = A k^n exp(-(k/k_cut)^2): free-streaming damped power law.
+class CutoffPowerLaw final : public PowerSpectrum {
+ public:
+  CutoffPowerLaw(double amplitude, double index, double k_cut)
+      : a_(amplitude), n_(index), kcut_(k_cut) {}
+  double operator()(double k) const override {
+    if (k <= 0) return 0.0;
+    const double q = k / kcut_;
+    return a_ * std::pow(k, n_) * std::exp(-q * q);
+  }
+
+ private:
+  double a_, n_, kcut_;
+};
+
+/// Field variance sigma^2 = Int 4 pi k^2 P(k) dk / (2 pi)^3 over
+/// [kmin, kmax] (diagnostics/tests).
+double field_variance(const PowerSpectrum& ps, double kmin, double kmax);
+
+}  // namespace greem::ic

@@ -1,0 +1,95 @@
+#include "io/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace greem::io {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+Config Config::parse_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("config line " + std::to_string(lineno) +
+                                  ": expected 'key = value': " + line);
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw std::invalid_argument("config line " + std::to_string(lineno) + ": empty key");
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+std::optional<Config> Config::parse_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse_string(buf.str());
+  } catch (const std::invalid_argument& e) {
+    if (error) *error = e.what();
+    return std::nullopt;
+  }
+}
+
+std::string Config::get_string(const std::string& key, const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it != values_.end() ? it->second : fallback;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+long Config::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stol(it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "true" || v == "yes" || v == "1" || v == "on") return true;
+  if (v == "false" || v == "no" || v == "0" || v == "off") return false;
+  throw std::invalid_argument("config key '" + key + "': not a boolean: " + it->second);
+}
+
+std::vector<std::string> Config::unknown_keys(const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : values_) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace greem::io

@@ -1,0 +1,41 @@
+#include "io/csv.hpp"
+
+#include <cassert>
+
+#include "analysis/profile.hpp"
+
+namespace greem::io {
+
+bool write_halo_catalog(const std::string& path, const analysis::FofGroups& groups,
+                        std::span<const Vec3> pos, double particle_mass) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "halo_id,n_members,mass,com_x,com_y,com_z\n";
+  std::vector<std::vector<Vec3>> members(groups.ngroups());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const auto g = groups.group_of[i];
+    if (g != analysis::FofGroups::kNoGroup) members[static_cast<std::size_t>(g)].push_back(pos[i]);
+  }
+  for (std::size_t g = 0; g < groups.ngroups(); ++g) {
+    const Vec3 com = analysis::periodic_center_of_mass(members[g]);
+    out << g << ',' << groups.group_size[g] << ','
+        << particle_mass * groups.group_size[g] << ',' << com.x << ',' << com.y << ','
+        << com.z << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : out_(path), ncols_(columns.size()) {
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    out_ << (i ? "," : "") << columns[i];
+  out_ << "\n";
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  assert(values.size() == ncols_);
+  for (std::size_t i = 0; i < values.size(); ++i) out_ << (i ? "," : "") << values[i];
+  out_ << "\n";
+}
+
+}  // namespace greem::io

@@ -1,0 +1,33 @@
+#pragma once
+// Minimal CSV writer for benchmark series (figure data dumps) and the
+// FoF halo catalog export.
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/fof.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::io {
+
+class CsvWriter {
+ public:
+  /// Opens `path` and writes the header row.  ok() reports stream health.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  void row(const std::vector<double>& values);
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t ncols_;
+};
+
+/// Write a FoF halo catalog: one row per group with id, member count,
+/// mass, and periodic center of mass.  Returns false on I/O failure.
+bool write_halo_catalog(const std::string& path, const analysis::FofGroups& groups,
+                        std::span<const Vec3> pos, double particle_mass);
+
+}  // namespace greem::io

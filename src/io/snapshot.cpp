@@ -1,0 +1,42 @@
+#include "io/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace greem::io {
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'E', 'E', 'M', 'S', 'N', '1'};
+
+}  // namespace
+
+bool write_snapshot(const std::string& path, const SnapshotHeader& header,
+                    std::span<const core::Particle> particles) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out.write(kMagic, sizeof(kMagic));
+  SnapshotHeader h = header;
+  h.n_particles = particles.size();
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  out.write(reinterpret_cast<const char*>(particles.data()),
+            static_cast<std::streamsize>(particles.size_bytes()));
+  return static_cast<bool>(out);
+}
+
+std::optional<Snapshot> read_snapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(magic)) != 0) return std::nullopt;
+  Snapshot snap;
+  in.read(reinterpret_cast<char*>(&snap.header), sizeof(snap.header));
+  if (!in) return std::nullopt;
+  snap.particles.resize(snap.header.n_particles);
+  in.read(reinterpret_cast<char*>(snap.particles.data()),
+          static_cast<std::streamsize>(snap.particles.size() * sizeof(core::Particle)));
+  if (!in) return std::nullopt;
+  return snap;
+}
+
+}  // namespace greem::io

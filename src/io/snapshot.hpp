@@ -1,0 +1,31 @@
+#pragma once
+// Binary particle snapshots (single file, little-endian host layout):
+// a fixed header followed by the packed Particle array.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/particle.hpp"
+
+namespace greem::io {
+
+struct SnapshotHeader {
+  std::uint64_t n_particles = 0;
+  double clock = 0;       ///< scale factor or time
+  double particle_mass = 0;
+  std::uint32_t comoving = 0;
+};
+
+bool write_snapshot(const std::string& path, const SnapshotHeader& header,
+                    std::span<const core::Particle> particles);
+
+struct Snapshot {
+  SnapshotHeader header;
+  std::vector<core::Particle> particles;
+};
+
+std::optional<Snapshot> read_snapshot(const std::string& path);
+
+}  // namespace greem::io

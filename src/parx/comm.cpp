@@ -1,0 +1,112 @@
+#include "parx/comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <tuple>
+
+#include "parx/group.hpp"
+
+namespace greem::parx {
+
+using detail::Group;
+using detail::JobPoisoned;
+using detail::Message;
+
+Comm::Comm(std::shared_ptr<Group> group, int rank) : group_(std::move(group)), rank_(rank) {}
+
+int Comm::size() const { return group_->size; }
+
+int Comm::world_rank() const { return group_->world_ranks[static_cast<std::size_t>(rank_)]; }
+
+int Comm::world_rank_of(int r) const { return group_->world_ranks[static_cast<std::size_t>(r)]; }
+
+TrafficLedger& Comm::ledger() { return *group_->job->ledger; }
+
+void Comm::barrier() {
+  group_->barrier.wait([&] { return group_->job->poisoned.load(std::memory_order_relaxed); });
+}
+
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
+  assert(dst >= 0 && dst < group_->size && dst != rank_);
+  group_->job->ledger->record(world_rank(), world_rank_of(dst), n);
+  Message msg{rank_, tag, std::vector<std::byte>(n)};
+  if (n > 0) std::memcpy(msg.payload.data(), data, n);
+  auto& box = *group_->boxes[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.mu);
+    box.msgs.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock lock(box.mu);
+  for (;;) {
+    for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
+      if (it->src == src && it->tag == tag) {
+        auto payload = std::move(it->payload);
+        box.msgs.erase(it);
+        return payload;
+      }
+    }
+    if (group_->job->poisoned.load(std::memory_order_relaxed)) throw JobPoisoned{};
+    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+  }
+}
+
+std::vector<std::size_t> Comm::exchange_sizes(std::span<const std::size_t> to_each) {
+  Group& g = *group_;
+  const auto p = static_cast<std::size_t>(g.size);
+  assert(to_each.size() == p);
+  auto poisoned = [&] { return g.job->poisoned.load(std::memory_order_relaxed); };
+  const auto me = static_cast<std::size_t>(rank_);
+  std::copy(to_each.begin(), to_each.end(), g.size_matrix.begin() + static_cast<std::ptrdiff_t>(me * p));
+  g.size_barrier.wait(poisoned);  // all rows written
+  std::vector<std::size_t> from_each(p);
+  for (std::size_t r = 0; r < p; ++r) from_each[r] = g.size_matrix[r * p + me];
+  g.size_barrier.wait(poisoned);  // all columns read; matrix reusable
+  return from_each;
+}
+
+Comm Comm::split(int color, int key) {
+  Group& g = *group_;
+  auto poisoned = [&] { return g.job->poisoned.load(std::memory_order_relaxed); };
+  {
+    std::lock_guard lock(g.split_mu);
+    if (g.split_results.empty()) g.split_results.resize(static_cast<std::size_t>(g.size));
+    g.split_entries.push_back({color, key, rank_});
+  }
+  g.split_barrier.wait(poisoned);  // all entries staged
+  if (rank_ == 0) {
+    auto entries = g.split_entries;  // copy; staging cleared below
+    std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.color, a.key, a.old_rank) < std::tie(b.color, b.key, b.old_rank);
+    });
+    std::size_t i = 0;
+    while (i < entries.size()) {
+      std::size_t j = i;
+      while (j < entries.size() && entries[j].color == entries[i].color) ++j;
+      std::vector<int> world;
+      world.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k)
+        world.push_back(g.world_ranks[static_cast<std::size_t>(entries[k].old_rank)]);
+      auto sub = std::make_shared<Group>(static_cast<int>(j - i), g.job, std::move(world));
+      for (std::size_t k = i; k < j; ++k)
+        g.split_results[static_cast<std::size_t>(entries[k].old_rank)] = {sub, static_cast<int>(k - i)};
+      i = j;
+    }
+    g.split_entries.clear();
+  }
+  g.split_barrier.wait(poisoned);  // results published
+  auto [sub, new_rank] = g.split_results[static_cast<std::size_t>(rank_)];
+  g.split_barrier.wait(poisoned);  // all picked up; results reusable
+  if (rank_ == 0) {
+    std::lock_guard lock(g.split_mu);
+    for (auto& r : g.split_results) r = {nullptr, -1};
+  }
+  return Comm(std::move(sub), new_rank);
+}
+
+}  // namespace greem::parx

@@ -1,0 +1,244 @@
+#pragma once
+// In-process message-passing communicator.
+//
+// `parx` is the repository's stand-in for MPI: ranks are threads inside one
+// process, and `Comm` exposes the subset of MPI the paper's code relies on
+// (named in §II-B): point-to-point send/recv, `split` (MPI_Comm_split),
+// `alltoallv`, `reduce`, `bcast`, plus barrier/gather/allgather/allreduce.
+//
+// Semantics:
+//  * send() is buffered and never blocks (an MPI_Isend with an unbounded
+//    buffer); recv() blocks until a matching (src, tag) message arrives.
+//  * Messages between a fixed (src, tag) pair are delivered in order.
+//  * Collectives are implemented on top of point-to-point with the textbook
+//    algorithms (binomial-tree reduce/bcast, flat gather, pairwise
+//    alltoallv), so the traffic ledger records a realistic message pattern.
+//  * Zero-byte payloads are not transferred and not recorded; payload sizes
+//    are agreed out of band (exchange_sizes uses shared memory, modeling
+//    MPI's envelope metadata).
+//
+// All recorded traffic is attributed to *world* ranks, so ledger statistics
+// remain meaningful inside split communicators.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "parx/traffic.hpp"
+
+namespace greem::parx {
+
+namespace detail {
+struct Group;
+}
+
+class Comm {
+ public:
+  Comm() = default;  ///< Invalid communicator; only for default construction.
+  Comm(std::shared_ptr<detail::Group> group, int rank);
+
+  bool valid() const { return group_ != nullptr; }
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Rank of this process in the world communicator.
+  int world_rank() const;
+  /// World rank of local rank r in this communicator.
+  int world_rank_of(int r) const;
+
+  /// Synchronize all ranks of this communicator.
+  void barrier();
+
+  /// Collective: partition ranks by `color`; order within each new
+  /// communicator by (key, old rank).  Mirrors MPI_Comm_split.
+  Comm split(int color, int key);
+
+  TrafficLedger& ledger();
+
+  // ---- byte-level primitives ----
+  void send_bytes(int dst, int tag, const void* data, std::size_t n);
+  std::vector<std::byte> recv_bytes(int src, int tag);
+
+  /// Collective: every rank announces the payload size it will send to each
+  /// peer; returns the sizes this rank will receive from each peer.
+  /// Implemented via shared memory (models envelope/metadata exchange) and
+  /// therefore not charged to the traffic ledger.
+  std::vector<std::size_t> exchange_sizes(std::span<const std::size_t> to_each);
+
+  // ---- typed point-to-point (trivially-copyable payloads only) ----
+  template <class T>
+  void send(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dst, tag, data.data(), data.size_bytes());
+  }
+
+  template <class T>
+  std::vector<T> recv(int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(src, tag);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  // ---- collectives ----
+
+  /// Personalized all-to-all with per-destination payloads; returns the
+  /// payload received from each source (empty vectors allowed both ways).
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_to) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto p = static_cast<std::size_t>(size());
+    std::vector<std::size_t> sizes(p);
+    for (std::size_t j = 0; j < p; ++j) sizes[j] = send_to[j].size() * sizeof(T);
+    auto from_each = exchange_sizes(sizes);
+
+    const auto me = static_cast<std::size_t>(rank_);
+    std::vector<std::vector<T>> out(p);
+    out[me] = send_to[me];  // self-transfer stays local, no message
+    // Skewed destination order keeps the instantaneous pattern balanced.
+    for (std::size_t k = 1; k < p; ++k) {
+      std::size_t dst = (me + k) % p;
+      if (!send_to[dst].empty())
+        send(static_cast<int>(dst), kTagAlltoall, std::span<const T>(send_to[dst]));
+    }
+    for (std::size_t k = 1; k < p; ++k) {
+      std::size_t src = (me + p - k) % p;
+      if (from_each[src] > 0) out[src] = recv<T>(static_cast<int>(src), kTagAlltoall);
+    }
+    return out;
+  }
+
+  /// Broadcast `v` (contents and size) from root to all ranks
+  /// (binomial tree, log2(p) rounds).
+  template <class T>
+  void bcast(std::vector<T>& v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    if (p == 1) return;
+    const int vr = (rank_ - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vr & mask) {
+        int src = (vr - mask + root) % p;
+        v = recv<T>(src, kTagBcast);
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    for (; mask > 0; mask >>= 1) {
+      if (vr + mask < p) {
+        int dst = (vr + mask + root) % p;
+        send(dst, kTagBcast, std::span<const T>(v));
+      }
+    }
+  }
+
+  /// Element-wise reduce of `inout` into root with a binary op (binomial
+  /// tree).  On non-root ranks `inout` holds partial results afterwards;
+  /// treat it as undefined, as with MPI_Reduce send buffers.
+  template <class T, class Op>
+  void reduce(std::span<T> inout, int root, Op op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    const int vr = (rank_ - root + p) % p;
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (vr & mask) {
+        int dst = (vr - mask + root) % p;
+        send(dst, kTagReduce, std::span<const T>(inout.data(), inout.size()));
+        break;
+      }
+      if (vr + mask < p) {
+        int src = (vr + mask + root) % p;
+        auto part = recv<T>(src, kTagReduce);
+        for (std::size_t i = 0; i < inout.size(); ++i) inout[i] = op(inout[i], part[i]);
+      }
+    }
+  }
+
+  template <class T>
+  void reduce_sum(std::span<T> inout, int root) {
+    reduce(inout, root, [](T a, T b) { return a + b; });
+  }
+
+  template <class T, class Op>
+  void allreduce(std::span<T> inout, Op op) {
+    reduce(inout, 0, op);
+    std::vector<T> v(inout.begin(), inout.end());
+    bcast(v, 0);
+    std::copy(v.begin(), v.end(), inout.begin());
+  }
+
+  template <class T>
+  void allreduce_sum(std::span<T> inout) {
+    allreduce(inout, [](T a, T b) { return a + b; });
+  }
+
+  template <class T>
+  T allreduce_sum(T v) {
+    allreduce_sum(std::span<T>(&v, 1));
+    return v;
+  }
+
+  template <class T>
+  T allreduce_max(T v) {
+    allreduce(std::span<T>(&v, 1), [](T a, T b) { return a > b ? a : b; });
+    return v;
+  }
+
+  template <class T>
+  T allreduce_min(T v) {
+    allreduce(std::span<T>(&v, 1), [](T a, T b) { return a < b ? a : b; });
+    return v;
+  }
+
+  /// Gather variable-size contributions; root receives the concatenation in
+  /// rank order (others receive an empty vector).
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> mine, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto p = static_cast<std::size_t>(size());
+    std::vector<std::size_t> sizes(p, 0);
+    if (rank_ != root) sizes[static_cast<std::size_t>(root)] = mine.size_bytes();
+    auto from_each = exchange_sizes(sizes);
+    if (rank_ != root) {
+      if (!mine.empty()) send(root, kTagGather, mine);
+      return {};
+    }
+    std::vector<T> out;
+    for (std::size_t r = 0; r < p; ++r) {
+      if (static_cast<int>(r) == rank_) {
+        out.insert(out.end(), mine.begin(), mine.end());
+      } else if (from_each[r] > 0) {
+        auto part = recv<T>(static_cast<int>(r), kTagGather);
+        out.insert(out.end(), part.begin(), part.end());
+      }
+    }
+    return out;
+  }
+
+  /// All ranks receive the rank-ordered concatenation of all contributions.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> mine) {
+    auto all = gatherv(mine, 0);
+    bcast(all, 0);
+    return all;
+  }
+
+ private:
+  static constexpr int kTagAlltoall = -101;
+  static constexpr int kTagBcast = -102;
+  static constexpr int kTagReduce = -103;
+  static constexpr int kTagGather = -104;
+
+  std::shared_ptr<detail::Group> group_;
+  int rank_ = -1;
+};
+
+}  // namespace greem::parx

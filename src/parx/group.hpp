@@ -1,0 +1,107 @@
+#pragma once
+// Internal shared state behind a Comm.  Not part of the public API.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "parx/traffic.hpp"
+
+namespace greem::parx::detail {
+
+/// Raised in blocked ranks when a sibling rank failed, so a single thrown
+/// exception cannot deadlock the whole job.
+struct JobPoisoned : std::runtime_error {
+  JobPoisoned() : std::runtime_error("parx: a sibling rank failed") {}
+};
+
+/// State shared by every communicator of one Runtime invocation.
+struct JobState {
+  std::atomic<bool> poisoned{false};
+  std::shared_ptr<TrafficLedger> ledger;
+};
+
+struct Message {
+  int src;
+  int tag;
+  std::vector<std::byte> payload;
+};
+
+struct Mailbox {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Message> msgs;
+};
+
+/// Sense-counting barrier reusable across generations.
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n) {}
+
+  template <class PoisonCheck>
+  void wait(PoisonCheck&& poisoned) {
+    std::unique_lock lock(mu_);
+    const std::uint64_t gen = gen_;
+    if (++count_ == n_) {
+      count_ = 0;
+      ++gen_;
+      cv_.notify_all();
+      return;
+    }
+    while (gen_ == gen) {
+      if (poisoned()) throw JobPoisoned{};
+      cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int n_;
+  int count_ = 0;
+  std::uint64_t gen_ = 0;
+};
+
+struct Group {
+  explicit Group(int n, std::shared_ptr<JobState> job_, std::vector<int> world_ranks_)
+      : size(n),
+        job(std::move(job_)),
+        world_ranks(std::move(world_ranks_)),
+        boxes(static_cast<std::size_t>(n)),
+        barrier(n),
+        size_matrix(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {
+    boxes_storage.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) boxes[static_cast<std::size_t>(i)] = &boxes_storage[static_cast<std::size_t>(i)];
+  }
+
+  int size;
+  std::shared_ptr<JobState> job;
+  std::vector<int> world_ranks;  ///< local rank -> world rank
+
+  std::deque<Mailbox> boxes_storage;  // deque: Mailbox is immovable
+  std::vector<Mailbox*> boxes;
+  Barrier barrier;
+
+  // Staging area for exchange_sizes: row r = sizes rank r sends to each peer.
+  std::vector<std::size_t> size_matrix;
+  Barrier size_barrier{size};
+
+  // Staging for split(); guarded by split_mu.
+  std::mutex split_mu;
+  struct SplitEntry {
+    int color, key, old_rank;
+  };
+  std::vector<SplitEntry> split_entries;
+  std::vector<std::pair<std::shared_ptr<Group>, int>> split_results;  // by old rank
+  Barrier split_barrier{size};
+};
+
+}  // namespace greem::parx::detail

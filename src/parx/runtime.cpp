@@ -1,0 +1,64 @@
+#include "parx/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "parx/group.hpp"
+
+namespace greem::parx {
+
+Runtime::Runtime(int nranks) : nranks_(nranks) {
+  job_ = std::make_shared<detail::JobState>();
+  job_->ledger = std::make_shared<TrafficLedger>(static_cast<std::size_t>(nranks));
+  std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
+  std::iota(world_ranks.begin(), world_ranks.end(), 0);
+  world_ = std::make_shared<detail::Group>(nranks, job_, std::move(world_ranks));
+}
+
+Runtime::~Runtime() = default;
+
+TrafficLedger& Runtime::ledger() { return *job_->ledger; }
+
+void Runtime::run(const std::function<void(Comm&)>& fn) {
+  job_->poisoned.store(false);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto body = [&](int rank) {
+    Comm comm(world_, rank);
+    try {
+      fn(comm);
+    } catch (...) {
+      {
+        std::lock_guard lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      job_->poisoned.store(true);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_ - 1));
+  for (int r = 1; r < nranks_; ++r) threads.emplace_back(body, r);
+  body(0);
+  for (auto& t : threads) t.join();
+
+  if (first_error) {
+    // Drain mailboxes so a subsequent run() starts clean.
+    for (auto& box : world_->boxes_storage) {
+      std::lock_guard lock(box.mu);
+      box.msgs.clear();
+    }
+    std::rethrow_exception(first_error);
+  }
+}
+
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
+  Runtime rt(nranks);
+  rt.run(fn);
+}
+
+}  // namespace greem::parx

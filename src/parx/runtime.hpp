@@ -1,0 +1,46 @@
+#pragma once
+// Spawns a fixed set of ranks (threads) and runs a function on each,
+// handing every rank its world communicator — the analog of mpirun.
+
+#include <functional>
+#include <memory>
+
+#include "parx/comm.hpp"
+#include "parx/traffic.hpp"
+
+namespace greem::parx {
+
+namespace detail {
+struct JobState;
+}
+
+class Runtime {
+ public:
+  /// Create a job with `nranks` ranks.  The traffic ledger persists across
+  /// run() invocations so multi-phase experiments can accumulate or reset
+  /// between phases.
+  explicit Runtime(int nranks);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int nranks() const { return nranks_; }
+
+  /// Run `fn(world)` on every rank concurrently; returns when all ranks
+  /// finish.  If any rank throws, the job is poisoned (blocked ranks are
+  /// released) and the first exception is rethrown here.
+  void run(const std::function<void(Comm&)>& fn);
+
+  TrafficLedger& ledger();
+
+ private:
+  int nranks_;
+  std::shared_ptr<detail::JobState> job_;
+  std::shared_ptr<detail::Group> world_;
+};
+
+/// One-shot convenience: spawn `nranks`, run `fn`, tear down.
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace greem::parx

@@ -1,0 +1,56 @@
+#include "parx/traffic.hpp"
+
+#include <algorithm>
+
+namespace greem::parx {
+
+TrafficLedger::TrafficLedger(std::size_t world_size)
+    : in_msgs_(world_size, 0),
+      in_bytes_(world_size, 0),
+      out_msgs_(world_size, 0),
+      out_bytes_(world_size, 0) {}
+
+void TrafficLedger::record(int src_world, int dst_world, std::size_t bytes) {
+  std::lock_guard lock(mu_);
+  out_msgs_[static_cast<std::size_t>(src_world)] += 1;
+  out_bytes_[static_cast<std::size_t>(src_world)] += bytes;
+  in_msgs_[static_cast<std::size_t>(dst_world)] += 1;
+  in_bytes_[static_cast<std::size_t>(dst_world)] += bytes;
+}
+
+void TrafficLedger::reset() {
+  std::lock_guard lock(mu_);
+  std::fill(in_msgs_.begin(), in_msgs_.end(), 0);
+  std::fill(in_bytes_.begin(), in_bytes_.end(), 0);
+  std::fill(out_msgs_.begin(), out_msgs_.end(), 0);
+  std::fill(out_bytes_.begin(), out_bytes_.end(), 0);
+}
+
+TrafficTotals TrafficLedger::totals() const {
+  std::lock_guard lock(mu_);
+  TrafficTotals t;
+  for (std::size_t r = 0; r < in_msgs_.size(); ++r) {
+    t.messages += out_msgs_[r];
+    t.bytes += out_bytes_[r];
+    t.max_in_messages = std::max(t.max_in_messages, in_msgs_[r]);
+    t.max_in_bytes = std::max(t.max_in_bytes, in_bytes_[r]);
+    t.max_out_messages = std::max(t.max_out_messages, out_msgs_[r]);
+    t.max_out_bytes = std::max(t.max_out_bytes, out_bytes_[r]);
+  }
+  return t;
+}
+
+double TrafficLedger::model_time(const CongestionModel& m) const {
+  std::lock_guard lock(mu_);
+  double worst = 0;
+  for (std::size_t r = 0; r < in_msgs_.size(); ++r) {
+    double in_cost = static_cast<double>(in_msgs_[r]) * m.latency_s +
+                     static_cast<double>(in_bytes_[r]) / m.bandwidth_Bps;
+    double out_cost = static_cast<double>(out_msgs_[r]) * m.latency_s +
+                      static_cast<double>(out_bytes_[r]) / m.bandwidth_Bps;
+    worst = std::max(worst, std::max(in_cost, out_cost));
+  }
+  return worst;
+}
+
+}  // namespace greem::parx

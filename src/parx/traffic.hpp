@@ -1,0 +1,69 @@
+#pragma once
+// Traffic ledger and congestion cost model.
+//
+// The paper's relay mesh method is a communication-structure result: with a
+// global MPI_Alltoallv, each FFT process receives slabs from ~p^(2/3)
+// senders (~4000 on the full K computer) and the network congests at those
+// endpoints.  Running on one host we cannot observe real network
+// congestion, so every point-to-point payload is recorded here and a simple
+// endpoint-serialization model converts the record into a modeled
+// communication time:
+//
+//   cost(endpoint) = sum over its messages of (latency + bytes / bandwidth)
+//   model_time     = max over all endpoints of max(incoming, outgoing cost)
+//
+// This reproduces the phenomenon the paper measures: the direct conversion
+// concentrates O(p^(2/3)) incoming messages on each FFT process, while the
+// relay method splits the conversion into two local steps whose endpoint
+// loads are ~group-size and ~#groups respectively.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace greem::parx {
+
+/// Per-endpoint serialization parameters (defaults roughly model a
+/// Tofu-class interconnect link: 5 us latency, 5 GB/s per link).
+struct CongestionModel {
+  double latency_s = 5e-6;
+  double bandwidth_Bps = 5e9;
+};
+
+struct TrafficTotals {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t max_in_messages = 0;   ///< busiest receiver, message count
+  std::uint64_t max_in_bytes = 0;      ///< busiest receiver, byte count
+  std::uint64_t max_out_messages = 0;  ///< busiest sender, message count
+  std::uint64_t max_out_bytes = 0;     ///< busiest sender, byte count
+};
+
+/// Thread-safe accumulator of point-to-point traffic, indexed by world rank.
+class TrafficLedger {
+ public:
+  explicit TrafficLedger(std::size_t world_size);
+
+  /// Record one payload message src -> dst of `bytes` bytes.
+  void record(int src_world, int dst_world, std::size_t bytes);
+
+  /// Clear all counters (e.g. between benchmark phases).  Must not race
+  /// with record(); call from a quiescent point (outside rank code or
+  /// after a barrier).
+  void reset();
+
+  TrafficTotals totals() const;
+
+  /// Modeled wall-clock time of the recorded communication phase under the
+  /// endpoint-serialization model described above.
+  double model_time(const CongestionModel& m = {}) const;
+
+  std::size_t world_size() const { return in_msgs_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> in_msgs_, in_bytes_, out_msgs_, out_bytes_;
+};
+
+}  // namespace greem::parx

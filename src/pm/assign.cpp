@@ -1,0 +1,129 @@
+#include "pm/assign.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace greem::pm {
+
+AxisStencil axis_stencil(Scheme s, double x, std::size_t n) {
+  // u: position in cell-center coordinates (cell i is centered at u = i).
+  const double u = x * static_cast<double>(n) - 0.5;
+  AxisStencil st;
+  switch (s) {
+    case Scheme::kNGP: {
+      st.base = static_cast<long>(std::floor(u + 0.5));
+      st.w = {1.0, 0, 0};
+      st.count = 1;
+      break;
+    }
+    case Scheme::kCIC: {
+      const long i = static_cast<long>(std::floor(u));
+      const double f = u - static_cast<double>(i);
+      st.base = i;
+      st.w = {1.0 - f, f, 0};
+      st.count = 2;
+      break;
+    }
+    case Scheme::kTSC: {
+      const long i = static_cast<long>(std::floor(u + 0.5));  // nearest cell
+      const double d = u - static_cast<double>(i);            // |d| <= 0.5
+      st.base = i - 1;
+      st.w = {0.5 * (0.5 - d) * (0.5 - d), 0.75 - d * d, 0.5 * (0.5 + d) * (0.5 + d)};
+      st.count = 3;
+      break;
+    }
+  }
+  return st;
+}
+
+void assign_density(LocalMesh& mesh, std::size_t n_mesh, Scheme s,
+                    std::span<const Vec3> pos, std::span<const double> mass) {
+  const double inv_h3 = static_cast<double>(n_mesh) * static_cast<double>(n_mesh) *
+                        static_cast<double>(n_mesh);
+  for (std::size_t p = 0; p < pos.size(); ++p) {
+    const AxisStencil sx = axis_stencil(s, pos[p].x, n_mesh);
+    const AxisStencil sy = axis_stencil(s, pos[p].y, n_mesh);
+    const AxisStencil sz = axis_stencil(s, pos[p].z, n_mesh);
+    const double m = mass[p] * inv_h3;
+    for (int kz = 0; kz < sz.count; ++kz)
+      for (int ky = 0; ky < sy.count; ++ky)
+        for (int kx = 0; kx < sx.count; ++kx)
+          mesh.at(sx.base + kx, sy.base + ky, sz.base + kz) +=
+              m * sx.w[static_cast<std::size_t>(kx)] * sy.w[static_cast<std::size_t>(ky)] *
+              sz.w[static_cast<std::size_t>(kz)];
+  }
+}
+
+void assign_density_periodic(std::vector<double>& rho, std::size_t n_mesh, Scheme s,
+                             std::span<const Vec3> pos, std::span<const double> mass) {
+  const std::size_t n = n_mesh;
+  const double inv_h3 = static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
+  for (std::size_t p = 0; p < pos.size(); ++p) {
+    const AxisStencil sx = axis_stencil(s, pos[p].x, n);
+    const AxisStencil sy = axis_stencil(s, pos[p].y, n);
+    const AxisStencil sz = axis_stencil(s, pos[p].z, n);
+    const double m = mass[p] * inv_h3;
+    for (int kz = 0; kz < sz.count; ++kz) {
+      const std::size_t gz = wrap_cell(sz.base + kz, n);
+      for (int ky = 0; ky < sy.count; ++ky) {
+        const std::size_t gy = wrap_cell(sy.base + ky, n);
+        const double wyz = sy.w[static_cast<std::size_t>(ky)] * sz.w[static_cast<std::size_t>(kz)] * m;
+        for (int kx = 0; kx < sx.count; ++kx) {
+          const std::size_t gx = wrap_cell(sx.base + kx, n);
+          rho[(gz * n + gy) * n + gx] += wyz * sx.w[static_cast<std::size_t>(kx)];
+        }
+      }
+    }
+  }
+}
+
+Vec3 interpolate(const LocalMesh& fx, const LocalMesh& fy, const LocalMesh& fz,
+                 std::size_t n_mesh, Scheme s, const Vec3& pos) {
+  const AxisStencil sx = axis_stencil(s, pos.x, n_mesh);
+  const AxisStencil sy = axis_stencil(s, pos.y, n_mesh);
+  const AxisStencil sz = axis_stencil(s, pos.z, n_mesh);
+  Vec3 out{};
+  for (int kz = 0; kz < sz.count; ++kz)
+    for (int ky = 0; ky < sy.count; ++ky)
+      for (int kx = 0; kx < sx.count; ++kx) {
+        const double w = sx.w[static_cast<std::size_t>(kx)] * sy.w[static_cast<std::size_t>(ky)] *
+                         sz.w[static_cast<std::size_t>(kz)];
+        const long gx = sx.base + kx, gy = sy.base + ky, gz = sz.base + kz;
+        out.x += w * fx.at(gx, gy, gz);
+        out.y += w * fy.at(gx, gy, gz);
+        out.z += w * fz.at(gx, gy, gz);
+      }
+  return out;
+}
+
+double interpolate_periodic(const std::vector<double>& field, std::size_t n_mesh, Scheme s,
+                            const Vec3& pos) {
+  const std::size_t n = n_mesh;
+  const AxisStencil sx = axis_stencil(s, pos.x, n);
+  const AxisStencil sy = axis_stencil(s, pos.y, n);
+  const AxisStencil sz = axis_stencil(s, pos.z, n);
+  double out = 0;
+  for (int kz = 0; kz < sz.count; ++kz) {
+    const std::size_t gz = wrap_cell(sz.base + kz, n);
+    for (int ky = 0; ky < sy.count; ++ky) {
+      const std::size_t gy = wrap_cell(sy.base + ky, n);
+      for (int kx = 0; kx < sx.count; ++kx) {
+        const std::size_t gx = wrap_cell(sx.base + kx, n);
+        out += sx.w[static_cast<std::size_t>(kx)] * sy.w[static_cast<std::size_t>(ky)] *
+               sz.w[static_cast<std::size_t>(kz)] * field[(gz * n + gy) * n + gx];
+      }
+    }
+  }
+  return out;
+}
+
+double window(Scheme s, long k, std::size_t n) {
+  if (k == 0) return 1.0;
+  const double x = std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+  const double sinc = std::sin(x) / x;
+  double w = sinc;
+  for (int i = 1; i < support(s); ++i) w *= sinc;
+  return w;
+}
+
+}  // namespace greem::pm

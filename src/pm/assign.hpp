@@ -1,0 +1,53 @@
+#pragma once
+// Mass assignment and force interpolation kernels (NGP / CIC / TSC).
+// The paper uses TSC (27-point stencil) for both density assignment and
+// force interpolation; NGP and CIC are provided for the ablation bench.
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "pm/mesh.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::pm {
+
+enum class Scheme { kNGP = 1, kCIC = 2, kTSC = 3 };
+
+/// Support width in cells (1, 2 or 3).
+constexpr int support(Scheme s) { return static_cast<int>(s); }
+
+/// Per-axis stencil: base cell index (unwrapped) and up to 3 weights.
+struct AxisStencil {
+  long base = 0;
+  std::array<double, 3> w{0, 0, 0};
+  int count = 0;
+};
+
+/// Stencil of scheme `s` for position coordinate `x` (unit box) on an
+/// n-cell mesh; cell centers at (i + 0.5)/n.
+AxisStencil axis_stencil(Scheme s, double x, std::size_t n);
+
+/// Deposit particle masses onto a local mesh as *density* (mass per cell
+/// volume), i.e. each deposit is m * w / h^3.  Cell indices are unwrapped;
+/// the region must cover the full stencil support of every particle.
+void assign_density(LocalMesh& mesh, std::size_t n_mesh, Scheme s,
+                    std::span<const Vec3> pos, std::span<const double> mass);
+
+/// As above, onto a full periodic n^3 mesh (serial PM path).
+void assign_density_periodic(std::vector<double>& rho, std::size_t n_mesh, Scheme s,
+                             std::span<const Vec3> pos, std::span<const double> mass);
+
+/// Interpolate three force meshes to a particle position (local region).
+Vec3 interpolate(const LocalMesh& fx, const LocalMesh& fy, const LocalMesh& fz,
+                 std::size_t n_mesh, Scheme s, const Vec3& pos);
+
+/// Interpolate a full periodic mesh field to a particle position.
+double interpolate_periodic(const std::vector<double>& field, std::size_t n_mesh, Scheme s,
+                            const Vec3& pos);
+
+/// Fourier-space window of the assignment scheme at integer wavenumber k
+/// (|k| <= n/2) on an n-mesh: sinc(pi k / n)^support.
+double window(Scheme s, long k, std::size_t n);
+
+}  // namespace greem::pm

@@ -1,0 +1,52 @@
+#include "pm/gradient.hpp"
+
+namespace greem::pm {
+
+void fd_gradient(const LocalMesh& phi, const CellRegion& force_region, std::size_t n_mesh,
+                 LocalMesh& fx, LocalMesh& fy, LocalMesh& fz) {
+  const double scale = static_cast<double>(n_mesh) / 12.0;  // 1 / (12 h)
+  fx = LocalMesh(force_region);
+  fy = LocalMesh(force_region);
+  fz = LocalMesh(force_region);
+  for (long z = force_region.lo[2]; z < force_region.hi(2); ++z)
+    for (long y = force_region.lo[1]; y < force_region.hi(1); ++y)
+      for (long x = force_region.lo[0]; x < force_region.hi(0); ++x) {
+        fx.at(x, y, z) = -scale * (8.0 * (phi.at(x + 1, y, z) - phi.at(x - 1, y, z)) -
+                                   (phi.at(x + 2, y, z) - phi.at(x - 2, y, z)));
+        fy.at(x, y, z) = -scale * (8.0 * (phi.at(x, y + 1, z) - phi.at(x, y - 1, z)) -
+                                   (phi.at(x, y + 2, z) - phi.at(x, y - 2, z)));
+        fz.at(x, y, z) = -scale * (8.0 * (phi.at(x, y, z + 1) - phi.at(x, y, z - 1)) -
+                                   (phi.at(x, y, z + 2) - phi.at(x, y, z - 2)));
+      }
+}
+
+void fd_gradient_periodic(const std::vector<double>& phi, std::size_t n,
+                          std::vector<double>& fx, std::vector<double>& fy,
+                          std::vector<double>& fz) {
+  const double scale = static_cast<double>(n) / 12.0;
+  fx.assign(n * n * n, 0.0);
+  fy.assign(n * n * n, 0.0);
+  fz.assign(n * n * n, 0.0);
+  auto idx = [n](std::size_t x, std::size_t y, std::size_t z) { return (z * n + y) * n + x; };
+  auto w = [n](long c) { return wrap_cell(c, n); };
+  for (long z = 0; z < static_cast<long>(n); ++z)
+    for (long y = 0; y < static_cast<long>(n); ++y)
+      for (long x = 0; x < static_cast<long>(n); ++x) {
+        const std::size_t i = idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y),
+                                  static_cast<std::size_t>(z));
+        fx[i] = -scale * (8.0 * (phi[idx(w(x + 1), static_cast<std::size_t>(y), static_cast<std::size_t>(z))] -
+                                 phi[idx(w(x - 1), static_cast<std::size_t>(y), static_cast<std::size_t>(z))]) -
+                          (phi[idx(w(x + 2), static_cast<std::size_t>(y), static_cast<std::size_t>(z))] -
+                           phi[idx(w(x - 2), static_cast<std::size_t>(y), static_cast<std::size_t>(z))]));
+        fy[i] = -scale * (8.0 * (phi[idx(static_cast<std::size_t>(x), w(y + 1), static_cast<std::size_t>(z))] -
+                                 phi[idx(static_cast<std::size_t>(x), w(y - 1), static_cast<std::size_t>(z))]) -
+                          (phi[idx(static_cast<std::size_t>(x), w(y + 2), static_cast<std::size_t>(z))] -
+                           phi[idx(static_cast<std::size_t>(x), w(y - 2), static_cast<std::size_t>(z))]));
+        fz[i] = -scale * (8.0 * (phi[idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y), w(z + 1))] -
+                                 phi[idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y), w(z - 1))]) -
+                          (phi[idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y), w(z + 2))] -
+                           phi[idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y), w(z - 2))]));
+      }
+}
+
+}  // namespace greem::pm

@@ -1,0 +1,23 @@
+#pragma once
+// Acceleration on the mesh: 4-point finite difference of the potential
+// (the paper's "acceleration on mesh" phase),
+//   f_x(i) = -[ 8(phi(i+1) - phi(i-1)) - (phi(i+2) - phi(i-2)) ] / (12 h).
+
+#include <cstddef>
+#include <vector>
+
+#include "pm/mesh.hpp"
+
+namespace greem::pm {
+
+/// Local-region variant: fx/fy/fz are allocated over `force_region`, and
+/// `phi` must cover force_region expanded by 2 cells on every side.
+void fd_gradient(const LocalMesh& phi, const CellRegion& force_region, std::size_t n_mesh,
+                 LocalMesh& fx, LocalMesh& fy, LocalMesh& fz);
+
+/// Full periodic-mesh variant (serial PM path).
+void fd_gradient_periodic(const std::vector<double>& phi, std::size_t n,
+                          std::vector<double>& fx, std::vector<double>& fy,
+                          std::vector<double>& fz);
+
+}  // namespace greem::pm

@@ -1,0 +1,132 @@
+#include "pm/green.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/fft3d.hpp"
+#include "pp/cutoff.hpp"
+
+namespace greem::pm {
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Per-axis transfer function of the 4-point finite difference,
+/// F[D](k) = i d(k):  d(k) = (8 sin(k h) - sin(2 k h)) / (6 h).
+double fd_transfer(double k, double h) {
+  return (8.0 * std::sin(k * h) - std::sin(2.0 * k * h)) / (6.0 * h);
+}
+
+/// Assignment window at continuous wavenumber k (one axis):
+/// U(k) = sinc(k h / 2)^support.
+double axis_window(double k, double h, int power) {
+  const double x = 0.5 * k * h;
+  const double sinc = std::abs(x) < 1e-12 ? 1.0 : std::sin(x) / x;
+  double w = sinc;
+  for (int i = 1; i < power; ++i) w *= sinc;
+  return w;
+}
+
+/// Reference force spectrum component a: r_a(k) = 4 pi G k_a s2^2 / k^2.
+double ref_force(double ka, double k2, double rcut, double G) {
+  if (k2 <= 0) return 0.0;
+  const double s2 = pp::s2_fourier(std::sqrt(k2) * rcut / 2.0);
+  return 4.0 * std::numbers::pi * G * ka * s2 * s2 / k2;
+}
+
+}  // namespace
+
+double green_potential(const GreenParams& p, long kx, long ky, long kz) {
+  if (kx == 0 && ky == 0 && kz == 0) return 0.0;
+  const double k2 = kTwoPi * kTwoPi * static_cast<double>(kx * kx + ky * ky + kz * kz);
+  const double k = std::sqrt(k2);
+  // The S2 shape factor enters squared: the sources are S2-smeared and the
+  // force on each particle is averaged over its own S2 cloud, so the pair
+  // force reproduced by the mesh is the cloud-cloud force whose complement
+  // is exactly gP3M (eq. 3), vanishing at r = rcut = 2a.
+  const double s2 = pp::s2_fourier(k * p.rcut / 2.0);
+  double g = -4.0 * std::numbers::pi * p.G / k2 * s2 * s2;
+  if (p.deconv_power > 0) {
+    double w = window(p.scheme, kx, p.n_mesh) * window(p.scheme, ky, p.n_mesh) *
+               window(p.scheme, kz, p.n_mesh);
+    for (int i = 0; i < p.deconv_power; ++i) g /= w;
+  }
+  return g;
+}
+
+double green_optimal(const GreenParams& p, long kx, long ky, long kz) {
+  if (kx == 0 && ky == 0 && kz == 0) return 0.0;
+  const auto n = static_cast<double>(p.n_mesh);
+  const double h = 1.0 / n;
+  const int wp = support(p.scheme);
+  const double k[3] = {kTwoPi * static_cast<double>(kx), kTwoPi * static_cast<double>(ky),
+                       kTwoPi * static_cast<double>(kz)};
+
+  const double d[3] = {fd_transfer(k[0], h), fd_transfer(k[1], h), fd_transfer(k[2], h)};
+  const double d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+  if (d2 <= 0) return 0.0;  // Nyquist-only mode: the FD cannot act on it
+
+  // Alias sums: k_n = k + 2 pi N m, m in [-range, range]^3.
+  const double ks = kTwoPi * n;
+  double usum = 0;          // sum U^2
+  double dr[3] = {0, 0, 0};  // sum U^2 r_a
+  for (int mx = -p.alias_range; mx <= p.alias_range; ++mx) {
+    const double ax = k[0] + ks * mx;
+    const double ux = axis_window(ax, h, wp);
+    for (int my = -p.alias_range; my <= p.alias_range; ++my) {
+      const double ay = k[1] + ks * my;
+      const double uxy = ux * axis_window(ay, h, wp);
+      for (int mz = -p.alias_range; mz <= p.alias_range; ++mz) {
+        const double az = k[2] + ks * mz;
+        const double u = uxy * axis_window(az, h, wp);
+        const double u2 = u * u;
+        const double k2n = ax * ax + ay * ay + az * az;
+        usum += u2;
+        dr[0] += u2 * ref_force(ax, k2n, p.rcut, p.G);
+        dr[1] += u2 * ref_force(ay, k2n, p.rcut, p.G);
+        dr[2] += u2 * ref_force(az, k2n, p.rcut, p.G);
+      }
+    }
+  }
+  const double num = d[0] * dr[0] + d[1] * dr[1] + d[2] * dr[2];
+  return -num / (d2 * usum * usum);
+}
+
+double green_value(const GreenParams& p, long kx, long ky, long kz) {
+  return p.kind == GreenKind::kOptimal ? green_optimal(p, kx, ky, kz)
+                                       : green_potential(p, kx, ky, kz);
+}
+
+std::vector<double> build_green_table_r2c(const GreenParams& p) {
+  const std::size_t n = p.n_mesh;
+  const std::size_t h = n / 2 + 1;
+  std::vector<double> table(h * n * n);
+  for (std::size_t z = 0; z < n; ++z) {
+    const long kz = fft::wavenumber(z, n);
+    for (std::size_t y = 0; y < n; ++y) {
+      const long ky = fft::wavenumber(y, n);
+      for (std::size_t x = 0; x < h; ++x)
+        table[(z * n + y) * h + x] = green_value(p, static_cast<long>(x), ky, kz);
+    }
+  }
+  return table;
+}
+
+std::vector<double> build_green_table(const GreenParams& p, std::size_t z_begin,
+                                      std::size_t z_end) {
+  const std::size_t n = p.n_mesh;
+  std::vector<double> table((z_end - z_begin) * n * n);
+  for (std::size_t z = z_begin; z < z_end; ++z) {
+    const long kz = fft::wavenumber(z, n);
+    for (std::size_t y = 0; y < n; ++y) {
+      const long ky = fft::wavenumber(y, n);
+      for (std::size_t x = 0; x < n; ++x) {
+        const long kx = fft::wavenumber(x, n);
+        table[((z - z_begin) * n + y) * n + x] = green_value(p, kx, ky, kz);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace greem::pm

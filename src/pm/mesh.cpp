@@ -1,0 +1,29 @@
+#include "pm/mesh.hpp"
+
+#include <cmath>
+
+namespace greem::pm {
+
+CellRegion region_for_domain(const Box& domain, std::size_t n_mesh, long pad) {
+  const auto nm = static_cast<double>(n_mesh);
+  CellRegion r;
+  for (std::size_t a = 0; a < 3; ++a) {
+    const long lo_cell = static_cast<long>(std::floor(domain.lo[a] * nm));
+    // Cells overlapping [lo, hi): up to ceil(hi*N) - 1.
+    const long hi_cell = static_cast<long>(std::ceil(domain.hi[a] * nm)) - 1;
+    r.lo[a] = lo_cell - pad;
+    r.n[a] = static_cast<std::size_t>(hi_cell - lo_cell + 1 + 2 * pad);
+  }
+  return r;
+}
+
+CellRegion expand(const CellRegion& r, long pad) {
+  CellRegion out = r;
+  for (std::size_t a = 0; a < 3; ++a) {
+    out.lo[a] -= pad;
+    out.n[a] += static_cast<std::size_t>(2 * pad);
+  }
+  return out;
+}
+
+}  // namespace greem::pm

@@ -1,0 +1,77 @@
+#pragma once
+// Mesh containers for the PM part.
+//
+// The global PM mesh has N_PM^3 cells over the unit box; cell (i,j,k) is
+// centered at ((i+0.5)/N, ...).  A rank's *local mesh* covers only the
+// cells its domain touches plus ghost layers (paper Fig. 4, upper panel),
+// addressed by unwrapped global cell coordinates that may extend past
+// [0, N) across the periodic boundary.
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/box.hpp"
+
+namespace greem::pm {
+
+/// Rectangular range of global cells, unwrapped (lo may be negative,
+/// lo + n may exceed the global mesh size).
+struct CellRegion {
+  std::array<long, 3> lo{0, 0, 0};
+  std::array<std::size_t, 3> n{0, 0, 0};
+
+  std::size_t cells() const { return n[0] * n[1] * n[2]; }
+  long hi(int axis) const { return lo[static_cast<std::size_t>(axis)] + static_cast<long>(n[static_cast<std::size_t>(axis)]); }
+
+  bool contains(long x, long y, long z) const {
+    return x >= lo[0] && x < hi(0) && y >= lo[1] && y < hi(1) && z >= lo[2] && z < hi(2);
+  }
+};
+
+/// The cells a domain's particles touch under a +/- `pad` cell stencil.
+CellRegion region_for_domain(const Box& domain, std::size_t n_mesh, long pad);
+
+/// Grow a region by `pad` cells on every side.
+CellRegion expand(const CellRegion& r, long pad);
+
+/// Owning mesh over a region, row-major with x fastest.
+class LocalMesh {
+ public:
+  LocalMesh() = default;
+  explicit LocalMesh(const CellRegion& region)
+      : region_(region), v_(region.cells(), 0.0) {}
+
+  const CellRegion& region() const { return region_; }
+  std::vector<double>& data() { return v_; }
+  const std::vector<double>& data() const { return v_; }
+
+  std::size_t index(long gx, long gy, long gz) const {
+    assert(region_.contains(gx, gy, gz));
+    const auto ix = static_cast<std::size_t>(gx - region_.lo[0]);
+    const auto iy = static_cast<std::size_t>(gy - region_.lo[1]);
+    const auto iz = static_cast<std::size_t>(gz - region_.lo[2]);
+    return (iz * region_.n[1] + iy) * region_.n[0] + ix;
+  }
+
+  double& at(long gx, long gy, long gz) { return v_[index(gx, gy, gz)]; }
+  double at(long gx, long gy, long gz) const { return v_[index(gx, gy, gz)]; }
+
+  void fill(double value) { v_.assign(v_.size(), value); }
+
+ private:
+  CellRegion region_;
+  std::vector<double> v_;
+};
+
+/// Wrap an unwrapped global cell coordinate into [0, n).
+inline std::size_t wrap_cell(long c, std::size_t n) {
+  const long nn = static_cast<long>(n);
+  long w = c % nn;
+  if (w < 0) w += nn;
+  return static_cast<std::size_t>(w);
+}
+
+}  // namespace greem::pm

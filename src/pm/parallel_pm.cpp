@@ -1,0 +1,69 @@
+#include "pm/parallel_pm.hpp"
+
+#include "fft/fft3d.hpp"
+#include "pm/gradient.hpp"
+
+namespace greem::pm {
+
+ParallelPm::ParallelPm(parx::Comm& world, ParallelPmParams params) : params_(params) {
+  params_.conversion.n_mesh = params_.n_mesh;
+  converter_ = std::make_unique<MeshConverter>(world, params_.conversion);
+  if (converter_->is_fft_rank()) {
+    slab_fft_.emplace(converter_->fft_comm(), params_.n_mesh);
+    const fft::Range zr = converter_->my_slab();
+    green_slab_ = build_green_table(params_.green_params(), zr.begin, zr.end());
+  }
+}
+
+void ParallelPm::update_domain(const Box& domain) {
+  // TSC touches the nearest cell +/- 1; with arbitrary (non-cell-aligned)
+  // domain boundaries a 2-cell pad is always sufficient.  The 4-point
+  // finite difference needs the potential 2 cells beyond the force region.
+  density_region_ = region_for_domain(domain, params_.n_mesh, 2);
+  force_region_ = density_region_;
+  potential_region_ = expand(force_region_, 2);
+  converter_->set_regions(density_region_, potential_region_);
+}
+
+void ParallelPm::accelerations(std::span<const Vec3> pos, std::span<const double> mass,
+                               std::span<Vec3> acc, TimingBreakdown* t) {
+  const std::size_t n = params_.n_mesh;
+  Stopwatch sw;
+
+  // (1) density assignment onto the local mesh
+  LocalMesh rho(density_region_);
+  assign_density(rho, n, params_.scheme, pos, mass);
+  if (t) t->add("density assignment", sw.seconds());
+
+  // (2) conversion to density slabs (direct alltoallv or relay mesh)
+  std::vector<double> slab = converter_->gather_density(rho, t);
+
+  // (3) slab FFT, Green's function convolution, inverse FFT
+  sw.restart();
+  if (converter_->is_fft_rank()) {
+    std::vector<fft::Complex> cslab(slab.size());
+    for (std::size_t i = 0; i < slab.size(); ++i) cslab[i] = {slab[i], 0.0};
+    slab_fft_->forward(cslab);
+    for (std::size_t i = 0; i < cslab.size(); ++i) cslab[i] *= green_slab_[i];
+    slab_fft_->inverse(cslab);
+    for (std::size_t i = 0; i < slab.size(); ++i) slab[i] = cslab[i].real();
+  }
+  if (t) t->add("FFT", sw.seconds());
+
+  // (4) conversion of potential slabs back to local meshes
+  LocalMesh phi = converter_->scatter_potential(slab, t);
+
+  // (5a) acceleration on the mesh (4-point finite difference)
+  sw.restart();
+  LocalMesh fx, fy, fz;
+  fd_gradient(phi, force_region_, n, fx, fy, fz);
+  if (t) t->add("acceleration on mesh", sw.seconds());
+
+  // (5b) force interpolation to the particle positions
+  sw.restart();
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
+  if (t) t->add("force interpolation", sw.seconds());
+}
+
+}  // namespace greem::pm

@@ -1,0 +1,67 @@
+#pragma once
+// Parallel PM long-range solver on the 2-D (pencil) FFT decomposition --
+// the realization of the paper's stated future work ("the combination of
+// our novel relay mesh method and a 3-D parallel FFT library"): the FFT
+// parallelism ceiling rises from N_PM ranks (slabs) to N_PM^2, so the FFT
+// processes are no longer a tiny fraction of the job.
+//
+// The mesh conversion generalizes the slab case: input cell (x, y, z)
+// belongs to the pencil rank at grid position (row_of(y), col_of(z)), and
+// payloads travel in a canonical order both sides derive from allgathered
+// region geometry, exactly as in the relay/direct converter.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fft/pencil_fft.hpp"
+#include "pm/parallel_pm.hpp"
+
+namespace greem::pm {
+
+struct PencilPmParams {
+  std::size_t n_mesh = 64;
+  double rcut = 0;  ///< 0 => 3 / n_mesh
+  Scheme scheme = Scheme::kTSC;
+  double G = 1.0;
+  GreenKind green = GreenKind::kOptimal;
+  int pr = 0, pc = 0;  ///< pencil grid; 0 => near-square grid over all ranks
+
+  double effective_rcut() const { return rcut > 0 ? rcut : 3.0 / static_cast<double>(n_mesh); }
+};
+
+class PencilPm {
+ public:
+  /// Collective over `world`; the first pr*pc ranks hold pencils.
+  PencilPm(parx::Comm& world, PencilPmParams params);
+
+  const PencilPmParams& params() const { return params_; }
+  int pr() const { return pr_; }
+  int pc() const { return pc_; }
+  bool is_fft_rank() const { return world_.rank() < pr_ * pc_; }
+
+  /// Collective: install this rank's domain for the current step.
+  void update_domain(const Box& domain);
+
+  /// Collective: add long-range accelerations of this rank's particles.
+  void accelerations(std::span<const Vec3> pos, std::span<const double> mass,
+                     std::span<Vec3> acc, TimingBreakdown* t = nullptr);
+
+ private:
+  int owner_of(std::size_t y, std::size_t z) const;
+
+  std::vector<double> gather_density(const LocalMesh& rho);
+  LocalMesh scatter_potential(const std::vector<double>& pot);
+
+  parx::Comm world_;
+  parx::Comm fft_comm_;
+  PencilPmParams params_;
+  int pr_ = 1, pc_ = 1;
+  std::optional<fft::PencilFft> fft_;  // pencil ranks only
+  std::vector<double> green_;         // z-pencil layout, pencil ranks only
+  CellRegion density_region_, potential_region_, force_region_;
+  std::vector<CellRegion> world_density_regions_, world_potential_regions_;
+};
+
+}  // namespace greem::pm

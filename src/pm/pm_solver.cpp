@@ -1,0 +1,64 @@
+#include "pm/pm_solver.hpp"
+
+#include "pm/gradient.hpp"
+
+namespace greem::pm {
+
+PmSolver::PmSolver(PmParams params)
+    : params_(params),
+      fft_(params.n_mesh),
+      green_(build_green_table_r2c(params_.green_params())) {}
+
+std::vector<double> PmSolver::solve_potential(std::span<const Vec3> pos,
+                                              std::span<const double> mass,
+                                              TimingBreakdown* t,
+                                              const std::vector<double>& green) {
+  const std::size_t n = params_.n_mesh;
+  Stopwatch sw;
+
+  std::vector<double> rho(n * n * n, 0.0);
+  assign_density_periodic(rho, n, params_.scheme, pos, mass);
+  if (t) t->add("density assignment", sw.seconds());
+
+  sw.restart();
+  auto rho_k = fft_.forward(rho);
+  for (std::size_t i = 0; i < rho_k.size(); ++i) rho_k[i] *= green[i];
+  auto phi = fft_.inverse(std::move(rho_k));
+  if (t) t->add("FFT", sw.seconds());
+  return phi;
+}
+
+void PmSolver::accelerations(std::span<const Vec3> pos, std::span<const double> mass,
+                             std::span<Vec3> acc, TimingBreakdown* t) {
+  const std::size_t n = params_.n_mesh;
+  phi_ = solve_potential(pos, mass, t, green_);
+
+  Stopwatch sw;
+  std::vector<double> fx, fy, fz;
+  fd_gradient_periodic(phi_, n, fx, fy, fz);
+  if (t) t->add("acceleration on mesh", sw.seconds());
+
+  sw.restart();
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    acc[i].x += interpolate_periodic(fx, n, params_.scheme, pos[i]);
+    acc[i].y += interpolate_periodic(fy, n, params_.scheme, pos[i]);
+    acc[i].z += interpolate_periodic(fz, n, params_.scheme, pos[i]);
+  }
+  if (t) t->add("force interpolation", sw.seconds());
+}
+
+std::vector<double> PmSolver::potentials(std::span<const Vec3> pos,
+                                         std::span<const double> mass) {
+  if (green_physical_.empty()) {
+    GreenParams gp = params_.green_params();
+    gp.kind = GreenKind::kSimple;
+    green_physical_ = build_green_table_r2c(gp);
+  }
+  phi_ = solve_potential(pos, mass, nullptr, green_physical_);
+  std::vector<double> out(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    out[i] = interpolate_periodic(phi_, params_.n_mesh, params_.scheme, pos[i]);
+  return out;
+}
+
+}  // namespace greem::pm

@@ -1,0 +1,209 @@
+#include "pm/relay_mesh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace greem::pm {
+
+MeshConverter::MeshConverter(parx::Comm& world, ConverterParams params)
+    : world_(world), params_(params) {
+  const int p = world.size();
+  if (params_.n_fft <= 0)
+    params_.n_fft = static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(p), params_.n_mesh));
+  params_.n_fft = std::min({params_.n_fft, p, static_cast<int>(params_.n_mesh)});
+
+  // COMM_FFT: the processes that perform the FFT, chosen as ranks
+  // 0..n_fft-1 (the paper picks physically close nodes via MPI_Comm_split;
+  // rank order is our stand-in for physical locality).
+  comm_fft_ = world.split(world.rank() < params_.n_fft ? 0 : 1, world.rank());
+
+  if (params_.method == MeshConversion::kRelay) {
+    n_groups_eff_ = std::max(1, params_.n_groups);
+    // Every group must hold at least n_fft processes so its first n_fft
+    // members can carry partial slabs.
+    n_groups_eff_ = std::min(n_groups_eff_, std::max(1, p / params_.n_fft));
+    base_group_size_ = p / n_groups_eff_;
+    comm_smalla2a_ = world.split(group_of(world.rank()), world.rank());
+    const int g = group_of(world.rank());
+    comm_reduce_ = world.split(world.rank() - group_start(g), g);
+  }
+}
+
+int MeshConverter::group_of(int world_rank) const {
+  return std::min(world_rank / base_group_size_, n_groups_eff_ - 1);
+}
+
+int MeshConverter::group_start(int g) const { return g * base_group_size_; }
+
+bool MeshConverter::is_fft_rank() const { return world_.rank() < params_.n_fft; }
+
+fft::Range MeshConverter::my_slab() const {
+  if (!is_fft_rank()) return {};
+  return fft::split_range(params_.n_mesh, params_.n_fft, world_.rank());
+}
+
+int MeshConverter::plane_owner(std::size_t z) const {
+  const std::size_t n = params_.n_mesh;
+  const auto pf = static_cast<std::size_t>(params_.n_fft);
+  const std::size_t base = n / pf;
+  const std::size_t rem = n % pf;
+  const std::size_t boundary = rem * (base + 1);
+  if (z < boundary) return static_cast<int>(z / (base + 1));
+  return static_cast<int>(rem + (z - boundary) / base);
+}
+
+void MeshConverter::set_regions(const CellRegion& density_region,
+                                const CellRegion& potential_region) {
+  density_region_ = density_region;
+  potential_region_ = potential_region;
+  static_assert(std::is_trivially_copyable_v<CellRegion>);
+  world_density_regions_ =
+      world_.allgatherv(std::span<const CellRegion>(&density_region_, 1));
+  world_potential_regions_ =
+      world_.allgatherv(std::span<const CellRegion>(&potential_region_, 1));
+}
+
+std::vector<double> MeshConverter::forward_over(parx::Comm& comm,
+                                                const std::vector<CellRegion>& regions,
+                                                const LocalMesh& local_density) {
+  const std::size_t n = params_.n_mesh;
+  const int n_fft = params_.n_fft;
+  const auto p = static_cast<std::size_t>(comm.size());
+  assert(regions.size() == p);
+
+  // Pack: canonical order is (z, y, x) over the sender's region, routed by
+  // the wrapped plane owner.
+  std::vector<std::vector<double>> send(p);
+  const CellRegion& mine = regions[static_cast<std::size_t>(comm.rank())];
+  for (long z = mine.lo[2]; z < mine.hi(2); ++z) {
+    const auto f = static_cast<std::size_t>(plane_owner(wrap_cell(z, n)));
+    auto& buf = send[f];
+    for (long y = mine.lo[1]; y < mine.hi(1); ++y)
+      for (long x = mine.lo[0]; x < mine.hi(0); ++x) buf.push_back(local_density.at(x, y, z));
+  }
+  auto recv = comm.alltoallv(send);
+
+  if (comm.rank() >= n_fft) return {};
+
+  // Unpack: replay every sender's canonical order, accumulating the planes
+  // this rank owns into its slab.
+  const fft::Range zr = fft::split_range(n, n_fft, comm.rank());
+  std::vector<double> slab(zr.count * n * n, 0.0);
+  for (std::size_t s = 0; s < p; ++s) {
+    const auto& buf = recv[s];
+    if (buf.empty()) continue;
+    const CellRegion& r = regions[s];
+    std::size_t i = 0;
+    for (long z = r.lo[2]; z < r.hi(2); ++z) {
+      const std::size_t gz = wrap_cell(z, n);
+      if (plane_owner(gz) != comm.rank()) continue;
+      for (long y = r.lo[1]; y < r.hi(1); ++y) {
+        const std::size_t gy = wrap_cell(y, n);
+        for (long x = r.lo[0]; x < r.hi(0); ++x) {
+          const std::size_t gx = wrap_cell(x, n);
+          slab[((gz - zr.begin) * n + gy) * n + gx] += buf[i++];
+        }
+      }
+    }
+    assert(i == buf.size());
+  }
+  return slab;
+}
+
+LocalMesh MeshConverter::backward_over(parx::Comm& comm,
+                                       const std::vector<CellRegion>& regions,
+                                       const std::vector<double>& slab_phi) {
+  const std::size_t n = params_.n_mesh;
+  const int n_fft = params_.n_fft;
+  const auto p = static_cast<std::size_t>(comm.size());
+  assert(regions.size() == p);
+
+  // Pack (slab holders only): for every destination, walk its potential
+  // region and emit the values on planes this holder owns.
+  std::vector<std::vector<double>> send(p);
+  if (comm.rank() < n_fft) {
+    const fft::Range zr = fft::split_range(n, n_fft, comm.rank());
+    for (std::size_t d = 0; d < p; ++d) {
+      const CellRegion& r = regions[d];
+      auto& buf = send[d];
+      for (long z = r.lo[2]; z < r.hi(2); ++z) {
+        const std::size_t gz = wrap_cell(z, n);
+        if (plane_owner(gz) != comm.rank()) continue;
+        for (long y = r.lo[1]; y < r.hi(1); ++y) {
+          const std::size_t gy = wrap_cell(y, n);
+          for (long x = r.lo[0]; x < r.hi(0); ++x) {
+            const std::size_t gx = wrap_cell(x, n);
+            buf.push_back(slab_phi[((gz - zr.begin) * n + gy) * n + gx]);
+          }
+        }
+      }
+    }
+  }
+  auto recv = comm.alltoallv(send);
+
+  // Assemble: walk my region; each plane's values arrive from its owner in
+  // the same canonical order.
+  const CellRegion& mine = regions[static_cast<std::size_t>(comm.rank())];
+  LocalMesh out(mine);
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(n_fft), 0);
+  for (long z = mine.lo[2]; z < mine.hi(2); ++z) {
+    const auto f = static_cast<std::size_t>(plane_owner(wrap_cell(z, n)));
+    const auto& buf = recv[f];
+    std::size_t& i = cursor[f];
+    for (long y = mine.lo[1]; y < mine.hi(1); ++y)
+      for (long x = mine.lo[0]; x < mine.hi(0); ++x) out.at(x, y, z) = buf[i++];
+  }
+  return out;
+}
+
+std::vector<double> MeshConverter::gather_density(const LocalMesh& local_density,
+                                                  TimingBreakdown* t) {
+  Stopwatch sw;
+  std::vector<double> slab;
+  if (params_.method == MeshConversion::kDirect) {
+    slab = forward_over(world_, world_density_regions_, local_density);
+  } else {
+    // Step 1 (paper): alltoallv inside the group -> partial slabs on the
+    // group's first n_fft members.
+    const int g = group_of(world_.rank());
+    const int gs = group_start(g);
+    std::vector<CellRegion> group_regions(
+        world_density_regions_.begin() + gs,
+        world_density_regions_.begin() + gs + comm_smalla2a_.size());
+    auto partial = forward_over(comm_smalla2a_, group_regions, local_density);
+    // Step 2: reduce the partial slabs across groups onto the root group.
+    if (comm_smalla2a_.rank() < params_.n_fft) {
+      if (comm_reduce_.size() > 1)
+        comm_reduce_.reduce_sum(std::span<double>(partial), 0);
+      if (comm_reduce_.rank() == 0) slab = std::move(partial);
+    }
+  }
+  if (t) t->add("communication", sw.seconds());
+  return slab;
+}
+
+LocalMesh MeshConverter::scatter_potential(const std::vector<double>& slab_phi,
+                                           TimingBreakdown* t) {
+  Stopwatch sw;
+  LocalMesh out;
+  if (params_.method == MeshConversion::kDirect) {
+    out = backward_over(world_, world_potential_regions_, slab_phi);
+  } else {
+    // Step 4 (paper): bcast the slab potential across groups...
+    std::vector<double> buf = slab_phi;
+    if (comm_smalla2a_.rank() < params_.n_fft && comm_reduce_.size() > 1)
+      comm_reduce_.bcast(buf, 0);
+    // ...step 5: alltoallv inside the group to each member's local mesh.
+    const int g = group_of(world_.rank());
+    const int gs = group_start(g);
+    std::vector<CellRegion> group_regions(
+        world_potential_regions_.begin() + gs,
+        world_potential_regions_.begin() + gs + comm_smalla2a_.size());
+    out = backward_over(comm_smalla2a_, group_regions, buf);
+  }
+  if (t) t->add("communication", sw.seconds());
+  return out;
+}
+
+}  // namespace greem::pm

@@ -1,0 +1,92 @@
+#pragma once
+// Particle-particle force kernels.
+//
+// This is the repository's port of the paper's Phantom-GRAPE force loop:
+// the hot kernel evaluates accelerations from an interaction list (tree
+// nodes flattened to pseudo-particles plus real particles) onto a group of
+// target particles, applying the gP3M cutoff (eq. 3) and an approximate
+// reciprocal square root refined to ~24-bit accuracy by the paper's
+// third-order iteration  y1 = y0 (1 + h/2 + 3 h^2 / 8),  h = 1 - x y0^2.
+//
+// Flop accounting follows the paper: 51 floating-point operations per
+// pairwise interaction (§II-A), used by the benchmarks to convert
+// interaction counts into a flop rate.
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace greem::pp {
+
+/// Operation count per pairwise interaction used for flops accounting
+/// (the paper's convention for the cutoff kernel).
+inline constexpr int kFlopsPerInteraction = 51;
+
+/// Operation count used by the classic tree codes for a plain Newtonian
+/// interaction (Warren & Salmon convention); used by baseline benches.
+inline constexpr int kFlopsPerNewtonInteraction = 38;
+
+/// Fast reciprocal square root: float bit-trick seed (~9 bits) followed by
+/// one third-order Householder step, as the paper does from the 8-bit
+/// HPC-ACE estimate (final accuracy ~24 bits).
+double approx_rsqrt(double x);
+
+/// Sources of an interaction list, stored SoA so the batched kernel streams
+/// them.  pad4() appends far-away zero-mass entries until the length is a
+/// multiple of 4 (padding is force-neutral).
+struct InteractionList {
+  std::vector<double> x, y, z, m;
+
+  std::size_t size() const { return x.size(); }
+  void clear();
+  void add(const Vec3& pos, double mass);
+  void reserve(std::size_t n);
+  void pad4();
+};
+
+/// Scalar reference kernel with exact arithmetic (1/sqrt), gP3M cutoff.
+/// Adds accelerations of targets `xi` into `acc`.  Requires eps2 > 0 if a
+/// target coincides with a source (self-interactions contribute zero force).
+void pp_kernel_scalar(std::span<const Vec3> xi, std::span<Vec3> acc,
+                      const InteractionList& list, double rcut, double eps2);
+
+/// Optimized batched kernel ("phantom"): 4-way unrolled j-loop, approximate
+/// rsqrt, branchless cutoff clamp.  Same contract as pp_kernel_scalar;
+/// `list` must be pad4()-ed.
+void pp_kernel_phantom(std::span<const Vec3> xi, std::span<Vec3> acc,
+                       const InteractionList& list, double rcut, double eps2);
+
+/// Single-precision variant of the phantom kernel, the arithmetic of the
+/// x86 Phantom-GRAPE builds (the K-computer port runs double): coordinates
+/// are shifted to the group's first target before the float conversion to
+/// preserve relative precision, and accumulation stays in double.
+/// Relative accuracy ~1e-5; `list` must be pad4()-ed.
+void pp_kernel_phantom_sp(std::span<const Vec3> xi, std::span<Vec3> acc,
+                          const InteractionList& list, double rcut, double eps2);
+
+/// Plain Newtonian kernel (no cutoff) for the pure-tree / direct baselines.
+void pp_kernel_newton(std::span<const Vec3> xi, std::span<Vec3> acc,
+                      const InteractionList& list, double eps2);
+
+/// A tree node acting through monopole + trace-free quadrupole (the
+/// multipole order of the classic pure-tree Gordon Bell codes).
+struct QuadSource {
+  Vec3 com;
+  double mass = 0;
+  std::array<double, 6> quad{};  ///< xx,xy,xz,yy,yz,zz about com
+};
+
+/// Monopole + quadrupole accelerations from accepted nodes:
+///   a = -M r/|r|^3 + Q.r/|r|^5 - (5/2)(r.Q.r) r/|r|^7,  r = x_i - com.
+void pp_kernel_quadrupole(std::span<const Vec3> xi, std::span<Vec3> acc,
+                          std::span<const QuadSource> nodes, double eps2);
+
+/// Pair potential counterparts (used by energy diagnostics; not hot paths).
+/// Adds -G m h(xi)/r per source into `pot`.
+void pp_potential_scalar(std::span<const Vec3> xi, std::span<double> pot,
+                         const InteractionList& list, double rcut, double eps2);
+
+}  // namespace greem::pp

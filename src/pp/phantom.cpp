@@ -1,0 +1,137 @@
+#include "pp/kernels.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+// This translation unit holds the hot "Phantom-GRAPE" force loop and is
+// compiled with aggressive vectorization flags (see src/CMakeLists.txt):
+// the kernel is approximate by design (24-bit rsqrt), so value-changing
+// optimizations are in-contract here and only here.
+
+namespace greem::pp {
+
+double approx_rsqrt(double x) {
+  // Seed: float bit trick (raw error ~3.4%) refined by one float Newton
+  // step to ~0.2% -- the software analog of the paper's 8-bit HPC-ACE
+  // frsqrta estimate...
+  const auto xf = static_cast<float>(x);
+  const auto i = std::bit_cast<std::uint32_t>(xf);
+  float seed = std::bit_cast<float>(std::uint32_t{0x5f3759df} - (i >> 1));
+  seed *= 1.5f - 0.5f * xf * seed * seed;
+  const double y0 = static_cast<double>(seed);
+  // ...then the paper's single third-order (Householder) step:
+  // error ~ h0^3, i.e. ~24-bit accuracy from the 8-bit seed.
+  const double h0 = 1.0 - x * y0 * y0;
+  return y0 * (1.0 + h0 * (0.5 + h0 * 0.375));
+}
+
+void pp_kernel_phantom(std::span<const Vec3> xi, std::span<Vec3> acc,
+                       const InteractionList& list, double rcut, double eps2) {
+  const double two_over_rcut = 2.0 / rcut;
+  const std::size_t nj = list.size();
+  const double* jx = list.x.data();
+  const double* jy = list.y.data();
+  const double* jz = list.z.data();
+  const double* jm = list.m.data();
+
+  for (std::size_t i = 0; i < xi.size(); ++i) {
+    const double pix = xi[i].x, piy = xi[i].y, piz = xi[i].z;
+    double ax = 0, ay = 0, az = 0;
+    for (std::size_t j = 0; j < nj; j += 4) {
+      // The lane loop is written with plain arrays and no branches so the
+      // compiler can keep it in SIMD registers (the paper hand-codes the
+      // same structure in HPC-ACE intrinsics, 4x4 pairs per iteration).
+      double fx[4], fy[4], fz[4];
+      for (int l = 0; l < 4; ++l) {
+        const double dx = jx[j + l] - pix;
+        const double dy = jy[j + l] - piy;
+        const double dz = jz[j + l] - piz;
+        const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+        const double y0 = approx_rsqrt(r2);
+        const double r = r2 * y0;
+        // Branchless cutoff: clamp xi to the edge where g vanishes.
+        double q = r * two_over_rcut;
+        q = q < 2.0 ? q : 2.0;
+        const double zeta = q > 1.0 ? q - 1.0 : 0.0;
+        const double z2 = zeta * zeta;
+        const double z6 = z2 * z2 * z2;
+        const double poly =
+            -8.0 / 5.0 +
+            q * q * (8.0 / 5.0 + q * (-1.0 / 2.0 + q * (-12.0 / 35.0 + q * (3.0 / 20.0))));
+        const double g =
+            1.0 + q * q * q * poly - z6 * (3.0 / 35.0 + q * (18.0 / 35.0 + q * (1.0 / 5.0)));
+        const double f = jm[j + l] * g * (y0 * y0 * y0);
+        fx[l] = f * dx;
+        fy[l] = f * dy;
+        fz[l] = f * dz;
+      }
+      ax += (fx[0] + fx[1]) + (fx[2] + fx[3]);
+      ay += (fy[0] + fy[1]) + (fy[2] + fy[3]);
+      az += (fz[0] + fz[1]) + (fz[2] + fz[3]);
+    }
+    acc[i] += Vec3{ax, ay, az};
+  }
+}
+
+
+void pp_kernel_phantom_sp(std::span<const Vec3> xi, std::span<Vec3> acc,
+                          const InteractionList& list, double rcut, double eps2) {
+  if (xi.empty()) return;
+  const std::size_t nj = list.size();
+  // Shift to a group-local origin so float coordinates keep ~7 digits of
+  // *relative* position; pair separations are differences of nearby values.
+  const Vec3 origin = xi[0];
+  std::vector<float> jx(nj), jy(nj), jz(nj), jm(nj);
+  for (std::size_t j = 0; j < nj; ++j) {
+    jx[j] = static_cast<float>(list.x[j] - origin.x);
+    jy[j] = static_cast<float>(list.y[j] - origin.y);
+    jz[j] = static_cast<float>(list.z[j] - origin.z);
+    jm[j] = static_cast<float>(list.m[j]);
+  }
+  const float two_over_rcut = static_cast<float>(2.0 / rcut);
+  const float feps2 = static_cast<float>(eps2);
+
+  for (std::size_t i = 0; i < xi.size(); ++i) {
+    const float pix = static_cast<float>(xi[i].x - origin.x);
+    const float piy = static_cast<float>(xi[i].y - origin.y);
+    const float piz = static_cast<float>(xi[i].z - origin.z);
+    float ax = 0, ay = 0, az = 0;
+    for (std::size_t j = 0; j < nj; j += 4) {
+      float fx[4], fy[4], fz[4];
+      for (int l = 0; l < 4; ++l) {
+        const float dx = jx[j + l] - pix;
+        const float dy = jy[j + l] - piy;
+        const float dz = jz[j + l] - piz;
+        const float r2 = dx * dx + dy * dy + dz * dz + feps2;
+        // Bit-trick seed + one Newton + one third-order step (float).
+        const auto bits = std::bit_cast<std::uint32_t>(r2);
+        float y0 = std::bit_cast<float>(std::uint32_t{0x5f3759df} - (bits >> 1));
+        y0 *= 1.5f - 0.5f * r2 * y0 * y0;
+        const float h0 = 1.0f - r2 * y0 * y0;
+        const float y1 = y0 * (1.0f + h0 * (0.5f + h0 * 0.375f));
+        const float r = r2 * y1;
+        float q = r * two_over_rcut;
+        q = q < 2.0f ? q : 2.0f;
+        const float zeta = q > 1.0f ? q - 1.0f : 0.0f;
+        const float z2 = zeta * zeta;
+        const float z6 = z2 * z2 * z2;
+        const float poly =
+            -1.6f + q * q * (1.6f + q * (-0.5f + q * (-12.0f / 35.0f + q * 0.15f)));
+        const float g = 1.0f + q * q * q * poly -
+                        z6 * (3.0f / 35.0f + q * (18.0f / 35.0f + q * 0.2f));
+        const float f = jm[j + l] * g * (y1 * y1 * y1);
+        fx[l] = f * dx;
+        fy[l] = f * dy;
+        fz[l] = f * dz;
+      }
+      ax += (fx[0] + fx[1]) + (fx[2] + fx[3]);
+      ay += (fy[0] + fy[1]) + (fy[2] + fy[3]);
+      az += (fz[0] + fz[1]) + (fz[2] + fz[3]);
+    }
+    acc[i] += Vec3{static_cast<double>(ax), static_cast<double>(ay),
+                   static_cast<double>(az)};
+  }
+}
+
+}  // namespace greem::pp

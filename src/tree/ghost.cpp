@@ -1,0 +1,57 @@
+#include "tree/ghost.hpp"
+
+#include <cmath>
+
+namespace greem::tree {
+
+GhostExport select_ghosts(std::span<const Vec3> pos, std::span<const double> mass,
+                          std::span<const Box> domains, int self_rank, double rcut) {
+  const std::size_t p = domains.size();
+  GhostExport out;
+  out.pos.resize(p);
+  out.mass.resize(p);
+  const double rcut2 = rcut * rcut;
+
+  // All 27 periodic images of each particle are tested against each
+  // destination domain: when a domain spans (nearly) a full axis -- small
+  // rank grids -- a particle can serve the *same* domain through several
+  // images, including its own domain through a shifted image (periodic
+  // self-ghosts).  Per-axis distances for the three shifts are precomputed
+  // per (particle, domain) so the 27 combinations are cheap and most exit
+  // at the first axis.
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    const Vec3 q = pos[i];
+    for (std::size_t d = 0; d < p; ++d) {
+      const Box& box = domains[d];
+      double ax[3][3];  // [axis][shift index 0..2 for -1,0,+1]
+      for (int a = 0; a < 3; ++a) {
+        const double lo = box.lo[static_cast<std::size_t>(a)];
+        const double hi = box.hi[static_cast<std::size_t>(a)];
+        for (int s = 0; s < 3; ++s) {
+          const double v = q[static_cast<std::size_t>(a)] + static_cast<double>(s - 1);
+          ax[a][s] = v < lo ? lo - v : (v >= hi ? v - hi : 0.0);
+        }
+      }
+      for (int sx = 0; sx < 3; ++sx) {
+        const double dx2 = ax[0][sx] * ax[0][sx];
+        if (dx2 > rcut2) continue;
+        for (int sy = 0; sy < 3; ++sy) {
+          const double dy2 = dx2 + ax[1][sy] * ax[1][sy];
+          if (dy2 > rcut2) continue;
+          for (int sz = 0; sz < 3; ++sz) {
+            if (static_cast<int>(d) == self_rank && sx == 1 && sy == 1 && sz == 1)
+              continue;  // the particle itself, not a ghost
+            if (dy2 + ax[2][sz] * ax[2][sz] > rcut2) continue;
+            out.pos[d].push_back(q + Vec3{static_cast<double>(sx - 1),
+                                          static_cast<double>(sy - 1),
+                                          static_cast<double>(sz - 1)});
+            out.mass[d].push_back(mass[i]);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace greem::tree

@@ -1,0 +1,31 @@
+#pragma once
+// Ghost (boundary) particle selection for the parallel short-range force.
+//
+// Because the PP force vanishes beyond rcut, a rank only needs remote
+// particles within rcut of its domain — no global locally-essential tree is
+// required (one of the TreePM advantages over the pure tree codes).  Ghost
+// positions are *unwrapped*: a ghost imported across the periodic boundary
+// is shifted by ±1 per axis so it sits geometrically adjacent to the
+// receiving domain, letting the local tree work in plain coordinates.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/box.hpp"
+#include "util/vec3.hpp"
+
+namespace greem::tree {
+
+struct GhostExport {
+  std::vector<std::vector<Vec3>> pos;     ///< per destination rank (unwrapped)
+  std::vector<std::vector<double>> mass;  ///< per destination rank
+};
+
+/// Select, for each destination domain, the local particles lying within
+/// rcut of that domain (periodic), excluding `self_rank`.  Positions are
+/// shifted into the destination's unwrapped frame.
+GhostExport select_ghosts(std::span<const Vec3> pos, std::span<const double> mass,
+                          std::span<const Box> domains, int self_rank, double rcut);
+
+}  // namespace greem::tree

@@ -1,0 +1,181 @@
+#include "tree/octree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "util/morton.hpp"
+
+namespace greem::tree {
+
+Octree::Octree(std::span<const Vec3> pos, std::span<const double> mass, OctreeParams params) {
+  const std::size_t n = pos.size();
+  assert(mass.size() == n);
+
+  // Bounding cube of the input (local trees include ghosts that may lie
+  // outside the unit box, so the cube is computed, not assumed).
+  Vec3 lo{0, 0, 0}, hi{1, 1, 1};
+  if (n > 0) {
+    lo = hi = pos[0];
+    for (const auto& p : pos) {
+      lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+      hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+    }
+  }
+  double size = std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z, 1e-12});
+  size *= 1.0 + 1e-9;  // keep the max corner strictly inside
+  box_origin_ = lo;
+  box_size_ = size;
+
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec3 q = (pos[i] - box_origin_) / box_size_;
+    const double scale = static_cast<double>(1ULL << kMortonBits);
+    auto cell = [&](double v) {
+      auto c = static_cast<std::int64_t>(v * scale);
+      c = std::clamp<std::int64_t>(c, 0, (1LL << kMortonBits) - 1);
+      return static_cast<std::uint64_t>(c);
+    };
+    keys[i] = morton_encode(cell(q.x), cell(q.y), cell(q.z));
+  }
+
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0u);
+  std::sort(order_.begin(), order_.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return keys[a] < keys[b]; });
+
+  sorted_pos_.resize(n);
+  sorted_mass_.resize(n);
+  std::vector<std::uint64_t> sorted_keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sorted_pos_[i] = pos[order_[i]];
+    sorted_mass_[i] = mass[order_[i]];
+    sorted_keys[i] = keys[order_[i]];
+  }
+
+  nodes_.clear();
+  nodes_.reserve(n / std::max<std::size_t>(params.leaf_capacity, 1) * 3 + 16);
+  nodes_.push_back(TreeNode{});
+  const Vec3 root_center = box_origin_ + Vec3(size / 2, size / 2, size / 2);
+  struct Ctx {
+    Octree* self;
+    const OctreeParams& params;
+    std::span<const std::uint64_t> keys;
+
+    void build(std::uint32_t node, std::uint32_t lo_i, std::uint32_t hi_i, int level,
+               Vec3 center, double half) {
+      auto& t = *self;
+      t.nodes_[node].center = center;
+      t.nodes_[node].half = half;
+      t.nodes_[node].first = lo_i;
+      t.nodes_[node].count = hi_i - lo_i;
+
+      const std::uint32_t count = hi_i - lo_i;
+      if (count <= params.leaf_capacity || level >= params.max_depth) {
+        Vec3 com{};
+        double m = 0;
+        for (std::uint32_t i = lo_i; i < hi_i; ++i) {
+          com += t.sorted_pos_[i] * t.sorted_mass_[i];
+          m += t.sorted_mass_[i];
+        }
+        t.nodes_[node].com = m > 0 ? com / m : center;
+        t.nodes_[node].mass = m;
+        if (params.with_quadrupole) {
+          auto& q = t.nodes_[node].quad;
+          for (std::uint32_t i = lo_i; i < hi_i; ++i)
+            add_point_quadrupole(q, t.sorted_pos_[i] - t.nodes_[node].com,
+                                 t.sorted_mass_[i]);
+        }
+        return;
+      }
+
+      const int shift = 3 * (kMortonBits - 1 - level);
+      auto octant = [&](std::uint32_t i) {
+        return static_cast<unsigned>((keys[i] >> shift) & 7u);
+      };
+      // Partition the sorted range into the 8 octant subranges.
+      std::uint32_t bounds[9];
+      bounds[0] = lo_i;
+      std::uint32_t cur = lo_i;
+      for (unsigned o = 0; o < 8; ++o) {
+        while (cur < hi_i && octant(cur) == o) ++cur;
+        bounds[o + 1] = cur;
+      }
+
+      struct Child {
+        unsigned o;
+        std::uint32_t lo, hi, node;
+      };
+      Child children[8];
+      unsigned nchild = 0;
+      const std::uint32_t first_child = static_cast<std::uint32_t>(t.nodes_.size());
+      for (unsigned o = 0; o < 8; ++o) {
+        if (bounds[o + 1] == bounds[o]) continue;
+        children[nchild] = {o, bounds[o], bounds[o + 1],
+                            static_cast<std::uint32_t>(t.nodes_.size())};
+        t.nodes_.push_back(TreeNode{});
+        ++nchild;
+      }
+      t.nodes_[node].first_child = first_child;
+      t.nodes_[node].nchildren = nchild;
+
+      Vec3 com{};
+      double m = 0;
+      for (unsigned c = 0; c < nchild; ++c) {
+        const auto [o, clo, chi, cnode] = children[c];
+        const double q = half / 2;
+        const Vec3 ccenter = center + Vec3{(o & 1) ? q : -q, (o & 2) ? q : -q, (o & 4) ? q : -q};
+        build(cnode, clo, chi, level + 1, ccenter, q);
+        com += t.nodes_[cnode].com * t.nodes_[cnode].mass;
+        m += t.nodes_[cnode].mass;
+      }
+      t.nodes_[node].com = m > 0 ? com / m : center;
+      t.nodes_[node].mass = m;
+      if (params.with_quadrupole) {
+        // Parallel-axis combination: a child's moment about the parent com
+        // is its own moment plus its mass shifted by s = com_c - com.
+        auto& q = t.nodes_[node].quad;
+        for (unsigned c = 0; c < nchild; ++c) {
+          const TreeNode& child = t.nodes_[children[c].node];
+          for (int k = 0; k < 6; ++k) q[static_cast<std::size_t>(k)] += child.quad[static_cast<std::size_t>(k)];
+          add_point_quadrupole(q, child.com - t.nodes_[node].com, child.mass);
+        }
+      }
+    }
+
+    static void add_point_quadrupole(std::array<double, 6>& q, const Vec3& d, double m) {
+      const double d2 = d.norm2();
+      q[0] += m * (3.0 * d.x * d.x - d2);
+      q[1] += m * 3.0 * d.x * d.y;
+      q[2] += m * 3.0 * d.x * d.z;
+      q[3] += m * (3.0 * d.y * d.y - d2);
+      q[4] += m * 3.0 * d.y * d.z;
+      q[5] += m * (3.0 * d.z * d.z - d2);
+    }
+  };
+  Ctx ctx{this, params, sorted_keys};
+  ctx.build(0, 0, static_cast<std::uint32_t>(n), 0, root_center, size / 2);
+}
+
+std::vector<std::uint32_t> Octree::groups(std::uint32_t ncrit) const {
+  std::vector<std::uint32_t> out;
+  std::vector<std::uint32_t> stack{0};
+  while (!stack.empty()) {
+    const std::uint32_t ni = stack.back();
+    stack.pop_back();
+    const TreeNode& node = nodes_[ni];
+    if (node.count == 0) continue;
+    if (node.count <= ncrit || node.is_leaf()) {
+      out.push_back(ni);
+      continue;
+    }
+    for (std::uint32_t c = 0; c < node.nchildren; ++c) stack.push_back(node.first_child + c);
+  }
+  // DFS with a stack visits children in reverse; restore tree order so
+  // groups sweep the particle array contiguously.
+  std::sort(out.begin(), out.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return nodes_[a].first < nodes_[b].first; });
+  return out;
+}
+
+}  // namespace greem::tree

@@ -1,0 +1,78 @@
+#pragma once
+// Linearized Barnes-Hut octree.
+//
+// Particles are sorted by Morton key over the bounding cube of the input,
+// so every tree cell owns a contiguous particle range; nodes are stored in
+// a flat array built by recursive partitioning of the key-sorted range.
+// Monopole (center-of-mass) moments are accumulated bottom-up, which is
+// the expansion GreeM uses for the short-range tree walk.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/vec3.hpp"
+
+namespace greem::tree {
+
+struct TreeNode {
+  Vec3 center;               ///< geometric center of the cubic cell
+  double half = 0;           ///< half of the cell side length
+  Vec3 com;                  ///< center of mass of contained particles
+  double mass = 0;           ///< total contained mass
+  /// Trace-free quadrupole tensor about the center of mass,
+  /// Q_ij = sum m (3 d_i d_j - delta_ij d^2), packed xx,xy,xz,yy,yz,zz.
+  /// Zero unless OctreeParams::with_quadrupole.
+  std::array<double, 6> quad{};
+  std::uint32_t first_child = 0;  ///< index of first child node (0 = leaf)
+  std::uint32_t nchildren = 0;
+  std::uint32_t first = 0;   ///< first particle (tree order)
+  std::uint32_t count = 0;   ///< number of particles in the cell
+
+  bool is_leaf() const { return nchildren == 0; }
+};
+
+struct OctreeParams {
+  std::uint32_t leaf_capacity = 8;  ///< split cells with more particles
+  int max_depth = 21;               ///< Morton key resolution bound
+  /// Accumulate quadrupole moments (the multipole order of the classic
+  /// pure-tree Gordon Bell codes; the TreePM cutoff walk stays monopole,
+  /// as in GreeM, because gP3M applies to point-pair force shapes).
+  bool with_quadrupole = false;
+};
+
+class Octree {
+ public:
+  /// Build over a snapshot of positions/masses.  The inputs are not
+  /// modified; the tree keeps Morton-sorted copies plus the permutation
+  /// back to the caller's indexing.
+  Octree(std::span<const Vec3> pos, std::span<const double> mass, OctreeParams params = {});
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  const TreeNode& root() const { return nodes_[0]; }
+
+  /// Positions/masses in tree (Morton) order.
+  std::span<const Vec3> sorted_pos() const { return sorted_pos_; }
+  std::span<const double> sorted_mass() const { return sorted_mass_; }
+
+  /// original_index(i) = caller index of tree-order particle i.
+  std::uint32_t original_index(std::uint32_t i) const { return order_[i]; }
+  std::span<const std::uint32_t> order() const { return order_; }
+
+  std::size_t num_particles() const { return sorted_pos_.size(); }
+
+  /// Maximal cells with at most `ncrit` particles, in tree order: the
+  /// particle groups of Barnes' modified algorithm (§II of the paper;
+  /// <Ni> ~ 100 is optimal on K computer).  Returned as node indices.
+  std::vector<std::uint32_t> groups(std::uint32_t ncrit) const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+  std::vector<Vec3> sorted_pos_;
+  std::vector<double> sorted_mass_;
+  std::vector<std::uint32_t> order_;
+  Vec3 box_origin_;
+  double box_size_ = 1.0;
+};
+
+}  // namespace greem::tree

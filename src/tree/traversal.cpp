@@ -1,0 +1,235 @@
+#include "tree/traversal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "util/parallel_for.hpp"
+#include "util/timer.hpp"
+
+namespace greem::tree {
+namespace {
+
+/// Squared distance between two axis-aligned cubes (center, half-size).
+double box_box_dist2(const Vec3& c1, double h1, const Vec3& c2, double h2) {
+  double d2 = 0;
+  for (int a = 0; a < 3; ++a) {
+    const double gap = std::abs(c1[static_cast<std::size_t>(a)] - c2[static_cast<std::size_t>(a)]) - (h1 + h2);
+    if (gap > 0) d2 += gap * gap;
+  }
+  return d2;
+}
+
+/// Squared distance from a point to a cube (center, half-size).
+double point_box_dist2(const Vec3& p, const Vec3& c, double h) {
+  double d2 = 0;
+  for (int a = 0; a < 3; ++a) {
+    const double gap = std::abs(p[static_cast<std::size_t>(a)] - c[static_cast<std::size_t>(a)]) - h;
+    if (gap > 0) d2 += gap * gap;
+  }
+  return d2;
+}
+
+struct Walker {
+  const Octree& tree;
+  const TraversalParams& params;
+  const TreeNode* group;
+  Vec3 offset;
+  pp::InteractionList* list;
+  TraversalStats* stats;
+  std::vector<pp::QuadSource>* quad_list = nullptr;  ///< kNewtonQuad only
+
+  void walk(std::uint32_t ni) {
+    const TreeNode& node = tree.nodes()[ni];
+    ++stats->nodes_visited;
+    if (node.count == 0) return;
+
+    const Vec3 node_center = node.center + offset;
+    // Cutoff pruning: if every pair (group target, node source) is beyond
+    // rcut, the gP3M factor vanishes and the node contributes nothing.
+    if (std::isfinite(params.rcut)) {
+      const double d2 = box_box_dist2(group->center, group->half, node_center, node.half);
+      if (d2 > params.rcut * params.rcut) return;
+    }
+
+    // Multipole acceptance: cell size over the closest approach of the
+    // group box to the node's center of mass, plus non-overlap.
+    const Vec3 node_com = node.com + offset;
+    const double dcom2 = point_box_dist2(node_com, group->center, group->half);
+    const double size = 2.0 * node.half;
+    const bool accept = dcom2 > 0 && size * size < params.theta * params.theta * dcom2 &&
+                        box_box_dist2(group->center, group->half, node_center, node.half) > 0;
+    if (accept) {
+      if (quad_list) {
+        quad_list->push_back({node_com, node.mass, node.quad});
+      } else {
+        list->add(node_com, node.mass);
+      }
+      return;
+    }
+    if (node.is_leaf()) {
+      const auto pos = tree.sorted_pos();
+      const auto mass = tree.sorted_mass();
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i)
+        list->add(pos[i] + offset, mass[i]);
+      return;
+    }
+    for (std::uint32_t c = 0; c < node.nchildren; ++c) walk(node.first_child + c);
+  }
+};
+
+TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
+                             std::size_t n_targets, std::span<Vec3> acc,
+                             std::span<const Vec3> image_offsets, TraversalTimes* times) {
+  static const Vec3 kHome{0, 0, 0};
+  if (image_offsets.empty()) image_offsets = {&kHome, 1};
+
+  TraversalStats stats;
+  if (tree.num_particles() == 0) return stats;
+
+  const auto group_nodes = tree.groups(params.ncrit);
+  const bool quad = params.kernel == KernelKind::kNewtonQuad;
+
+  // Groups own disjoint particle ranges, so the group loop parallelizes
+  // over the intra-rank thread pool (the paper's MPI/OpenMP hybrid: ranks
+  // distribute domains, threads share the group list).  With one worker
+  // this runs inline.  Accumulated phase seconds are summed CPU time.
+  std::mutex merge_mu;
+  double traverse_s = 0, force_s = 0;
+  parallel_for_chunks(0, group_nodes.size(), [&](std::size_t lo, std::size_t hi) {
+    TraversalStats local_stats;
+    double local_traverse = 0, local_force = 0;
+    std::vector<Vec3> group_acc;
+    pp::InteractionList list;
+    std::vector<pp::QuadSource> quad_nodes;
+    Stopwatch sw;
+
+    for (std::size_t gidx = lo; gidx < hi; ++gidx) {
+      const TreeNode& g = tree.nodes()[group_nodes[gidx]];
+
+      sw.restart();
+      list.clear();
+      quad_nodes.clear();
+      Walker walker{tree, params, &g, {}, &list, &local_stats,
+                    quad ? &quad_nodes : nullptr};
+      for (const Vec3& off : image_offsets) {
+        walker.offset = off;
+        walker.walk(0);
+      }
+      const std::uint64_t nj = list.size() + quad_nodes.size();
+      local_traverse += sw.seconds();
+
+      // Count only targets (locals) toward the paper's statistics.
+      std::uint64_t ni_targets = 0;
+      for (std::uint32_t i = g.first; i < g.first + g.count; ++i)
+        if (tree.original_index(i) < n_targets) ++ni_targets;
+      ++local_stats.ngroups;
+      local_stats.sum_ni += ni_targets;
+      local_stats.sum_nj += nj;
+      local_stats.interactions += ni_targets * nj;
+      if (ni_targets == 0) continue;
+
+      sw.restart();
+      group_acc.assign(g.count, Vec3{});
+      const std::span<const Vec3> targets = tree.sorted_pos().subspan(g.first, g.count);
+      switch (params.kernel) {
+        case KernelKind::kScalar:
+          pp_kernel_scalar(targets, group_acc, list, params.rcut, params.eps2);
+          break;
+        case KernelKind::kPhantom:
+          list.pad4();
+          pp_kernel_phantom(targets, group_acc, list, params.rcut, params.eps2);
+          break;
+        case KernelKind::kNewton:
+          pp_kernel_newton(targets, group_acc, list, params.eps2);
+          break;
+        case KernelKind::kNewtonQuad:
+          pp_kernel_newton(targets, group_acc, list, params.eps2);
+          pp_kernel_quadrupole(targets, group_acc, quad_nodes, params.eps2);
+          break;
+      }
+      // Disjoint writes: each tree-order particle belongs to one group.
+      for (std::uint32_t i = 0; i < g.count; ++i) {
+        const std::uint32_t orig = tree.original_index(g.first + i);
+        if (orig < n_targets) acc[orig] += group_acc[i];
+      }
+      local_force += sw.seconds();
+    }
+
+    std::lock_guard lock(merge_mu);
+    stats.merge(local_stats);
+    traverse_s += local_traverse;
+    force_s += local_force;
+  });
+
+  if (times) {
+    times->traverse_s += traverse_s;
+    times->force_s += force_s;
+  }
+  return stats;
+}
+
+}  // namespace
+
+void TraversalStats::merge(const TraversalStats& o) {
+  ngroups += o.ngroups;
+  sum_ni += o.sum_ni;
+  sum_nj += o.sum_nj;
+  interactions += o.interactions;
+  nodes_visited += o.nodes_visited;
+}
+
+TraversalStats tree_accelerations(const Octree& tree, const TraversalParams& params,
+                                  std::span<Vec3> acc, std::span<const Vec3> image_offsets,
+                                  TraversalTimes* times) {
+  return run_traversal(tree, params, tree.num_particles(), acc, image_offsets, times);
+}
+
+TraversalStats tree_accelerations_targets(const Octree& tree, const TraversalParams& params,
+                                          std::size_t n_targets, std::span<Vec3> acc,
+                                          std::span<const Vec3> image_offsets,
+                                          TraversalTimes* times) {
+  return run_traversal(tree, params, n_targets, acc, image_offsets, times);
+}
+
+TraversalStats tree_potentials(const Octree& tree, const TraversalParams& params,
+                               std::span<double> pot,
+                               std::span<const Vec3> image_offsets) {
+  static const Vec3 kHome{0, 0, 0};
+  if (image_offsets.empty()) image_offsets = {&kHome, 1};
+  TraversalStats stats;
+  if (tree.num_particles() == 0) return stats;
+
+  const auto group_nodes = tree.groups(params.ncrit);
+  pp::InteractionList list;
+  std::vector<double> group_pot;
+  for (const std::uint32_t gi : group_nodes) {
+    const TreeNode& g = tree.nodes()[gi];
+    list.clear();
+    Walker walker{tree, params, &g, {}, &list, &stats, nullptr};
+    for (const Vec3& off : image_offsets) {
+      walker.offset = off;
+      walker.walk(0);
+    }
+    ++stats.ngroups;
+    stats.sum_ni += g.count;
+    stats.sum_nj += list.size();
+    stats.interactions += static_cast<std::uint64_t>(g.count) * list.size();
+
+    group_pot.assign(g.count, 0.0);
+    const std::span<const Vec3> targets = tree.sorted_pos().subspan(g.first, g.count);
+    pp_potential_scalar(targets, group_pot, list, params.rcut, params.eps2);
+    for (std::uint32_t i = 0; i < g.count; ++i)
+      pot[tree.original_index(g.first + i)] += group_pot[i];
+  }
+  return stats;
+}
+
+void build_interaction_list(const Octree& tree, std::uint32_t group_node,
+                            const TraversalParams& params, const Vec3& offset,
+                            pp::InteractionList& list, TraversalStats& stats) {
+  Walker walker{tree, params, &tree.nodes()[group_node], offset, &list, &stats};
+  walker.walk(0);
+}
+
+}  // namespace greem::tree

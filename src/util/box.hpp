@@ -1,0 +1,49 @@
+#pragma once
+// Axis-aligned rectangular domain in the periodic unit cube.
+// Domains produced by the multi-section decomposition are half-open
+// [lo, hi) boxes whose union tiles [0,1)^3.
+
+#include <cmath>
+
+#include "util/vec3.hpp"
+
+namespace greem {
+
+struct Box {
+  Vec3 lo{0, 0, 0};
+  Vec3 hi{1, 1, 1};
+
+  Vec3 extent() const { return hi - lo; }
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  double volume() const {
+    const Vec3 e = extent();
+    return e.x * e.y * e.z;
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x < hi.x && p.y >= lo.y && p.y < hi.y && p.z >= lo.z && p.z < hi.z;
+  }
+
+  /// Squared distance from p to this box under the periodic minimum image
+  /// (box extents are assumed < 0.5 in practice; correct for any extent
+  /// because the per-axis distance takes the shortest wrapped gap).
+  double periodic_dist2(const Vec3& p) const {
+    double d2 = 0;
+    for (std::size_t a = 0; a < 3; ++a) {
+      const double l = lo[a], h = hi[a], v = p[a];
+      double d;
+      if (v >= l && v < h) {
+        d = 0;
+      } else {
+        // Distance to the interval, both directly and across the wrap.
+        const double direct = v < l ? l - v : v - h;
+        const double wrapped = v < l ? v + 1.0 - h : l + 1.0 - v;
+        d = std::min(direct, wrapped);
+      }
+      d2 += d * d;
+    }
+    return d2;
+  }
+};
+
+}  // namespace greem

@@ -1,0 +1,30 @@
+#pragma once
+// 3-D Morton (Z-order) codes.  The octree builder sorts particles by Morton
+// key so that each tree node owns a contiguous particle range; this is the
+// standard linearized-octree construction.
+
+#include <cstdint>
+
+#include "util/vec3.hpp"
+
+namespace greem {
+
+/// Bits of resolution per dimension (3*21 = 63 bits total).
+inline constexpr int kMortonBits = 21;
+
+/// Spread the low 21 bits of x so each lands at every third position.
+std::uint64_t morton_expand_bits(std::uint64_t x);
+
+/// Inverse of morton_expand_bits.
+std::uint64_t morton_compact_bits(std::uint64_t x);
+
+/// Morton key of integer cell coordinates (each < 2^21).
+std::uint64_t morton_encode(std::uint64_t ix, std::uint64_t iy, std::uint64_t iz);
+
+/// Recover the integer cell coordinates of a key.
+void morton_decode(std::uint64_t key, std::uint64_t& ix, std::uint64_t& iy, std::uint64_t& iz);
+
+/// Morton key of a position in the unit cube [0,1)^3 at full resolution.
+std::uint64_t morton_key(const Vec3& p);
+
+}  // namespace greem

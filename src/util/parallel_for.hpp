@@ -1,0 +1,26 @@
+#pragma once
+// Intra-rank thread parallelism (the "OpenMP" half of the paper's
+// MPI/OpenMP hybrid).  A persistent pool executes index-range loops with
+// static chunking; with one worker it degenerates to a plain loop.
+
+#include <cstddef>
+#include <functional>
+
+namespace greem {
+
+/// Number of worker threads used by parallel_for (default: hardware
+/// concurrency, overridable via set_num_threads for experiments).
+std::size_t num_threads();
+void set_num_threads(std::size_t n);
+
+/// Execute f(i) for i in [begin, end), split statically over the pool.
+/// Safe to call when the pool has a single thread (runs inline).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& f);
+
+/// Execute f(chunk_begin, chunk_end) once per worker with a contiguous
+/// range; lower overhead than per-index dispatch for hot loops.
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& f);
+
+}  // namespace greem

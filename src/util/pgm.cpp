@@ -1,0 +1,45 @@
+#include "util/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+
+namespace greem {
+namespace {
+
+bool write_bytes(const std::string& path, std::size_t w, std::size_t h,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P5\n" << w << " " << h << "\n255\n";
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool GrayImage::write_pgm_log(const std::string& path, double v_scale) const {
+  std::vector<std::uint8_t> bytes(width_ * height_, 0);
+  double maxv = 0;
+  for (double p : pixels_) maxv = std::max(maxv, std::log1p(p / v_scale));
+  if (maxv <= 0) maxv = 1;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    double v = std::log1p(pixels_[i] / v_scale) / maxv;
+    bytes[i] = static_cast<std::uint8_t>(std::clamp(v, 0.0, 1.0) * 255.0);
+  }
+  return write_bytes(path, width_, height_, bytes);
+}
+
+bool GrayImage::write_pgm_linear(const std::string& path, double lo, double hi) const {
+  std::vector<std::uint8_t> bytes(width_ * height_, 0);
+  double span = hi > lo ? hi - lo : 1.0;
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    double v = (pixels_[i] - lo) / span;
+    bytes[i] = static_cast<std::uint8_t>(std::clamp(v, 0.0, 1.0) * 255.0);
+  }
+  return write_bytes(path, width_, height_, bytes);
+}
+
+}  // namespace greem

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal grayscale image writer (binary PGM).  Used to render the density
+// projections of the paper's Figure 6 without any imaging dependency.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace greem {
+
+/// A row-major grayscale image with double-valued pixels.
+class GrayImage {
+ public:
+  GrayImage(std::size_t width, std::size_t height)
+      : width_(width), height_(height), pixels_(width * height, 0.0) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  double& at(std::size_t x, std::size_t y) { return pixels_[y * width_ + x]; }
+  double at(std::size_t x, std::size_t y) const { return pixels_[y * width_ + x]; }
+
+  /// Write as 8-bit binary PGM.  Pixel values are mapped through
+  /// log(1 + v/v_scale) and normalized to the image maximum, which is the
+  /// conventional rendering for projected dark-matter density.
+  /// Returns false on I/O failure.
+  bool write_pgm_log(const std::string& path, double v_scale = 1.0) const;
+
+  /// Write with linear mapping to [0,255] over [lo, hi].
+  bool write_pgm_linear(const std::string& path, double lo, double hi) const;
+
+ private:
+  std::size_t width_, height_;
+  std::vector<double> pixels_;
+};
+
+}  // namespace greem

@@ -1,0 +1,35 @@
+#pragma once
+// Deterministic, splittable random number generation (xoshiro256**).
+// Simulations must be reproducible across runs and independent of rank
+// count, so every consumer derives its own stream from a seed + stream id.
+
+#include <cstdint>
+
+namespace greem {
+
+/// xoshiro256** by Blackman & Vigna; fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Standard normal via Box-Muller (uses a cached second deviate).
+  double normal();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace greem

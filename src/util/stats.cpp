@@ -1,0 +1,44 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace greem {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values[0];
+  s.max = values[0];
+  double sum = 0;
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  double var = 0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return s;
+}
+
+double rms(std::span<const double> values) {
+  if (values.empty()) return 0;
+  double s = 0;
+  for (double v : values) s += v * v;
+  return std::sqrt(s / static_cast<double>(values.size()));
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double idx = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<std::size_t>(idx);
+  auto hi = std::min(lo + 1, values.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace greem

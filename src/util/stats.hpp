@@ -1,0 +1,30 @@
+#pragma once
+// Summary statistics helpers used in benchmarks and load-balance reports.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace greem {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+
+  /// max / mean; 1.0 is a perfectly balanced distribution.  This is the
+  /// load-imbalance figure reported by the domain-decomposition benchmark.
+  double imbalance() const { return mean > 0 ? max / mean : 0.0; }
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Root-mean-square of values.
+double rms(std::span<const double> values);
+
+/// Percentile (0..100) by linear interpolation over the sorted values.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace greem

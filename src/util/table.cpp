@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace greem {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  assert(header_.empty() || cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string TextTable::num(long long v) { return std::to_string(v); }
+
+void TextTable::print(std::ostream& out) const {
+  std::size_t ncol = header_.size();
+  for (const auto& r : rows_) ncol = std::max(ncol, r.size());
+  std::vector<std::size_t> w(ncol, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) w[i] = std::max(w[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      out << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(w[i]))
+          << (i == 0 ? std::left : std::right) << r[i];
+      out << std::right;
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < ncol; ++i) total += w[i] + (i ? 2 : 0);
+    out << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+}  // namespace greem

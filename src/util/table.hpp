@@ -1,0 +1,31 @@
+#pragma once
+// Fixed-width text table printer for benchmark output (the benches print
+// the same rows as the paper's Table I and figure series).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace greem {
+
+class TextTable {
+ public:
+  /// Set the header row (also fixes the column count).
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row; must match the header width.
+  void row(std::vector<std::string> cells);
+
+  /// Format a double with `prec` significant digits.
+  static std::string num(double v, int prec = 4);
+  /// Format an integer with thousands separators removed (plain).
+  static std::string num(long long v);
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace greem

@@ -1,0 +1,36 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+
+namespace greem {
+
+void TimingBreakdown::add(std::string_view name, double seconds) {
+  for (auto& [k, v] : entries_) {
+    if (k == name) {
+      v += seconds;
+      return;
+    }
+  }
+  entries_.emplace_back(std::string(name), seconds);
+}
+
+double TimingBreakdown::total() const {
+  double t = 0;
+  for (const auto& [k, v] : entries_) t += v;
+  return t;
+}
+
+double TimingBreakdown::get(std::string_view name) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == name) return v;
+  }
+  return 0.0;
+}
+
+void TimingBreakdown::clear() { entries_.clear(); }
+
+void TimingBreakdown::merge(const TimingBreakdown& other) {
+  for (const auto& [k, v] : other.entries_) add(k, v);
+}
+
+}  // namespace greem

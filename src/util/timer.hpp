@@ -1,0 +1,61 @@
+#pragma once
+// Wall-clock timing utilities.
+//
+// `Stopwatch` measures a single interval.  `TimingBreakdown` accumulates
+// named phase timings across a step; it is what produces the rows of the
+// paper's Table I ("PM: density assignment / communication / FFT / ...").
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace greem {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates per-phase wall-clock time under stable string keys.
+/// Phases are reported in first-use order so breakdown tables read in
+/// program order, like Table I of the paper.
+class TimingBreakdown {
+ public:
+  /// Add `seconds` to phase `name` (created on first use).
+  void add(std::string_view name, double seconds);
+
+  /// Time a callable and charge it to `name`.
+  template <class F>
+  void time(std::string_view name, F&& f) {
+    Stopwatch sw;
+    std::forward<F>(f)();
+    add(name, sw.seconds());
+  }
+
+  double total() const;
+  double get(std::string_view name) const;  ///< 0 if the phase never ran.
+  void clear();
+
+  /// Merge another breakdown into this one (phase-wise sum).
+  void merge(const TimingBreakdown& other);
+
+  const std::vector<std::pair<std::string, double>>& entries() const { return entries_; }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace greem

@@ -1,0 +1,71 @@
+#pragma once
+// Small fixed-size 3-vector used for positions, velocities and accelerations.
+// Header-only on purpose: every hot loop in the tree and kernel code inlines
+// through these operators.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace greem {
+
+template <class T>
+struct Vec3T {
+  T x{}, y{}, z{};
+
+  constexpr Vec3T() = default;
+  constexpr Vec3T(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+  explicit constexpr Vec3T(T s) : x(s), y(s), z(s) {}
+
+  constexpr T& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const T& operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3T& operator+=(const Vec3T& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  constexpr Vec3T& operator-=(const Vec3T& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  constexpr Vec3T& operator*=(T s) { x *= s; y *= s; z *= s; return *this; }
+  constexpr Vec3T& operator/=(T s) { x /= s; y /= s; z /= s; return *this; }
+
+  friend constexpr Vec3T operator+(Vec3T a, const Vec3T& b) { return a += b; }
+  friend constexpr Vec3T operator-(Vec3T a, const Vec3T& b) { return a -= b; }
+  friend constexpr Vec3T operator*(Vec3T a, T s) { return a *= s; }
+  friend constexpr Vec3T operator*(T s, Vec3T a) { return a *= s; }
+  friend constexpr Vec3T operator/(Vec3T a, T s) { return a /= s; }
+  friend constexpr Vec3T operator-(const Vec3T& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3T&, const Vec3T&) = default;
+
+  constexpr T dot(const Vec3T& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr T norm2() const { return dot(*this); }
+  T norm() const { return std::sqrt(norm2()); }
+
+  constexpr T min_component() const { return std::min(x, std::min(y, z)); }
+  constexpr T max_component() const { return std::max(x, std::max(y, z)); }
+};
+
+using Vec3 = Vec3T<double>;
+using Vec3f = Vec3T<float>;
+
+/// Wrap a coordinate into the periodic unit interval [0,1).
+inline double wrap01(double v) {
+  v -= std::floor(v);
+  // floor can still return 1.0 for v = -eps due to rounding; clamp.
+  return v < 1.0 ? v : 0.0;
+}
+
+/// Wrap a position into the periodic unit cube [0,1)^3.
+inline Vec3 wrap01(Vec3 p) { return {wrap01(p.x), wrap01(p.y), wrap01(p.z)}; }
+
+/// Minimum-image separation component in a unit periodic box: result in [-0.5, 0.5).
+inline double min_image(double d) {
+  if (d >= 0.5) return d - 1.0;
+  if (d < -0.5) return d + 1.0;
+  return d;
+}
+
+/// Minimum-image displacement b - a in the unit periodic box.
+inline Vec3 min_image(const Vec3& a, const Vec3& b) {
+  return {min_image(b.x - a.x), min_image(b.y - a.y), min_image(b.z - a.z)};
+}
+
+}  // namespace greem

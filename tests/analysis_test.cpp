@@ -1,0 +1,276 @@
+// Analysis module tests: FoF grouping, power-spectrum measurement,
+// projections and radial profiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/correlation.hpp"
+#include "analysis/fof.hpp"
+#include "analysis/power_measure.hpp"
+#include "analysis/profile.hpp"
+#include "analysis/projection.hpp"
+#include "core/particle.hpp"
+#include "util/rng.hpp"
+
+namespace greem::analysis {
+namespace {
+
+TEST(Fof, LinkingLengthConvention) {
+  EXPECT_NEAR(fof_linking_length(1000), 0.2 / 10.0, 1e-12);
+  EXPECT_NEAR(fof_linking_length(8, 0.5), 0.25, 1e-12);
+}
+
+TEST(Fof, FindsTwoSeparatedClumps) {
+  Rng rng(1);
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 100; ++i)
+    pos.push_back({0.25 + rng.uniform(-0.005, 0.005), 0.5 + rng.uniform(-0.005, 0.005),
+                   0.5 + rng.uniform(-0.005, 0.005)});
+  for (int i = 0; i < 60; ++i)
+    pos.push_back({0.75 + rng.uniform(-0.005, 0.005), 0.5 + rng.uniform(-0.005, 0.005),
+                   0.5 + rng.uniform(-0.005, 0.005)});
+  const auto groups = fof_groups(pos, 0.02, 10);
+  ASSERT_EQ(groups.ngroups(), 2u);
+  EXPECT_EQ(groups.group_size[0], 100u);  // largest first
+  EXPECT_EQ(groups.group_size[1], 60u);
+  // Membership is spatially coherent.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(groups.group_of[static_cast<std::size_t>(i)], 0);
+  for (int i = 100; i < 160; ++i) EXPECT_EQ(groups.group_of[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(Fof, LinksAcrossPeriodicBoundary) {
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 20; ++i) {
+    const double x = 0.995 + 0.01 * i / 19.0;  // straddles the wrap
+    pos.push_back({wrap01(x), 0.5, 0.5});
+  }
+  const auto groups = fof_groups(pos, 0.002, 5);
+  ASSERT_EQ(groups.ngroups(), 1u);
+  EXPECT_EQ(groups.group_size[0], 20u);
+}
+
+TEST(Fof, IsolatedParticlesAreUngrouped) {
+  Rng rng(2);
+  std::vector<Vec3> pos(50);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  const auto groups = fof_groups(pos, 1e-5, 2);
+  EXPECT_EQ(groups.ngroups(), 0u);
+  for (auto g : groups.group_of) EXPECT_EQ(g, FofGroups::kNoGroup);
+}
+
+TEST(Fof, ChainLinksTransitively) {
+  // A line of particles each within ll of the next forms one group.
+  std::vector<Vec3> pos;
+  for (int i = 0; i < 30; ++i) pos.push_back({0.1 + 0.004 * i, 0.5, 0.5});
+  const auto groups = fof_groups(pos, 0.005, 5);
+  ASSERT_EQ(groups.ngroups(), 1u);
+  EXPECT_EQ(groups.group_size[0], 30u);
+}
+
+TEST(Power, WhiteNoiseParticlesShowOnlyShotNoise) {
+  // Poisson-random particles: P(k) = 1/N exactly; after shot-noise
+  // subtraction the signal is consistent with zero.
+  Rng rng(3);
+  std::vector<Vec3> pos(20000);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  PowerMeasureParams mp;
+  mp.n_mesh = 32;
+  const auto bins = measure_power(pos, mp);
+  const double shot = 1.0 / static_cast<double>(pos.size());
+  for (const auto& b : bins) {
+    if (b.k / (2 * std::numbers::pi) > 10) continue;  // skip window-dominated shells
+    EXPECT_NEAR(b.power, 0.0, 0.5 * shot) << "k = " << b.k;
+  }
+}
+
+TEST(Power, DetectsSinglePlaneWave) {
+  // Particles displaced by a single mode show power in that shell.
+  const std::size_t g = 32;
+  std::vector<Vec3> pos;
+  const double amp = 0.002;
+  for (std::size_t z = 0; z < g; ++z)
+    for (std::size_t y = 0; y < g; ++y)
+      for (std::size_t x = 0; x < g; ++x) {
+        const double q = (x + 0.5) / static_cast<double>(g);
+        pos.push_back(wrap01(Vec3{q + amp * std::sin(2 * std::numbers::pi * 4 * q),
+                                  (y + 0.5) / static_cast<double>(g),
+                                  (z + 0.5) / static_cast<double>(g)}));
+      }
+  PowerMeasureParams mp;
+  mp.n_mesh = 32;
+  mp.subtract_shot_noise = false;
+  const auto bins = measure_power(pos, mp);
+  double peak_k = 0, peak_shell_sum = 0;
+  for (const auto& b : bins) {
+    const double shell = b.power * static_cast<double>(b.modes);
+    if (shell > peak_shell_sum) {
+      peak_shell_sum = shell;
+      peak_k = b.k / (2 * std::numbers::pi);
+    }
+  }
+  EXPECT_NEAR(peak_k, 4.0, 0.5);
+  // Linear theory: two modes at +-(4,0,0) each carry |delta_k|^2 =
+  // (2 pi 4 amp / 2)^2; the shell average dilutes them over the shell, so
+  // compare the shell *sum*.
+  const double expect = 2.0 * std::pow(2 * std::numbers::pi * 4 * amp / 2, 2);
+  EXPECT_NEAR(peak_shell_sum, expect, 0.2 * expect);
+}
+
+TEST(Projection, DepositsAllContainedParticles) {
+  Rng rng(4);
+  std::vector<Vec3> pos(1000);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  ProjectionParams pp;
+  pp.pixels = 32;
+  const auto img = project_density(pos, pp);
+  double total = 0;
+  for (std::size_t y = 0; y < img.height(); ++y)
+    for (std::size_t x = 0; x < img.width(); ++x) total += img.at(x, y);
+  // CIC loses only the mass deposited outside the image edge.
+  EXPECT_NEAR(total, 1000.0, 50.0);
+}
+
+TEST(Projection, SubRegionZoomSelects) {
+  std::vector<Vec3> pos{{0.1, 0.1, 0.5}, {0.9, 0.9, 0.5}};
+  ProjectionParams pp;
+  pp.pixels = 16;
+  pp.region = Box{{0.0, 0.0, 0.0}, {0.5, 0.5, 1.0}};
+  const auto img = project_density(pos, pp);
+  double total = 0;
+  for (std::size_t y = 0; y < 16; ++y)
+    for (std::size_t x = 0; x < 16; ++x) total += img.at(x, y);
+  EXPECT_NEAR(total, 1.0, 1e-9);  // only the first particle is inside
+}
+
+TEST(Projection, WritesFile) {
+  Rng rng(5);
+  std::vector<Vec3> pos(100);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  ProjectionParams pp;
+  pp.pixels = 16;
+  EXPECT_TRUE(write_projection(pos, pp, testing::TempDir() + "/proj.pgm"));
+}
+
+TEST(Profile, RecoversUniformDensity) {
+  Rng rng(6);
+  const std::size_t n = 200000;
+  std::vector<Vec3> pos(n);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  const double pm = 1.0 / static_cast<double>(n);
+  const auto bins = radial_profile(pos, pm, {0.5, 0.5, 0.5}, 0.05, 0.3, 6);
+  for (const auto& b : bins) {
+    EXPECT_NEAR(b.density, 1.0, 0.15) << "r = " << b.r;  // mean density 1
+  }
+}
+
+TEST(Profile, PlummerSlopeIsSteepOutside) {
+  const auto ps = core::plummer_particles(100000, 1.0, {0.5, 0.5, 0.5}, 0.02, 7);
+  const auto pos = core::positions_of(ps);
+  const auto bins = radial_profile(pos, 1e-5, {0.5, 0.5, 0.5}, 0.005, 0.16, 8);
+  // Density decreases outward beyond the scale radius; outer slope -> r^-5.
+  for (std::size_t i = 3; i < bins.size(); ++i)
+    EXPECT_LT(bins[i].density, bins[i - 1].density);
+  const double slope = std::log(bins[7].density / bins[4].density) /
+                       std::log(bins[7].r / bins[4].r);
+  EXPECT_NEAR(slope, -5.0, 1.2);
+}
+
+TEST(Profile, PeriodicCenterOfMass) {
+  // A clump straddling the wrap: the naive mean is wrong, the periodic
+  // center lands inside the clump.
+  std::vector<Vec3> pos{{0.98, 0.5, 0.5}, {0.02, 0.5, 0.5}};
+  const Vec3 com = periodic_center_of_mass(pos);
+  EXPECT_TRUE(std::abs(com.x - 0.0) < 0.03 || std::abs(com.x - 1.0) < 0.03);
+  EXPECT_NEAR(com.y, 0.5, 1e-12);
+}
+
+
+TEST(Correlation, UniformRandomHasZeroXi) {
+  Rng rng(10);
+  std::vector<Vec3> pos(30000);
+  for (auto& p : pos) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  CorrelationParams cp;
+  cp.r_min = 0.01;
+  cp.r_max = 0.2;
+  cp.nbins = 8;
+  const auto bins = correlation_function(pos, cp);
+  for (const auto& b : bins) {
+    // Poisson noise ~ 1/sqrt(pairs).
+    const double noise = 4.0 / std::sqrt(static_cast<double>(std::max<std::uint64_t>(b.pairs, 1)));
+    EXPECT_NEAR(b.xi, 0.0, noise + 0.01) << "r = " << b.r;
+  }
+}
+
+TEST(Correlation, ClusteredSetIsPositiveAtSmallR) {
+  const auto ps = core::clustered_particles(20000, 1.0, 5, 0.8, 0.02, 11);
+  const auto pos = core::positions_of(ps);
+  CorrelationParams cp;
+  cp.r_min = 0.002;
+  cp.r_max = 0.3;
+  cp.nbins = 10;
+  const auto bins = correlation_function(pos, cp);
+  // Strong clustering at small separations, decaying outward.
+  EXPECT_GT(bins.front().xi, 10.0);
+  EXPECT_LT(bins.back().xi, bins.front().xi * 0.1);
+}
+
+TEST(Correlation, PairCountsConserveAllPairsWithinRange) {
+  // A tiny configuration checked by hand: 3 particles on a line.
+  const std::vector<Vec3> pos{{0.1, 0.5, 0.5}, {0.15, 0.5, 0.5}, {0.2, 0.5, 0.5}};
+  CorrelationParams cp;
+  cp.r_min = 0.01;
+  cp.r_max = 0.2;
+  cp.nbins = 6;
+  const auto bins = correlation_function(pos, cp);
+  std::uint64_t total = 0;
+  for (const auto& b : bins) total += b.pairs;
+  EXPECT_EQ(total, 3u);  // (0,1), (1,2) at 0.05; (0,2) at 0.1
+}
+
+TEST(MassFunction, BinsCountsAndDensity) {
+  FofGroups groups;
+  groups.group_size = {1000, 500, 100, 90, 80, 40};  // descending
+  const double pm = 1e-5;
+  const auto mf = halo_mass_function(groups, pm, 4);
+  std::size_t total = 0;
+  for (const auto& b : mf) {
+    total += b.count;
+    if (b.count > 0) {
+      EXPECT_GT(b.dn_dlog10m, 0.0);
+    }
+  }
+  EXPECT_EQ(total, groups.group_size.size());
+  // Bin centers ascend in mass.
+  for (std::size_t b = 1; b < mf.size(); ++b) EXPECT_GT(mf[b].mass, mf[b - 1].mass);
+}
+
+TEST(MassFunction, EmptyCatalog) {
+  FofGroups groups;
+  EXPECT_TRUE(halo_mass_function(groups, 1e-5).empty());
+}
+
+
+TEST(Projection, AxisSelection) {
+  // A particle off-center in z only: projecting along z hides the offset,
+  // projecting along x shows it on the image's y axis (axes = (y, z)).
+  std::vector<Vec3> pos{{0.5, 0.5, 0.25}};
+  ProjectionParams along_z;
+  along_z.pixels = 8;
+  along_z.axis = 2;
+  const auto img_z = project_density(pos, along_z);
+  // Along z the image coordinates are (x, y) = (0.5, 0.5): center pixel.
+  EXPECT_GT(img_z.at(3, 3) + img_z.at(4, 4) + img_z.at(3, 4) + img_z.at(4, 3), 0.99);
+
+  ProjectionParams along_x = along_z;
+  along_x.axis = 0;  // image axes = (y, z)
+  const auto img_x = project_density(pos, along_x);
+  double low = 0;  // z = 0.25 -> image y in the lower quarter
+  for (std::size_t u = 0; u < 8; ++u)
+    for (std::size_t v = 0; v < 3; ++v) low += img_x.at(u, v);
+  EXPECT_GT(low, 0.99);
+}
+
+}  // namespace
+}  // namespace greem::analysis

@@ -1,0 +1,401 @@
+// Core library tests: force baselines, the serial TreePM force against
+// Ewald, energy conservation of the multiple-stepsize integrator, and the
+// linear growth of structure in a comoving simulation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "analysis/power_measure.hpp"
+#include "core/direct_force.hpp"
+#include "pp/cutoff.hpp"
+#include "core/energy.hpp"
+#include "core/simulation.hpp"
+#include "core/tree_force.hpp"
+#include "core/treepm_force.hpp"
+#include "ewald/ewald.hpp"
+#include "ic/zeldovich.hpp"
+#include "io/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace greem::core {
+namespace {
+
+TEST(DirectForce, TwoBodyNewton) {
+  const std::vector<Vec3> pos{{0.3, 0.5, 0.5}, {0.7, 0.5, 0.5}};
+  const std::vector<double> mass{1.0, 2.0};
+  std::vector<Vec3> acc(2);
+  direct_newton(pos, mass, acc, 0.0);
+  EXPECT_NEAR(acc[0].x, 2.0 / 0.16, 1e-12);
+  EXPECT_NEAR(acc[1].x, -1.0 / 0.16, 1e-12);
+  EXPECT_DOUBLE_EQ(acc[0].y, 0.0);
+}
+
+TEST(DirectForce, ShortRangeUsesMinimumImage) {
+  // Particles at x = 0.05 and 0.95 are 0.1 apart through the boundary.
+  const std::vector<Vec3> pos{{0.05, 0.5, 0.5}, {0.95, 0.5, 0.5}};
+  const std::vector<double> mass{1.0, 1.0};
+  std::vector<Vec3> acc(2);
+  const double rcut = 0.3;
+  direct_short_range(pos, mass, acc, rcut, 0.0);
+  const double g = pp::g_p3m(2.0 * 0.1 / rcut);
+  EXPECT_NEAR(acc[0].x, -g / 0.01, 1e-9);  // pulled backwards through the wrap
+  EXPECT_NEAR(acc[1].x, g / 0.01, 1e-9);
+}
+
+TEST(TreeForce, MatchesDirectNewtonForClusteredSet) {
+  auto ps = plummer_particles(500, 1.0, {0.5, 0.5, 0.5}, 0.05, 1);
+  const auto pos = positions_of(ps);
+  const auto mass = masses_of(ps);
+  std::vector<Vec3> direct(pos.size()), walked(pos.size());
+  direct_newton(pos, mass, direct, 1e-8);
+  TreeForceParams tp;
+  tp.theta = 0.4;
+  tp.eps2 = 1e-8;
+  const auto stats = tree_newton(pos, mass, walked, tp);
+  EXPECT_GT(stats.interactions, 0u);
+  std::vector<double> rel;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    rel.push_back((walked[i] - direct[i]).norm() / std::max(direct[i].norm(), 1e-10));
+  EXPECT_LT(rms(rel), 0.02);
+}
+
+TEST(TreePmForce, TotalMatchesEwaldUniform) {
+  // The full pipeline: phantom-kernel tree short-range + PM long-range
+  // against the exact periodic force.
+  auto ps = random_uniform_particles(400, 1.0, 2);
+  const auto pos = positions_of(ps);
+  const auto mass = masses_of(ps);
+
+  TreePmParams params;
+  params.pm.n_mesh = 32;
+  params.theta = 0.3;
+  params.ncrit = 32;
+  params.eps = 1e-5;
+  std::vector<Vec3> acc(pos.size());
+  TreePmForce force(params);
+  const auto stats = force.total(pos, mass, acc);
+  EXPECT_GT(stats.interactions, 0u);
+
+  ewald::EwaldParams ep;
+  ep.table_n = 40;
+  const ewald::Ewald ew(ep);
+  std::vector<Vec3> exact(pos.size());
+  ew.accelerations(pos, mass, exact, params.eps * params.eps);
+
+  std::vector<double> rel;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    rel.push_back((acc[i] - exact[i]).norm() / std::max(exact[i].norm(), 1e-12));
+  EXPECT_LT(rms(rel), 0.06);  // rcut = 3h aliasing bound, see pm_test
+}
+
+TEST(TreePmForce, TotalMatchesEwaldClustered) {
+  auto ps = clustered_particles(400, 1.0, 3, 0.7, 0.03, 3);
+  const auto pos = positions_of(ps);
+  const auto mass = masses_of(ps);
+
+  TreePmParams params;
+  params.pm.n_mesh = 32;
+  params.theta = 0.3;
+  params.ncrit = 32;
+  params.eps = 1e-4;  // clustered: regularize close pairs for comparison
+  std::vector<Vec3> acc(pos.size());
+  TreePmForce force(params);
+  force.total(pos, mass, acc);
+
+  ewald::EwaldParams ep;
+  ep.table_n = 40;
+  const ewald::Ewald ew(ep);
+  std::vector<Vec3> exact(pos.size());
+  ew.accelerations(pos, mass, exact, params.eps * params.eps);
+
+  std::vector<double> rel;
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    rel.push_back((acc[i] - exact[i]).norm() / std::max(exact[i].norm(), 1e-12));
+  EXPECT_LT(rms(rel), 0.06);
+}
+
+TEST(TreePmForce, ShortRangeConsistentWithDirect) {
+  auto ps = random_uniform_particles(300, 1.0, 4);
+  const auto pos = positions_of(ps);
+  const auto mass = masses_of(ps);
+  TreePmParams params;
+  params.pm.n_mesh = 32;
+  params.theta = 0.0;  // exact walk
+  params.kernel = tree::KernelKind::kScalar;
+  params.eps = 1e-6;
+  TreePmForce force(params);
+  std::vector<Vec3> walked(pos.size()), direct(pos.size());
+  force.short_range(pos, mass, walked);
+  direct_short_range(pos, mass, direct, params.rcut(), params.eps * params.eps);
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    EXPECT_NEAR((walked[i] - direct[i]).norm(), 0.0, 1e-8);
+}
+
+TEST(Schedules, LinearAndLog) {
+  const auto lin = linear_schedule(0.0, 1.0, 4);
+  EXPECT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin[2], 0.5);
+  const auto lg = log_schedule(0.01, 1.0, 2);
+  EXPECT_NEAR(lg[1], 0.1, 1e-12);
+}
+
+TEST(Simulation, StaticModeConservesEnergy) {
+  // A warm periodic system integrated with the multiple-stepsize KDK: the
+  // Hamiltonian measured with the Ewald potential must be conserved to
+  // the force-error level over tens of steps.
+  // Collisionless regime: generous softening and small steps, so the
+  // conservation check probes the integrator bookkeeping, not two-body
+  // scattering (which limits any leapfrog at fixed dt).
+  auto ps = random_uniform_particles(128, 1.0, 5);
+  Rng rng(6);
+  for (auto& p : ps) p.mom = {rng.normal() * 0.3, rng.normal() * 0.3, rng.normal() * 0.3};
+
+  SimulationConfig cfg;
+  cfg.force.pm.n_mesh = 32;
+  cfg.force.pm.rcut = 6.0 / 32.0;  // high-accuracy split for a clean check
+  cfg.force.theta = 0.3;
+  cfg.force.eps = 5e-3;
+  cfg.nsub = 2;
+  Simulation sim(cfg, ps, 0.0);
+
+  ewald::EwaldParams ep;
+  ep.table_n = 32;
+  const ewald::Ewald ew(ep);
+  const double eps2 = cfg.force.eps * cfg.force.eps;
+
+  sim.synchronize();
+  const double e0 = kinetic_energy(sim.particles()) +
+                    ewald_potential_energy(ew, sim.particles(), eps2);
+  const double dt = 5e-4;
+  for (int s = 1; s <= 25; ++s) sim.step(s * dt);
+  sim.synchronize();
+  const double e1 = kinetic_energy(sim.particles()) +
+                    ewald_potential_energy(ew, sim.particles(), eps2);
+  EXPECT_NEAR(e1, e0, 0.005 * std::abs(e0));
+}
+
+TEST(Simulation, MomentumStaysNearZero) {
+  auto ps = random_uniform_particles(100, 1.0, 7);
+  SimulationConfig cfg;
+  cfg.force.pm.n_mesh = 16;
+  cfg.force.eps = 1e-3;
+  Simulation sim(cfg, ps, 0.0);
+  for (int s = 1; s <= 5; ++s) sim.step(s * 0.005);
+  Vec3 net{};
+  for (const auto& p : sim.particles()) net += p.mom * p.mass;
+  EXPECT_LT(net.norm(), 1e-4);
+}
+
+TEST(Simulation, ComovingLinearGrowthMatchesEds) {
+  // Zel'dovich ICs in EdS: the power spectrum must grow as D^2 = a^2 in
+  // the linear regime -- the standard cosmological integrator test.
+  ic::ZeldovichParams zp;
+  zp.n_per_dim = 16;
+  zp.a_start = 0.02;
+  zp.seed = 3;
+  const double amp = 1e-7;
+  const ic::PowerLaw spec(amp, 0.0);
+  const auto cosmos = cosmo::Cosmology::eds_unit_mass();
+  auto ics = ic::zeldovich_ics(zp, spec, cosmos);
+
+  std::vector<Particle> ps(ics.pos.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps[i].pos = ics.pos[i];
+    ps[i].mom = ics.mom[i];
+    ps[i].mass = ics.particle_mass;
+    ps[i].id = i;
+  }
+
+  SimulationConfig cfg;
+  cfg.force.pm.n_mesh = 16;
+  cfg.force.theta = 0.4;
+  cfg.force.eps = 1e-3;
+  cfg.metric.comoving = true;
+  cfg.metric.cosmology = cosmos;
+  Simulation sim(cfg, std::move(ps), zp.a_start);
+
+  auto power_at = [&](double kmax_frac) {
+    analysis::PowerMeasureParams mp;
+    mp.n_mesh = 16;
+    mp.subtract_shot_noise = false;  // grid ICs carry no Poisson noise
+    const auto bins = analysis::measure_power(positions_of(sim.particles()), mp);
+    double sum = 0;
+    int cnt = 0;
+    for (const auto& b : bins) {
+      const double kk = b.k / (2.0 * std::numbers::pi);
+      if (kk >= 2 && kk <= kmax_frac) {
+        sum += b.power;
+        ++cnt;
+      }
+    }
+    return sum / std::max(cnt, 1);
+  };
+
+  const double p0 = power_at(5);
+  const double a_end = 2.0 * zp.a_start;
+  const auto schedule = log_schedule(zp.a_start, a_end, 16);
+  for (std::size_t s = 1; s < schedule.size(); ++s) sim.step(schedule[s]);
+  sim.synchronize();
+  const double p1 = power_at(5);
+
+  // D grows by 2x -> power by 4x (tolerate discreteness/shot effects).
+  EXPECT_NEAR(p1 / p0, 4.0, 1.0);
+}
+
+TEST(Energy, TreePmPotentialTracksEwald) {
+  auto ps = random_uniform_particles(150, 1.0, 8);
+  TreePmParams params;
+  params.pm.n_mesh = 32;
+  TreePmForce force(params);
+  const double u_treepm = treepm_potential_energy(force, ps);
+  const ewald::Ewald ew;
+  const double u_exact = ewald_potential_energy(ew, ps, 0.0);
+  // For a near-uniform distribution U is a small difference of large
+  // cancelling terms; compare on the absolute scale of the per-particle
+  // binding energy sum (~ 0.5 * |Madelung| * sum m_i^2 ~ 0.01 here).
+  EXPECT_NEAR(u_treepm, u_exact, 0.005);
+}
+
+TEST(Particles, GeneratorsProduceRequestedMassAndCount) {
+  const auto u = random_uniform_particles(100, 2.0, 9);
+  double m = 0;
+  for (const auto& p : u) m += p.mass;
+  EXPECT_NEAR(m, 2.0, 1e-12);
+  const auto c = clustered_particles(200, 1.0, 4, 0.5, 0.02, 10);
+  EXPECT_EQ(c.size(), 200u);
+  for (const auto& p : c) {
+    EXPECT_GE(p.pos.x, 0.0);
+    EXPECT_LT(p.pos.x, 1.0);
+  }
+}
+
+
+TEST(Simulation, IntegratorIsSecondOrder) {
+  // Symplectic KDK: halving the step size must quarter the position error
+  // (measured against a much finer reference run).
+  auto make = [](int nsteps) {
+    auto ps = random_uniform_particles(32, 1.0, 21);
+    Rng rng(22);
+    for (auto& p : ps) p.mom = {rng.normal() * 0.2, rng.normal() * 0.2, rng.normal() * 0.2};
+    SimulationConfig cfg;
+    cfg.force.pm.n_mesh = 16;
+    cfg.force.theta = 0.0;  // exact walk: isolate the time-integration error
+    cfg.force.kernel = tree::KernelKind::kScalar;
+    cfg.force.eps = 0.02;
+    Simulation sim(cfg, std::move(ps), 0.0);
+    const double t_end = 0.08;
+    for (int s = 1; s <= nsteps; ++s) sim.step(t_end * s / nsteps);
+    sim.synchronize();
+    return std::vector<Particle>(sim.particles().begin(), sim.particles().end());
+  };
+  const auto ref = make(64);
+  const auto coarse = make(4);
+  const auto fine = make(8);
+  auto err = [&](const std::vector<Particle>& run) {
+    double sum = 0;
+    for (std::size_t i = 0; i < run.size(); ++i)
+      sum += min_image(run[i].pos, ref[i].pos).norm2();
+    return std::sqrt(sum / static_cast<double>(run.size()));
+  };
+  const double e_coarse = err(coarse);
+  const double e_fine = err(fine);
+  ASSERT_GT(e_coarse, 0.0);
+  // Order 2: ratio ~ 4 (tolerate 2.5-7 for the short run).
+  EXPECT_GT(e_coarse / e_fine, 2.5);
+  EXPECT_LT(e_coarse / e_fine, 7.0);
+}
+
+TEST(StepLimiter, BoundsMaxDrift) {
+  auto ps = random_uniform_particles(50, 1.0, 23);
+  Rng rng(24);
+  for (auto& p : ps) p.mom = {rng.normal(), rng.normal(), rng.normal()};
+  TimeMetric metric;  // static: drift(t0,t1) = t1-t0
+  StepLimiter lim;
+  lim.max_displacement = 0.005;
+  const double t1 = suggest_step(ps, metric, 0.0, lim);
+  double pmax = 0;
+  for (const auto& p : ps) pmax = std::max(pmax, p.mom.norm());
+  EXPECT_LE(pmax * metric.drift(0.0, t1), lim.max_displacement * 1.01);
+  EXPECT_GE(pmax * metric.drift(0.0, t1), lim.max_displacement * 0.9);
+}
+
+TEST(StepLimiter, ColdSystemGetsMaxStep) {
+  std::vector<Particle> ps(10);  // zero momenta
+  TimeMetric metric;
+  StepLimiter lim;
+  EXPECT_DOUBLE_EQ(suggest_step(ps, metric, 1.0, lim), 1.0 + lim.max_step);
+}
+
+
+TEST(Simulation, RestartFromSnapshotContinuesTrajectory) {
+  // Run 6 steps straight vs 3 steps -> snapshot -> restart -> 3 steps:
+  // the split run must track the continuous one to integrator accuracy
+  // (the restart re-seeds the long-kick staggering, an O(dt^2) effect).
+  auto make_cfg = [] {
+    SimulationConfig cfg;
+    cfg.force.pm.n_mesh = 16;
+    cfg.force.eps = 5e-3;
+    cfg.force.theta = 0.3;
+    return cfg;
+  };
+  auto ps = random_uniform_particles(100, 1.0, 31);
+  Rng rng(32);
+  for (auto& p : ps) p.mom = {rng.normal() * 0.1, rng.normal() * 0.1, rng.normal() * 0.1};
+  const double dt = 1e-3;
+
+  Simulation full(make_cfg(), ps, 0.0);
+  for (int s = 1; s <= 6; ++s) full.step(s * dt);
+  full.synchronize();
+
+  Simulation first(make_cfg(), ps, 0.0);
+  for (int s = 1; s <= 3; ++s) first.step(s * dt);
+  first.synchronize();
+  const std::string path = testing::TempDir() + "/restart.bin";
+  ASSERT_TRUE(io::write_snapshot(path, {0, first.clock(), 0.01, 0}, first.particles()));
+
+  const auto snap = io::read_snapshot(path);
+  ASSERT_TRUE(snap.has_value());
+  Simulation second(make_cfg(), snap->particles, snap->header.clock);
+  for (int s = 4; s <= 6; ++s) second.step(s * dt);
+  second.synchronize();
+
+  const auto a = full.particles();
+  const auto b = second.particles();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LT(min_image(a[i].pos, b[i].pos).norm(), 1e-6);
+    EXPECT_LT((a[i].mom - b[i].mom).norm(), 1e-4);
+  }
+}
+
+class NsubSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NsubSweep, SubcyclingCountsAgreeOnSmoothSystem) {
+  // nsub = 1, 2, 4 integrate the same dynamics; on a smooth system over a
+  // short interval the trajectories agree to O(dt^2) splitting terms.
+  auto ps = random_uniform_particles(64, 1.0, 33);
+  Rng rng(34);
+  for (auto& p : ps) p.mom = {rng.normal() * 0.05, rng.normal() * 0.05, rng.normal() * 0.05};
+
+  auto run = [&](int nsub) {
+    SimulationConfig cfg;
+    cfg.force.pm.n_mesh = 16;
+    cfg.force.eps = 5e-3;
+    cfg.nsub = nsub;
+    Simulation sim(cfg, ps, 0.0);
+    for (int s = 1; s <= 4; ++s) sim.step(s * 1e-3);
+    sim.synchronize();
+    return std::vector<Particle>(sim.particles().begin(), sim.particles().end());
+  };
+  const auto ref = run(4);
+  const auto got = run(GetParam());
+  for (std::size_t i = 0; i < ref.size(); ++i)
+    EXPECT_LT(min_image(ref[i].pos, got[i].pos).norm(), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, NsubSweep, ::testing::Values(1, 2));
+
+}  // namespace
+}  // namespace greem::core

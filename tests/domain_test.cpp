@@ -1,0 +1,200 @@
+// Domain decomposition tests: multi-section geometry, equal-count cuts,
+// cost-weighted sampling, boundary smoothing, and particle exchange.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/particle.hpp"
+#include "domain/exchange.hpp"
+#include "domain/multisection.hpp"
+#include "domain/sampling.hpp"
+#include "parx/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace greem::domain {
+namespace {
+
+std::vector<Vec3> uniform_samples(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vec3> out(n);
+  for (auto& p : out) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return out;
+}
+
+TEST(Decomposition, UniformGridGeometry) {
+  const auto d = Decomposition::uniform({2, 3, 4});
+  EXPECT_EQ(d.nranks(), 24);
+  const Box b = d.box_of(d.rank_of(1, 2, 3));
+  EXPECT_DOUBLE_EQ(b.lo.x, 0.5);
+  EXPECT_DOUBLE_EQ(b.lo.y, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(b.lo.z, 0.75);
+  EXPECT_DOUBLE_EQ(b.hi.z, 1.0);
+}
+
+TEST(Decomposition, RankCoordsRoundtrip) {
+  const auto d = Decomposition::uniform({3, 2, 5});
+  for (int r = 0; r < d.nranks(); ++r) {
+    const auto c = d.coords_of(r);
+    EXPECT_EQ(d.rank_of(c[0], c[1], c[2]), r);
+  }
+}
+
+TEST(Decomposition, BoxesTileTheUnitCube) {
+  const auto samples = uniform_samples(5000, 1);
+  const auto d = build_multisection({3, 2, 2}, samples);
+  double vol = 0;
+  for (const auto& b : d.boxes()) vol += b.volume();
+  EXPECT_NEAR(vol, 1.0, 1e-9);
+  // Every point maps to exactly the box containing it.
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const Vec3 p{rng.uniform(), rng.uniform(), rng.uniform()};
+    const int r = d.find_domain(p);
+    EXPECT_TRUE(d.box_of(r).contains(p));
+  }
+}
+
+TEST(Decomposition, FlattenRoundtrip) {
+  const auto samples = uniform_samples(2000, 3);
+  const auto d = build_multisection({2, 3, 2}, samples);
+  const auto flat = d.flatten();
+  const auto d2 = Decomposition::unflatten({2, 3, 2}, flat);
+  for (int r = 0; r < d.nranks(); ++r) {
+    EXPECT_DOUBLE_EQ(d.box_of(r).lo.x, d2.box_of(r).lo.x);
+    EXPECT_DOUBLE_EQ(d.box_of(r).hi.y, d2.box_of(r).hi.y);
+    EXPECT_DOUBLE_EQ(d.box_of(r).lo.z, d2.box_of(r).lo.z);
+  }
+}
+
+TEST(Multisection, EqualCountsForUniformSamples) {
+  const auto samples = uniform_samples(40000, 4);
+  const auto d = build_multisection({4, 2, 2}, samples);
+  std::vector<double> counts(static_cast<std::size_t>(d.nranks()), 0.0);
+  for (const auto& p : samples) counts[static_cast<std::size_t>(d.find_domain(p))] += 1;
+  const auto s = summarize(counts);
+  EXPECT_LT(s.imbalance(), 1.1);
+}
+
+TEST(Multisection, ClusteredSamplesShrinkHotDomains) {
+  // Dense Plummer clump: the domain containing the clump center must be
+  // much smaller than the uniform-grid cell (paper Fig. 3 behaviour).
+  auto ps = core::plummer_particles(20000, 1.0, {0.5, 0.5, 0.5}, 0.02, 5);
+  std::vector<Vec3> samples;
+  for (const auto& p : ps) samples.push_back(p.pos);
+  const auto d = build_multisection({4, 4, 4}, samples);
+  const int hot = d.find_domain({0.5, 0.5, 0.5});
+  EXPECT_LT(d.box_of(hot).volume(), 0.3 / 64.0);
+  // Sample counts stay balanced even though volumes differ wildly.
+  std::vector<double> counts(static_cast<std::size_t>(d.nranks()), 0.0);
+  for (const auto& p : samples) counts[static_cast<std::size_t>(d.find_domain(p))] += 1;
+  EXPECT_LT(summarize(counts).imbalance(), 1.5);
+}
+
+TEST(Multisection, HandlesFewerSamplesThanDomains) {
+  const auto d = build_multisection({4, 4, 4}, uniform_samples(10, 6));
+  double vol = 0;
+  for (const auto& b : d.boxes()) {
+    EXPECT_GT(b.volume(), 0.0);
+    vol += b.volume();
+  }
+  EXPECT_NEAR(vol, 1.0, 1e-9);
+}
+
+TEST(Smoother, ConvergesToStationaryBoundaries) {
+  BoundarySmoother smoother(5);
+  const auto fixed = Decomposition::uniform({2, 2, 2});
+  Decomposition out = fixed;
+  for (int i = 0; i < 10; ++i) out = smoother.smooth(fixed);
+  for (std::size_t i = 0; i < fixed.xcuts.size(); ++i)
+    EXPECT_NEAR(out.xcuts[i], fixed.xcuts[i], 1e-12);
+}
+
+TEST(Smoother, DampsSingleStepJumps) {
+  BoundarySmoother smoother(5);
+  auto a = Decomposition::uniform({2, 1, 1});
+  smoother.smooth(a);
+  // Jump the middle x cut from 0.5 to 0.7: the smoothed cut must move
+  // toward 0.7 but by less than the full jump.
+  auto b = a;
+  b.xcuts[1] = 0.7;
+  const auto out = smoother.smooth(b);
+  EXPECT_GT(out.xcuts[1], 0.5);
+  EXPECT_LT(out.xcuts[1], 0.7);
+}
+
+TEST(Smoother, KeepsCutsMonotone) {
+  BoundarySmoother smoother(3);
+  auto a = Decomposition::uniform({4, 1, 1});
+  auto out = smoother.smooth(a);
+  auto b = a;
+  b.xcuts[1] = 0.4;
+  b.xcuts[2] = 0.45;
+  out = smoother.smooth(b);
+  for (std::size_t i = 1; i < out.xcuts.size(); ++i)
+    EXPECT_GT(out.xcuts[i], out.xcuts[i - 1]);
+}
+
+TEST(Sampling, CollectiveDecompositionIsConsistentAcrossRanks) {
+  parx::run_ranks(4, [](parx::Comm& comm) {
+    Rng rng(10 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<Vec3> local(500);
+    for (auto& p : local) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+    SamplingParams sp;
+    sp.target_samples = 400;
+    const auto d = sample_and_decompose(comm, {2, 2, 1}, local, 1.0, sp, 3);
+    // All ranks hold the same decomposition.
+    const auto flat = d.flatten();
+    auto flat0 = flat;
+    comm.bcast(flat0, 0);
+    for (std::size_t i = 0; i < flat.size(); ++i) EXPECT_DOUBLE_EQ(flat[i], flat0[i]);
+    // And it tiles the box.
+    double vol = 0;
+    for (const auto& b : d.boxes()) vol += b.volume();
+    EXPECT_NEAR(vol, 1.0, 1e-9);
+  });
+}
+
+TEST(Sampling, CostWeightingOversamplesExpensiveRanks) {
+  // Rank 0 reports 9x the cost of the others; its domain should shrink.
+  parx::run_ranks(2, [](parx::Comm& comm) {
+    Rng rng(20 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<Vec3> local(2000);
+    for (auto& p : local) {
+      // Rank 0 owns x in [0, 0.5), rank 1 the rest.
+      const double x0 = comm.rank() == 0 ? 0.0 : 0.5;
+      p = {x0 + 0.5 * rng.uniform(), rng.uniform(), rng.uniform()};
+    }
+    SamplingParams sp;
+    sp.target_samples = 2000;
+    const double cost = comm.rank() == 0 ? 9.0 : 1.0;
+    const auto d = sample_and_decompose(comm, {2, 1, 1}, local, cost, sp, 1);
+    // The x cut moves left of 0.5 so the expensive region gets less volume.
+    EXPECT_LT(d.xcuts[1], 0.45);
+  });
+}
+
+TEST(Exchange, RoutesParticlesToOwningRank) {
+  parx::run_ranks(4, [](parx::Comm& comm) {
+    const auto d = Decomposition::uniform({2, 2, 1});
+    Rng rng(30 + static_cast<std::uint64_t>(comm.rank()));
+    std::vector<core::Particle> mine(100);
+    for (auto& p : mine) {
+      p.pos = {rng.uniform(), rng.uniform(), rng.uniform()};
+      p.mass = 1.0;
+      p.id = static_cast<std::uint64_t>(comm.rank()) * 1000 + rng.uniform_index(1000);
+    }
+    std::vector<Vec3> pos;
+    for (const auto& p : mine) pos.push_back(p.pos);
+    const auto dest = destinations(d, pos);
+    auto mineAfter = exchange_by_rank<core::Particle>(comm, mine, dest);
+    for (const auto& p : mineAfter) EXPECT_EQ(d.find_domain(p.pos), comm.rank());
+    // Global particle count is conserved.
+    const auto total = comm.allreduce_sum(static_cast<long>(mineAfter.size()));
+    EXPECT_EQ(total, 400);
+  });
+}
+
+}  // namespace
+}  // namespace greem::domain

@@ -1,0 +1,199 @@
+// Distributed TreePM driver tests: the parallel simulation must agree with
+// the serial one, conserve particles and momentum, balance load, and
+// produce the Table-I style reports.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+
+#include "core/parallel_sim.hpp"
+#include "core/simulation.hpp"
+#include "parx/runtime.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace greem::core {
+namespace {
+
+std::vector<Particle> with_velocities(std::vector<Particle> ps, std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& p : ps) p.mom = {rng.normal() * 0.2, rng.normal() * 0.2, rng.normal() * 0.2};
+  return ps;
+}
+
+ParallelSimConfig test_config(std::array<int, 3> dims) {
+  ParallelSimConfig cfg;
+  cfg.dims = dims;
+  cfg.pm.n_mesh = 16;
+  cfg.theta = 0.3;
+  cfg.ncrit = 32;
+  cfg.eps = 1e-3;
+  cfg.sampling.target_samples = 2000;
+  return cfg;
+}
+
+/// Run the parallel sim for `nsteps` and return all particles sorted by id.
+std::vector<Particle> run_parallel(std::array<int, 3> dims, std::vector<Particle> initial,
+                                   int nsteps, double dt,
+                                   pm::MeshConversion method = pm::MeshConversion::kDirect,
+                                   int n_groups = 1) {
+  const int p = dims[0] * dims[1] * dims[2];
+  std::mutex mu;
+  std::vector<Particle> collected;
+  parx::run_ranks(p, [&](parx::Comm& world) {
+    // Rank 0 starts with everything; the first decomposition spreads it.
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    auto cfg = test_config(dims);
+    cfg.pm.conversion.method = method;
+    cfg.pm.conversion.n_groups = n_groups;
+    ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    for (int s = 1; s <= nsteps; ++s) sim.step(s * dt);
+    sim.synchronize();
+    std::lock_guard lock(mu);
+    const auto loc = sim.local();
+    collected.insert(collected.end(), loc.begin(), loc.end());
+  });
+  std::sort(collected.begin(), collected.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  return collected;
+}
+
+TEST(ParallelSim, ConservesParticles) {
+  auto initial = with_velocities(random_uniform_particles(500, 1.0, 1), 2);
+  const auto out = run_parallel({2, 2, 1}, initial, 2, 0.005);
+  ASSERT_EQ(out.size(), initial.size());
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].id, i);
+}
+
+TEST(ParallelSim, MatchesSerialSimulation) {
+  // Same particles, same force parameters, same schedule: the distributed
+  // run must track the serial run to force-error accuracy.
+  auto initial = with_velocities(random_uniform_particles(400, 1.0, 3), 4);
+
+  SimulationConfig scfg;
+  scfg.force.pm.n_mesh = 16;
+  scfg.force.theta = 0.3;
+  scfg.force.ncrit = 32;
+  scfg.force.eps = 1e-3;
+  Simulation serial(scfg, initial, 0.0);
+  const double dt = 0.004;
+  const int nsteps = 3;
+  for (int s = 1; s <= nsteps; ++s) serial.step(s * dt);
+  serial.synchronize();
+
+  const auto par = run_parallel({2, 2, 1}, initial, nsteps, dt);
+  ASSERT_EQ(par.size(), initial.size());
+
+  auto sorted_serial = std::vector<Particle>(serial.particles().begin(),
+                                             serial.particles().end());
+  std::sort(sorted_serial.begin(), sorted_serial.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+
+  std::vector<double> pos_err;
+  for (std::size_t i = 0; i < par.size(); ++i) {
+    ASSERT_EQ(par[i].id, sorted_serial[i].id);
+    pos_err.push_back(min_image(par[i].pos, sorted_serial[i].pos).norm());
+  }
+  // Trajectories diverge only through force-approximation differences
+  // (domain-dependent tree-walk grouping); they stay close over few steps.
+  EXPECT_LT(percentile(pos_err, 95), 2e-5);
+}
+
+TEST(ParallelSim, RelayAndDirectConversionAgree) {
+  auto initial = with_velocities(random_uniform_particles(400, 1.0, 5), 6);
+  const double dt = 0.004;
+  const auto direct = run_parallel({2, 2, 2}, initial, 2, dt, pm::MeshConversion::kDirect);
+  const auto relay = run_parallel({2, 2, 2}, initial, 2, dt, pm::MeshConversion::kRelay, 2);
+  ASSERT_EQ(direct.size(), relay.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_LT(min_image(direct[i].pos, relay[i].pos).norm(), 1e-10);
+    EXPECT_LT((direct[i].mom - relay[i].mom).norm(), 1e-10);
+  }
+}
+
+TEST(ParallelSim, ConservesMomentum) {
+  auto initial = random_uniform_particles(300, 1.0, 7);  // cold start
+  const auto out = run_parallel({2, 1, 1}, initial, 3, 0.005);
+  Vec3 net{};
+  for (const auto& p : out) net += p.mom * p.mass;
+  EXPECT_LT(net.norm(), 1e-4);
+}
+
+TEST(ParallelSim, ReportsTableOnePhases) {
+  auto initial = with_velocities(random_uniform_particles(600, 1.0, 8), 9);
+  parx::run_ranks(4, [&](parx::Comm& world) {
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, test_config({2, 2, 1}), std::move(local), 0.0);
+    sim.step(0.005);
+    const auto& rep = sim.last_step();
+    // Every Table-I row name must be present.
+    for (const char* phase : {"density assignment", "communication", "FFT",
+                              "acceleration on mesh", "force interpolation"}) {
+      EXPECT_GE(rep.pm.get(phase), 0.0) << phase;
+      EXPECT_NE(rep.pm.entries().size(), 0u);
+    }
+    for (const char* phase : {"local tree", "communication", "tree construction",
+                              "tree traversal", "force calculation"}) {
+      EXPECT_GE(rep.pp.get(phase), 0.0) << phase;
+    }
+    for (const char* phase : {"sampling method", "particle exchange", "position update"}) {
+      EXPECT_GE(rep.dd.get(phase), 0.0) << phase;
+    }
+    EXPECT_GT(rep.pp_stats.interactions, 0u);
+    EXPECT_GT(rep.pp_stats.mean_ni(), 0.0);
+    EXPECT_GT(rep.pp_stats.mean_nj(), 0.0);
+
+    // Collective reductions used by the Table-I bench.
+    const auto ppmax = allreduce_max(world, rep.pp);
+    EXPECT_GE(ppmax.get("force calculation"), rep.pp.get("force calculation"));
+    const auto total = allreduce_sum(world, rep.pp_stats);
+    EXPECT_GE(total.interactions, rep.pp_stats.interactions);
+  });
+}
+
+TEST(ParallelSim, LoadBalancerEqualizesClusteredCost) {
+  // A strongly clustered distribution on 4 ranks: after a few steps the
+  // per-rank force cost must be far better balanced than the particle
+  // count under a static uniform grid.
+  auto initial = clustered_particles(2000, 1.0, 2, 0.8, 0.03, 10);
+  parx::run_ranks(4, [&](parx::Comm& world) {
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    auto cfg = test_config({4, 1, 1});
+    cfg.sampling.target_samples = 4000;
+    ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    for (int s = 1; s <= 4; ++s) sim.step(s * 0.002);
+
+    // Interactions per rank ~ force cost.
+    const double mine = static_cast<double>(sim.last_step().pp_stats.interactions);
+    auto all = world.allgatherv(std::span<const double>(&mine, 1));
+    if (world.rank() == 0) {
+      const auto s = summarize(all);
+      EXPECT_LT(s.imbalance(), 2.0);
+
+      // Static uniform decomposition for comparison: count interactions by
+      // proxy of particle share in each uniform quarter (the clumps land in
+      // few domains, imbalance >> 2).
+      std::vector<double> static_counts(4, 0.0);
+      for (const auto& p : initial)
+        static_counts[std::min<std::size_t>(static_cast<std::size_t>(p.pos.x * 4), 3)] += 1;
+      EXPECT_GT(summarize(static_counts).imbalance(), 1.5);
+    }
+  });
+}
+
+TEST(ParallelSim, SingleRankDegeneratesToSerial) {
+  auto initial = with_velocities(random_uniform_particles(200, 1.0, 11), 12);
+  const auto out = run_parallel({1, 1, 1}, initial, 2, 0.005);
+  EXPECT_EQ(out.size(), initial.size());
+}
+
+TEST(ParallelSim, RejectsMismatchedDims) {
+  parx::run_ranks(3, [](parx::Comm& world) {
+    EXPECT_THROW(ParallelSimulation(world, test_config({2, 2, 1}), {}, 0.0),
+                 std::invalid_argument);
+  });
+}
+
+}  // namespace
+}  // namespace greem::core

@@ -1,0 +1,317 @@
+// Tests for the parx message-passing runtime: point-to-point ordering,
+// every collective, comm_split semantics, traffic accounting, and failure
+// poisoning.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "parx/comm.hpp"
+#include "parx/runtime.hpp"
+
+namespace greem::parx {
+namespace {
+
+TEST(Parx, RanksSeeCorrectRankAndSize) {
+  std::atomic<int> sum{0};
+  run_ranks(5, [&](Comm& c) {
+    EXPECT_EQ(c.size(), 5);
+    sum += c.rank();
+  });
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(Parx, SendRecvDeliversPayload) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<int> data{1, 2, 3};
+      c.send(1, 7, std::span<const int>(data));
+    } else {
+      const auto got = c.recv<int>(0, 7);
+      EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+    }
+  });
+}
+
+TEST(Parx, MessagesFromSameSourceAndTagArriveInOrder) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) {
+        const std::vector<int> v{i};
+        c.send(1, 1, std::span<const int>(v));
+      }
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(c.recv<int>(0, 1).at(0), i);
+      }
+    }
+  });
+}
+
+TEST(Parx, TagsSelectMessages) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<int> a{10}, b{20};
+      c.send(1, 100, std::span<const int>(a));
+      c.send(1, 200, std::span<const int>(b));
+    } else {
+      // Receive in the opposite order of sending.
+      EXPECT_EQ(c.recv<int>(0, 200).at(0), 20);
+      EXPECT_EQ(c.recv<int>(0, 100).at(0), 10);
+    }
+  });
+}
+
+TEST(Parx, BarrierSynchronizes) {
+  std::atomic<int> before{0}, after{0};
+  run_ranks(8, [&](Comm& c) {
+    before.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(before.load(), 8);  // everyone arrived before anyone proceeds
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(Parx, AlltoallvExchangesPersonalizedPayloads) {
+  const int p = 6;
+  run_ranks(p, [&](Comm& c) {
+    std::vector<std::vector<int>> send(p);
+    for (int d = 0; d < p; ++d) {
+      // rank r sends d copies of value 100*r + d to rank d.
+      send[static_cast<std::size_t>(d)].assign(static_cast<std::size_t>(d),
+                                               100 * c.rank() + d);
+    }
+    auto recv = c.alltoallv(send);
+    for (int s = 0; s < p; ++s) {
+      const auto& buf = recv[static_cast<std::size_t>(s)];
+      ASSERT_EQ(buf.size(), static_cast<std::size_t>(c.rank()));
+      for (int v : buf) EXPECT_EQ(v, 100 * s + c.rank());
+    }
+  });
+}
+
+TEST(Parx, BcastDistributesFromEveryRoot) {
+  for (int root = 0; root < 5; ++root) {
+    run_ranks(5, [&](Comm& c) {
+      std::vector<double> v;
+      if (c.rank() == root) v = {1.5, 2.5, 3.5};
+      c.bcast(v, root);
+      EXPECT_EQ(v, (std::vector<double>{1.5, 2.5, 3.5}));
+    });
+  }
+}
+
+TEST(Parx, ReduceSumsElementwise) {
+  const int p = 7;
+  run_ranks(p, [&](Comm& c) {
+    std::vector<long> v{static_cast<long>(c.rank()), 1};
+    c.reduce_sum(std::span<long>(v), 2);
+    if (c.rank() == 2) {
+      EXPECT_EQ(v[0], p * (p - 1) / 2);
+      EXPECT_EQ(v[1], p);
+    }
+  });
+}
+
+TEST(Parx, AllreduceVariants) {
+  run_ranks(6, [](Comm& c) {
+    EXPECT_EQ(c.allreduce_sum(1), 6);
+    EXPECT_EQ(c.allreduce_max(c.rank()), 5);
+    EXPECT_EQ(c.allreduce_min(c.rank() + 10), 10);
+    EXPECT_DOUBLE_EQ(c.allreduce_sum(0.5), 3.0);
+  });
+}
+
+TEST(Parx, GathervConcatenatesInRankOrder) {
+  run_ranks(4, [](Comm& c) {
+    std::vector<int> mine(static_cast<std::size_t>(c.rank()), c.rank());
+    auto all = c.gatherv(std::span<const int>(mine), 0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(all, (std::vector<int>{1, 2, 2, 3, 3, 3}));
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Parx, AllgathervGivesEveryoneEverything) {
+  run_ranks(3, [](Comm& c) {
+    const std::vector<int> mine{c.rank() * 2};
+    auto all = c.allgatherv(std::span<const int>(mine));
+    EXPECT_EQ(all, (std::vector<int>{0, 2, 4}));
+  });
+}
+
+TEST(Parx, SplitPartitionsByColorAndOrdersByKey) {
+  run_ranks(6, [](Comm& c) {
+    // Even/odd split; key reverses the order within each group.
+    Comm sub = c.split(c.rank() % 2, -c.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Ranks 4,2,0 (even) -> sub ranks 0,1,2; world rank recoverable.
+    const int expected_world = c.rank() % 2 + 2 * (2 - sub.rank());
+    EXPECT_EQ(sub.world_rank(), c.rank());
+    EXPECT_EQ(c.rank(), expected_world);
+    // Collectives work inside the subcommunicator.
+    EXPECT_EQ(sub.allreduce_sum(1), 3);
+  });
+}
+
+TEST(Parx, SplitSubCommIsIsolated) {
+  run_ranks(4, [](Comm& c) {
+    Comm sub = c.split(c.rank() / 2, c.rank());
+    // Exchange within each pair only.
+    const std::vector<int> v{c.rank()};
+    auto all = sub.allgatherv(std::span<const int>(v));
+    if (c.rank() < 2) {
+      EXPECT_EQ(all, (std::vector<int>{0, 1}));
+    } else {
+      EXPECT_EQ(all, (std::vector<int>{2, 3}));
+    }
+  });
+}
+
+TEST(Parx, ExchangeSizesAgrees) {
+  const int p = 5;
+  run_ranks(p, [&](Comm& c) {
+    std::vector<std::size_t> to(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d)
+      to[static_cast<std::size_t>(d)] = static_cast<std::size_t>(10 * c.rank() + d);
+    auto from = c.exchange_sizes(to);
+    for (int s = 0; s < p; ++s)
+      EXPECT_EQ(from[static_cast<std::size_t>(s)],
+                static_cast<std::size_t>(10 * s + c.rank()));
+  });
+}
+
+TEST(Parx, TrafficLedgerCountsMessagesAndBytes) {
+  Runtime rt(3);
+  rt.run([](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<char> v(100);
+      c.send(1, 1, std::span<const char>(v));
+      c.send(2, 1, std::span<const char>(v));
+    } else {
+      c.recv<char>(0, 1);
+    }
+  });
+  const auto t = rt.ledger().totals();
+  EXPECT_EQ(t.messages, 2u);
+  EXPECT_EQ(t.bytes, 200u);
+  EXPECT_EQ(t.max_out_messages, 2u);
+  EXPECT_EQ(t.max_in_messages, 1u);
+}
+
+TEST(Parx, CongestionModelSerializesBusiestEndpoint) {
+  TrafficLedger ledger(10);
+  // 9 senders, one receiver: cost = 9 * latency + bytes/bw at rank 0.
+  for (int s = 1; s < 10; ++s) ledger.record(s, 0, 1000);
+  CongestionModel m{1e-5, 1e9};
+  EXPECT_NEAR(ledger.model_time(m), 9 * 1e-5 + 9000.0 / 1e9, 1e-12);
+  ledger.reset();
+  EXPECT_EQ(ledger.totals().messages, 0u);
+}
+
+TEST(Parx, ZeroByteSendsAreNotRecorded) {
+  Runtime rt(2);
+  rt.run([](Comm& c) {
+    std::vector<std::vector<int>> send(2);
+    if (c.rank() == 0) send[1] = {1, 2};
+    auto recv = c.alltoallv(send);
+    if (c.rank() == 1) {
+      EXPECT_EQ(recv[0].size(), 2u);
+    }
+  });
+  EXPECT_EQ(rt.ledger().totals().messages, 1u);  // only the non-empty payload
+}
+
+TEST(Parx, ExceptionInOneRankPoisonsAndRethrows) {
+  Runtime rt(3);
+  EXPECT_THROW(rt.run([](Comm& c) {
+                 if (c.rank() == 1) throw std::runtime_error("boom");
+                 // Other ranks block; poisoning must release them.
+                 c.recv<int>((c.rank() + 1) % 3, 99);
+               }),
+               std::runtime_error);
+  // Runtime remains usable afterwards.
+  rt.run([](Comm& c) { c.barrier(); });
+}
+
+TEST(Parx, RepeatedRunsOnSameRuntime) {
+  Runtime rt(4);
+  for (int iter = 0; iter < 3; ++iter) {
+    rt.run([&](Comm& c) {
+      EXPECT_EQ(c.allreduce_sum(1), 4);
+      c.barrier();
+    });
+  }
+}
+
+TEST(Parx, SingleRankWorldWorks) {
+  run_ranks(1, [](Comm& c) {
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    std::vector<int> v{42};
+    c.bcast(v, 0);
+    EXPECT_EQ(c.allreduce_sum(7), 7);
+    std::vector<std::vector<int>> send(1);
+    send[0] = {1};
+    EXPECT_EQ(c.alltoallv(send)[0], (std::vector<int>{1}));
+  });
+}
+
+
+TEST(Parx, NestedSplitsCompose) {
+  run_ranks(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());   // two halves of 4
+    Comm pair = half.split(half.rank() / 2, half.rank());  // pairs
+    EXPECT_EQ(pair.size(), 2);
+    // World rank is preserved through both levels.
+    EXPECT_EQ(pair.world_rank(), c.rank());
+    // Collectives at every level stay consistent.
+    EXPECT_EQ(c.allreduce_sum(1), 8);
+    EXPECT_EQ(half.allreduce_sum(1), 4);
+    EXPECT_EQ(pair.allreduce_sum(1), 2);
+  });
+}
+
+TEST(Parx, LargePayloadRoundtrip) {
+  run_ranks(2, [](Comm& c) {
+    const std::size_t n = 1 << 20;  // 8 MB of doubles
+    if (c.rank() == 0) {
+      std::vector<double> big(n);
+      for (std::size_t i = 0; i < n; ++i) big[i] = static_cast<double>(i);
+      c.send(1, 5, std::span<const double>(big));
+    } else {
+      const auto got = c.recv<double>(0, 5);
+      ASSERT_EQ(got.size(), n);
+      EXPECT_DOUBLE_EQ(got[12345], 12345.0);
+      EXPECT_DOUBLE_EQ(got[n - 1], static_cast<double>(n - 1));
+    }
+  });
+}
+
+TEST(Parx, ManyConcurrentSmallMessages) {
+  // Stress the mailbox: every rank sends 100 tagged messages to every
+  // other rank; all must arrive exactly once.
+  const int p = 6;
+  run_ranks(p, [&](Comm& c) {
+    for (int d = 0; d < p; ++d) {
+      if (d == c.rank()) continue;
+      for (int m = 0; m < 100; ++m) {
+        const std::vector<int> v{c.rank() * 1000 + m};
+        c.send(d, m, std::span<const int>(v));
+      }
+    }
+    for (int s = 0; s < p; ++s) {
+      if (s == c.rank()) continue;
+      for (int m = 0; m < 100; ++m) {
+        EXPECT_EQ(c.recv<int>(s, m).at(0), s * 1000 + m);
+      }
+    }
+  });
+}
+
+}  // namespace
+}  // namespace greem::parx
