@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_assign"
+  "../bench/bench_assign.pdb"
+  "CMakeFiles/bench_assign.dir/bench_assign.cpp.o"
+  "CMakeFiles/bench_assign.dir/bench_assign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_domain"
+  "../bench/bench_domain.pdb"
+  "CMakeFiles/bench_domain.dir/bench_domain.cpp.o"
+  "CMakeFiles/bench_domain.dir/bench_domain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_relay_mesh"
+  "../bench/bench_relay_mesh.pdb"
+  "CMakeFiles/bench_relay_mesh.dir/bench_relay_mesh.cpp.o"
+  "CMakeFiles/bench_relay_mesh.dir/bench_relay_mesh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relay_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

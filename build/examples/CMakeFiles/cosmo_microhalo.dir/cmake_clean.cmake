@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_microhalo.dir/cosmo_microhalo.cpp.o"
+  "CMakeFiles/cosmo_microhalo.dir/cosmo_microhalo.cpp.o.d"
+  "cosmo_microhalo"
+  "cosmo_microhalo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_microhalo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_run.dir/greem_run.cpp.o"
+  "CMakeFiles/greem_run.dir/greem_run.cpp.o.d"
+  "greem_run"
+  "greem_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_treepm.dir/parallel_treepm.cpp.o"
+  "CMakeFiles/parallel_treepm.dir/parallel_treepm.cpp.o.d"
+  "parallel_treepm"
+  "parallel_treepm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_treepm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

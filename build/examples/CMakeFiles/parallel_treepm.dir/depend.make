@@ -1,0 +1,2 @@
+# Empty dependencies file for parallel_treepm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_mesh_demo.dir/relay_mesh_demo.cpp.o"
+  "CMakeFiles/relay_mesh_demo.dir/relay_mesh_demo.cpp.o.d"
+  "relay_mesh_demo"
+  "relay_mesh_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_mesh_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_analysis.dir/analysis/correlation.cpp.o"
+  "CMakeFiles/greem_analysis.dir/analysis/correlation.cpp.o.d"
+  "CMakeFiles/greem_analysis.dir/analysis/fof.cpp.o"
+  "CMakeFiles/greem_analysis.dir/analysis/fof.cpp.o.d"
+  "CMakeFiles/greem_analysis.dir/analysis/power_measure.cpp.o"
+  "CMakeFiles/greem_analysis.dir/analysis/power_measure.cpp.o.d"
+  "CMakeFiles/greem_analysis.dir/analysis/profile.cpp.o"
+  "CMakeFiles/greem_analysis.dir/analysis/profile.cpp.o.d"
+  "CMakeFiles/greem_analysis.dir/analysis/projection.cpp.o"
+  "CMakeFiles/greem_analysis.dir/analysis/projection.cpp.o.d"
+  "libgreem_analysis.a"
+  "libgreem_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

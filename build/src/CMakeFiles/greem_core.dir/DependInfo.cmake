@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/direct_force.cpp" "src/CMakeFiles/greem_core.dir/core/direct_force.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/direct_force.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/CMakeFiles/greem_core.dir/core/energy.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/energy.cpp.o.d"
+  "/root/repo/src/core/integrator.cpp" "src/CMakeFiles/greem_core.dir/core/integrator.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/integrator.cpp.o.d"
+  "/root/repo/src/core/parallel_sim.cpp" "src/CMakeFiles/greem_core.dir/core/parallel_sim.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/parallel_sim.cpp.o.d"
+  "/root/repo/src/core/particle.cpp" "src/CMakeFiles/greem_core.dir/core/particle.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/particle.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/CMakeFiles/greem_core.dir/core/simulation.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/simulation.cpp.o.d"
+  "/root/repo/src/core/tree_force.cpp" "src/CMakeFiles/greem_core.dir/core/tree_force.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/tree_force.cpp.o.d"
+  "/root/repo/src/core/treepm_force.cpp" "src/CMakeFiles/greem_core.dir/core/treepm_force.cpp.o" "gcc" "src/CMakeFiles/greem_core.dir/core/treepm_force.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_ic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_core.dir/core/direct_force.cpp.o"
+  "CMakeFiles/greem_core.dir/core/direct_force.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/energy.cpp.o"
+  "CMakeFiles/greem_core.dir/core/energy.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/integrator.cpp.o"
+  "CMakeFiles/greem_core.dir/core/integrator.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/parallel_sim.cpp.o"
+  "CMakeFiles/greem_core.dir/core/parallel_sim.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/particle.cpp.o"
+  "CMakeFiles/greem_core.dir/core/particle.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/simulation.cpp.o"
+  "CMakeFiles/greem_core.dir/core/simulation.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/tree_force.cpp.o"
+  "CMakeFiles/greem_core.dir/core/tree_force.cpp.o.d"
+  "CMakeFiles/greem_core.dir/core/treepm_force.cpp.o"
+  "CMakeFiles/greem_core.dir/core/treepm_force.cpp.o.d"
+  "libgreem_core.a"
+  "libgreem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

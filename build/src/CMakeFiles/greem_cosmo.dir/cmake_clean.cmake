@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_cosmo.dir/cosmo/cosmology.cpp.o"
+  "CMakeFiles/greem_cosmo.dir/cosmo/cosmology.cpp.o.d"
+  "libgreem_cosmo.a"
+  "libgreem_cosmo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_cosmo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for greem_cosmo.
+# This may be replaced when dependencies are built.

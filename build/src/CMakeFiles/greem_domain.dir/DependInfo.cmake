@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domain/exchange.cpp" "src/CMakeFiles/greem_domain.dir/domain/exchange.cpp.o" "gcc" "src/CMakeFiles/greem_domain.dir/domain/exchange.cpp.o.d"
+  "/root/repo/src/domain/multisection.cpp" "src/CMakeFiles/greem_domain.dir/domain/multisection.cpp.o" "gcc" "src/CMakeFiles/greem_domain.dir/domain/multisection.cpp.o.d"
+  "/root/repo/src/domain/sampling.cpp" "src/CMakeFiles/greem_domain.dir/domain/sampling.cpp.o" "gcc" "src/CMakeFiles/greem_domain.dir/domain/sampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_parx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_domain.dir/domain/exchange.cpp.o"
+  "CMakeFiles/greem_domain.dir/domain/exchange.cpp.o.d"
+  "CMakeFiles/greem_domain.dir/domain/multisection.cpp.o"
+  "CMakeFiles/greem_domain.dir/domain/multisection.cpp.o.d"
+  "CMakeFiles/greem_domain.dir/domain/sampling.cpp.o"
+  "CMakeFiles/greem_domain.dir/domain/sampling.cpp.o.d"
+  "libgreem_domain.a"
+  "libgreem_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreem_domain.a"
+)

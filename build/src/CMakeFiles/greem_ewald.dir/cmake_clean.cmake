@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_ewald.dir/ewald/ewald.cpp.o"
+  "CMakeFiles/greem_ewald.dir/ewald/ewald.cpp.o.d"
+  "libgreem_ewald.a"
+  "libgreem_ewald.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_ewald.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_fft.dir/fft/fft1d.cpp.o"
+  "CMakeFiles/greem_fft.dir/fft/fft1d.cpp.o.d"
+  "CMakeFiles/greem_fft.dir/fft/fft3d.cpp.o"
+  "CMakeFiles/greem_fft.dir/fft/fft3d.cpp.o.d"
+  "CMakeFiles/greem_fft.dir/fft/pencil_fft.cpp.o"
+  "CMakeFiles/greem_fft.dir/fft/pencil_fft.cpp.o.d"
+  "CMakeFiles/greem_fft.dir/fft/slab_fft.cpp.o"
+  "CMakeFiles/greem_fft.dir/fft/slab_fft.cpp.o.d"
+  "libgreem_fft.a"
+  "libgreem_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for greem_fft.
+# This may be replaced when dependencies are built.

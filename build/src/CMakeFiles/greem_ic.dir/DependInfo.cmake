@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ic/gaussian_field.cpp" "src/CMakeFiles/greem_ic.dir/ic/gaussian_field.cpp.o" "gcc" "src/CMakeFiles/greem_ic.dir/ic/gaussian_field.cpp.o.d"
+  "/root/repo/src/ic/powerspec.cpp" "src/CMakeFiles/greem_ic.dir/ic/powerspec.cpp.o" "gcc" "src/CMakeFiles/greem_ic.dir/ic/powerspec.cpp.o.d"
+  "/root/repo/src/ic/zeldovich.cpp" "src/CMakeFiles/greem_ic.dir/ic/zeldovich.cpp.o" "gcc" "src/CMakeFiles/greem_ic.dir/ic/zeldovich.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_parx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

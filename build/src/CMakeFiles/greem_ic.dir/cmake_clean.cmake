@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_ic.dir/ic/gaussian_field.cpp.o"
+  "CMakeFiles/greem_ic.dir/ic/gaussian_field.cpp.o.d"
+  "CMakeFiles/greem_ic.dir/ic/powerspec.cpp.o"
+  "CMakeFiles/greem_ic.dir/ic/powerspec.cpp.o.d"
+  "CMakeFiles/greem_ic.dir/ic/zeldovich.cpp.o"
+  "CMakeFiles/greem_ic.dir/ic/zeldovich.cpp.o.d"
+  "libgreem_ic.a"
+  "libgreem_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_io.dir/io/config.cpp.o"
+  "CMakeFiles/greem_io.dir/io/config.cpp.o.d"
+  "CMakeFiles/greem_io.dir/io/csv.cpp.o"
+  "CMakeFiles/greem_io.dir/io/csv.cpp.o.d"
+  "CMakeFiles/greem_io.dir/io/snapshot.cpp.o"
+  "CMakeFiles/greem_io.dir/io/snapshot.cpp.o.d"
+  "libgreem_io.a"
+  "libgreem_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

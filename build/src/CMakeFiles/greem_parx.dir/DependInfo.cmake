@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parx/comm.cpp" "src/CMakeFiles/greem_parx.dir/parx/comm.cpp.o" "gcc" "src/CMakeFiles/greem_parx.dir/parx/comm.cpp.o.d"
+  "/root/repo/src/parx/runtime.cpp" "src/CMakeFiles/greem_parx.dir/parx/runtime.cpp.o" "gcc" "src/CMakeFiles/greem_parx.dir/parx/runtime.cpp.o.d"
+  "/root/repo/src/parx/traffic.cpp" "src/CMakeFiles/greem_parx.dir/parx/traffic.cpp.o" "gcc" "src/CMakeFiles/greem_parx.dir/parx/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_parx.dir/parx/comm.cpp.o"
+  "CMakeFiles/greem_parx.dir/parx/comm.cpp.o.d"
+  "CMakeFiles/greem_parx.dir/parx/runtime.cpp.o"
+  "CMakeFiles/greem_parx.dir/parx/runtime.cpp.o.d"
+  "CMakeFiles/greem_parx.dir/parx/traffic.cpp.o"
+  "CMakeFiles/greem_parx.dir/parx/traffic.cpp.o.d"
+  "libgreem_parx.a"
+  "libgreem_parx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_parx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for greem_parx.
+# This may be replaced when dependencies are built.

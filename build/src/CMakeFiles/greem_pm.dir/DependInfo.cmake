@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pm/assign.cpp" "src/CMakeFiles/greem_pm.dir/pm/assign.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/assign.cpp.o.d"
+  "/root/repo/src/pm/gradient.cpp" "src/CMakeFiles/greem_pm.dir/pm/gradient.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/gradient.cpp.o.d"
+  "/root/repo/src/pm/green.cpp" "src/CMakeFiles/greem_pm.dir/pm/green.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/green.cpp.o.d"
+  "/root/repo/src/pm/mesh.cpp" "src/CMakeFiles/greem_pm.dir/pm/mesh.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/mesh.cpp.o.d"
+  "/root/repo/src/pm/parallel_pm.cpp" "src/CMakeFiles/greem_pm.dir/pm/parallel_pm.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/parallel_pm.cpp.o.d"
+  "/root/repo/src/pm/pencil_pm.cpp" "src/CMakeFiles/greem_pm.dir/pm/pencil_pm.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/pencil_pm.cpp.o.d"
+  "/root/repo/src/pm/pm_solver.cpp" "src/CMakeFiles/greem_pm.dir/pm/pm_solver.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/pm_solver.cpp.o.d"
+  "/root/repo/src/pm/relay_mesh.cpp" "src/CMakeFiles/greem_pm.dir/pm/relay_mesh.cpp.o" "gcc" "src/CMakeFiles/greem_pm.dir/pm/relay_mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

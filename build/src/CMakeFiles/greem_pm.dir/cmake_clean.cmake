@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_pm.dir/pm/assign.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/assign.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/gradient.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/gradient.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/green.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/green.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/mesh.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/mesh.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/parallel_pm.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/parallel_pm.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/pencil_pm.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/pencil_pm.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/pm_solver.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/pm_solver.cpp.o.d"
+  "CMakeFiles/greem_pm.dir/pm/relay_mesh.cpp.o"
+  "CMakeFiles/greem_pm.dir/pm/relay_mesh.cpp.o.d"
+  "libgreem_pm.a"
+  "libgreem_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pp/cutoff.cpp" "src/CMakeFiles/greem_pp.dir/pp/cutoff.cpp.o" "gcc" "src/CMakeFiles/greem_pp.dir/pp/cutoff.cpp.o.d"
+  "/root/repo/src/pp/kernels.cpp" "src/CMakeFiles/greem_pp.dir/pp/kernels.cpp.o" "gcc" "src/CMakeFiles/greem_pp.dir/pp/kernels.cpp.o.d"
+  "/root/repo/src/pp/phantom.cpp" "src/CMakeFiles/greem_pp.dir/pp/phantom.cpp.o" "gcc" "src/CMakeFiles/greem_pp.dir/pp/phantom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

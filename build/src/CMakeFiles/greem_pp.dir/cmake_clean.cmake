@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_pp.dir/pp/cutoff.cpp.o"
+  "CMakeFiles/greem_pp.dir/pp/cutoff.cpp.o.d"
+  "CMakeFiles/greem_pp.dir/pp/kernels.cpp.o"
+  "CMakeFiles/greem_pp.dir/pp/kernels.cpp.o.d"
+  "CMakeFiles/greem_pp.dir/pp/phantom.cpp.o"
+  "CMakeFiles/greem_pp.dir/pp/phantom.cpp.o.d"
+  "libgreem_pp.a"
+  "libgreem_pp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_pp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

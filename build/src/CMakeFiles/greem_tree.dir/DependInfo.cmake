@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/ghost.cpp" "src/CMakeFiles/greem_tree.dir/tree/ghost.cpp.o" "gcc" "src/CMakeFiles/greem_tree.dir/tree/ghost.cpp.o.d"
+  "/root/repo/src/tree/octree.cpp" "src/CMakeFiles/greem_tree.dir/tree/octree.cpp.o" "gcc" "src/CMakeFiles/greem_tree.dir/tree/octree.cpp.o.d"
+  "/root/repo/src/tree/traversal.cpp" "src/CMakeFiles/greem_tree.dir/tree/traversal.cpp.o" "gcc" "src/CMakeFiles/greem_tree.dir/tree/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_pp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_tree.dir/tree/ghost.cpp.o"
+  "CMakeFiles/greem_tree.dir/tree/ghost.cpp.o.d"
+  "CMakeFiles/greem_tree.dir/tree/octree.cpp.o"
+  "CMakeFiles/greem_tree.dir/tree/octree.cpp.o.d"
+  "CMakeFiles/greem_tree.dir/tree/traversal.cpp.o"
+  "CMakeFiles/greem_tree.dir/tree/traversal.cpp.o.d"
+  "libgreem_tree.a"
+  "libgreem_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

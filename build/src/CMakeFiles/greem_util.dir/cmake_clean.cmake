@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greem_util.dir/util/morton.cpp.o"
+  "CMakeFiles/greem_util.dir/util/morton.cpp.o.d"
+  "CMakeFiles/greem_util.dir/util/parallel_for.cpp.o"
+  "CMakeFiles/greem_util.dir/util/parallel_for.cpp.o.d"
+  "CMakeFiles/greem_util.dir/util/pgm.cpp.o"
+  "CMakeFiles/greem_util.dir/util/pgm.cpp.o.d"
+  "CMakeFiles/greem_util.dir/util/rng.cpp.o"
+  "CMakeFiles/greem_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/greem_util.dir/util/stats.cpp.o"
+  "CMakeFiles/greem_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/greem_util.dir/util/table.cpp.o"
+  "CMakeFiles/greem_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/greem_util.dir/util/timer.cpp.o"
+  "CMakeFiles/greem_util.dir/util/timer.cpp.o.d"
+  "libgreem_util.a"
+  "libgreem_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

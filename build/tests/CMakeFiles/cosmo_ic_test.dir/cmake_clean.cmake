@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmo_ic_test.dir/cosmo_ic_test.cpp.o"
+  "CMakeFiles/cosmo_ic_test.dir/cosmo_ic_test.cpp.o.d"
+  "cosmo_ic_test"
+  "cosmo_ic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmo_ic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

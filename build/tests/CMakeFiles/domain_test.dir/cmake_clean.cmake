@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domain_test.dir/domain_test.cpp.o"
+  "CMakeFiles/domain_test.dir/domain_test.cpp.o.d"
+  "domain_test"
+  "domain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ewald_test.cpp" "tests/CMakeFiles/ewald_test.dir/ewald_test.cpp.o" "gcc" "tests/CMakeFiles/ewald_test.dir/ewald_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/greem_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_pm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_pp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_domain.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_ewald.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_parx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_cosmo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/greem_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parx_test.dir/parx_test.cpp.o"
+  "CMakeFiles/parx_test.dir/parx_test.cpp.o.d"
+  "parx_test"
+  "parx_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pp_test.dir/pp_test.cpp.o"
+  "CMakeFiles/pp_test.dir/pp_test.cpp.o.d"
+  "pp_test"
+  "pp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;7;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parx_test "/root/repo/build/tests/parx_test")
+set_tests_properties(parx_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;8;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fft_test "/root/repo/build/tests/fft_test")
+set_tests_properties(fft_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pp_test "/root/repo/build/tests/pp_test")
+set_tests_properties(pp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tree_test "/root/repo/build/tests/tree_test")
+set_tests_properties(tree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pm_test "/root/repo/build/tests/pm_test")
+set_tests_properties(pm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(relay_test "/root/repo/build/tests/relay_test")
+set_tests_properties(relay_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(domain_test "/root/repo/build/tests/domain_test")
+set_tests_properties(domain_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ewald_test "/root/repo/build/tests/ewald_test")
+set_tests_properties(ewald_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cosmo_ic_test "/root/repo/build/tests/cosmo_ic_test")
+set_tests_properties(cosmo_ic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parallel_sim_test "/root/repo/build/tests/parallel_sim_test")
+set_tests_properties(parallel_sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;19;greem_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build/tests/io_test")
+set_tests_properties(io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;20;greem_test;/root/repo/tests/CMakeLists.txt;0;")
