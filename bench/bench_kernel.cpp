@@ -6,7 +6,15 @@
 // kernel, and the plain Newton kernel, plus the phantom/scalar speedup
 // (the quantity the Phantom-GRAPE port buys).
 
+// Besides the google-benchmark registrations, main() times every kernel
+// variant the CPU supports and records the rates and speedups in
+// BENCH_kernel.json (machine-readable counterpart of the table above).
+
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "pp/kernels.hpp"
 #include "util/rng.hpp"
@@ -55,6 +63,28 @@ void BM_PhantomKernel(benchmark::State& state) {
   report_flops(state, ni, w.list.size(), pp::kFlopsPerInteraction);
 }
 BENCHMARK(BM_PhantomKernel)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_PhantomVariant(benchmark::State& state) {
+  // One specific dispatch variant (index into kVariants below).
+  const auto v = static_cast<pp::PhantomVariant>(state.range(0));
+  if (!pp::phantom_variant_available(v)) {
+    state.SkipWithError("variant not available on this CPU");
+    return;
+  }
+  const std::size_t ni = 512, nj = 2048;
+  auto w = make_workload(ni, nj);
+  for (auto _ : state) {
+    pp::pp_kernel_phantom_variant(v, w.xi, w.acc, w.list, w.rcut, w.eps2);
+    benchmark::DoNotOptimize(w.acc.data());
+  }
+  state.SetLabel(pp::phantom_variant_name(v));
+  report_flops(state, ni, w.list.size(), pp::kFlopsPerInteraction);
+}
+BENCHMARK(BM_PhantomVariant)
+    ->Arg(static_cast<int>(pp::PhantomVariant::kBasic))
+    ->Arg(static_cast<int>(pp::PhantomVariant::kBlocked))
+    ->Arg(static_cast<int>(pp::PhantomVariant::kBlockedAvx2))
+    ->Arg(static_cast<int>(pp::PhantomVariant::kBlockedAvx512));
 
 void BM_PhantomKernelSP(benchmark::State& state) {
   // Single-precision variant (the x86 Phantom-GRAPE arithmetic).
@@ -106,6 +136,73 @@ void BM_NSquaredKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_NSquaredKernel)->Arg(1024)->Arg(4096);
 
+/// Best-of-3 interaction rate of one variant on a fixed workload.
+double measure_rate(pp::PhantomVariant v, Workload& w) {
+  using clock = std::chrono::steady_clock;
+  const double n_inter = static_cast<double>(w.xi.size()) * static_cast<double>(w.list.size());
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::size_t iters = 0;
+    const auto t0 = clock::now();
+    double elapsed = 0;
+    while (elapsed < 0.2) {
+      pp::pp_kernel_phantom_variant(v, w.xi, w.acc, w.list, w.rcut, w.eps2);
+      benchmark::DoNotOptimize(w.acc.data());
+      ++iters;
+      elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    }
+    best = std::max(best, static_cast<double>(iters) * n_inter / elapsed);
+  }
+  return best;
+}
+
+void write_kernel_json(const char* path) {
+  constexpr std::size_t ni = 512, nj = 2048;
+  auto w = make_workload(ni, nj);
+
+  constexpr pp::PhantomVariant kVariants[] = {
+      pp::PhantomVariant::kScalar, pp::PhantomVariant::kBasic,
+      pp::PhantomVariant::kBlocked, pp::PhantomVariant::kBlockedAvx2,
+      pp::PhantomVariant::kBlockedAvx512};
+  double rate[std::size(kVariants)] = {};
+  for (std::size_t k = 0; k < std::size(kVariants); ++k)
+    if (pp::phantom_variant_available(kVariants[k])) rate[k] = measure_rate(kVariants[k], w);
+  const double scalar = rate[0], basic = rate[1];
+  const double dispatched = measure_rate(pp::phantom_dispatch(), w);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) return;
+  std::fprintf(f, "{\n  \"bench\": \"kernel\",\n");
+  std::fprintf(f, "  \"ni\": %zu,\n  \"nj\": %zu,\n", ni, w.list.size());
+  std::fprintf(f, "  \"flops_per_interaction\": %d,\n", pp::kFlopsPerInteraction);
+  std::fprintf(f, "  \"dispatch\": \"%s\",\n", pp::phantom_variant_name(pp::phantom_dispatch()));
+  std::fprintf(f, "  \"dispatch_interactions_per_s\": %.6g,\n", dispatched);
+  std::fprintf(f, "  \"dispatch_speedup_vs_basic\": %.4g,\n", basic > 0 ? dispatched / basic : 0.0);
+  std::fprintf(f, "  \"variants\": [\n");
+  for (std::size_t k = 0; k < std::size(kVariants); ++k) {
+    const pp::PhantomVariant v = kVariants[k];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"available\": %s, \"interactions_per_s\": %.6g, "
+                 "\"gflops\": %.6g, \"speedup_vs_scalar\": %.4g, \"speedup_vs_basic\": %.4g}%s\n",
+                 pp::phantom_variant_name(v), rate[k] > 0 ? "true" : "false", rate[k],
+                 rate[k] * pp::kFlopsPerInteraction * 1e-9,
+                 scalar > 0 ? rate[k] / scalar : 0.0, basic > 0 ? rate[k] / basic : 0.0,
+                 k + 1 < std::size(kVariants) ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (dispatch=%s, %.3g M inter/s, %.2fx vs basic)\n", path,
+              pp::phantom_variant_name(pp::phantom_dispatch()), dispatched * 1e-6,
+              basic > 0 ? dispatched / basic : 0.0);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  write_kernel_json("BENCH_kernel.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,13 +10,22 @@
 // maximum over ranks of PP interactions per step (the quantity the kernel
 // time is proportional to on real hardware), plus the flat-FFT check.
 
+// In addition to the rank-scaling table, main() measures intra-rank PP
+// thread scaling over the persistent task pool against a spawn-per-call
+// reference (threads created for every loop with static chunking -- the
+// pre-pool behavior), and records both in BENCH_scaling.json.
+
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 #include "core/parallel_sim.hpp"
 #include "parx/runtime.hpp"
 #include "pp/kernels.hpp"
+#include "tree/octree.hpp"
+#include "util/parallel_for.hpp"
 #include "util/table.hpp"
 
 using namespace greem;
@@ -67,11 +76,118 @@ ScalingPoint run(std::array<int, 3> dims, const std::vector<core::Particle>& par
   return out;
 }
 
+// ------------------------------------------------------- thread scaling --
+
+struct ThreadPoint {
+  std::size_t threads = 0;
+  double seconds = 0;
+  double speedup = 0;     ///< t(1) / t(T)
+  double efficiency = 0;  ///< speedup / T
+};
+
+/// One full PP pass through the production path (pool-scheduled traversal).
+double pp_pool_pass(const tree::Octree& tree, const tree::TraversalParams& params,
+                    std::vector<Vec3>& acc) {
+  acc.assign(tree.num_particles(), Vec3{});
+  const auto t0 = std::chrono::steady_clock::now();
+  tree::tree_accelerations(tree, params, acc);
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The same PP work scheduled the pre-pool way: fresh std::threads per
+/// call, static contiguous group chunks (no stealing, no reuse).
+double pp_spawn_pass(const tree::Octree& tree, const tree::TraversalParams& params,
+                     std::vector<Vec3>& acc, std::size_t n_threads) {
+  acc.assign(tree.num_particles(), Vec3{});
+  const auto groups = tree.groups(params.ncrit);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto worker = [&](std::size_t lo, std::size_t hi) {
+    pp::InteractionList list;
+    std::vector<Vec3> group_acc;
+    tree::TraversalStats stats;
+    for (std::size_t gi = lo; gi < hi; ++gi) {
+      const auto& g = tree.nodes()[groups[gi]];
+      list.clear();
+      tree::build_interaction_list(tree, groups[gi], params, Vec3{}, list, stats);
+      list.pad4();
+      group_acc.assign(g.count, Vec3{});
+      pp::pp_kernel_phantom(tree.sorted_pos().subspan(g.first, g.count), group_acc, list,
+                            params.rcut, params.eps2);
+      for (std::uint32_t i = 0; i < g.count; ++i)
+        acc[tree.original_index(g.first + i)] += group_acc[i];
+    }
+  };
+  const std::size_t chunk = (groups.size() + n_threads - 1) / n_threads;
+  std::vector<std::thread> ts;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    const std::size_t lo = std::min(t * chunk, groups.size());
+    const std::size_t hi = std::min(lo + chunk, groups.size());
+    if (lo < hi) ts.emplace_back(worker, lo, hi);
+  }
+  for (auto& t : ts) t.join();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+template <typename Pass>
+std::vector<ThreadPoint> thread_scan(const std::vector<std::size_t>& counts, Pass pass) {
+  std::vector<ThreadPoint> out;
+  double t1 = 0;
+  for (const std::size_t T : counts) {
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) best = std::min(best, pass(T));
+    if (T == 1) t1 = best;
+    out.push_back({T, best, t1 / best, t1 / best / static_cast<double>(T)});
+  }
+  return out;
+}
+
+void json_thread_points(std::FILE* f, const char* key, const std::vector<ThreadPoint>& pts) {
+  std::fprintf(f, "    \"%s\": [\n", key);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    std::fprintf(f,
+                 "      {\"threads\": %zu, \"seconds\": %.6g, \"speedup\": %.4g, "
+                 "\"efficiency\": %.4g}%s\n",
+                 pts[i].threads, pts[i].seconds, pts[i].speedup, pts[i].efficiency,
+                 i + 1 < pts.size() ? "," : "");
+  std::fprintf(f, "    ]");
+}
+
 }  // namespace
 
 int main() {
   const std::size_t n = 32768;
   auto particles = core::clustered_particles(n, 1.0, 6, 0.7, 0.03, 31415);
+
+  // -- intra-rank PP thread scaling: persistent pool vs spawn-per-call --
+  std::printf("Intra-rank PP thread scaling (N = %zu, phantom kernel '%s').\n", n,
+              pp::phantom_variant_name(pp::phantom_dispatch()));
+  const auto pos = core::positions_of(particles);
+  const auto mass = core::masses_of(particles);
+  const tree::Octree tr(pos, mass);
+  tree::TraversalParams tp;
+  tp.theta = 0.5;
+  tp.ncrit = 100;
+  tp.eps2 = 1e-6;
+  tp.rcut = 0.1;
+  std::vector<Vec3> acc;
+  const std::vector<std::size_t> counts{1, 2, 4, 8};
+  const auto pool_pts = thread_scan(counts, [&](std::size_t T) {
+    set_num_threads(T);
+    return pp_pool_pass(tr, tp, acc);
+  });
+  set_num_threads(1);  // keep the spawn reference's threads unopposed
+  const auto spawn_pts =
+      thread_scan(counts, [&](std::size_t T) { return pp_spawn_pass(tr, tp, acc, T); });
+
+  TextTable tt;
+  tt.header({"threads", "pool (s)", "pool eff", "spawn (s)", "spawn eff"});
+  for (std::size_t i = 0; i < pool_pts.size(); ++i)
+    tt.row({TextTable::num((long long)pool_pts[i].threads),
+            TextTable::num(pool_pts[i].seconds, 4), TextTable::num(pool_pts[i].efficiency, 3),
+            TextTable::num(spawn_pts[i].seconds, 4),
+            TextTable::num(spawn_pts[i].efficiency, 3)});
+  tt.print(std::cout);
+  std::printf("\n");
 
   std::printf("Strong scaling of the distributed TreePM step (N = %zu fixed).\n", n);
   std::printf("Metric: busiest rank's PP interactions per step -- the kernel-time\n");
@@ -82,6 +198,8 @@ int main() {
             "FFT (s)"});
   double base = 0;
   int base_ranks = 0;
+  std::vector<ScalingPoint> rank_pts;
+  std::vector<double> rank_eff;
   for (const auto dims : std::vector<std::array<int, 3>>{
            {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}, {4, 4, 2}}) {
     const auto pt = run(dims, particles);
@@ -90,11 +208,41 @@ int main() {
       base_ranks = pt.ranks;
     }
     const double ideal = base * base_ranks / pt.ranks;
+    rank_pts.push_back(pt);
+    rank_eff.push_back(ideal / pt.max_interactions);
     t.row({TextTable::num((long long)pt.ranks), TextTable::num(pt.max_interactions, 4),
            TextTable::num(ideal, 4), TextTable::num(ideal / pt.max_interactions, 3),
            TextTable::num(pt.balance, 3), TextTable::num(pt.fft_seconds, 3)});
   }
   t.print(std::cout);
+
+  if (std::FILE* f = std::fopen("BENCH_scaling.json", "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"scaling\",\n");
+    std::fprintf(f, "  \"pp_thread_scaling\": {\n");
+    std::fprintf(f, "    \"n_particles\": %zu,\n", n);
+    std::fprintf(f, "    \"kernel\": \"%s\",\n",
+                 pp::phantom_variant_name(pp::phantom_dispatch()));
+    std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
+                 std::thread::hardware_concurrency());
+    json_thread_points(f, "pool", pool_pts);
+    std::fprintf(f, ",\n");
+    json_thread_points(f, "spawn_per_call_reference", spawn_pts);
+    const double gain8 = spawn_pts.back().efficiency > 0
+                             ? pool_pts.back().efficiency / spawn_pts.back().efficiency
+                             : 0.0;
+    std::fprintf(f, ",\n    \"pool_vs_spawn_efficiency_8t\": %.4g\n  },\n", gain8);
+    std::fprintf(f, "  \"rank_scaling\": [\n");
+    for (std::size_t i = 0; i < rank_pts.size(); ++i)
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"max_interactions\": %.6g, \"parallel_eff\": %.4g, "
+                   "\"balance\": %.4g, \"fft_seconds\": %.6g}%s\n",
+                   rank_pts[i].ranks, rank_pts[i].max_interactions, rank_eff[i],
+                   rank_pts[i].balance, rank_pts[i].fft_seconds,
+                   i + 1 < rank_pts.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_scaling.json\n");
+  }
   std::printf("\nShape check vs the paper: parallel efficiency stays high\n");
   std::printf("(the paper's 24576 -> 82944 nodes keeps 86%%), the sampling\n");
   std::printf("method holds max/mean interaction balance near 1 (Table I:\n");

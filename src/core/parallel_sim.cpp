@@ -6,6 +6,7 @@
 #include "domain/exchange.hpp"
 #include "tree/ghost.hpp"
 #include "tree/octree.hpp"
+#include "util/parallel_for.hpp"
 
 namespace greem::core {
 
@@ -18,6 +19,7 @@ ParallelSimulation::ParallelSimulation(parx::Comm& world, ParallelSimConfig conf
       clock_(t_start) {
   if (config_.dims[0] * config_.dims[1] * config_.dims[2] != world.size())
     throw std::invalid_argument("ParallelSimulation: dims product != comm size");
+  if (config_.pool_threads > 0) set_num_threads(config_.pool_threads);
   decomp_ = domain::Decomposition::uniform(config_.dims);
   // Initial decomposition + short-range forces (one DD + PP cycle).
   domain_cycle(substep_counter_++);

@@ -34,6 +34,12 @@ struct ParallelSimConfig {
   TimeMetric metric;
   int nsub = 2;
 
+  /// Intra-rank pool size applied at construction (0 = leave the global
+  /// pool as is).  TaskPool::resize is a no-op when the size is unchanged,
+  /// so every parx rank-thread applying the same config is safe; ranks
+  /// share the process-wide pool, they do not get one each.
+  std::size_t pool_threads = 0;
+
   double rcut() const { return pm.effective_rcut(); }
 };
 

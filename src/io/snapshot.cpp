@@ -15,7 +15,13 @@ bool write_snapshot(const std::string& path, const SnapshotHeader& header,
   std::ofstream out(path, std::ios::binary);
   if (!out) return false;
   out.write(kMagic, sizeof(kMagic));
-  SnapshotHeader h = header;
+  // memset, not copy: the struct's tail padding would otherwise leak
+  // indeterminate bytes into the file and break byte-identical snapshots.
+  SnapshotHeader h;
+  std::memset(&h, 0, sizeof(h));
+  h.clock = header.clock;
+  h.particle_mass = header.particle_mass;
+  h.comoving = header.comoving;
   h.n_particles = particles.size();
   out.write(reinterpret_cast<const char*>(&h), sizeof(h));
   out.write(reinterpret_cast<const char*>(particles.data()),

@@ -1,7 +1,10 @@
 #include "pm/assign.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numbers>
+
+#include "util/parallel_for.hpp"
 
 namespace greem::pm {
 
@@ -36,11 +39,67 @@ AxisStencil axis_stencil(Scheme s, double x, std::size_t n) {
   return st;
 }
 
+namespace {
+
+// Slab-parallel mass assignment.  Particles are counting-sorted (stably)
+// into width-2 z-slab buckets of their stencil *base* cell: a particle in
+// bucket b deposits only into z cells [2b, 2b+4), so two buckets of the
+// same parity never touch the same cell.  Depositing all even buckets in
+// parallel, then all odd buckets, is therefore race-free without atomics
+// or per-thread mesh copies, and the fixed phase -> bucket -> particle
+// order makes the per-cell sums bitwise identical for every pool size.
+// (The periodic variant keeps the trailing bucket(s), whose windows wrap
+// across z = 0, out of the parity phases; see assign_density_periodic.)
+
+constexpr std::size_t kParallelAssignMinParticles = 4096;
+constexpr std::size_t kParallelAssignMinBuckets = 4;
+
+struct SlabBuckets {
+  std::vector<std::uint32_t> order;  ///< particle indices, bucket-major, stable
+  std::vector<std::size_t> offset;   ///< bucket b spans order[offset[b], offset[b+1])
+};
+
+SlabBuckets bucket_by_slab(std::span<const Vec3> pos, Scheme s, std::size_t n_mesh,
+                           long z_lo, std::size_t nb, bool periodic) {
+  const std::size_t np = pos.size();
+  std::vector<std::uint32_t> bucket_of(np);
+  parallel_for_chunks(0, np, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      const AxisStencil sz = axis_stencil(s, pos[p].z, n_mesh);
+      const std::size_t zb = periodic ? wrap_cell(sz.base, n_mesh)
+                                      : static_cast<std::size_t>(sz.base - z_lo);
+      bucket_of[p] = static_cast<std::uint32_t>(zb / 2);
+    }
+  });
+  SlabBuckets bk;
+  bk.offset.assign(nb + 1, 0);
+  for (std::size_t p = 0; p < np; ++p) ++bk.offset[bucket_of[p] + 1];
+  for (std::size_t b = 0; b < nb; ++b) bk.offset[b + 1] += bk.offset[b];
+  bk.order.resize(np);
+  std::vector<std::size_t> cursor(bk.offset.begin(), bk.offset.end() - 1);
+  for (std::size_t p = 0; p < np; ++p)
+    bk.order[cursor[bucket_of[p]]++] = static_cast<std::uint32_t>(p);
+  return bk;
+}
+
+/// Run buckets [0, nb_phased) of one parity in parallel (`run` must only
+/// write that bucket's [2b, 2b+4) z window).
+void run_parity_phases(std::size_t nb_phased, const std::function<void(std::size_t)>& run) {
+  for (std::size_t parity = 0; parity < 2; ++parity) {
+    const std::size_t count = (nb_phased + 1 - parity) / 2;
+    parallel_for_dynamic(0, count, 1, [&](std::size_t lo, std::size_t hi, unsigned) {
+      for (std::size_t i = lo; i < hi; ++i) run(2 * i + parity);
+    });
+  }
+}
+
+}  // namespace
+
 void assign_density(LocalMesh& mesh, std::size_t n_mesh, Scheme s,
                     std::span<const Vec3> pos, std::span<const double> mass) {
   const double inv_h3 = static_cast<double>(n_mesh) * static_cast<double>(n_mesh) *
                         static_cast<double>(n_mesh);
-  for (std::size_t p = 0; p < pos.size(); ++p) {
+  auto deposit = [&](std::size_t p) {
     const AxisStencil sx = axis_stencil(s, pos[p].x, n_mesh);
     const AxisStencil sy = axis_stencil(s, pos[p].y, n_mesh);
     const AxisStencil sz = axis_stencil(s, pos[p].z, n_mesh);
@@ -51,14 +110,29 @@ void assign_density(LocalMesh& mesh, std::size_t n_mesh, Scheme s,
           mesh.at(sx.base + kx, sy.base + ky, sz.base + kz) +=
               m * sx.w[static_cast<std::size_t>(kx)] * sy.w[static_cast<std::size_t>(ky)] *
               sz.w[static_cast<std::size_t>(kz)];
+  };
+
+  // Path choice depends only on the data, never on the pool size, so the
+  // deposit order (hence rounding) is reproducible across thread counts.
+  const std::size_t nb = (mesh.region().n[2] + 1) / 2;
+  if (pos.size() < kParallelAssignMinParticles || nb < kParallelAssignMinBuckets) {
+    for (std::size_t p = 0; p < pos.size(); ++p) deposit(p);
+    return;
   }
+  // The local region is unwrapped (ghost layers absorb the stencil), so
+  // every bucket window is conflict-free within its parity phase.
+  const SlabBuckets bk =
+      bucket_by_slab(pos, s, n_mesh, mesh.region().lo[2], nb, /*periodic=*/false);
+  run_parity_phases(nb, [&](std::size_t b) {
+    for (std::size_t k = bk.offset[b]; k < bk.offset[b + 1]; ++k) deposit(bk.order[k]);
+  });
 }
 
 void assign_density_periodic(std::vector<double>& rho, std::size_t n_mesh, Scheme s,
                              std::span<const Vec3> pos, std::span<const double> mass) {
   const std::size_t n = n_mesh;
   const double inv_h3 = static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n);
-  for (std::size_t p = 0; p < pos.size(); ++p) {
+  auto deposit = [&](std::size_t p) {
     const AxisStencil sx = axis_stencil(s, pos[p].x, n);
     const AxisStencil sy = axis_stencil(s, pos[p].y, n);
     const AxisStencil sz = axis_stencil(s, pos[p].z, n);
@@ -74,7 +148,23 @@ void assign_density_periodic(std::vector<double>& rho, std::size_t n_mesh, Schem
         }
       }
     }
+  };
+
+  const std::size_t nb = (n + 1) / 2;
+  if (pos.size() < kParallelAssignMinParticles || nb < kParallelAssignMinBuckets) {
+    for (std::size_t p = 0; p < pos.size(); ++p) deposit(p);
+    return;
   }
+  const SlabBuckets bk = bucket_by_slab(pos, s, n, 0, nb, /*periodic=*/true);
+  auto run_bucket = [&](std::size_t b) {
+    for (std::size_t k = bk.offset[b]; k < bk.offset[b + 1]; ++k) deposit(bk.order[k]);
+  };
+  // Trailing buckets whose windows wrap across z = 0 would collide with
+  // bucket 0's parity phase: one bucket wraps when n is even, the last two
+  // can when n is odd.  Run them serially after the phases.
+  const std::size_t tail = (n % 2 == 0) ? 1 : 2;
+  run_parity_phases(nb - tail, run_bucket);
+  for (std::size_t b = nb - tail; b < nb; ++b) run_bucket(b);
 }
 
 Vec3 interpolate(const LocalMesh& fx, const LocalMesh& fy, const LocalMesh& fz,

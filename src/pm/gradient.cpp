@@ -1,6 +1,11 @@
 #include "pm/gradient.hpp"
 
+#include "util/parallel_for.hpp"
+
 namespace greem::pm {
+
+// Both differencing loops parallelize over z planes: every output cell is
+// a pure function of phi, so any chunking gives bitwise identical meshes.
 
 void fd_gradient(const LocalMesh& phi, const CellRegion& force_region, std::size_t n_mesh,
                  LocalMesh& fx, LocalMesh& fy, LocalMesh& fz) {
@@ -8,7 +13,9 @@ void fd_gradient(const LocalMesh& phi, const CellRegion& force_region, std::size
   fx = LocalMesh(force_region);
   fy = LocalMesh(force_region);
   fz = LocalMesh(force_region);
-  for (long z = force_region.lo[2]; z < force_region.hi(2); ++z)
+  parallel_for_chunks(0, force_region.n[2], [&](std::size_t zlo, std::size_t zhi) {
+  for (long z = force_region.lo[2] + static_cast<long>(zlo);
+       z < force_region.lo[2] + static_cast<long>(zhi); ++z)
     for (long y = force_region.lo[1]; y < force_region.hi(1); ++y)
       for (long x = force_region.lo[0]; x < force_region.hi(0); ++x) {
         fx.at(x, y, z) = -scale * (8.0 * (phi.at(x + 1, y, z) - phi.at(x - 1, y, z)) -
@@ -18,6 +25,7 @@ void fd_gradient(const LocalMesh& phi, const CellRegion& force_region, std::size
         fz.at(x, y, z) = -scale * (8.0 * (phi.at(x, y, z + 1) - phi.at(x, y, z - 1)) -
                                    (phi.at(x, y, z + 2) - phi.at(x, y, z - 2)));
       }
+  });
 }
 
 void fd_gradient_periodic(const std::vector<double>& phi, std::size_t n,
@@ -29,7 +37,8 @@ void fd_gradient_periodic(const std::vector<double>& phi, std::size_t n,
   fz.assign(n * n * n, 0.0);
   auto idx = [n](std::size_t x, std::size_t y, std::size_t z) { return (z * n + y) * n + x; };
   auto w = [n](long c) { return wrap_cell(c, n); };
-  for (long z = 0; z < static_cast<long>(n); ++z)
+  parallel_for_chunks(0, n, [&](std::size_t zlo, std::size_t zhi) {
+  for (long z = static_cast<long>(zlo); z < static_cast<long>(zhi); ++z)
     for (long y = 0; y < static_cast<long>(n); ++y)
       for (long x = 0; x < static_cast<long>(n); ++x) {
         const std::size_t i = idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y),
@@ -47,6 +56,7 @@ void fd_gradient_periodic(const std::vector<double>& phi, std::size_t n,
                           (phi[idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y), w(z + 2))] -
                            phi[idx(static_cast<std::size_t>(x), static_cast<std::size_t>(y), w(z - 2))]));
       }
+  });
 }
 
 }  // namespace greem::pm

@@ -2,6 +2,7 @@
 
 #include "fft/fft3d.hpp"
 #include "pm/gradient.hpp"
+#include "util/parallel_for.hpp"
 
 namespace greem::pm {
 
@@ -59,10 +60,13 @@ void ParallelPm::accelerations(std::span<const Vec3> pos, std::span<const double
   fd_gradient(phi, force_region_, n, fx, fy, fz);
   if (t) t->add("acceleration on mesh", sw.seconds());
 
-  // (5b) force interpolation to the particle positions
+  // (5b) force interpolation to the particle positions (per-particle
+  // independent reads; disjoint writes, so chunking cannot change results)
   sw.restart();
-  for (std::size_t i = 0; i < pos.size(); ++i)
-    acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
+  parallel_for_chunks(0, pos.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
+  });
   if (t) t->add("force interpolation", sw.seconds());
 }
 

@@ -5,6 +5,7 @@
 
 #include "fft/fft3d.hpp"
 #include "pm/gradient.hpp"
+#include "util/parallel_for.hpp"
 
 namespace greem::pm {
 namespace {
@@ -186,8 +187,10 @@ void PencilPm::accelerations(std::span<const Vec3> pos, std::span<const double> 
   if (t) t->add("acceleration on mesh", sw.seconds());
 
   sw.restart();
-  for (std::size_t i = 0; i < pos.size(); ++i)
-    acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
+  parallel_for_chunks(0, pos.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i)
+      acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
+  });
   if (t) t->add("force interpolation", sw.seconds());
 }
 

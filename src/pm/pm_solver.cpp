@@ -1,6 +1,7 @@
 #include "pm/pm_solver.hpp"
 
 #include "pm/gradient.hpp"
+#include "util/parallel_for.hpp"
 
 namespace greem::pm {
 
@@ -39,11 +40,13 @@ void PmSolver::accelerations(std::span<const Vec3> pos, std::span<const double> 
   if (t) t->add("acceleration on mesh", sw.seconds());
 
   sw.restart();
-  for (std::size_t i = 0; i < pos.size(); ++i) {
-    acc[i].x += interpolate_periodic(fx, n, params_.scheme, pos[i]);
-    acc[i].y += interpolate_periodic(fy, n, params_.scheme, pos[i]);
-    acc[i].z += interpolate_periodic(fz, n, params_.scheme, pos[i]);
-  }
+  parallel_for_chunks(0, pos.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc[i].x += interpolate_periodic(fx, n, params_.scheme, pos[i]);
+      acc[i].y += interpolate_periodic(fy, n, params_.scheme, pos[i]);
+      acc[i].z += interpolate_periodic(fz, n, params_.scheme, pos[i]);
+    }
+  });
   if (t) t->add("force interpolation", sw.seconds());
 }
 

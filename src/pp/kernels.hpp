@@ -53,11 +53,53 @@ struct InteractionList {
 void pp_kernel_scalar(std::span<const Vec3> xi, std::span<Vec3> acc,
                       const InteractionList& list, double rcut, double eps2);
 
-/// Optimized batched kernel ("phantom"): 4-way unrolled j-loop, approximate
-/// rsqrt, branchless cutoff clamp.  Same contract as pp_kernel_scalar;
-/// `list` must be pad4()-ed.
+/// Optimized batched kernel ("phantom"): approximate rsqrt, branchless
+/// cutoff clamp, register-blocked SIMD loop.  Same contract as
+/// pp_kernel_scalar; `list` must be pad4()-ed.
+///
+/// This is a runtime-dispatched shim: it routes to the fastest
+/// implementation the CPU supports (see PhantomVariant), overridable with
+/// the GREEM_KERNEL environment variable (read once per process) or
+/// set_phantom_variant().  Every variant stays within the documented
+/// ~24-bit rsqrt tolerance of pp_kernel_scalar.
 void pp_kernel_phantom(std::span<const Vec3> xi, std::span<Vec3> acc,
                        const InteractionList& list, double rcut, double eps2);
+
+/// Implementations selectable for the phantom kernel.
+///   kAuto          -- fastest available (avx512 > avx2 > basic)
+///   kScalar        -- exact pp_kernel_scalar (for A/B benchmarking)
+///   kBasic         -- 1i x 4j lane loop, compiler-vectorized (the
+///                     pre-blocking kernel; kept as the portable baseline)
+///   kBlocked       -- portable 4i x 4j register-blocked form of the
+///                     paper (four targets share every j-lane load)
+///   kBlockedAvx2   -- 4i x 4j AVX2+FMA intrinsics, rsqrt seed from
+///                     _mm_rsqrt_ps + the paper's third-order step
+///   kBlockedAvx512 -- 4i x 8j AVX-512 intrinsics, _mm512_rsqrt14_pd
+///                     seed (the software analog of HPC-ACE frsqrta)
+///                     + the paper's third-order step
+enum class PhantomVariant { kAuto, kScalar, kBasic, kBlocked, kBlockedAvx2, kBlockedAvx512 };
+
+/// True if `v` can execute on this CPU/build.
+bool phantom_variant_available(PhantomVariant v);
+
+/// Name used by GREEM_KERNEL and the bench JSON ("auto", "scalar",
+/// "basic", "blocked", "avx2", "avx512").
+const char* phantom_variant_name(PhantomVariant v);
+
+/// The variant pp_kernel_phantom currently dispatches to, with kAuto and
+/// unavailable requests resolved to a concrete runnable variant.
+PhantomVariant phantom_dispatch();
+
+/// Programmatic override (same effect as GREEM_KERNEL; benches use this).
+/// Not thread-safe against concurrent pp_kernel_phantom calls.
+void set_phantom_variant(PhantomVariant v);
+
+/// Run one specific variant (resolved like phantom_dispatch if
+/// unavailable).  pp_kernel_phantom is equivalent to calling this with
+/// phantom_dispatch().
+void pp_kernel_phantom_variant(PhantomVariant v, std::span<const Vec3> xi,
+                               std::span<Vec3> acc, const InteractionList& list,
+                               double rcut, double eps2);
 
 /// Single-precision variant of the phantom kernel, the arithmetic of the
 /// x86 Phantom-GRAPE builds (the K-computer port runs double): coordinates

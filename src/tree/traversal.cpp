@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 
 #include "util/parallel_for.hpp"
 #include "util/timer.hpp"
@@ -92,16 +91,27 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
 
   // Groups own disjoint particle ranges, so the group loop parallelizes
   // over the intra-rank thread pool (the paper's MPI/OpenMP hybrid: ranks
-  // distribute domains, threads share the group list).  With one worker
-  // this runs inline.  Accumulated phase seconds are summed CPU time.
-  std::mutex merge_mu;
-  double traverse_s = 0, force_s = 0;
-  parallel_for_chunks(0, group_nodes.size(), [&](std::size_t lo, std::size_t hi) {
-    TraversalStats local_stats;
-    double local_traverse = 0, local_force = 0;
+  // distribute domains, threads share the group list).  Groups are
+  // dynamically scheduled one at a time -- interaction-list sizes vary by
+  // orders of magnitude between clustered and void regions, so static
+  // chunking load-imbalances badly.  Each pool slot reuses one scratch set
+  // (interaction list, per-group accumulators) across all groups it takes.
+  // Accumulated phase seconds are summed CPU time.
+  struct SlotScratch {
+    TraversalStats stats;
+    double traverse_s = 0, force_s = 0;
     std::vector<Vec3> group_acc;
     pp::InteractionList list;
     std::vector<pp::QuadSource> quad_nodes;
+  };
+  std::vector<SlotScratch> scratch(max_parallel_slots());
+
+  parallel_for_dynamic(0, group_nodes.size(), 1, [&](std::size_t lo, std::size_t hi, unsigned slot) {
+    SlotScratch& sc = scratch[slot];
+    TraversalStats& local_stats = sc.stats;
+    std::vector<Vec3>& group_acc = sc.group_acc;
+    pp::InteractionList& list = sc.list;
+    std::vector<pp::QuadSource>& quad_nodes = sc.quad_nodes;
     Stopwatch sw;
 
     for (std::size_t gidx = lo; gidx < hi; ++gidx) {
@@ -117,7 +127,7 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
         walker.walk(0);
       }
       const std::uint64_t nj = list.size() + quad_nodes.size();
-      local_traverse += sw.seconds();
+      sc.traverse_s += sw.seconds();
 
       // Count only targets (locals) toward the paper's statistics.
       std::uint64_t ni_targets = 0;
@@ -153,14 +163,19 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
         const std::uint32_t orig = tree.original_index(g.first + i);
         if (orig < n_targets) acc[orig] += group_acc[i];
       }
-      local_force += sw.seconds();
+      sc.force_s += sw.seconds();
     }
-
-    std::lock_guard lock(merge_mu);
-    stats.merge(local_stats);
-    traverse_s += local_traverse;
-    force_s += local_force;
   });
+
+  // Merge in slot order after the barrier: no lock, and the integer stats
+  // totals are identical for every pool size (sums commute; which slot ran
+  // which group does not matter).
+  double traverse_s = 0, force_s = 0;
+  for (const SlotScratch& sc : scratch) {
+    stats.merge(sc.stats);
+    traverse_s += sc.traverse_s;
+    force_s += sc.force_s;
+  }
 
   if (times) {
     times->traverse_s += traverse_s;

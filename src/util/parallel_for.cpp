@@ -1,60 +1,41 @@
 #include "util/parallel_for.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
-#include <vector>
+
+#include "util/task_pool.hpp"
 
 namespace greem {
-namespace {
 
-std::atomic<std::size_t> g_num_threads{0};  // 0 = uninitialized
+std::size_t num_threads() { return TaskPool::global().threads(); }
 
-std::size_t resolve_threads() {
-  std::size_t n = g_num_threads.load(std::memory_order_relaxed);
-  if (n == 0) {
-    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-    g_num_threads.store(n, std::memory_order_relaxed);
-  }
-  return n;
+void set_num_threads(std::size_t n) { TaskPool::global().resize(n); }
+
+unsigned max_parallel_slots() { return TaskPool::global().max_slots(); }
+
+void parallel_for_dynamic(std::size_t begin, std::size_t end, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t, unsigned)>& f) {
+  TaskPool::global().for_dynamic(begin, end, grain, f);
 }
-
-}  // namespace
-
-std::size_t num_threads() { return resolve_threads(); }
-
-void set_num_threads(std::size_t n) { g_num_threads.store(std::max<std::size_t>(1, n)); }
 
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& f) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t nt = std::min(resolve_threads(), n);
-  if (nt <= 1) {
-    f(begin, end);
-    return;
-  }
-  // Ranks in the message-passing runtime are themselves threads, so the
-  // pool is created per call; chunk counts are tiny (= nt) so the spawn
-  // cost is negligible against the loop bodies this is used for.
-  std::vector<std::thread> workers;
-  workers.reserve(nt - 1);
-  const std::size_t chunk = (n + nt - 1) / nt;
-  for (std::size_t t = 1; t < nt; ++t) {
-    std::size_t lo = begin + t * chunk;
-    std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    workers.emplace_back([=, &f] { f(lo, hi); });
-  }
-  f(begin, std::min(end, begin + chunk));
-  for (auto& w : workers) w.join();
+  const std::size_t grain = (n + num_threads() - 1) / num_threads();
+  TaskPool::global().for_dynamic(
+      begin, end, grain, [&f](std::size_t lo, std::size_t hi, unsigned) { f(lo, hi); });
 }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& f) {
-  parallel_for_chunks(begin, end, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) f(i);
-  });
+  if (begin >= end) return;
+  // Fine enough to balance, coarse enough that chunk dispatch stays cheap.
+  const std::size_t n = end - begin;
+  const std::size_t grain = std::max<std::size_t>(1, n / (8 * num_threads()));
+  TaskPool::global().for_dynamic(begin, end, grain,
+                                 [&f](std::size_t lo, std::size_t hi, unsigned) {
+                                   for (std::size_t i = lo; i < hi; ++i) f(i);
+                                 });
 }
 
 }  // namespace greem

@@ -1,26 +1,46 @@
 #pragma once
 // Intra-rank thread parallelism (the "OpenMP" half of the paper's
-// MPI/OpenMP hybrid).  A persistent pool executes index-range loops with
-// static chunking; with one worker it degenerates to a plain loop.
+// MPI/OpenMP hybrid).  These free functions are thin wrappers around the
+// persistent work-stealing TaskPool (util/task_pool.hpp): threads are
+// created once and reused, loops are dynamically chunked, and idle
+// participants steal from the busiest deque.  With one worker everything
+// degenerates to a plain inline loop.
 
 #include <cstddef>
 #include <functional>
 
 namespace greem {
 
-/// Number of worker threads used by parallel_for (default: hardware
-/// concurrency, overridable via set_num_threads for experiments).
+/// Number of loop participants used by the global pool (default: hardware
+/// concurrency, or GREEM_THREADS).  set_num_threads resizes the pool
+/// through the quiescent TaskPool::resize path; it waits for in-flight
+/// loops to finish and must not race with concurrent loop submissions.
+/// Setting the current size is a no-op, so concurrent identical settings
+/// (e.g. every parx rank-thread applying the same config) are safe.
 std::size_t num_threads();
 void set_num_threads(std::size_t n);
 
-/// Execute f(i) for i in [begin, end), split statically over the pool.
+/// Upper bound (== num_threads()) on the `slot` argument passed to
+/// parallel_for_dynamic bodies; size per-thread scratch with this.
+unsigned max_parallel_slots();
+
+/// Execute f(i) for i in [begin, end), dynamically scheduled over the pool.
 /// Safe to call when the pool has a single thread (runs inline).
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& f);
 
-/// Execute f(chunk_begin, chunk_end) once per worker with a contiguous
-/// range; lower overhead than per-index dispatch for hot loops.
+/// Execute f(chunk_begin, chunk_end) over contiguous chunks that partition
+/// [begin, end); lower overhead than per-index dispatch for hot loops.
+/// Chunk boundaries depend only on the range and the pool size.
 void parallel_for_chunks(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t, std::size_t)>& f);
+
+/// The full-control form: grain-sized chunks, dynamically scheduled with
+/// stealing, and the executing participant's slot for scratch reuse.
+/// Chunk boundaries depend only on (begin, end, grain) -- never on the
+/// pool size -- so disjoint-write bodies are bitwise deterministic across
+/// thread counts.
+void parallel_for_dynamic(std::size_t begin, std::size_t end, std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t, unsigned)>& f);
 
 }  // namespace greem

@@ -1,0 +1,217 @@
+#include "util/task_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace greem {
+namespace {
+
+// Non-worker threads submit at slot 0; workers carry their 1-based slot.
+thread_local unsigned tl_slot = 0;
+thread_local bool tl_is_worker = false;
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("GREEM_THREADS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+// A block of chunk indices [lo, hi) packed into one word so that the
+// owner's pop-front and a thief's pop-back contend on a single CAS.
+constexpr std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+constexpr std::uint32_t block_lo(std::uint64_t b) { return static_cast<std::uint32_t>(b >> 32); }
+constexpr std::uint32_t block_hi(std::uint64_t b) { return static_cast<std::uint32_t>(b); }
+
+}  // namespace
+
+struct TaskPool::LoopTask {
+  std::size_t begin = 0, end = 0, grain = 1;
+  std::size_t nchunks = 0;
+  const Body* body = nullptr;
+  std::vector<std::atomic<std::uint64_t>> blocks;  ///< per-participant deques
+  std::atomic<std::size_t> chunks_left{0};
+  int in_flight = 0;  ///< workers inside work_on(); guarded by pool mu_
+
+  // Pop the front chunk of block b (the owner side of the deque).
+  bool pop_front(std::size_t b, std::uint32_t& out) {
+    std::uint64_t cur = blocks[b].load(std::memory_order_relaxed);
+    while (block_lo(cur) < block_hi(cur)) {
+      if (blocks[b].compare_exchange_weak(cur, pack(block_lo(cur) + 1, block_hi(cur)),
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        out = block_lo(cur);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Steal the back chunk of block b (the thief side).
+  bool pop_back(std::size_t b, std::uint32_t& out) {
+    std::uint64_t cur = blocks[b].load(std::memory_order_relaxed);
+    while (block_lo(cur) < block_hi(cur)) {
+      if (blocks[b].compare_exchange_weak(cur, pack(block_lo(cur), block_hi(cur) - 1),
+                                          std::memory_order_acquire,
+                                          std::memory_order_relaxed)) {
+        out = block_hi(cur) - 1;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Grab the next chunk: own block first, then steal from the fullest.
+  bool take(unsigned slot, std::uint32_t& out) {
+    const std::size_t nb = blocks.size();
+    const std::size_t own = slot % nb;
+    if (pop_front(own, out)) return true;
+    for (;;) {
+      std::size_t victim = nb;
+      std::uint32_t best = 0;
+      for (std::size_t b = 0; b < nb; ++b) {
+        const std::uint64_t cur = blocks[b].load(std::memory_order_relaxed);
+        const std::uint32_t lo = block_lo(cur), hi = block_hi(cur);
+        if (lo < hi && hi - lo > best) {
+          best = hi - lo;
+          victim = b;
+        }
+      }
+      if (victim == nb) return false;
+      if (pop_back(victim, out)) return true;
+      // Lost the race for that block; rescan.
+    }
+  }
+};
+
+TaskPool::TaskPool(std::size_t threads)
+    : n_threads_(threads == 0 ? default_threads() : threads) {
+  spawn_workers();
+}
+
+TaskPool::~TaskPool() { join_workers(); }
+
+void TaskPool::spawn_workers() {
+  workers_.reserve(n_threads_ - 1);
+  for (std::size_t w = 1; w < n_threads_; ++w)
+    workers_.emplace_back([this, w] { worker_main(static_cast<unsigned>(w)); });
+}
+
+void TaskPool::join_workers() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  stop_ = false;
+}
+
+void TaskPool::resize(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  std::lock_guard resize_lock(resize_mu_);
+  if (threads == n_threads_) return;  // idempotent: concurrent equal settings are safe
+  {
+    // Quiesce: every submitted loop drains before the workers go away.
+    std::unique_lock lock(mu_);
+    cv_done_.wait(lock, [&] { return active_.empty(); });
+  }
+  join_workers();
+  n_threads_ = threads;
+  spawn_workers();
+}
+
+void TaskPool::for_dynamic(std::size_t begin, std::size_t end, std::size_t grain,
+                           const Body& body) {
+  if (begin >= end) return;
+  grain = std::max<std::size_t>(1, grain);
+  const std::size_t n = end - begin;
+  // Chunk indices are packed into 32 bits; coarsen the grain if a caller
+  // ever hands us > 2^32 chunks.
+  while ((n + grain - 1) / grain > 0xffffffffull) grain *= 2;
+  const std::size_t nchunks = (n + grain - 1) / grain;
+  // Inline paths: trivial loop, one-participant pool, or nested submission
+  // from a worker (which must not block waiting on its own pool).  The
+  // grain partition is preserved so the chunk boundaries a body observes
+  // stay a pure function of (begin, end, grain).
+  if (nchunks <= 1 || n_threads_ <= 1 || tl_is_worker) {
+    for (std::size_t lo = begin; lo < end; lo += grain)
+      body(lo, std::min(end, lo + grain), tl_slot);
+    return;
+  }
+
+  LoopTask task;
+  task.begin = begin;
+  task.end = end;
+  task.grain = grain;
+  task.nchunks = nchunks;
+  task.body = &body;
+  task.chunks_left.store(nchunks, std::memory_order_relaxed);
+  const std::size_t nblocks = std::min(n_threads_, nchunks);
+  task.blocks = std::vector<std::atomic<std::uint64_t>>(nblocks);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(b * nchunks / nblocks);
+    const std::uint32_t hi = static_cast<std::uint32_t>((b + 1) * nchunks / nblocks);
+    task.blocks[b].store(pack(lo, hi), std::memory_order_relaxed);
+  }
+
+  {
+    std::lock_guard lock(mu_);
+    active_.push_back(&task);
+  }
+  cv_work_.notify_all();
+
+  work_on(task, /*slot=*/0);
+
+  std::unique_lock lock(mu_);
+  // The task may already have been retired by the worker that drained it.
+  if (const auto it = std::find(active_.begin(), active_.end(), &task); it != active_.end())
+    active_.erase(it);
+  cv_done_.notify_all();  // unblock a concurrent resize() waiting for quiescence
+  cv_done_.wait(lock, [&] {
+    return task.chunks_left.load(std::memory_order_acquire) == 0 && task.in_flight == 0;
+  });
+}
+
+void TaskPool::work_on(LoopTask& task, unsigned slot) {
+  std::uint32_t c;
+  while (task.take(slot, c)) {
+    const std::size_t lo = task.begin + static_cast<std::size_t>(c) * task.grain;
+    const std::size_t hi = std::min(task.end, lo + task.grain);
+    (*task.body)(lo, hi, slot);
+    task.chunks_left.fetch_sub(1, std::memory_order_release);
+  }
+}
+
+void TaskPool::worker_main(unsigned slot) {
+  tl_slot = slot;
+  tl_is_worker = true;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || !active_.empty(); });
+    if (stop_) return;
+    LoopTask* task = active_[rr_++ % active_.size()];
+    ++task->in_flight;
+    lock.unlock();
+    work_on(*task, slot);
+    lock.lock();
+    --task->in_flight;
+    // All of this task's chunks have been handed out: retire it so idle
+    // workers stop spinning on it.  Completion is signalled to the
+    // submitter once the last participant leaves.
+    if (const auto it = std::find(active_.begin(), active_.end(), task); it != active_.end())
+      active_.erase(it);
+    if (task->in_flight == 0) cv_done_.notify_all();
+  }
+}
+
+TaskPool& TaskPool::global() {
+  static TaskPool pool(0);  // thread-safe magic static: no double-store race
+  return pool;
+}
+
+}  // namespace greem

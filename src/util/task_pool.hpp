@@ -1,0 +1,106 @@
+#pragma once
+// Persistent work-stealing task pool: the intra-rank execution engine (the
+// "OpenMP" half of the paper's MPI/OpenMP hybrid).
+//
+// Worker threads are created once, at pool construction, and reused across
+// every parallel loop for the lifetime of the pool -- the per-call
+// spawn/join of the old parallel_for made thread scaling saturate as soon
+// as loop bodies got short (tree groups with small interaction lists, PM
+// slabs).  The pool size is a *construction-time* property; the only way
+// to change it is the explicit, quiescent resize() below, which replaces
+// the racy load-then-store the old free-function API had.
+//
+// Scheduling: each loop is split into grain-sized chunks; the chunks are
+// pre-partitioned into one contiguous block per participant (per-thread
+// deques, packed into a single 64-bit word each).  A participant pops
+// chunks from the *front* of its own block; when its block runs dry it
+// steals from the *back* of the fullest remaining block.  Both ends move
+// by compare-and-swap on the same word, so the scheme is lock-free and
+// ABA-free (lo only grows, hi only shrinks).  This is dynamic scheduling
+// with the locality of static chunking when the load happens to be even.
+//
+// Concurrency model: any thread may submit loops, concurrently (the parx
+// runtime's ranks are themselves threads and call into the pool
+// independently).  The submitting thread always participates in its own
+// loop and only in its own loop; pool workers serve every active loop.
+// A loop submitted from *inside* a pool worker (nesting) runs inline,
+// serially, so nested parallelism cannot deadlock the pool.
+//
+// Determinism: the mapping of loop indices to chunks depends only on
+// (begin, end, grain), never on the worker count or the steal pattern, so
+// a body whose chunks write disjoint state produces bit-identical results
+// for every pool size.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace greem {
+
+class TaskPool {
+ public:
+  /// Loop body: called with contiguous [lo, hi) chunks.  `slot` identifies
+  /// the executing participant, unique within this loop, in
+  /// [0, max_slots()): 0 is the submitting thread, 1..workers are pool
+  /// threads.  Use it to index per-thread scratch sized max_slots().
+  using Body = std::function<void(std::size_t lo, std::size_t hi, unsigned slot)>;
+
+  /// A pool with `threads` total participants: the submitting thread plus
+  /// `threads - 1` persistent workers.  threads == 0 means one participant
+  /// per hardware thread.
+  explicit TaskPool(std::size_t threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total participants per loop (submitter + workers).
+  std::size_t threads() const { return n_threads_; }
+
+  /// Upper bound on the `slot` argument a Body can see, == threads().
+  unsigned max_slots() const { return static_cast<unsigned>(n_threads_); }
+
+  /// The documented resize path: waits for every in-flight loop to finish,
+  /// joins all workers and respawns `threads - 1` new ones.  Safe to call
+  /// concurrently with other resize() calls (serialized) and a no-op when
+  /// the size already matches, but must not race with loop *submissions* --
+  /// callers resize between phases, not during them.
+  void resize(std::size_t threads);
+
+  /// Run body over [begin, end) in grain-sized chunks, dynamically
+  /// scheduled over the pool.  Blocks until every chunk has executed.
+  /// Runs inline (single chunk, slot 0) when the pool has one participant,
+  /// the range fits one grain, or the caller is itself a pool worker.
+  void for_dynamic(std::size_t begin, std::size_t end, std::size_t grain,
+                   const Body& body);
+
+  /// The process-wide pool used by the parallel_for free functions.
+  /// Created on first use with one participant per hardware thread (or
+  /// GREEM_THREADS if set).
+  static TaskPool& global();
+
+ private:
+  struct LoopTask;
+
+  void spawn_workers();
+  void join_workers();
+  void worker_main(unsigned slot);
+  void work_on(LoopTask& task, unsigned slot);
+
+  std::size_t n_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;                      ///< guards active_, in_flight, stop_
+  std::condition_variable cv_work_;    ///< workers wait for active loops
+  std::condition_variable cv_done_;    ///< submitters wait for completion
+  std::vector<LoopTask*> active_;
+  std::size_t rr_ = 0;  ///< round-robin cursor over active loops
+  bool stop_ = false;
+  std::mutex resize_mu_;  ///< serializes resize() callers
+};
+
+}  // namespace greem

@@ -14,6 +14,7 @@
 #include "pm/green.hpp"
 #include "pm/pm_solver.hpp"
 #include "pp/cutoff.hpp"
+#include "util/parallel_for.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -78,6 +79,64 @@ TEST(Assign, LocalMatchesPeriodicInsideRegion) {
         const std::size_t gx = wrap_cell(x, n), gy = wrap_cell(y, n), gz = wrap_cell(z, n);
         EXPECT_NEAR(local.at(x, y, z), full[(gz * n + gy) * n + gx], 1e-10);
       }
+}
+
+TEST(Assign, SlabParallelDepositIsBitwiseDeterministic) {
+  // Enough particles to engage the bucketed slab-parallel path (its
+  // threshold depends only on the data, never the pool size): the mesh
+  // must come out bitwise identical for every thread count, periodic and
+  // local alike.
+  const std::size_t n = 16, np = 8192;
+  Rng rng(9);
+  std::vector<Vec3> pos(np);
+  std::vector<double> mass(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    pos[i] = {rng.uniform(), rng.uniform(), rng.uniform()};
+    mass[i] = rng.uniform(0.5, 1.5);
+  }
+
+  for (const Scheme s : {Scheme::kNGP, Scheme::kCIC, Scheme::kTSC}) {
+    set_num_threads(1);
+    std::vector<double> rho1(n * n * n, 0.0);
+    assign_density_periodic(rho1, n, s, pos, mass);
+    set_num_threads(4);
+    std::vector<double> rho4(n * n * n, 0.0);
+    assign_density_periodic(rho4, n, s, pos, mass);
+    for (std::size_t c = 0; c < rho1.size(); ++c)
+      ASSERT_EQ(rho1[c], rho4[c]) << "scheme " << static_cast<int>(s) << " cell " << c;
+  }
+
+  const Box domain{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  set_num_threads(1);
+  LocalMesh local1(region_for_domain(domain, n, 2));
+  assign_density(local1, n, Scheme::kTSC, pos, mass);
+  set_num_threads(4);
+  LocalMesh local4(region_for_domain(domain, n, 2));
+  assign_density(local4, n, Scheme::kTSC, pos, mass);
+  set_num_threads(1);
+  ASSERT_EQ(local1.data().size(), local4.data().size());
+  for (std::size_t c = 0; c < local1.data().size(); ++c)
+    ASSERT_EQ(local1.data()[c], local4.data()[c]) << "cell " << c;
+}
+
+TEST(Gradient, BitwiseDeterministicAcrossPoolSizes) {
+  const std::size_t n = 24;
+  Rng rng(11);
+  std::vector<double> phi(n * n * n);
+  for (auto& v : phi) v = rng.uniform(-1.0, 1.0);
+
+  set_num_threads(1);
+  std::vector<double> fx1, fy1, fz1;
+  fd_gradient_periodic(phi, n, fx1, fy1, fz1);
+  set_num_threads(4);
+  std::vector<double> fx4, fy4, fz4;
+  fd_gradient_periodic(phi, n, fx4, fy4, fz4);
+  set_num_threads(1);
+  for (std::size_t c = 0; c < phi.size(); ++c) {
+    ASSERT_EQ(fx1[c], fx4[c]);
+    ASSERT_EQ(fy1[c], fy4[c]);
+    ASSERT_EQ(fz1[c], fz4[c]);
+  }
 }
 
 TEST(Assign, TscIsExactForLinearFields) {

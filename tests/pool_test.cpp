@@ -1,0 +1,161 @@
+// Tests of the persistent work-stealing task pool: exact-once coverage
+// under odd grains, thread-count-independent chunk boundaries, concurrent
+// submitters (the parx rank-thread pattern), nested submission, the
+// quiescent resize path, and a scheduling stress run.  This file carries
+// the "tsan" ctest label; the ThreadSanitizer preset replays it.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/parallel_for.hpp"
+#include "util/task_pool.hpp"
+
+namespace greem {
+namespace {
+
+/// Restores the global pool size on scope exit so tests stay independent.
+struct PoolSizeGuard {
+  std::size_t saved = num_threads();
+  ~PoolSizeGuard() { set_num_threads(saved); }
+};
+
+TEST(TaskPool, EveryIndexExactlyOnceWithOddGrain) {
+  PoolSizeGuard guard;
+  set_num_threads(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_dynamic(0, n, 7, [&](std::size_t lo, std::size_t hi, unsigned slot) {
+    EXPECT_LE(lo, hi);
+    EXPECT_LE(hi, n);
+    EXPECT_LT(slot, max_parallel_slots());
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPool, ChunkBoundariesIndependentOfThreadCount) {
+  PoolSizeGuard guard;
+  auto chunks_at = [](std::size_t threads) {
+    set_num_threads(threads);
+    std::mutex mu;
+    std::set<std::pair<std::size_t, std::size_t>> chunks;
+    parallel_for_dynamic(3, 501, 11, [&](std::size_t lo, std::size_t hi, unsigned) {
+      std::lock_guard lock(mu);
+      chunks.insert({lo, hi});
+    });
+    return chunks;
+  };
+  const auto c1 = chunks_at(1);
+  const auto c4 = chunks_at(4);
+  const auto c8 = chunks_at(8);
+  EXPECT_EQ(c1, c4);
+  EXPECT_EQ(c1, c8);
+  // Chunks partition the range.
+  std::size_t covered = 0;
+  for (const auto& [lo, hi] : c1) covered += hi - lo;
+  EXPECT_EQ(covered, 501u - 3u);
+}
+
+TEST(TaskPool, ConcurrentSubmitters) {
+  // The parx pattern: several rank-threads each submit loops into the one
+  // process-wide pool at the same time.
+  PoolSizeGuard guard;
+  set_num_threads(4);
+  constexpr int kSubmitters = 4, kLoops = 50;
+  constexpr std::size_t kN = 256;
+  std::vector<std::thread> ranks;
+  std::vector<std::uint64_t> totals(kSubmitters, 0);
+  for (int r = 0; r < kSubmitters; ++r) {
+    ranks.emplace_back([&, r] {
+      std::uint64_t total = 0;
+      for (int l = 0; l < kLoops; ++l) {
+        std::atomic<std::uint64_t> sum{0};
+        parallel_for_dynamic(0, kN, 5, [&](std::size_t lo, std::size_t hi, unsigned) {
+          std::uint64_t s = 0;
+          for (std::size_t i = lo; i < hi; ++i) s += i;
+          sum.fetch_add(s, std::memory_order_relaxed);
+        });
+        total += sum.load();
+      }
+      totals[static_cast<std::size_t>(r)] = total;
+    });
+  }
+  for (auto& t : ranks) t.join();
+  const std::uint64_t expect = static_cast<std::uint64_t>(kLoops) * (kN * (kN - 1) / 2);
+  for (int r = 0; r < kSubmitters; ++r) EXPECT_EQ(totals[static_cast<std::size_t>(r)], expect);
+}
+
+TEST(TaskPool, NestedSubmissionRunsInline) {
+  PoolSizeGuard guard;
+  set_num_threads(4);
+  std::vector<std::atomic<int>> hits(64 * 32);
+  parallel_for_dynamic(0, 64, 1, [&](std::size_t lo, std::size_t hi, unsigned) {
+    for (std::size_t outer = lo; outer < hi; ++outer) {
+      // A loop submitted from inside a pool participant must not deadlock.
+      parallel_for_dynamic(0, 32, 4, [&](std::size_t jlo, std::size_t jhi, unsigned) {
+        for (std::size_t j = jlo; j < jhi; ++j)
+          hits[outer * 32 + j].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TaskPool, ResizeIsQuiescentAndIdempotent) {
+  PoolSizeGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3u);
+  EXPECT_EQ(max_parallel_slots(), 3u);
+  // Resizing to the current size is a no-op; concurrent identical calls
+  // (every rank-thread applying the same config) must all succeed.
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i) ts.emplace_back([] { set_num_threads(3); });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(num_threads(), 3u);
+
+  set_num_threads(2);
+  EXPECT_EQ(num_threads(), 2u);
+  std::atomic<int> count{0};
+  parallel_for(0, 100, [&](std::size_t) { count.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskPool, StressManySmallLoops) {
+  PoolSizeGuard guard;
+  set_num_threads(4);
+  std::uint64_t checks = 0;
+  for (int l = 0; l < 500; ++l) {
+    const std::size_t n = static_cast<std::size_t>(1 + (l * 37) % 97);
+    std::atomic<std::uint64_t> sum{0};
+    parallel_for_dynamic(0, n, 3, [&](std::size_t lo, std::size_t hi, unsigned) {
+      std::uint64_t s = 0;
+      for (std::size_t i = lo; i < hi; ++i) s += i + 1;
+      sum.fetch_add(s, std::memory_order_relaxed);
+    });
+    ASSERT_EQ(sum.load(), static_cast<std::uint64_t>(n) * (n + 1) / 2) << "loop " << l;
+    ++checks;
+  }
+  EXPECT_EQ(checks, 500u);
+}
+
+TEST(TaskPool, DedicatedPoolIndependentOfGlobal) {
+  TaskPool pool(2);
+  EXPECT_EQ(pool.threads(), 2u);
+  std::atomic<std::uint64_t> sum{0};
+  pool.for_dynamic(0, 1000, 13, [&](std::size_t lo, std::size_t hi, unsigned slot) {
+    EXPECT_LT(slot, pool.max_slots());
+    std::uint64_t s = 0;
+    for (std::size_t i = lo; i < hi; ++i) s += i;
+    sum.fetch_add(s, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2u);
+}
+
+}  // namespace
+}  // namespace greem

@@ -151,6 +151,52 @@ TEST(Kernels, PhantomMatchesScalar) {
   }
 }
 
+TEST(Kernels, EveryPhantomVariantMatchesScalar) {
+  // Deliberately ni % 4 != 0 and nj % 4 != 0: exercises the i-tail of the
+  // blocked kernels and the padded j-tail in the same run.
+  Rng rng(91);
+  const std::size_t ni = 37, nj = 101;
+  std::vector<Vec3> xi(ni);
+  for (auto& p : xi) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  InteractionList list;
+  for (std::size_t j = 0; j < nj; ++j)
+    list.add({rng.uniform(), rng.uniform(), rng.uniform()}, rng.uniform(0.5, 2.0));
+
+  const double rcut = 0.4, eps2 = 1e-6;
+  std::vector<Vec3> a_scalar(ni);
+  pp_kernel_scalar(xi, a_scalar, list, rcut, eps2);
+  list.pad4();
+  for (const PhantomVariant v :
+       {PhantomVariant::kBasic, PhantomVariant::kBlocked, PhantomVariant::kBlockedAvx2,
+        PhantomVariant::kBlockedAvx512}) {
+    if (!phantom_variant_available(v)) continue;
+    std::vector<Vec3> a(ni);
+    pp_kernel_phantom_variant(v, xi, a, list, rcut, eps2);
+    for (std::size_t i = 0; i < ni; ++i) {
+      const double scale = std::max(1.0, a_scalar[i].norm());
+      EXPECT_NEAR(a[i].x, a_scalar[i].x, 5e-7 * scale) << phantom_variant_name(v);
+      EXPECT_NEAR(a[i].y, a_scalar[i].y, 5e-7 * scale) << phantom_variant_name(v);
+      EXPECT_NEAR(a[i].z, a_scalar[i].z, 5e-7 * scale) << phantom_variant_name(v);
+    }
+  }
+}
+
+TEST(Kernels, PhantomDispatchResolvesToAvailableVariant) {
+  const PhantomVariant d = phantom_dispatch();
+  EXPECT_NE(d, PhantomVariant::kAuto);
+  EXPECT_TRUE(phantom_variant_available(d));
+
+  // Overrides resolve to something runnable (kAuto included), and the
+  // original dispatch can be restored.
+  set_phantom_variant(PhantomVariant::kBasic);
+  EXPECT_EQ(phantom_dispatch(), PhantomVariant::kBasic);
+  set_phantom_variant(PhantomVariant::kAuto);
+  EXPECT_NE(phantom_dispatch(), PhantomVariant::kAuto);
+  EXPECT_TRUE(phantom_variant_available(phantom_dispatch()));
+  set_phantom_variant(d);
+  EXPECT_EQ(phantom_dispatch(), d);
+}
+
 TEST(Kernels, SelfInteractionIsZero) {
   const std::vector<Vec3> xi{{0.5, 0.5, 0.5}};
   InteractionList list;

@@ -460,6 +460,45 @@ TEST(Traversal, MultithreadedMatchesSingleThreaded) {
   }
 }
 
+TEST(Traversal, BitwiseDeterministicAcrossPoolSizes) {
+  // Stronger form: the Newton kernel with an oversubscribed 8-thread pool
+  // (this box may have fewer cores -- the steal pattern then varies wildly
+  // between runs) must reproduce the single-thread forces *bitwise* and
+  // the full traversal statistics exactly.  This is the property that lets
+  // distributed runs validate against each other regardless of the
+  // per-rank thread count.
+  const auto pos = random_positions(3000, 77);
+  std::vector<double> mass(pos.size());
+  for (std::size_t i = 0; i < mass.size(); ++i)
+    mass[i] = (1.0 + static_cast<double>(i % 7)) / 3000.0;
+  Octree tree(pos, mass);
+  TraversalParams tp;
+  tp.theta = 0.6;
+  tp.ncrit = 32;
+  tp.eps2 = 1e-8;
+  tp.kernel = KernelKind::kNewton;
+
+  set_num_threads(1);
+  std::vector<Vec3> acc1(pos.size());
+  const auto s1 = tree_accelerations(tree, tp, acc1);
+  for (const std::size_t nt : {2, 8}) {
+    set_num_threads(nt);
+    std::vector<Vec3> accn(pos.size());
+    const auto sn = tree_accelerations(tree, tp, accn);
+    EXPECT_EQ(s1.ngroups, sn.ngroups);
+    EXPECT_EQ(s1.sum_ni, sn.sum_ni);
+    EXPECT_EQ(s1.sum_nj, sn.sum_nj);
+    EXPECT_EQ(s1.interactions, sn.interactions);
+    EXPECT_EQ(s1.nodes_visited, sn.nodes_visited);
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      EXPECT_EQ(acc1[i].x, accn[i].x) << nt << " threads, particle " << i;
+      EXPECT_EQ(acc1[i].y, accn[i].y) << nt << " threads, particle " << i;
+      EXPECT_EQ(acc1[i].z, accn[i].z) << nt << " threads, particle " << i;
+    }
+  }
+  set_num_threads(1);
+}
+
 
 TEST(Traversal, TreePotentialsMatchDirectPairSum) {
   const auto pos = random_positions(300, 41);
