@@ -14,9 +14,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "pp/kernels.hpp"
+#include "telemetry/json.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -170,27 +172,34 @@ void write_kernel_json(const char* path) {
   const double scalar = rate[0], basic = rate[1];
   const double dispatched = measure_rate(pp::phantom_dispatch(), w);
 
-  std::FILE* f = std::fopen(path, "w");
-  if (!f) return;
-  std::fprintf(f, "{\n  \"bench\": \"kernel\",\n");
-  std::fprintf(f, "  \"ni\": %zu,\n  \"nj\": %zu,\n", ni, w.list.size());
-  std::fprintf(f, "  \"flops_per_interaction\": %d,\n", pp::kFlopsPerInteraction);
-  std::fprintf(f, "  \"dispatch\": \"%s\",\n", pp::phantom_variant_name(pp::phantom_dispatch()));
-  std::fprintf(f, "  \"dispatch_interactions_per_s\": %.6g,\n", dispatched);
-  std::fprintf(f, "  \"dispatch_speedup_vs_basic\": %.4g,\n", basic > 0 ? dispatched / basic : 0.0);
-  std::fprintf(f, "  \"variants\": [\n");
+  std::ofstream os(path);
+  if (!os) return;
+  telemetry::JsonWriter jw(os);
+  jw.begin_object();
+  telemetry::write_meta(
+      jw, telemetry::RunMeta::collect("kernel",
+                                      pp::phantom_variant_name(pp::phantom_dispatch())));
+  jw.field("ni", ni);
+  jw.field("nj", w.list.size());
+  jw.field("flops_per_interaction", pp::kFlopsPerInteraction);
+  jw.field("dispatch", pp::phantom_variant_name(pp::phantom_dispatch()));
+  jw.field("dispatch_interactions_per_s", dispatched);
+  jw.field("dispatch_speedup_vs_basic", basic > 0 ? dispatched / basic : 0.0);
+  jw.key("variants").begin_array();
   for (std::size_t k = 0; k < std::size(kVariants); ++k) {
     const pp::PhantomVariant v = kVariants[k];
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"available\": %s, \"interactions_per_s\": %.6g, "
-                 "\"gflops\": %.6g, \"speedup_vs_scalar\": %.4g, \"speedup_vs_basic\": %.4g}%s\n",
-                 pp::phantom_variant_name(v), rate[k] > 0 ? "true" : "false", rate[k],
-                 rate[k] * pp::kFlopsPerInteraction * 1e-9,
-                 scalar > 0 ? rate[k] / scalar : 0.0, basic > 0 ? rate[k] / basic : 0.0,
-                 k + 1 < std::size(kVariants) ? "," : "");
+    jw.begin_object();
+    jw.field("name", pp::phantom_variant_name(v));
+    jw.field("available", rate[k] > 0);
+    jw.field("interactions_per_s", rate[k]);
+    jw.field("gflops", rate[k] * pp::kFlopsPerInteraction * 1e-9);
+    jw.field("speedup_vs_scalar", scalar > 0 ? rate[k] / scalar : 0.0);
+    jw.field("speedup_vs_basic", basic > 0 ? rate[k] / basic : 0.0);
+    jw.end_object();
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  jw.end_array();
+  jw.end_object();
+  os << "\n";
   std::printf("wrote %s (dispatch=%s, %.3g M inter/s, %.2fx vs basic)\n", path,
               pp::phantom_variant_name(pp::phantom_dispatch()), dispatched * 1e-6,
               basic > 0 ? dispatched / basic : 0.0);

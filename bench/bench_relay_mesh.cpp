@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 
 #include "core/particle.hpp"
 #include "domain/multisection.hpp"
@@ -57,18 +58,23 @@ PhaseTraffic run(std::array<int, 3> dims, std::size_t n_mesh, pm::MeshConversion
       }
     }
 
-    // Forward conversion traffic.
+    // Forward conversion traffic.  Rank 0 brackets each conversion with a
+    // ledger epoch (snapshot-diff; no global reset, so nothing else racing
+    // on the ledger is disturbed).  The barriers make the phase boundaries
+    // globally quiescent, which keeps the per-phase attribution exact --
+    // see the contract in parx/traffic.hpp.
     pm::LocalMesh rho(pm::region_for_domain(decomp.box_of(world.rank()), n_mesh, 2));
     pm::assign_density(rho, n_mesh, pm::Scheme::kTSC, pos, mass);
     world.barrier();
-    if (world.rank() == 0) world.ledger().reset();
-    world.barrier();
+    std::optional<parx::TrafficLedger::Epoch> epoch;
+    if (world.rank() == 0) epoch.emplace(world.ledger().begin_phase("forward"));
     auto slab = solver.converter().gather_density(rho, nullptr);
     world.barrier();
     if (world.rank() == 0) {
-      out.fwd_max_in = world.ledger().totals().max_in_messages;
-      out.fwd_model_s = world.ledger().model_time();
-      world.ledger().reset();
+      const parx::TrafficCounts fwd = epoch->delta();
+      out.fwd_max_in = fwd.totals().max_in_messages;
+      out.fwd_model_s = fwd.model_time();
+      epoch.emplace(world.ledger().begin_phase("backward"));
     }
     world.barrier();
     // Backward conversion traffic (scatter the density back as if it were
@@ -76,8 +82,9 @@ PhaseTraffic run(std::array<int, 3> dims, std::size_t n_mesh, pm::MeshConversion
     solver.converter().scatter_potential(slab, nullptr);
     world.barrier();
     if (world.rank() == 0) {
-      out.bwd_max_in = world.ledger().totals().max_in_messages;
-      out.bwd_model_s = world.ledger().model_time();
+      const parx::TrafficCounts bwd = epoch->delta();
+      out.bwd_max_in = bwd.totals().max_in_messages;
+      out.bwd_model_s = bwd.model_time();
     }
   });
   return out;

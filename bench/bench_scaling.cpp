@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "core/parallel_sim.hpp"
 #include "parx/runtime.hpp"
 #include "pp/kernels.hpp"
+#include "telemetry/json.hpp"
 #include "tree/octree.hpp"
 #include "util/parallel_for.hpp"
 #include "util/table.hpp"
@@ -141,15 +143,18 @@ std::vector<ThreadPoint> thread_scan(const std::vector<std::size_t>& counts, Pas
   return out;
 }
 
-void json_thread_points(std::FILE* f, const char* key, const std::vector<ThreadPoint>& pts) {
-  std::fprintf(f, "    \"%s\": [\n", key);
-  for (std::size_t i = 0; i < pts.size(); ++i)
-    std::fprintf(f,
-                 "      {\"threads\": %zu, \"seconds\": %.6g, \"speedup\": %.4g, "
-                 "\"efficiency\": %.4g}%s\n",
-                 pts[i].threads, pts[i].seconds, pts[i].speedup, pts[i].efficiency,
-                 i + 1 < pts.size() ? "," : "");
-  std::fprintf(f, "    ]");
+void json_thread_points(telemetry::JsonWriter& jw, std::string_view key,
+                        const std::vector<ThreadPoint>& pts) {
+  jw.key(key).begin_array();
+  for (const ThreadPoint& pt : pts) {
+    jw.begin_object();
+    jw.field("threads", pt.threads);
+    jw.field("seconds", pt.seconds);
+    jw.field("speedup", pt.speedup);
+    jw.field("efficiency", pt.efficiency);
+    jw.end_object();
+  }
+  jw.end_array();
 }
 
 }  // namespace
@@ -216,31 +221,36 @@ int main() {
   }
   t.print(std::cout);
 
-  if (std::FILE* f = std::fopen("BENCH_scaling.json", "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"scaling\",\n");
-    std::fprintf(f, "  \"pp_thread_scaling\": {\n");
-    std::fprintf(f, "    \"n_particles\": %zu,\n", n);
-    std::fprintf(f, "    \"kernel\": \"%s\",\n",
-                 pp::phantom_variant_name(pp::phantom_dispatch()));
-    std::fprintf(f, "    \"hardware_concurrency\": %u,\n",
-                 std::thread::hardware_concurrency());
-    json_thread_points(f, "pool", pool_pts);
-    std::fprintf(f, ",\n");
-    json_thread_points(f, "spawn_per_call_reference", spawn_pts);
+  if (std::ofstream os("BENCH_scaling.json"); os) {
+    telemetry::JsonWriter jw(os);
+    jw.begin_object();
+    telemetry::write_meta(
+        jw, telemetry::RunMeta::collect("scaling",
+                                        pp::phantom_variant_name(pp::phantom_dispatch())));
+    jw.key("pp_thread_scaling").begin_object();
+    jw.field("n_particles", n);
+    jw.field("kernel", pp::phantom_variant_name(pp::phantom_dispatch()));
+    jw.field("hardware_concurrency", std::thread::hardware_concurrency());
+    json_thread_points(jw, "pool", pool_pts);
+    json_thread_points(jw, "spawn_per_call_reference", spawn_pts);
     const double gain8 = spawn_pts.back().efficiency > 0
                              ? pool_pts.back().efficiency / spawn_pts.back().efficiency
                              : 0.0;
-    std::fprintf(f, ",\n    \"pool_vs_spawn_efficiency_8t\": %.4g\n  },\n", gain8);
-    std::fprintf(f, "  \"rank_scaling\": [\n");
-    for (std::size_t i = 0; i < rank_pts.size(); ++i)
-      std::fprintf(f,
-                   "    {\"ranks\": %d, \"max_interactions\": %.6g, \"parallel_eff\": %.4g, "
-                   "\"balance\": %.4g, \"fft_seconds\": %.6g}%s\n",
-                   rank_pts[i].ranks, rank_pts[i].max_interactions, rank_eff[i],
-                   rank_pts[i].balance, rank_pts[i].fft_seconds,
-                   i + 1 < rank_pts.size() ? "," : "");
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    jw.field("pool_vs_spawn_efficiency_8t", gain8);
+    jw.end_object();
+    jw.key("rank_scaling").begin_array();
+    for (std::size_t i = 0; i < rank_pts.size(); ++i) {
+      jw.begin_object();
+      jw.field("ranks", rank_pts[i].ranks);
+      jw.field("max_interactions", rank_pts[i].max_interactions);
+      jw.field("parallel_eff", rank_eff[i]);
+      jw.field("balance", rank_pts[i].balance);
+      jw.field("fft_seconds", rank_pts[i].fft_seconds);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    os << "\n";
     std::printf("\nwrote BENCH_scaling.json\n");
   }
   std::printf("\nShape check vs the paper: parallel efficiency stays high\n");

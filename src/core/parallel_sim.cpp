@@ -1,12 +1,17 @@
 #include "core/parallel_sim.hpp"
 
 #include <cassert>
+#include <fstream>
+#include <optional>
 #include <stdexcept>
 
 #include "domain/exchange.hpp"
+#include "pp/kernels.hpp"
+#include "telemetry/trace.hpp"
 #include "tree/ghost.hpp"
 #include "tree/octree.hpp"
 #include "util/parallel_for.hpp"
+#include "util/task_pool.hpp"
 
 namespace greem::core {
 
@@ -27,6 +32,9 @@ ParallelSimulation::ParallelSimulation(parx::Comm& world, ParallelSimConfig conf
 }
 
 void ParallelSimulation::domain_cycle(std::uint64_t substep_id) {
+  telemetry::Span span("sim/domain_cycle");
+  std::optional<parx::TrafficLedger::Epoch> ep;
+  if (reporting() && world_.rank() == 0) ep.emplace(world_.ledger().begin_phase("dd"));
   Stopwatch sw;
   // Sampling method: rate follows the measured force cost (particle count
   // before the first measurement exists).
@@ -44,9 +52,13 @@ void ParallelSimulation::domain_cycle(std::uint64_t substep_id) {
   report_.dd.add("particle exchange", sw.seconds());
 
   pm_.update_domain(decomp_.box_of(world_.rank()));
+  if (ep) report_.traffic_dd += ep->delta();
 }
 
 void ParallelSimulation::pp_force_cycle() {
+  telemetry::Span span("sim/pp_cycle");
+  std::optional<parx::TrafficLedger::Epoch> ep;
+  if (reporting() && world_.rank() == 0) ep.emplace(world_.ledger().begin_phase("pp"));
   const double rcut = config_.rcut();
   Stopwatch sw;
 
@@ -94,9 +106,11 @@ void ParallelSimulation::pp_force_cycle() {
   last_force_cost_ = times.traverse_s + times.force_s;
 
   for (std::size_t i = 0; i < n_local; ++i) particles_[i].acc_s = acc[i];
+  if (ep) report_.traffic_pp += ep->delta();
 }
 
 void ParallelSimulation::step(double t_next) {
+  telemetry::Span span("sim/step");
   const double t0 = clock_;
   const double t1 = t_next;
   const TimeMetric& m = config_.metric;
@@ -110,6 +124,9 @@ void ParallelSimulation::step(double t_next) {
     if (s == 0) {
       // PM cycle: closing half-kick of the previous step + opening half of
       // this one, with the freshly computed long-range force.
+      telemetry::Span pm_span("sim/pm_cycle");
+      std::optional<parx::TrafficLedger::Epoch> ep;
+      if (reporting() && world_.rank() == 0) ep.emplace(world_.ledger().begin_phase("pm"));
       auto pos = positions_of(particles_);
       auto mass = masses_of(particles_);
       std::vector<Vec3> accl(particles_.size(), Vec3{});
@@ -117,6 +134,7 @@ void ParallelSimulation::step(double t_next) {
       const double k = pending_long_kick_ + 0.5 * m.kick(t0, t1);
       for (std::size_t i = 0; i < particles_.size(); ++i) particles_[i].mom += accl[i] * k;
       pending_long_kick_ = 0.5 * m.kick(t0, t1);
+      if (ep) report_.traffic_pm += ep->delta();
     }
 
     const double ts0 = t0 + (t1 - t0) * static_cast<double>(s) / nsub;
@@ -138,6 +156,62 @@ void ParallelSimulation::step(double t_next) {
   }
 
   clock_ = t1;
+  ++step_counter_;
+  if (reporting()) write_step_record();
+}
+
+void ParallelSimulation::write_step_record() {
+  telemetry::Span span("sim/step_report");
+  telemetry::StepRecord rec;
+  rec.step = step_counter_;
+  rec.t = clock_;
+  rec.ranks = world_.size();
+  rec.nsub = config_.nsub;
+  rec.n_particles = world_.allreduce_sum(static_cast<std::uint64_t>(particles_.size()));
+
+  // Phase times follow the paper's convention: the slowest rank sets the
+  // step time, so report the phase-wise max.
+  rec.pm = allreduce_max(world_, report_.pm);
+  rec.pp = allreduce_max(world_, report_.pp);
+  rec.dd = allreduce_max(world_, report_.dd);
+
+  const double pp_local =
+      report_.pp.get("tree traversal") + report_.pp.get("force calculation");
+  rec.pp_seconds_max = world_.allreduce_max(pp_local);
+  rec.pp_seconds_mean =
+      world_.allreduce_sum(pp_local) / static_cast<double>(world_.size());
+
+  const tree::TraversalStats gstats = allreduce_sum(world_, report_.pp_stats);
+  rec.interactions = gstats.interactions;
+  rec.flops = static_cast<double>(rec.interactions) * pp::kFlopsPerInteraction;
+  rec.flop_rate = rec.pp_seconds_max > 0 ? rec.flops / rec.pp_seconds_max : 0;
+  rec.ghosts_imported =
+      world_.allreduce_sum(static_cast<std::uint64_t>(report_.n_ghost_imported));
+
+  // Pool activity since the previous report (the pool is process-wide and
+  // shared by every rank thread, so the counts are process totals).
+  const TaskPool::PoolStats ps = TaskPool::global().stats();
+  rec.pool_loops = ps.loops - pool_prev_loops_;
+  rec.pool_chunks = ps.chunks - pool_prev_chunks_;
+  rec.pool_steals = ps.steals - pool_prev_steals_;
+  rec.pool_imbalance = ps.imbalance();
+  pool_prev_loops_ = ps.loops;
+  pool_prev_chunks_ = ps.chunks;
+  pool_prev_steals_ = ps.steals;
+
+  if (world_.rank() == 0) {
+    auto phase = [&](const char* name, const parx::TrafficCounts& c) {
+      if (c.world_size() == 0) return;
+      const parx::TrafficTotals tot = c.totals();
+      rec.traffic.push_back({name, tot.messages, tot.bytes, c.model_time()});
+    };
+    phase("dd", report_.traffic_dd);
+    phase("pp", report_.traffic_pp);
+    phase("pm", report_.traffic_pm);
+    std::ofstream os(config_.step_report_path, std::ios::app);
+    if (os) telemetry::write_jsonl(os, rec);
+  }
+  record_ = std::move(rec);
 }
 
 void ParallelSimulation::synchronize() {

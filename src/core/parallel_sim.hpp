@@ -10,13 +10,16 @@
 // conversion.  Phase timings accumulate under the row names of Table I.
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/integrator.hpp"
 #include "core/particle.hpp"
 #include "domain/multisection.hpp"
 #include "domain/sampling.hpp"
+#include "parx/traffic.hpp"
 #include "pm/parallel_pm.hpp"
+#include "telemetry/step_report.hpp"
 #include "tree/traversal.hpp"
 #include "util/timer.hpp"
 
@@ -39,6 +42,16 @@ struct ParallelSimConfig {
   /// so every parx rank-thread applying the same config is safe; ranks
   /// share the process-wide pool, they do not get one each.
   std::size_t pool_threads = 0;
+
+  /// When non-empty (and the telemetry layer is compiled in), every step()
+  /// appends one StepRecord JSON line to this file: phase times under the
+  /// Table I row names (max over ranks), achieved flop rate from the
+  /// interaction counts, load imbalance, pool activity and per-phase
+  /// traffic.  The aggregation performs a few extra small allreduces per
+  /// step, so leave it empty for overhead-sensitive runs.  Must be set
+  /// identically on every rank (the aggregation is collective); rank 0
+  /// writes the file.
+  std::string step_report_path;
 
   double rcut() const { return pm.effective_rcut(); }
 };
@@ -65,12 +78,27 @@ class ParallelSimulation {
     TimingBreakdown pm, pp, dd;      ///< this rank's phase seconds
     tree::TraversalStats pp_stats;   ///< this rank's traversal statistics
     std::size_t n_ghost_imported = 0;
+    /// Global traffic per phase bucket, accumulated from ledger epochs.
+    /// Observed on rank 0 only (the ledger is global); empty elsewhere
+    /// and when step reporting is off.
+    parx::TrafficCounts traffic_dd, traffic_pp, traffic_pm;
   };
   const StepReport& last_step() const { return report_; }
+
+  /// The cross-rank aggregate written for the most recent step.  Valid on
+  /// every rank (the aggregation is collective) once a step has run with
+  /// step reporting enabled.
+  const telemetry::StepRecord& last_record() const { return record_; }
 
  private:
   void domain_cycle(std::uint64_t substep_id);
   void pp_force_cycle();
+  void write_step_record();
+
+  /// True when step() should aggregate and append StepRecords.
+  bool reporting() const {
+    return telemetry::enabled() && !config_.step_report_path.empty();
+  }
 
   parx::Comm world_;
   ParallelSimConfig config_;
@@ -82,7 +110,11 @@ class ParallelSimulation {
   double pending_long_kick_ = 0;
   double last_force_cost_ = -1;  ///< <0: use particle count as proxy
   std::uint64_t substep_counter_ = 0;
+  std::uint64_t step_counter_ = 0;
   StepReport report_;
+  telemetry::StepRecord record_;
+  // Pool counters at the previous report, to delta per step.
+  std::uint64_t pool_prev_loops_ = 0, pool_prev_chunks_ = 0, pool_prev_steals_ = 0;
 };
 
 /// Phase-wise max over ranks (the paper reports the slowest rank's time).

@@ -24,6 +24,7 @@ int Comm::world_rank_of(int r) const { return group_->world_ranks[static_cast<st
 TrafficLedger& Comm::ledger() { return *group_->job->ledger; }
 
 void Comm::barrier() {
+  telemetry::Span span("parx/barrier");
   group_->barrier.wait([&] { return group_->job->poisoned.load(std::memory_order_relaxed); });
 }
 
@@ -71,6 +72,7 @@ std::vector<std::size_t> Comm::exchange_sizes(std::span<const std::size_t> to_ea
 }
 
 Comm Comm::split(int color, int key) {
+  telemetry::Span span("parx/split");
   Group& g = *group_;
   auto poisoned = [&] { return g.job->poisoned.load(std::memory_order_relaxed); };
   {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "parx/traffic.hpp"
+#include "telemetry/trace.hpp"
 
 namespace greem::parx {
 
@@ -93,6 +94,7 @@ class Comm {
   template <class T>
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_to) {
     static_assert(std::is_trivially_copyable_v<T>);
+    telemetry::Span span("parx/alltoallv");
     const auto p = static_cast<std::size_t>(size());
     std::vector<std::size_t> sizes(p);
     for (std::size_t j = 0; j < p; ++j) sizes[j] = send_to[j].size() * sizeof(T);
@@ -121,6 +123,7 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     const int p = size();
     if (p == 1) return;
+    telemetry::Span span("parx/bcast");
     const int vr = (rank_ - root + p) % p;
     int mask = 1;
     while (mask < p) {
@@ -146,6 +149,7 @@ class Comm {
   template <class T, class Op>
   void reduce(std::span<T> inout, int root, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    telemetry::Span span("parx/reduce");
     const int p = size();
     const int vr = (rank_ - root + p) % p;
     for (int mask = 1; mask < p; mask <<= 1) {
@@ -203,6 +207,7 @@ class Comm {
   template <class T>
   std::vector<T> gatherv(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
+    telemetry::Span span("parx/gatherv");
     const auto p = static_cast<std::size_t>(size());
     std::vector<std::size_t> sizes(p, 0);
     if (rank_ != root) sizes[static_cast<std::size_t>(root)] = mine.size_bytes();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "parx/group.hpp"
+#include "telemetry/trace.hpp"
 
 namespace greem::parx {
 
@@ -28,6 +29,8 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
   std::exception_ptr first_error;
 
   auto body = [&](int rank) {
+    // Route this rank thread's spans onto a per-rank trace track.
+    const int prev_track = telemetry::set_trace_rank(rank);
     Comm comm(world_, rank);
     try {
       fn(comm);
@@ -38,6 +41,7 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
       }
       job_->poisoned.store(true);
     }
+    telemetry::set_trace_rank(prev_track);
   };
 
   std::vector<std::thread> threads;

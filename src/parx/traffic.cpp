@@ -1,8 +1,84 @@
 #include "parx/traffic.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace greem::parx {
+
+namespace {
+
+TrafficTotals totals_of(const std::vector<std::uint64_t>& in_msgs,
+                        const std::vector<std::uint64_t>& in_bytes,
+                        const std::vector<std::uint64_t>& out_msgs,
+                        const std::vector<std::uint64_t>& out_bytes) {
+  TrafficTotals t;
+  for (std::size_t r = 0; r < in_msgs.size(); ++r) {
+    t.messages += out_msgs[r];
+    t.bytes += out_bytes[r];
+    t.max_in_messages = std::max(t.max_in_messages, in_msgs[r]);
+    t.max_in_bytes = std::max(t.max_in_bytes, in_bytes[r]);
+    t.max_out_messages = std::max(t.max_out_messages, out_msgs[r]);
+    t.max_out_bytes = std::max(t.max_out_bytes, out_bytes[r]);
+  }
+  return t;
+}
+
+double model_time_of(const std::vector<std::uint64_t>& in_msgs,
+                     const std::vector<std::uint64_t>& in_bytes,
+                     const std::vector<std::uint64_t>& out_msgs,
+                     const std::vector<std::uint64_t>& out_bytes,
+                     const CongestionModel& m) {
+  double worst = 0;
+  for (std::size_t r = 0; r < in_msgs.size(); ++r) {
+    double in_cost = static_cast<double>(in_msgs[r]) * m.latency_s +
+                     static_cast<double>(in_bytes[r]) / m.bandwidth_Bps;
+    double out_cost = static_cast<double>(out_msgs[r]) * m.latency_s +
+                      static_cast<double>(out_bytes[r]) / m.bandwidth_Bps;
+    worst = std::max(worst, std::max(in_cost, out_cost));
+  }
+  return worst;
+}
+
+}  // namespace
+
+TrafficTotals TrafficCounts::totals() const {
+  return totals_of(in_msgs, in_bytes, out_msgs, out_bytes);
+}
+
+double TrafficCounts::model_time(const CongestionModel& m) const {
+  return model_time_of(in_msgs, in_bytes, out_msgs, out_bytes, m);
+}
+
+TrafficCounts& TrafficCounts::operator+=(const TrafficCounts& o) {
+  if (in_msgs.empty()) {
+    *this = o;
+    return *this;
+  }
+  assert(world_size() == o.world_size());
+  auto acc = [](std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  };
+  acc(in_msgs, o.in_msgs);
+  acc(in_bytes, o.in_bytes);
+  acc(out_msgs, o.out_msgs);
+  acc(out_bytes, o.out_bytes);
+  return *this;
+}
+
+TrafficCounts operator-(const TrafficCounts& later, const TrafficCounts& earlier) {
+  assert(later.world_size() == earlier.world_size());
+  auto sub = [](const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b) {
+    std::vector<std::uint64_t> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+    return out;
+  };
+  TrafficCounts d;
+  d.in_msgs = sub(later.in_msgs, earlier.in_msgs);
+  d.in_bytes = sub(later.in_bytes, earlier.in_bytes);
+  d.out_msgs = sub(later.out_msgs, earlier.out_msgs);
+  d.out_bytes = sub(later.out_bytes, earlier.out_bytes);
+  return d;
+}
 
 TrafficLedger::TrafficLedger(std::size_t world_size)
     : in_msgs_(world_size, 0),
@@ -28,29 +104,22 @@ void TrafficLedger::reset() {
 
 TrafficTotals TrafficLedger::totals() const {
   std::lock_guard lock(mu_);
-  TrafficTotals t;
-  for (std::size_t r = 0; r < in_msgs_.size(); ++r) {
-    t.messages += out_msgs_[r];
-    t.bytes += out_bytes_[r];
-    t.max_in_messages = std::max(t.max_in_messages, in_msgs_[r]);
-    t.max_in_bytes = std::max(t.max_in_bytes, in_bytes_[r]);
-    t.max_out_messages = std::max(t.max_out_messages, out_msgs_[r]);
-    t.max_out_bytes = std::max(t.max_out_bytes, out_bytes_[r]);
-  }
-  return t;
+  return totals_of(in_msgs_, in_bytes_, out_msgs_, out_bytes_);
+}
+
+TrafficCounts TrafficLedger::counts() const {
+  std::lock_guard lock(mu_);
+  TrafficCounts c;
+  c.in_msgs = in_msgs_;
+  c.in_bytes = in_bytes_;
+  c.out_msgs = out_msgs_;
+  c.out_bytes = out_bytes_;
+  return c;
 }
 
 double TrafficLedger::model_time(const CongestionModel& m) const {
   std::lock_guard lock(mu_);
-  double worst = 0;
-  for (std::size_t r = 0; r < in_msgs_.size(); ++r) {
-    double in_cost = static_cast<double>(in_msgs_[r]) * m.latency_s +
-                     static_cast<double>(in_bytes_[r]) / m.bandwidth_Bps;
-    double out_cost = static_cast<double>(out_msgs_[r]) * m.latency_s +
-                      static_cast<double>(out_bytes_[r]) / m.bandwidth_Bps;
-    worst = std::max(worst, std::max(in_cost, out_cost));
-  }
-  return worst;
+  return model_time_of(in_msgs_, in_bytes_, out_msgs_, out_bytes_, m);
 }
 
 }  // namespace greem::parx

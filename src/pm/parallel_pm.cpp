@@ -2,6 +2,7 @@
 
 #include "fft/fft3d.hpp"
 #include "pm/gradient.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel_for.hpp"
 
 namespace greem::pm {
@@ -33,7 +34,10 @@ void ParallelPm::accelerations(std::span<const Vec3> pos, std::span<const double
 
   // (1) density assignment onto the local mesh
   LocalMesh rho(density_region_);
-  assign_density(rho, n, params_.scheme, pos, mass);
+  {
+    telemetry::Span span("pm/density_assignment");
+    assign_density(rho, n, params_.scheme, pos, mass);
+  }
   if (t) t->add("density assignment", sw.seconds());
 
   // (2) conversion to density slabs (direct alltoallv or relay mesh)
@@ -42,6 +46,7 @@ void ParallelPm::accelerations(std::span<const Vec3> pos, std::span<const double
   // (3) slab FFT, Green's function convolution, inverse FFT
   sw.restart();
   if (converter_->is_fft_rank()) {
+    telemetry::Span span("pm/fft");
     std::vector<fft::Complex> cslab(slab.size());
     for (std::size_t i = 0; i < slab.size(); ++i) cslab[i] = {slab[i], 0.0};
     slab_fft_->forward(cslab);
@@ -57,16 +62,22 @@ void ParallelPm::accelerations(std::span<const Vec3> pos, std::span<const double
   // (5a) acceleration on the mesh (4-point finite difference)
   sw.restart();
   LocalMesh fx, fy, fz;
-  fd_gradient(phi, force_region_, n, fx, fy, fz);
+  {
+    telemetry::Span span("pm/gradient");
+    fd_gradient(phi, force_region_, n, fx, fy, fz);
+  }
   if (t) t->add("acceleration on mesh", sw.seconds());
 
   // (5b) force interpolation to the particle positions (per-particle
   // independent reads; disjoint writes, so chunking cannot change results)
   sw.restart();
-  parallel_for_chunks(0, pos.size(), [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i)
-      acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
-  });
+  {
+    telemetry::Span span("pm/interpolate");
+    parallel_for_chunks(0, pos.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i)
+        acc[i] += interpolate(fx, fy, fz, n, params_.scheme, pos[i]);
+    });
+  }
   if (t) t->add("force interpolation", sw.seconds());
 }
 

@@ -2,9 +2,50 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace greem::pm {
+
+namespace {
+
+// Brackets one conversion phase with a traffic-ledger epoch and exports
+// the delta into the metrics registry as pm/traffic/<phase>/{messages,
+// bytes,model_time_us}.  Only world rank 0 observes (the ledger is global,
+// so one observer sees everyone's traffic; N observers would count it N
+// times).  Phase boundaries are not globally quiescent here, so a rank
+// still inside the previous phase blurs the per-phase split -- totals
+// stay exact (see parx/traffic.hpp).
+class PhaseProbe {
+ public:
+  PhaseProbe(parx::Comm& world, const char* phase) {
+    if (telemetry::enabled() && world.rank() == 0)
+      epoch_.emplace(world.ledger().begin_phase(phase));
+  }
+
+  ~PhaseProbe() {
+    if (!epoch_) return;
+    const parx::TrafficTotals tot = epoch_->totals();
+    const double us = epoch_->model_time() * 1e6;
+    auto& reg = telemetry::Registry::global();
+    const std::string base = "pm/traffic/" + epoch_->name();
+    reg.counter(base + "/messages").add(tot.messages);
+    reg.counter(base + "/bytes").add(tot.bytes);
+    reg.counter(base + "/model_time_us").add(static_cast<std::uint64_t>(us));
+  }
+
+  PhaseProbe(const PhaseProbe&) = delete;
+  PhaseProbe& operator=(const PhaseProbe&) = delete;
+
+ private:
+  std::optional<parx::TrafficLedger::Epoch> epoch_;
+};
+
+}  // namespace
 
 MeshConverter::MeshConverter(parx::Comm& world, ConverterParams params)
     : world_(world), params_(params) {
@@ -162,6 +203,8 @@ std::vector<double> MeshConverter::gather_density(const LocalMesh& local_density
   Stopwatch sw;
   std::vector<double> slab;
   if (params_.method == MeshConversion::kDirect) {
+    telemetry::Span span("pm/direct/forward_a2a");
+    PhaseProbe probe(world_, "direct_forward_a2a");
     slab = forward_over(world_, world_density_regions_, local_density);
   } else {
     // Step 1 (paper): alltoallv inside the group -> partial slabs on the
@@ -171,12 +214,21 @@ std::vector<double> MeshConverter::gather_density(const LocalMesh& local_density
     std::vector<CellRegion> group_regions(
         world_density_regions_.begin() + gs,
         world_density_regions_.begin() + gs + comm_smalla2a_.size());
-    auto partial = forward_over(comm_smalla2a_, group_regions, local_density);
+    std::vector<double> partial;
+    {
+      telemetry::Span span("pm/relay/forward_a2a");
+      PhaseProbe probe(world_, "relay_forward_a2a");
+      partial = forward_over(comm_smalla2a_, group_regions, local_density);
+    }
     // Step 2: reduce the partial slabs across groups onto the root group.
-    if (comm_smalla2a_.rank() < params_.n_fft) {
-      if (comm_reduce_.size() > 1)
-        comm_reduce_.reduce_sum(std::span<double>(partial), 0);
-      if (comm_reduce_.rank() == 0) slab = std::move(partial);
+    {
+      telemetry::Span span("pm/relay/reduce");
+      PhaseProbe probe(world_, "relay_reduce");
+      if (comm_smalla2a_.rank() < params_.n_fft) {
+        if (comm_reduce_.size() > 1)
+          comm_reduce_.reduce_sum(std::span<double>(partial), 0);
+        if (comm_reduce_.rank() == 0) slab = std::move(partial);
+      }
     }
   }
   if (t) t->add("communication", sw.seconds());
@@ -188,19 +240,29 @@ LocalMesh MeshConverter::scatter_potential(const std::vector<double>& slab_phi,
   Stopwatch sw;
   LocalMesh out;
   if (params_.method == MeshConversion::kDirect) {
+    telemetry::Span span("pm/direct/backward_a2a");
+    PhaseProbe probe(world_, "direct_backward_a2a");
     out = backward_over(world_, world_potential_regions_, slab_phi);
   } else {
     // Step 4 (paper): bcast the slab potential across groups...
     std::vector<double> buf = slab_phi;
-    if (comm_smalla2a_.rank() < params_.n_fft && comm_reduce_.size() > 1)
-      comm_reduce_.bcast(buf, 0);
+    {
+      telemetry::Span span("pm/relay/bcast");
+      PhaseProbe probe(world_, "relay_bcast");
+      if (comm_smalla2a_.rank() < params_.n_fft && comm_reduce_.size() > 1)
+        comm_reduce_.bcast(buf, 0);
+    }
     // ...step 5: alltoallv inside the group to each member's local mesh.
     const int g = group_of(world_.rank());
     const int gs = group_start(g);
     std::vector<CellRegion> group_regions(
         world_potential_regions_.begin() + gs,
         world_potential_regions_.begin() + gs + comm_smalla2a_.size());
-    out = backward_over(comm_smalla2a_, group_regions, buf);
+    {
+      telemetry::Span span("pm/relay/backward_a2a");
+      PhaseProbe probe(world_, "relay_backward_a2a");
+      out = backward_over(comm_smalla2a_, group_regions, buf);
+    }
   }
   if (t) t->add("communication", sw.seconds());
   return out;

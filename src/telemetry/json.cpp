@@ -1,0 +1,161 @@
+#include "telemetry/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <ctime>
+
+#include "telemetry/telemetry.hpp"
+#include "util/parallel_for.hpp"
+
+#ifndef GREEM_GIT_SHA
+#define GREEM_GIT_SHA "unknown"
+#endif
+#ifndef GREEM_BUILD_TYPE
+#define GREEM_BUILD_TYPE "unknown"
+#endif
+
+namespace greem::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 1; i < has_item_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_item() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already handled separation
+  }
+  if (has_item_.back()) os_ << ',';
+  if (pretty_ && has_item_.size() > 1) newline_indent();
+  has_item_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_item();
+  os_ << '{';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_item_.back();
+  has_item_.pop_back();
+  if (pretty_ && had) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_item();
+  os_ << '[';
+  has_item_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_item_.back();
+  has_item_.pop_back();
+  if (pretty_ && had) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  before_item();
+  os_ << '"' << json_escape(k) << "\":";
+  if (pretty_) os_ << ' ';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_item();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_item();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    os_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_int(std::int64_t v) {
+  before_item();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_uint(std::uint64_t v) {
+  before_item();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_item();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+RunMeta RunMeta::collect(std::string bench, std::string kernel) {
+  RunMeta m;
+  m.bench = std::move(bench);
+  m.kernel = std::move(kernel);
+  m.git_sha = GREEM_GIT_SHA;
+  m.build_type = GREEM_BUILD_TYPE;
+  m.pool_threads = num_threads();
+  m.telemetry = enabled();
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof buf, "%Y-%m-%dT%H:%M:%SZ", &tm);
+  m.timestamp = buf;
+  return m;
+}
+
+void write_meta(JsonWriter& w, const RunMeta& m) {
+  w.key("meta").begin_object();
+  w.field("bench", m.bench);
+  w.field("kernel", m.kernel);
+  w.field("git_sha", m.git_sha);
+  w.field("build_type", m.build_type);
+  w.field("pool_threads", m.pool_threads);
+  w.field("telemetry", m.telemetry);
+  w.field("timestamp", m.timestamp);
+  w.end_object();
+}
+
+}  // namespace greem::telemetry

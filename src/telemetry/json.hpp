@@ -1,0 +1,94 @@
+#pragma once
+// Streaming JSON writer shared by every machine-readable artifact the
+// repository emits: the BENCH_*.json files, the per-step JSONL StepReport
+// and the Chrome trace file.  Handles escaping, comma placement and
+// (optional) indentation so emitters never hand-format JSON again.
+//
+// Also defines RunMeta, the common metadata envelope (git sha, build
+// type, kernel variant, pool threads, timestamp) every bench artifact
+// carries so results remain attributable after the fact.
+//
+// Always compiled -- this is plain I/O, used even when the telemetry
+// instrumentation layer is disabled.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace greem::telemetry {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(std::string_view s);
+
+/// Structural streaming writer.  Call sequence is validated only by the
+/// reader: the writer trusts begin/end pairing.  pretty=true indents with
+/// two spaces; pretty=false emits one compact line (JSONL-friendly).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, bool pretty = true) : os_(os), pretty_(pretty) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  template <class T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return value_int(static_cast<std::int64_t>(v));
+    else
+      return value_uint(static_cast<std::uint64_t>(v));
+  }
+
+  /// key + value in one call.
+  template <class T>
+  JsonWriter& field(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  JsonWriter& value_int(std::int64_t v);
+  JsonWriter& value_uint(std::uint64_t v);
+  void before_item();  ///< comma/newline/indent bookkeeping
+  void newline_indent();
+
+  std::ostream& os_;
+  bool pretty_;
+  // Per-nesting-level state: whether any item was emitted at this level.
+  std::vector<bool> has_item_{false};
+  bool pending_key_ = false;
+};
+
+/// The metadata envelope shared by BENCH_kernel.json, BENCH_scaling.json
+/// and BENCH_step.json, so every artifact records the code and machine
+/// configuration that produced it.
+struct RunMeta {
+  std::string bench;       ///< artifact name ("kernel", "scaling", "step")
+  std::string kernel;      ///< phantom variant in use (caller supplies)
+  std::string git_sha;     ///< short sha of the built tree ("unknown" outside git)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE
+  std::size_t pool_threads = 0;
+  bool telemetry = false;  ///< GREEM_TELEMETRY state of this build
+  std::string timestamp;   ///< UTC, ISO 8601
+
+  /// Fill everything derivable from the build/process; `kernel` is passed
+  /// through because telemetry does not depend on the pp library.
+  static RunMeta collect(std::string bench, std::string kernel);
+};
+
+/// Emit `"meta": { ... }` (the writer must be inside an object).
+void write_meta(JsonWriter& w, const RunMeta& m);
+
+}  // namespace greem::telemetry

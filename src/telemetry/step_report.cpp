@@ -1,0 +1,55 @@
+#include "telemetry/step_report.hpp"
+
+#include "telemetry/json.hpp"
+
+namespace greem::telemetry {
+
+namespace {
+
+void write_breakdown(JsonWriter& w, std::string_view key, const TimingBreakdown& b) {
+  w.key(key).begin_object();
+  for (const auto& [name, seconds] : b.entries()) w.field(name, seconds);
+  w.field("total", b.total());
+  w.end_object();
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& os, const StepRecord& r) {
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("step", r.step);
+  w.field("t", r.t);
+  w.field("ranks", r.ranks);
+  w.field("nsub", r.nsub);
+  w.field("n_particles", r.n_particles);
+  write_breakdown(w, "pm", r.pm);
+  write_breakdown(w, "pp", r.pp);
+  write_breakdown(w, "dd", r.dd);
+  w.field("pp_seconds_max", r.pp_seconds_max);
+  w.field("pp_seconds_mean", r.pp_seconds_mean);
+  w.field("pp_imbalance", r.pp_imbalance());
+  w.field("interactions", r.interactions);
+  w.field("flops", r.flops);
+  w.field("flop_rate", r.flop_rate);
+  w.field("ghosts_imported", r.ghosts_imported);
+  w.key("pool").begin_object();
+  w.field("loops", r.pool_loops);
+  w.field("chunks", r.pool_chunks);
+  w.field("steals", r.pool_steals);
+  w.field("imbalance", r.pool_imbalance);
+  w.end_object();
+  w.key("traffic").begin_object();
+  for (const auto& ph : r.traffic) {
+    w.key(ph.phase).begin_object();
+    w.field("messages", ph.messages);
+    w.field("bytes", ph.bytes);
+    w.field("model_time_s", ph.model_time_s);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+}  // namespace greem::telemetry

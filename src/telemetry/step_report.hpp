@@ -1,0 +1,67 @@
+#pragma once
+// StepRecord: the machine-readable per-step report of the distributed
+// TreePM driver -- one JSON line per step with the Table I phase times
+// (max over ranks, the paper's convention: the slowest rank sets the step
+// time), the achieved short-range flop rate computed from interaction
+// counts (51 flops/interaction, §II-A), per-rank load imbalance (max/mean)
+// and per-phase communication traffic from the parx ledger.
+//
+// The record struct itself is always available (it is plain data);
+// ParallelSimulation only *fills and writes* it when the telemetry layer
+// is compiled in and a report path is configured.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace greem::telemetry {
+
+struct StepRecord {
+  std::uint64_t step = 0;   ///< 1-based step index
+  double t = 0;             ///< simulation clock after the step
+  int ranks = 1;
+  int nsub = 1;             ///< PP cycles inside this step
+  std::uint64_t n_particles = 0;  ///< global
+
+  /// Phase seconds, max over ranks, under the Table I row names.
+  TimingBreakdown pm, pp, dd;
+
+  // Load imbalance of the PP part (traversal + force), over ranks.
+  double pp_seconds_max = 0;
+  double pp_seconds_mean = 0;
+  double pp_imbalance() const {
+    return pp_seconds_mean > 0 ? pp_seconds_max / pp_seconds_mean : 0.0;
+  }
+
+  // Short-range work and achieved rate (global interactions, wall time of
+  // the slowest rank's traversal+force).
+  std::uint64_t interactions = 0;
+  double flops = 0;      ///< interactions * flops/interaction
+  double flop_rate = 0;  ///< flops / pp_seconds_max
+
+  std::uint64_t ghosts_imported = 0;  ///< global boundary-particle imports
+
+  // Intra-rank task-pool activity during this step (the pool is shared
+  // process-wide, so these are process totals, not per-rank).
+  std::uint64_t pool_loops = 0;   ///< parallel loops dispatched
+  std::uint64_t pool_chunks = 0;  ///< chunks executed
+  std::uint64_t pool_steals = 0;  ///< chunks obtained by stealing
+  double pool_imbalance = 0;      ///< max/mean per-slot busy time
+
+  /// Global point-to-point traffic attributed to one phase of the step.
+  struct PhaseTraffic {
+    std::string phase;  ///< "dd", "pp", "pm"
+    std::uint64_t messages = 0;
+    std::uint64_t bytes = 0;
+    double model_time_s = 0;  ///< endpoint-serialization congestion model
+  };
+  std::vector<PhaseTraffic> traffic;
+};
+
+/// Append `r` to `os` as one compact JSON line (JSONL).
+void write_jsonl(std::ostream& os, const StepRecord& r);
+
+}  // namespace greem::telemetry

@@ -1,0 +1,159 @@
+#include "telemetry/telemetry.hpp"
+
+#if GREEM_TELEMETRY_ENABLED
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace greem::telemetry {
+
+// ---------------------------------------------------------- Histogram ----
+
+int Histogram::bin_of(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negative, NaN -> underflow bin
+  const double l = std::log2(v) - kMinExp2;
+  if (l < 0) return 0;
+  const int b = 1 + static_cast<int>(l * kBinsPerOctave);
+  return b >= kBins ? kBins - 1 : b;
+}
+
+double Histogram::bin_center(int b) {
+  if (b <= 0) return 0.0;
+  // Geometric midpoint of bin b's [lo, hi) value range.
+  const double exp2lo = kMinExp2 + static_cast<double>(b - 1) / kBinsPerOctave;
+  return std::exp2(exp2lo + 0.5 / kBinsPerOctave);
+}
+
+void Histogram::record(double v) {
+  bins_[bin_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur && !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(n - 1);
+  std::uint64_t below = 0;
+  for (int b = 0; b < kBins; ++b) {
+    below += bins_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(below) > rank) return bin_center(b);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : bins_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- Registry ----
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Deques give stable element addresses across growth; the maps index by
+  // name (std::less<> enables string_view lookup without allocation).
+  std::deque<std::pair<std::string, Counter>> counters;
+  std::deque<std::pair<std::string, Gauge>> gauges;
+  std::deque<std::pair<std::string, Histogram>> histograms;
+  std::map<std::string, Counter*, std::less<>> counter_by_name;
+  std::map<std::string, Gauge*, std::less<>> gauge_by_name;
+  std::map<std::string, Histogram*, std::less<>> histogram_by_name;
+
+  template <class T>
+  T& get(std::deque<std::pair<std::string, T>>& store,
+         std::map<std::string, T*, std::less<>>& index, std::string_view name) {
+    std::lock_guard lock(mu);
+    if (auto it = index.find(name); it != index.end()) return *it->second;
+    // piecewise: Counter/Gauge/Histogram hold atomics and cannot be moved.
+    auto& slot = store.emplace_back(std::piecewise_construct,
+                                    std::forward_as_tuple(name), std::forward_as_tuple());
+    index.emplace(slot.first, &slot.second);
+    return slot.second;
+  }
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry r;
+  return r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return impl_->get(impl_->counters, impl_->counter_by_name, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return impl_->get(impl_->gauges, impl_->gauge_by_name, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return impl_->get(impl_->histograms, impl_->histogram_by_name, name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(impl_->counters.size());
+  for (const auto& [name, c] : impl_->counters) out.emplace_back(name, c.value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(impl_->gauges.size());
+  for (const auto& [name, g] : impl_->gauges) out.emplace_back(name, g.value());
+  return out;
+}
+
+std::vector<std::string> Registry::histogram_names() const {
+  std::lock_guard lock(impl_->mu);
+  std::vector<std::string> out;
+  out.reserve(impl_->histograms.size());
+  for (const auto& [name, h] : impl_->histograms) out.push_back(name);
+  return out;
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard lock(impl_->mu);
+  const auto it = impl_->histogram_by_name.find(name);
+  return it == impl_->histogram_by_name.end() ? nullptr : it->second;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(impl_->mu);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+}  // namespace greem::telemetry
+
+#endif  // GREEM_TELEMETRY_ENABLED

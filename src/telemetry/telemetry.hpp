@@ -1,0 +1,182 @@
+#pragma once
+// Per-rank metrics registry: counters, gauges and time histograms under
+// stable first-use-ordered names ("pp/interactions", "pool/steals", ...).
+//
+// The paper's headline result *is* a measurement -- 4.45 Pflops and the
+// Table I phase breakdown -- so every subsystem reports into one place
+// instead of keeping private counters: parx records per-phase traffic,
+// the task pool its steal/busy statistics, the tree traversal its
+// interaction counts.  Reports (StepReport JSONL, bench JSON) read the
+// registry; nothing in the hot path formats text.
+//
+// Compile-time switch: configuring with -DGREEM_TELEMETRY=OFF defines
+// GREEM_TELEMETRY_ENABLED=0 and every class below collapses to an empty
+// inline no-op, so instrumented call sites cost literally nothing.
+// Thread safety: all mutators are safe to call concurrently (atomics);
+// registry lookup takes a mutex, so call sites should hold the returned
+// reference rather than re-looking-up inside loops.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#ifndef GREEM_TELEMETRY_ENABLED
+#define GREEM_TELEMETRY_ENABLED 1
+#endif
+
+namespace greem::telemetry {
+
+/// True when the telemetry layer is compiled in (GREEM_TELEMETRY=ON).
+constexpr bool enabled() { return GREEM_TELEMETRY_ENABLED != 0; }
+
+#if GREEM_TELEMETRY_ENABLED
+
+/// Monotonic event count (messages sent, interactions evaluated, ...).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-value-wins instantaneous measurement (pool size, imbalance, ...).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-memory distribution of positive values (phase seconds, bytes).
+/// Values land in log-spaced bins (kBinsPerOctave per power of two, ~9%
+/// relative resolution), so record() is two atomic adds and percentiles
+/// need no sample storage.  Exact count/sum/min/max are kept alongside.
+class Histogram {
+ public:
+  static constexpr int kBinsPerOctave = 4;
+  static constexpr int kMinExp2 = -32;  ///< smallest resolvable value, 2^-32
+  static constexpr int kMaxExp2 = 32;   ///< largest resolvable value, 2^32
+  static constexpr int kBins = (kMaxExp2 - kMinExp2) * kBinsPerOctave + 2;
+
+  void record(double v);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< 0 when empty
+  double mean() const;
+
+  /// Value below which p percent (0..100) of recordings fall, accurate to
+  /// one bin width (~9% relative).  0 when empty.
+  double percentile(double p) const;
+
+  void reset();
+
+ private:
+  static int bin_of(double v);
+  static double bin_center(int b);
+
+  std::atomic<std::uint64_t> bins_[kBins] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// Name -> instrument registry.  Instruments are created on first use and
+/// never move or disappear (stable addresses, stable names), so call sites
+/// can cache the returned reference for the process lifetime.  Names are
+/// reported in first-use order, like TimingBreakdown rows.
+class Registry {
+ public:
+  /// The process-wide registry almost every call site wants.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Snapshot views for reports (copies; safe against concurrent updates).
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::string> histogram_names() const;
+  /// nullptr when `name` was never created.
+  const Histogram* find_histogram(std::string_view name) const;
+
+  /// Zero every instrument (names and addresses survive; benches use this
+  /// between phases).
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // ------------------------------------------------- no-op variants --
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  double value() const { return 0.0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  void record(double) {}
+  std::uint64_t count() const { return 0; }
+  double sum() const { return 0.0; }
+  double min() const { return std::numeric_limits<double>::infinity(); }
+  double max() const { return 0.0; }
+  double mean() const { return 0.0; }
+  double percentile(double) const { return 0.0; }
+  void reset() {}
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  Counter& counter(std::string_view) { return counter_; }
+  Gauge& gauge(std::string_view) { return gauge_; }
+  Histogram& histogram(std::string_view) { return histogram_; }
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const { return {}; }
+  std::vector<std::pair<std::string, double>> gauges() const { return {}; }
+  std::vector<std::string> histogram_names() const { return {}; }
+  const Histogram* find_histogram(std::string_view) const { return nullptr; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // GREEM_TELEMETRY_ENABLED
+
+}  // namespace greem::telemetry

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/parallel_for.hpp"
 #include "util/timer.hpp"
 
@@ -83,6 +85,7 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
   static const Vec3 kHome{0, 0, 0};
   if (image_offsets.empty()) image_offsets = {&kHome, 1};
 
+  telemetry::Span span("tree/traversal_force");
   TraversalStats stats;
   if (tree.num_particles() == 0) return stats;
 
@@ -180,6 +183,15 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
   if (times) {
     times->traverse_s += traverse_s;
     times->force_s += force_s;
+  }
+
+  // Interaction counts feed the achieved-flops accounting (51
+  // flops/interaction, §II-A); reports convert, the hot path only counts.
+  if constexpr (telemetry::enabled()) {
+    auto& reg = telemetry::Registry::global();
+    reg.counter("tree/interactions").add(stats.interactions);
+    reg.counter("tree/groups").add(stats.ngroups);
+    reg.counter("tree/nodes_visited").add(stats.nodes_visited);
   }
   return stats;
 }

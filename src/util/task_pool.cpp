@@ -65,10 +65,13 @@ struct TaskPool::LoopTask {
   }
 
   // Grab the next chunk: own block first, then steal from the fullest.
-  bool take(unsigned slot, std::uint32_t& out) {
+  // `stolen` reports which path produced the chunk.
+  bool take(unsigned slot, std::uint32_t& out, bool& stolen) {
     const std::size_t nb = blocks.size();
     const std::size_t own = slot % nb;
+    stolen = false;
     if (pop_front(own, out)) return true;
+    stolen = true;
     for (;;) {
       std::size_t victim = nb;
       std::uint32_t best = 0;
@@ -88,7 +91,9 @@ struct TaskPool::LoopTask {
 };
 
 TaskPool::TaskPool(std::size_t threads)
-    : n_threads_(threads == 0 ? default_threads() : threads) {
+    : n_threads_(threads == 0 ? default_threads() : threads),
+      slot_counters_(n_threads_),
+      stats_start_(std::chrono::steady_clock::now()) {
   spawn_workers();
 }
 
@@ -122,6 +127,11 @@ void TaskPool::resize(std::size_t threads) {
   }
   join_workers();
   n_threads_ = threads;
+  // The slot space changes size, so the per-slot counters are rebuilt
+  // (resize implies reset_stats; see header).
+  slot_counters_ = std::vector<SlotCounters>(n_threads_);
+  loops_.store(0, std::memory_order_relaxed);
+  stats_start_ = std::chrono::steady_clock::now();
   spawn_workers();
 }
 
@@ -159,6 +169,7 @@ void TaskPool::for_dynamic(std::size_t begin, std::size_t end, std::size_t grain
     task.blocks[b].store(pack(lo, hi), std::memory_order_relaxed);
   }
 
+  loops_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard lock(mu_);
     active_.push_back(&task);
@@ -178,12 +189,28 @@ void TaskPool::for_dynamic(std::size_t begin, std::size_t end, std::size_t grain
 }
 
 void TaskPool::work_on(LoopTask& task, unsigned slot) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t chunks = 0, steals = 0;
   std::uint32_t c;
-  while (task.take(slot, c)) {
+  bool stolen;
+  while (task.take(slot, c, stolen)) {
     const std::size_t lo = task.begin + static_cast<std::size_t>(c) * task.grain;
     const std::size_t hi = std::min(task.end, lo + task.grain);
     (*task.body)(lo, hi, slot);
     task.chunks_left.fetch_sub(1, std::memory_order_release);
+    ++chunks;
+    steals += stolen ? 1 : 0;
+  }
+  if (chunks != 0) {
+    // Aggregate locally, publish once: two clock reads and three relaxed
+    // adds per work_on attachment, independent of the chunk count.
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    auto& sc = slot_counters_[slot];
+    sc.chunks.fetch_add(chunks, std::memory_order_relaxed);
+    sc.steals.fetch_add(steals, std::memory_order_relaxed);
+    sc.busy_ns.fetch_add(static_cast<std::uint64_t>(ns), std::memory_order_relaxed);
   }
 }
 
@@ -207,6 +234,50 @@ void TaskPool::worker_main(unsigned slot) {
       active_.erase(it);
     if (task->in_flight == 0) cv_done_.notify_all();
   }
+}
+
+double TaskPool::PoolStats::busy_max() const {
+  double m = 0;
+  for (double b : busy_s) m = std::max(m, b);
+  return m;
+}
+
+double TaskPool::PoolStats::busy_mean() const {
+  if (busy_s.empty()) return 0;
+  double sum = 0;
+  for (double b : busy_s) sum += b;
+  return sum / static_cast<double>(busy_s.size());
+}
+
+double TaskPool::PoolStats::imbalance() const {
+  const double mean = busy_mean();
+  return mean > 0 ? busy_max() / mean : 0;
+}
+
+TaskPool::PoolStats TaskPool::stats() const {
+  PoolStats s;
+  s.loops = loops_.load(std::memory_order_relaxed);
+  s.busy_s.resize(slot_counters_.size());
+  for (std::size_t i = 0; i < slot_counters_.size(); ++i) {
+    const auto& sc = slot_counters_[i];
+    s.chunks += sc.chunks.load(std::memory_order_relaxed);
+    s.steals += sc.steals.load(std::memory_order_relaxed);
+    s.busy_s[i] = static_cast<double>(sc.busy_ns.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  s.elapsed_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                    std::chrono::steady_clock::now() - stats_start_)
+                    .count();
+  return s;
+}
+
+void TaskPool::reset_stats() {
+  loops_.store(0, std::memory_order_relaxed);
+  for (auto& sc : slot_counters_) {
+    sc.chunks.store(0, std::memory_order_relaxed);
+    sc.steals.store(0, std::memory_order_relaxed);
+    sc.busy_ns.store(0, std::memory_order_relaxed);
+  }
+  stats_start_ = std::chrono::steady_clock::now();
 }
 
 TaskPool& TaskPool::global() {

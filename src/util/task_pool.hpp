@@ -32,6 +32,7 @@
 // for every pool size.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -79,6 +80,38 @@ class TaskPool {
   void for_dynamic(std::size_t begin, std::size_t end, std::size_t grain,
                    const Body& body);
 
+  /// Execution statistics accumulated since construction, the last
+  /// reset_stats(), or the last resize() (resize rebuilds the per-slot
+  /// counters, so it implies a reset).  Counters cover *pooled* loops
+  /// only: the inline fast paths (single chunk, one-participant pool,
+  /// nested submission from a worker) bypass the pool and are not
+  /// counted.  Kept as plain atomics so util does not depend on the
+  /// telemetry layer; callers export these into a metrics registry.
+  struct PoolStats {
+    std::uint64_t loops = 0;     ///< parallel loops dispatched to the pool
+    std::uint64_t chunks = 0;    ///< chunks executed, all participants
+    std::uint64_t steals = 0;    ///< chunks taken from another block
+    double elapsed_s = 0;        ///< wall time this snapshot covers
+    std::vector<double> busy_s;  ///< per-slot time spent inside loops
+
+    double busy_max() const;
+    double busy_mean() const;
+    /// max/mean of per-slot busy time: 1.0 is perfectly balanced, larger
+    /// means the busiest participant carried that factor more work than
+    /// the average.  Returns 0 when the pool has done no work.
+    double imbalance() const;
+  };
+
+  /// Snapshot of the counters.  Cheap (one relaxed load per counter);
+  /// safe concurrently with running loops, but a snapshot taken mid-loop
+  /// attributes that loop's completed chunks only.
+  PoolStats stats() const;
+
+  /// Zero all counters and restart the elapsed clock.  Counts from loops
+  /// in flight during the call may straddle the boundary; reset between
+  /// phases, not during them (same contract as resize()).
+  void reset_stats();
+
   /// The process-wide pool used by the parallel_for free functions.
   /// Created on first use with one participant per hardware thread (or
   /// GREEM_THREADS if set).
@@ -86,6 +119,13 @@ class TaskPool {
 
  private:
   struct LoopTask;
+
+  // One cache line per participant so counter updates never false-share.
+  struct alignas(64) SlotCounters {
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
 
   void spawn_workers();
   void join_workers();
@@ -101,6 +141,10 @@ class TaskPool {
   std::size_t rr_ = 0;  ///< round-robin cursor over active loops
   bool stop_ = false;
   std::mutex resize_mu_;  ///< serializes resize() callers
+
+  std::vector<SlotCounters> slot_counters_;  ///< indexed by slot
+  std::atomic<std::uint64_t> loops_{0};
+  std::chrono::steady_clock::time_point stats_start_;
 };
 
 }  // namespace greem

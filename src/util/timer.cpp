@@ -1,16 +1,13 @@
 #include "util/timer.hpp"
 
-#include <algorithm>
-
 namespace greem {
 
 void TimingBreakdown::add(std::string_view name, double seconds) {
-  for (auto& [k, v] : entries_) {
-    if (k == name) {
-      v += seconds;
-      return;
-    }
+  if (const auto it = index_.find(name); it != index_.end()) {
+    entries_[it->second].second += seconds;
+    return;
   }
+  index_.emplace(std::string(name), entries_.size());
   entries_.emplace_back(std::string(name), seconds);
 }
 
@@ -21,13 +18,15 @@ double TimingBreakdown::total() const {
 }
 
 double TimingBreakdown::get(std::string_view name) const {
-  for (const auto& [k, v] : entries_) {
-    if (k == name) return v;
-  }
+  if (const auto it = index_.find(name); it != index_.end())
+    return entries_[it->second].second;
   return 0.0;
 }
 
-void TimingBreakdown::clear() { entries_.clear(); }
+void TimingBreakdown::clear() {
+  entries_.clear();
+  index_.clear();
+}
 
 void TimingBreakdown::merge(const TimingBreakdown& other) {
   for (const auto& [k, v] : other.entries_) add(k, v);

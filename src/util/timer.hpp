@@ -6,6 +6,7 @@
 // paper's Table I ("PM: density assignment / communication / FFT / ...").
 
 #include <chrono>
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -55,7 +56,12 @@ class TimingBreakdown {
   const std::vector<std::pair<std::string, double>>& entries() const { return entries_; }
 
  private:
+  // Report order is first-use order (entries_); lookups go through the
+  // index so add/get stay O(log n) instead of scanning every row -- the
+  // hot loops charge phases once per cycle, but reports call get() per
+  // row and that used to make aggregation quadratic in the table size.
   std::vector<std::pair<std::string, double>> entries_;
+  std::map<std::string, std::size_t, std::less<>> index_;  ///< name -> entries_ slot
 };
 
 }  // namespace greem
