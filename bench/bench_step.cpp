@@ -7,30 +7,111 @@
 //                         the 51 flops/interaction accounting, pool and
 //                         traffic statistics),
 //   BENCH_step.json       the RunMeta envelope plus a summary of the last
-//                         step and the metrics-registry counters,
+//                         step, checkpoint overhead, and the
+//                         metrics-registry counters,
 //   BENCH_step_trace.json Chrome trace-format spans (load in
 //                         chrome://tracing or https://ui.perfetto.dev).
 //
 // This is the artifact CI uploads; it doubles as the quickest way to eyeball
-// where a step spends its time.
+// where a step spends its time, and as the kill-and-restart harness: with
+// --checkpoint-every / --restore-from / --fault-at the same binary writes
+// checkpoints, resumes from them, and survives injected rank faults, and
+// --final-state makes runs comparable byte-for-byte (cost weighting is by
+// interaction count here, so a restart reproduces the original run bitwise).
+//
+// Flags:
+//   --steps N             total steps (default 2)
+//   --particles N         particle count (default 8192)
+//   --checkpoint-every N  checkpoint every N steps (default 0 = never)
+//   --ckpt-dir DIR        checkpoint directory (default BENCH_ckpt)
+//   --keep-last K         checkpoint retention (default 2, 0 = keep all)
+//   --fault-at SPEC       inject a fault, SPEC = STEP:PHASE[:RANK[:KIND]],
+//                         PHASE in {any,dd,pm,pp,ckpt}, KIND in
+//                         {abort,send,collective} (e.g. 3:pp:2)
+//   --restore-from PATH   resume from a checkpoint dir (or its parent)
+//   --final-state FILE    rank 0 writes the final particles (sorted by id)
+//                         as a snapshot for byte-wise comparison
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <mutex>
+#include <string>
 
+#include "ckpt/recovery.hpp"
 #include "core/parallel_sim.hpp"
+#include "io/snapshot.hpp"
+#include "parx/fault.hpp"
 #include "parx/runtime.hpp"
 #include "pp/kernels.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "util/timer.hpp"
 
 using namespace greem;
 
-int main() {
+namespace {
+
+struct Options {
+  int steps = 2;
+  std::size_t particles = 8192;
+  std::uint64_t checkpoint_every = 0;
+  std::string ckpt_dir = "BENCH_ckpt";
+  std::size_t keep_last = 2;
+  std::optional<parx::FaultSpec> fault;
+  std::string restore_from;
+  std::string final_state;
+};
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    const char* v = nullptr;
+    if (!std::strcmp(a, "--steps") && (v = need(i))) {
+      opt.steps = std::atoi(v);
+    } else if (!std::strcmp(a, "--particles") && (v = need(i))) {
+      opt.particles = static_cast<std::size_t>(std::atoll(v));
+    } else if (!std::strcmp(a, "--checkpoint-every") && (v = need(i))) {
+      opt.checkpoint_every = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (!std::strcmp(a, "--ckpt-dir") && (v = need(i))) {
+      opt.ckpt_dir = v;
+    } else if (!std::strcmp(a, "--keep-last") && (v = need(i))) {
+      opt.keep_last = static_cast<std::size_t>(std::atoll(v));
+    } else if (!std::strcmp(a, "--fault-at") && (v = need(i))) {
+      opt.fault = parx::parse_fault_at(v);
+      if (!opt.fault) {
+        std::fprintf(stderr, "bad --fault-at spec '%s'\n", v);
+        return false;
+      }
+    } else if (!std::strcmp(a, "--restore-from") && (v = need(i))) {
+      opt.restore_from = v;
+    } else if (!std::strcmp(a, "--final-state") && (v = need(i))) {
+      opt.final_state = v;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag '%s'\n", a);
+      return false;
+    }
+  }
+  return opt.steps > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
   constexpr int kRanks = 8;
-  constexpr int kSteps = 2;
-  constexpr std::size_t kParticles = 8192;
   const char* jsonl_path = "BENCH_step.jsonl";
   const char* trace_path = "BENCH_step_trace.json";
 
@@ -40,7 +121,7 @@ int main() {
   // Appending to a stale JSONL from a previous run would mix runs.
   std::remove(jsonl_path);
 
-  auto particles = core::clustered_particles(kParticles, 1.0, 4, 0.7, 0.03, 2718);
+  auto particles = core::clustered_particles(opt.particles, 1.0, 4, 0.7, 0.03, 2718);
 
   core::ParallelSimConfig cfg;
   cfg.dims = {2, 2, 2};
@@ -54,19 +135,70 @@ int main() {
   cfg.eps = 1e-3;
   cfg.sampling.target_samples = 10000;
   cfg.step_report_path = jsonl_path;
+  // Deterministic cost weighting: restarted/recovered runs reproduce the
+  // original bitwise, which is what --final-state comparisons check.
+  cfg.cost_metric = core::CostMetric::kInteractions;
+  cfg.restore_from = opt.restore_from;
+
+  parx::Runtime rt(kRanks);
+  if (opt.fault) rt.set_fault_plan(parx::FaultPlan().at(*opt.fault));
+
+  const double dt = 0.001;
+  const auto schedule = [dt](std::uint64_t i) { return static_cast<double>(i + 1) * dt; };
 
   telemetry::StepRecord last;
+  ckpt::RecoveryStats rstats;
+  std::uint64_t final_n = 0;
   std::mutex mu;
-  parx::run_ranks(kRanks, [&](parx::Comm& world) {
+  Stopwatch wall;
+  rt.run([&](parx::Comm& world) {
     std::vector<core::Particle> local =
         world.rank() == 0 ? particles : std::vector<core::Particle>{};
     core::ParallelSimulation sim(world, cfg, std::move(local), 0.0);
-    for (int s = 1; s <= kSteps; ++s) sim.step(0.001 * s);
+
+    ckpt::RecoveryStats stats;
+    if (opt.checkpoint_every > 0 || opt.fault) {
+      ckpt::RecoveryOptions ropts;
+      ropts.dir = opt.ckpt_dir;
+      ropts.checkpoint_every = opt.checkpoint_every;
+      ropts.keep_last = opt.keep_last;
+      stats = ckpt::run_with_recovery(sim, static_cast<std::uint64_t>(opt.steps),
+                                      schedule, ropts);
+    } else {
+      while (sim.step_index() < static_cast<std::uint64_t>(opt.steps))
+        sim.step(schedule(sim.step_index()));
+    }
+
+    if (!opt.final_state.empty()) {
+      // Gather everything on rank 0, order by id, snapshot: two runs that
+      // agree bitwise produce byte-identical files.
+      sim.synchronize();
+      const auto loc = sim.local();
+      auto all = world.gatherv(loc, 0);
+      if (world.rank() == 0) {
+        std::sort(all.begin(), all.end(),
+                  [](const core::Particle& a, const core::Particle& b) {
+                    return a.id < b.id;
+                  });
+        io::SnapshotHeader h;
+        h.clock = sim.clock();
+        h.particle_mass = all.empty() ? 0 : all[0].mass;
+        if (!io::write_snapshot(opt.final_state, h, all))
+          std::fprintf(stderr, "failed to write %s\n", opt.final_state.c_str());
+        else
+          std::printf("wrote final state %s (%zu particles)\n", opt.final_state.c_str(),
+                      all.size());
+      }
+    }
+    const std::uint64_t n = world.allreduce_sum(static_cast<std::uint64_t>(sim.local().size()));
     if (world.rank() == 0) {
       std::lock_guard lock(mu);
       last = sim.last_record();
+      rstats = stats;
+      final_n = n;
     }
   });
+  const double wall_seconds = wall.seconds();
 
   if (telemetry::write_chrome_trace(trace_path))
     std::printf("wrote %s (%llu spans, %llu dropped)\n", trace_path,
@@ -74,14 +206,16 @@ int main() {
                 static_cast<unsigned long long>(telemetry::trace_dropped_count()));
 
   if (std::ofstream os("BENCH_step.json"); os) {
+    auto& reg = telemetry::Registry::global();
     telemetry::JsonWriter jw(os);
     jw.begin_object();
     telemetry::write_meta(
         jw, telemetry::RunMeta::collect("step",
                                         pp::phantom_variant_name(pp::phantom_dispatch())));
     jw.field("ranks", kRanks);
-    jw.field("steps", kSteps);
-    jw.field("n_particles", kParticles);
+    jw.field("steps", opt.steps);
+    jw.field("n_particles", final_n);
+    jw.field("wall_seconds", wall_seconds);
     jw.field("step_report", jsonl_path);
     jw.field("trace", trace_path);
     jw.key("last_step").begin_object();
@@ -94,14 +228,29 @@ int main() {
     jw.field("pool_imbalance", last.pool_imbalance);
     jw.field("ghosts_imported", last.ghosts_imported);
     jw.end_object();
+    jw.key("checkpointing").begin_object();
+    jw.field("checkpoint_every", opt.checkpoint_every);
+    jw.field("checkpoints", rstats.checkpoints);
+    jw.field("restores", rstats.restores);
+    jw.field("failures", rstats.failures);
+    jw.field("bytes", reg.counter("ckpt/bytes").value());
+    jw.field("faults_injected", reg.counter("faults/injected").value());
+    const auto* wh = reg.find_histogram("ckpt/write_seconds");
+    const double write_seconds = wh ? wh->sum() : 0.0;
+    jw.field("write_seconds", write_seconds);
+    jw.field("overhead_fraction", wall_seconds > 0 ? write_seconds / wall_seconds : 0.0);
+    jw.end_object();
     jw.key("counters").begin_object();
-    for (const auto& [name, v] : telemetry::Registry::global().counters()) jw.field(name, v);
+    for (const auto& [name, v] : reg.counters()) jw.field(name, v);
     jw.end_object();
     jw.end_object();
     os << "\n";
-    std::printf("wrote BENCH_step.json and %s (step %llu: %.3g Gflops short-range)\n",
+    std::printf("wrote BENCH_step.json and %s (step %llu: %.3g Gflops short-range, "
+                "%llu ckpts, %llu restores)\n",
                 jsonl_path, static_cast<unsigned long long>(last.step),
-                last.flop_rate * 1e-9);
+                last.flop_rate * 1e-9,
+                static_cast<unsigned long long>(rstats.checkpoints),
+                static_cast<unsigned long long>(rstats.restores));
   }
   return 0;
 }

@@ -1,0 +1,43 @@
+#include "ckpt/hash.hpp"
+
+#include <array>
+
+namespace greem::ckpt {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = make_crc_table();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t n) {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < n; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint32_t crc32(const void* data, std::size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.value();
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace greem::ckpt

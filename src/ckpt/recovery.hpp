@@ -1,0 +1,82 @@
+#pragma once
+// Automatic rollback-recovery: a step-driver loop that periodically
+// checkpoints and, when a communication fault surfaces (injected via
+// parx::FaultPlan or real), rendezvouses the surviving ranks, rolls every
+// rank back to the last committed checkpoint and retries with a bounded
+// attempt budget.
+//
+// Header-only template over a Sim providing:
+//   void step(double t_next);                          // collective
+//   void checkpoint(const std::string& dir, std::size_t keep_last);
+//   void restore_checkpoint(const std::string& ckpt_path);
+//   std::uint64_t step_index() const;                  // completed steps
+//   parx::Comm& comm();                                // the world comm
+//
+// Faults reach the driver as parx::CommError (FaultInjected on the target
+// rank, RemoteFault on its siblings).  parx::JobPoisoned deliberately does
+// NOT derive CommError: a rank that died with a real crash is not
+// recoverable, and poisoning propagates out of this loop untouched.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "ckpt/checkpoint.hpp"
+#include "parx/comm.hpp"
+#include "parx/fault.hpp"
+
+namespace greem::ckpt {
+
+struct RecoveryOptions {
+  std::string dir;                     ///< checkpoint directory
+  std::uint64_t checkpoint_every = 0;  ///< steps between checkpoints (0 = never)
+  std::size_t keep_last = 2;           ///< retention passed to write_checkpoint
+  int max_attempts = 3;                ///< consecutive failed attempts tolerated
+};
+
+struct RecoveryStats {
+  std::uint64_t checkpoints = 0;  ///< checkpoints committed by this loop
+  std::uint64_t restores = 0;     ///< successful rollbacks
+  std::uint64_t failures = 0;     ///< comm faults caught (== restores unless rethrown)
+};
+
+/// Run `sim` until `n_steps` steps have completed, checkpointing every
+/// `opts.checkpoint_every` steps and rolling back to the latest committed
+/// checkpoint on a comm fault.  `t_next(i)` is the clock schedule: the
+/// target time of the step taken when `i` steps have completed -- it is
+/// re-evaluated from the restored step index after a rollback, so the
+/// retried steps replay the original schedule exactly.
+/// Collective: every rank runs this loop and every rank observes the same
+/// fault (the injected rank throws FaultInjected, the rest RemoteFault),
+/// so recovery is itself collective.  Throws the underlying error once
+/// `max_attempts` consecutive attempts fail, or CkptError if there is no
+/// committed checkpoint to roll back to.
+template <class Sim, class Schedule>
+RecoveryStats run_with_recovery(Sim& sim, std::uint64_t n_steps, Schedule t_next,
+                                const RecoveryOptions& opts) {
+  RecoveryStats stats;
+  int attempts = 0;
+  while (sim.step_index() < n_steps) {
+    try {
+      sim.step(t_next(sim.step_index()));
+      if (opts.checkpoint_every > 0 && sim.step_index() % opts.checkpoint_every == 0) {
+        sim.checkpoint(opts.dir, opts.keep_last);
+        ++stats.checkpoints;
+      }
+      attempts = 0;
+    } catch (const parx::CommError&) {
+      ++stats.failures;
+      if (++attempts > opts.max_attempts) throw;
+      // Every live rank lands here; rendezvous and reset comm state before
+      // anyone touches a collective again.
+      sim.comm().fault_recover();
+      const auto latest = find_latest(opts.dir);
+      if (!latest) throw CkptError("recovery: no committed checkpoint to roll back to");
+      sim.restore_checkpoint(*latest);
+      ++stats.restores;
+    }
+  }
+  return stats;
+}
+
+}  // namespace greem::ckpt

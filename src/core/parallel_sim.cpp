@@ -1,11 +1,15 @@
 #include "core/parallel_sim.hpp"
 
 #include <cassert>
+#include <cstring>
 #include <fstream>
 #include <optional>
 #include <stdexcept>
 
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/hash.hpp"
 #include "domain/exchange.hpp"
+#include "parx/fault.hpp"
 #include "pp/kernels.hpp"
 #include "telemetry/trace.hpp"
 #include "tree/ghost.hpp"
@@ -25,6 +29,20 @@ ParallelSimulation::ParallelSimulation(parx::Comm& world, ParallelSimConfig conf
   if (config_.dims[0] * config_.dims[1] * config_.dims[2] != world.size())
     throw std::invalid_argument("ParallelSimulation: dims product != comm size");
   if (config_.pool_threads > 0) set_num_threads(config_.pool_threads);
+  parx::set_fault_context(0, parx::FaultPhase::kAny);
+  if (!config_.restore_from.empty()) {
+    // Resolve either a checkpoint directory itself or a parent dir.
+    std::string path = config_.restore_from;
+    if (!ckpt::read_manifest(path)) {
+      auto latest = ckpt::find_latest(path);
+      if (!latest)
+        throw ckpt::CkptError("restore_from: no committed checkpoint under " + path);
+      path = *latest;
+    }
+    particles_.clear();
+    restore_checkpoint(path);
+    return;
+  }
   decomp_ = domain::Decomposition::uniform(config_.dims);
   // Initial decomposition + short-range forces (one DD + PP cycle).
   domain_cycle(substep_counter_++);
@@ -103,7 +121,9 @@ void ParallelSimulation::pp_force_cycle() {
   report_.pp.add("tree traversal", times.traverse_s);
   report_.pp.add("force calculation", times.force_s);
   report_.pp_stats.merge(stats);
-  last_force_cost_ = times.traverse_s + times.force_s;
+  last_force_cost_ = config_.cost_metric == CostMetric::kInteractions
+                         ? static_cast<double>(stats.interactions)
+                         : times.traverse_s + times.force_s;
 
   for (std::size_t i = 0; i < n_local; ++i) particles_[i].acc_s = acc[i];
   if (ep) report_.traffic_pp += ep->delta();
@@ -116,14 +136,20 @@ void ParallelSimulation::step(double t_next) {
   const TimeMetric& m = config_.metric;
   report_ = StepReport{};
 
+  // Fault-injection addressing: this is step `step_counter_ + 1`, and each
+  // phase below announces itself so a FaultSpec can target it.
+  const std::uint64_t fault_step = step_counter_ + 1;
+
   const int nsub = config_.nsub;
   for (int s = 0; s < nsub; ++s) {
     // Domain decomposition cycle (paper: once per PP cycle).
+    parx::set_fault_context(fault_step, parx::FaultPhase::kDD);
     domain_cycle(substep_counter_++);
 
     if (s == 0) {
       // PM cycle: closing half-kick of the previous step + opening half of
       // this one, with the freshly computed long-range force.
+      parx::set_fault_context(fault_step, parx::FaultPhase::kPM);
       telemetry::Span pm_span("sim/pm_cycle");
       std::optional<parx::TrafficLedger::Epoch> ep;
       if (reporting() && world_.rank() == 0) ep.emplace(world_.ledger().begin_phase("pm"));
@@ -149,6 +175,7 @@ void ParallelSimulation::step(double t_next) {
     for (auto& p : particles_) p.pos = wrap01(p.pos + p.mom * d);
     report_.dd.add("position update", sw.seconds());
 
+    parx::set_fault_context(fault_step, parx::FaultPhase::kPP);
     pp_force_cycle();
 
     const double k_close = m.kick(tsm, ts1);
@@ -157,7 +184,57 @@ void ParallelSimulation::step(double t_next) {
 
   clock_ = t1;
   ++step_counter_;
+  parx::set_fault_context(fault_step, parx::FaultPhase::kAny);
   if (reporting()) write_step_record();
+}
+
+void ParallelSimulation::checkpoint(const std::string& dir, std::size_t keep_last) {
+  parx::set_fault_context(step_counter_, parx::FaultPhase::kCkpt);
+  ckpt::GlobalState gs;
+  gs.step = step_counter_;
+  gs.substep = substep_counter_;
+  gs.clock = clock_;
+  gs.pending_long_kick = pending_long_kick_;
+  gs.config_fingerprint = config_fingerprint(config_);
+  gs.dims = config_.dims;
+  gs.decomp_flat = decomp_.flatten();
+  gs.smoother_history = smoother_.history();
+
+  ckpt::RankShard shard;
+  shard.payload = std::as_bytes(std::span<const Particle>(particles_));
+  shard.n_items = particles_.size();
+  shard.rank_cost = last_force_cost_;
+  ckpt::write_checkpoint(world_, dir, gs, shard, keep_last);
+  parx::set_fault_context(step_counter_, parx::FaultPhase::kAny);
+}
+
+void ParallelSimulation::restore_checkpoint(const std::string& ckpt_path) {
+  // A restore must never be the target of an injected fault: it is the
+  // recovery path, and re-faulting it would make rollback livelock.
+  parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
+  ckpt::Restored r = ckpt::read_checkpoint(world_, ckpt_path);
+
+  const auto& gs = r.manifest.state;
+  if (gs.config_fingerprint != config_fingerprint(config_))
+    throw ckpt::CkptError(
+        "restore: checkpoint config fingerprint does not match this simulation");
+  if (gs.dims != config_.dims)
+    throw ckpt::CkptError("restore: checkpoint rank grid differs from config dims");
+  if (r.payload.size() != r.n_items * sizeof(Particle))
+    throw ckpt::CkptError("restore: shard payload size is not a whole particle count");
+
+  particles_.resize(r.n_items);
+  std::memcpy(particles_.data(), r.payload.data(), r.payload.size());
+  clock_ = gs.clock;
+  pending_long_kick_ = gs.pending_long_kick;
+  substep_counter_ = gs.substep;
+  step_counter_ = gs.step;
+  last_force_cost_ = r.rank_cost;
+  decomp_ = domain::Decomposition::unflatten(gs.dims, gs.decomp_flat);
+  smoother_.set_history(gs.smoother_history);
+  pm_.update_domain(decomp_.box_of(world_.rank()));
+  report_ = StepReport{};
+  parx::set_fault_context(step_counter_, parx::FaultPhase::kAny);
 }
 
 void ParallelSimulation::write_step_record() {
@@ -223,6 +300,26 @@ void ParallelSimulation::synchronize() {
   for (std::size_t i = 0; i < particles_.size(); ++i)
     particles_[i].mom += accl[i] * pending_long_kick_;
   pending_long_kick_ = 0;
+}
+
+std::uint64_t config_fingerprint(const ParallelSimConfig& config) {
+  ckpt::Fnv1a64 h;
+  h.mix(config.dims[0]).mix(config.dims[1]).mix(config.dims[2]);
+  h.mix(config.nsub);
+  h.mix(config.theta).mix(config.ncrit).mix(config.leaf_capacity).mix(config.eps);
+  h.mix(static_cast<int>(config.kernel));
+  h.mix(static_cast<int>(config.cost_metric));
+  h.mix(config.sampling.target_samples).mix(config.sampling.seed);
+  h.mix(config.metric.comoving);
+  h.mix(config.metric.cosmology.omega_m)
+      .mix(config.metric.cosmology.omega_l)
+      .mix(config.metric.cosmology.H0);
+  const auto& pm = config.pm;
+  h.mix(pm.n_mesh).mix(pm.rcut).mix(static_cast<int>(pm.scheme));
+  h.mix(pm.deconv_power).mix(pm.G).mix(static_cast<int>(pm.green));
+  h.mix(pm.conversion.n_mesh).mix(pm.conversion.n_fft);
+  h.mix(static_cast<int>(pm.conversion.method)).mix(pm.conversion.n_groups);
+  return h.value();
 }
 
 TimingBreakdown allreduce_max(parx::Comm& comm, const TimingBreakdown& local) {

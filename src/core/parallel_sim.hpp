@@ -25,6 +25,13 @@
 
 namespace greem::core {
 
+/// What feeds the cost-weighted domain sampling.  kWallTime follows the
+/// paper (the measured traversal+force seconds of the previous cycle) but
+/// is run-to-run nondeterministic; kInteractions uses the traversal
+/// interaction count, which is bit-reproducible and makes whole runs --
+/// including checkpoint/restore round trips -- bitwise deterministic.
+enum class CostMetric { kWallTime, kInteractions };
+
 struct ParallelSimConfig {
   std::array<int, 3> dims{1, 1, 1};  ///< rank grid; product must equal comm size
   pm::ParallelPmParams pm;           ///< mesh, rcut, scheme, conversion method
@@ -36,6 +43,15 @@ struct ParallelSimConfig {
   domain::SamplingParams sampling;
   TimeMetric metric;
   int nsub = 2;
+  CostMetric cost_metric = CostMetric::kWallTime;
+
+  /// When non-empty, the constructor restores state from a checkpoint
+  /// instead of running the initial decomposition + force cycle: either a
+  /// committed checkpoint directory (containing MANIFEST.json) or a parent
+  /// directory, in which case the newest committed checkpoint is used.
+  /// The `local` particles passed to the constructor are discarded.  Must
+  /// be set identically on every rank.
+  std::string restore_from;
 
   /// Intra-rank pool size applied at construction (0 = leave the global
   /// pool as is).  TaskPool::resize is a no-op when the size is unchanged,
@@ -68,6 +84,25 @@ class ParallelSimulation {
 
   /// Collective: apply the pending long-range closing half-kick.
   void synchronize();
+
+  /// Collective: write a checkpoint of the current state under `dir`,
+  /// pruning to the newest `keep_last` committed checkpoints (0 = keep
+  /// all).  Restoring it reproduces this simulation bitwise -- including a
+  /// pending long-range half-kick and the domain-decomposition history --
+  /// provided cost_metric is kInteractions (wall-time cost weighting is
+  /// inherently nondeterministic).  Throws ckpt::CkptError on failure.
+  void checkpoint(const std::string& dir, std::size_t keep_last = 2);
+
+  /// Collective: replace the full simulation state with the committed
+  /// checkpoint at `ckpt_path`.  Throws ckpt::CkptError if the checkpoint
+  /// is corrupt, was written by a different rank grid, or its config
+  /// fingerprint disagrees with this simulation's config.
+  void restore_checkpoint(const std::string& ckpt_path);
+
+  /// Completed steps (restored across checkpoint round trips).
+  std::uint64_t step_index() const { return step_counter_; }
+
+  parx::Comm& comm() { return world_; }
 
   double clock() const { return clock_; }
   std::span<const Particle> local() const { return particles_; }
@@ -116,6 +151,14 @@ class ParallelSimulation {
   // Pool counters at the previous report, to delta per step.
   std::uint64_t pool_prev_loops_ = 0, pool_prev_chunks_ = 0, pool_prev_steals_ = 0;
 };
+
+/// Stable digest of every config field that affects the dynamics (rank
+/// grid, force/integration parameters, PM setup, sampling seed, cost
+/// metric, cosmology).  Recorded in checkpoint manifests and verified on
+/// restore, so a checkpoint cannot silently resume under different
+/// physics.  Reporting/paths (step_report_path, restore_from,
+/// pool_threads) are excluded.
+std::uint64_t config_fingerprint(const ParallelSimConfig& config);
 
 /// Phase-wise max over ranks (the paper reports the slowest rank's time).
 TimingBreakdown allreduce_max(parx::Comm& comm, const TimingBreakdown& local);

@@ -60,6 +60,11 @@ class BoundarySmoother {
 
   void reset() { history_.clear(); }
 
+  /// Checkpoint support: the smoothing window is part of the state a
+  /// bitwise-identical restart must restore.
+  const std::vector<std::vector<double>>& history() const { return history_; }
+  void set_history(std::vector<std::vector<double>> h) { history_ = std::move(h); }
+
  private:
   std::size_t window_;
   std::vector<std::vector<double>> history_;  // newest last

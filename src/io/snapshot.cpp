@@ -1,7 +1,10 @@
 #include "io/snapshot.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+
+#include "ckpt/atomic_file.hpp"
 
 namespace greem::io {
 namespace {
@@ -12,8 +15,9 @@ constexpr char kMagic[8] = {'G', 'R', 'E', 'E', 'M', 'S', 'N', '1'};
 
 bool write_snapshot(const std::string& path, const SnapshotHeader& header,
                     std::span<const core::Particle> particles) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  // Atomic: a crash mid-write leaves the previous snapshot (or nothing),
+  // never a truncated file under the final name.
+  ckpt::AtomicFileWriter out(path);
   out.write(kMagic, sizeof(kMagic));
   // memset, not copy: the struct's tail padding would otherwise leak
   // indeterminate bytes into the file and break byte-identical snapshots.
@@ -23,13 +27,16 @@ bool write_snapshot(const std::string& path, const SnapshotHeader& header,
   h.particle_mass = header.particle_mass;
   h.comoving = header.comoving;
   h.n_particles = particles.size();
-  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
-  out.write(reinterpret_cast<const char*>(particles.data()),
-            static_cast<std::streamsize>(particles.size_bytes()));
-  return static_cast<bool>(out);
+  out.write(&h, sizeof(h));
+  out.write(particles.data(), particles.size_bytes());
+  return out.commit();
 }
 
 std::optional<Snapshot> read_snapshot(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t fsize = std::filesystem::file_size(path, ec);
+  if (ec) return std::nullopt;
+
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   char magic[8];
@@ -38,6 +45,19 @@ std::optional<Snapshot> read_snapshot(const std::string& path) {
   Snapshot snap;
   in.read(reinterpret_cast<char*>(&snap.header), sizeof(snap.header));
   if (!in) return std::nullopt;
+
+  // Bound the claimed count against the actual file size BEFORE resizing,
+  // so a corrupt/hostile header cannot drive a huge allocation; requiring
+  // the exact size also rejects truncated files and trailing garbage.
+  const std::uintmax_t expect = static_cast<std::uintmax_t>(sizeof(kMagic)) +
+                                sizeof(SnapshotHeader) +
+                                static_cast<std::uintmax_t>(snap.header.n_particles) *
+                                    sizeof(core::Particle);
+  if (snap.header.n_particles > (fsize - sizeof(kMagic) - sizeof(SnapshotHeader)) /
+                                    sizeof(core::Particle) ||
+      fsize != expect)
+    return std::nullopt;
+
   snap.particles.resize(snap.header.n_particles);
   in.read(reinterpret_cast<char*>(snap.particles.data()),
           static_cast<std::streamsize>(snap.particles.size() * sizeof(core::Particle)));

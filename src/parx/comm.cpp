@@ -23,13 +23,63 @@ int Comm::world_rank_of(int r) const { return group_->world_ranks[static_cast<st
 
 TrafficLedger& Comm::ledger() { return *group_->job->ledger; }
 
+void Comm::check_abort() const {
+  const detail::JobState& job = *group_->job;
+  if (job.poisoned.load(std::memory_order_relaxed)) throw JobPoisoned{};
+  if (job.fault.load(std::memory_order_relaxed)) throw RemoteFault{};
+}
+
+void Comm::fault_point(FaultOp op) {
+  check_abort();
+  detail::JobState& job = *group_->job;
+  if (!job.injector) return;
+  if (auto spec = job.injector->should_fire(world_rank(), op, fault_context())) {
+    // Raise the job-wide flag first so siblings blocked in recv/barrier
+    // notice within one poll interval.
+    job.fault.store(true, std::memory_order_relaxed);
+    throw FaultInjected(*spec);
+  }
+}
+
+void Comm::fault_recover() {
+  telemetry::Span span("parx/fault_recover");
+  detail::JobState& job = *group_->job;
+  std::vector<std::shared_ptr<Group>> deferred;
+  {
+    std::unique_lock lock(job.recover_mu);
+    const std::uint64_t gen = job.recover_gen;
+    if (++job.recover_arrived == job.nranks) {
+      // Last rank in: every sibling is parked in this rendezvous, so no
+      // rank is inside any Comm operation and group state can be reset.
+      {
+        std::lock_guard groups_lock(job.groups_mu);
+        for (Group* g : job.groups) g->reset_comm_state(deferred);
+      }
+      job.fault.store(false, std::memory_order_relaxed);
+      job.recover_arrived = 0;
+      ++job.recover_gen;
+      job.recover_cv.notify_all();
+    } else {
+      while (job.recover_gen == gen) {
+        if (job.poisoned.load(std::memory_order_relaxed)) throw JobPoisoned{};
+        job.recover_cv.wait_for(lock, std::chrono::milliseconds(50));
+      }
+    }
+  }
+  // Groups orphaned from split staging die here, outside both locks (their
+  // destructors re-take groups_mu to unregister).
+  deferred.clear();
+}
+
 void Comm::barrier() {
   telemetry::Span span("parx/barrier");
-  group_->barrier.wait([&] { return group_->job->poisoned.load(std::memory_order_relaxed); });
+  fault_point(FaultOp::kCollective);
+  group_->barrier.wait([&] { check_abort(); });
 }
 
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
   assert(dst >= 0 && dst < group_->size && dst != rank_);
+  fault_point(FaultOp::kSend);
   group_->job->ledger->record(world_rank(), world_rank_of(dst), n);
   Message msg{rank_, tag, std::vector<std::byte>(n)};
   if (n > 0) std::memcpy(msg.payload.data(), data, n);
@@ -42,6 +92,7 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+  fault_point(FaultOp::kRecv);
   auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mu);
   for (;;) {
@@ -52,29 +103,31 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
         return payload;
       }
     }
-    if (group_->job->poisoned.load(std::memory_order_relaxed)) throw JobPoisoned{};
+    check_abort();
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
 }
 
 std::vector<std::size_t> Comm::exchange_sizes(std::span<const std::size_t> to_each) {
+  fault_point(FaultOp::kCollective);
   Group& g = *group_;
   const auto p = static_cast<std::size_t>(g.size);
   assert(to_each.size() == p);
-  auto poisoned = [&] { return g.job->poisoned.load(std::memory_order_relaxed); };
+  auto check = [&] { check_abort(); };
   const auto me = static_cast<std::size_t>(rank_);
   std::copy(to_each.begin(), to_each.end(), g.size_matrix.begin() + static_cast<std::ptrdiff_t>(me * p));
-  g.size_barrier.wait(poisoned);  // all rows written
+  g.size_barrier.wait(check);  // all rows written
   std::vector<std::size_t> from_each(p);
   for (std::size_t r = 0; r < p; ++r) from_each[r] = g.size_matrix[r * p + me];
-  g.size_barrier.wait(poisoned);  // all columns read; matrix reusable
+  g.size_barrier.wait(check);  // all columns read; matrix reusable
   return from_each;
 }
 
 Comm Comm::split(int color, int key) {
   telemetry::Span span("parx/split");
+  fault_point(FaultOp::kCollective);
   Group& g = *group_;
-  auto poisoned = [&] { return g.job->poisoned.load(std::memory_order_relaxed); };
+  auto poisoned = [&] { check_abort(); };
   {
     std::lock_guard lock(g.split_mu);
     if (g.split_results.empty()) g.split_results.resize(static_cast<std::size_t>(g.size));

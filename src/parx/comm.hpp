@@ -29,6 +29,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 #include "telemetry/trace.hpp"
 
@@ -54,6 +55,15 @@ class Comm {
 
   /// Synchronize all ranks of this communicator.
   void barrier();
+
+  /// Collective over the whole job (call on the *world* communicator from
+  /// every rank) after catching a CommError: rendezvous all ranks, then
+  /// drain mailboxes, reset barriers and split staging in every live
+  /// group, and clear the fault flag.  On return the communicator stack is
+  /// as-new; the caller is responsible for restoring application state
+  /// (e.g. from a checkpoint).  Throws JobPoisoned if a sibling rank died
+  /// fatally instead of joining the recovery.
+  void fault_recover();
 
   /// Collective: partition ranks by `color`; order within each new
   /// communicator by (key, old rank).  Mirrors MPI_Comm_split.
@@ -95,6 +105,7 @@ class Comm {
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_to) {
     static_assert(std::is_trivially_copyable_v<T>);
     telemetry::Span span("parx/alltoallv");
+    fault_point(FaultOp::kCollective);
     const auto p = static_cast<std::size_t>(size());
     std::vector<std::size_t> sizes(p);
     for (std::size_t j = 0; j < p; ++j) sizes[j] = send_to[j].size() * sizeof(T);
@@ -124,6 +135,7 @@ class Comm {
     const int p = size();
     if (p == 1) return;
     telemetry::Span span("parx/bcast");
+    fault_point(FaultOp::kCollective);
     const int vr = (rank_ - root + p) % p;
     int mask = 1;
     while (mask < p) {
@@ -150,6 +162,7 @@ class Comm {
   void reduce(std::span<T> inout, int root, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
     telemetry::Span span("parx/reduce");
+    fault_point(FaultOp::kCollective);
     const int p = size();
     const int vr = (rank_ - root + p) % p;
     for (int mask = 1; mask < p; mask <<= 1) {
@@ -208,6 +221,7 @@ class Comm {
   std::vector<T> gatherv(std::span<const T> mine, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     telemetry::Span span("parx/gatherv");
+    fault_point(FaultOp::kCollective);
     const auto p = static_cast<std::size_t>(size());
     std::vector<std::size_t> sizes(p, 0);
     if (rank_ != root) sizes[static_cast<std::size_t>(root)] = mine.size_bytes();
@@ -237,6 +251,13 @@ class Comm {
   }
 
  private:
+  /// Injection point at a Comm operation entry: throws RemoteFault when a
+  /// sibling's fault is pending, JobPoisoned when a sibling died fatally,
+  /// FaultInjected when this rank's context matches an armed FaultSpec.
+  void fault_point(FaultOp op);
+  /// The flag checks of fault_point alone (polled while blocked).
+  void check_abort() const;
+
   static constexpr int kTagAlltoall = -101;
   static constexpr int kTagBcast = -102;
   static constexpr int kTagReduce = -103;

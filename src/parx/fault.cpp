@@ -1,0 +1,156 @@
+#include "parx/fault.hpp"
+
+#include <atomic>
+
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace greem::parx {
+namespace {
+
+thread_local FaultContext t_ctx{};
+
+std::string describe(const FaultSpec& s) {
+  std::string out = "parx: injected ";
+  out += to_string(s.kind);
+  out += " on rank " + std::to_string(s.rank);
+  out += " at step " + std::to_string(s.step);
+  out += " phase ";
+  out += to_string(s.phase);
+  return out;
+}
+
+bool kind_matches_op(FaultKind kind, FaultOp op) {
+  switch (kind) {
+    case FaultKind::kRankAbort: return true;
+    case FaultKind::kSendFailure: return op == FaultOp::kSend;
+    case FaultKind::kCollectiveFailure: return op == FaultOp::kCollective;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultInjected::FaultInjected(const FaultSpec& s) : CommError(describe(s)), spec(s) {}
+
+void set_fault_context(std::uint64_t step, FaultPhase phase) { t_ctx = {step, phase}; }
+
+FaultContext fault_context() { return t_ctx; }
+
+const char* to_string(FaultPhase p) {
+  switch (p) {
+    case FaultPhase::kAny: return "any";
+    case FaultPhase::kDD: return "dd";
+    case FaultPhase::kPM: return "pm";
+    case FaultPhase::kPP: return "pp";
+    case FaultPhase::kCkpt: return "ckpt";
+  }
+  return "?";
+}
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kRankAbort: return "rank-abort";
+    case FaultKind::kSendFailure: return "send-failure";
+    case FaultKind::kCollectiveFailure: return "collective-failure";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, int n_faults, std::uint64_t max_step,
+                            int nranks) {
+  FaultPlan plan;
+  Rng rng(seed, /*stream=*/0xFA017);
+  constexpr FaultPhase kPhases[] = {FaultPhase::kDD, FaultPhase::kPM, FaultPhase::kPP};
+  for (int i = 0; i < n_faults; ++i) {
+    FaultSpec s;
+    s.step = 1 + rng.uniform_index(max_step > 0 ? max_step : 1);
+    s.phase = kPhases[rng.uniform_index(3)];
+    s.kind = FaultKind::kRankAbort;
+    s.rank = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(nranks)));
+    plan.at(s);
+  }
+  return plan;
+}
+
+std::optional<FaultSpec> parse_fault_at(std::string_view s) {
+  auto next_field = [&]() -> std::string_view {
+    const std::size_t colon = s.find(':');
+    std::string_view f = s.substr(0, colon);
+    s = colon == std::string_view::npos ? std::string_view{} : s.substr(colon + 1);
+    return f;
+  };
+  auto parse_u64 = [](std::string_view f, std::uint64_t& out) {
+    if (f.empty()) return false;
+    out = 0;
+    for (char c : f) {
+      if (c < '0' || c > '9') return false;
+      out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+  };
+
+  FaultSpec spec;
+  std::uint64_t step = 0;
+  if (!parse_u64(next_field(), step)) return std::nullopt;
+  spec.step = step;
+
+  const std::string_view phase = next_field();
+  if (phase == "any") spec.phase = FaultPhase::kAny;
+  else if (phase == "dd") spec.phase = FaultPhase::kDD;
+  else if (phase == "pm") spec.phase = FaultPhase::kPM;
+  else if (phase == "pp") spec.phase = FaultPhase::kPP;
+  else if (phase == "ckpt") spec.phase = FaultPhase::kCkpt;
+  else return std::nullopt;
+
+  if (!s.empty()) {
+    std::uint64_t rank = 0;
+    if (!parse_u64(next_field(), rank)) return std::nullopt;
+    spec.rank = static_cast<int>(rank);
+  }
+  if (!s.empty()) {
+    const std::string_view kind = next_field();
+    if (kind == "abort") spec.kind = FaultKind::kRankAbort;
+    else if (kind == "send") spec.kind = FaultKind::kSendFailure;
+    else if (kind == "collective") spec.kind = FaultKind::kCollectiveFailure;
+    else return std::nullopt;
+  }
+  if (!s.empty()) return std::nullopt;
+  return spec;
+}
+
+struct FaultInjector::Armed {
+  FaultSpec spec;
+  std::atomic<int> remaining{0};
+};
+
+FaultInjector::FaultInjector(FaultPlan plan) : n_(plan.specs().size()) {
+  armed_ = std::make_unique<Armed[]>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    armed_[i].spec = plan.specs()[i];
+    armed_[i].remaining.store(plan.specs()[i].times, std::memory_order_relaxed);
+  }
+}
+
+FaultInjector::~FaultInjector() = default;
+
+std::optional<FaultSpec> FaultInjector::should_fire(int world_rank, FaultOp op,
+                                                    const FaultContext& ctx) {
+  if (ctx.step == kNoFaultStep) return std::nullopt;
+  for (std::size_t i = 0; i < n_; ++i) {
+    Armed& a = armed_[i];
+    const FaultSpec& s = a.spec;
+    if (s.rank != world_rank || s.step != ctx.step) continue;
+    if (s.phase != FaultPhase::kAny && s.phase != ctx.phase) continue;
+    if (!kind_matches_op(s.kind, op)) continue;
+    if (a.remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      a.remaining.fetch_add(1, std::memory_order_relaxed);  // spent; undo
+      continue;
+    }
+    telemetry::Registry::global().counter("faults/injected").add();
+    return s;
+  }
+  return std::nullopt;
+}
+
+}  // namespace greem::parx

@@ -1,0 +1,142 @@
+#pragma once
+// Deterministic fault injection for parx, the testing ground for the
+// checkpoint/rollback-recovery loop: a production trillion-body run loses
+// nodes mid-step, so the in-process MPI stand-in can be told to lose them
+// too, at an exact (step, phase, rank), reproducibly.
+//
+// Model:
+//  * A FaultPlan is a list of FaultSpecs (or a seeded random draw of them).
+//    Install it with Runtime::set_fault_plan before run().
+//  * Each rank thread advances its own (step, phase) fault context
+//    (set_fault_context); the driver does this at phase boundaries.
+//  * Every Comm operation entry is an injection point.  When the calling
+//    rank's context matches an armed spec, the op throws FaultInjected and
+//    raises a job-wide fault flag; every other rank's next (or current,
+//    if blocked) Comm operation throws RemoteFault.  Both derive from
+//    CommError, the typed "communicator is broken" signal the recovery
+//    driver catches.  Specs fire a bounded number of times (default once),
+//    so a retried step succeeds.
+//  * After catching a CommError, *every* rank must call
+//    Comm::fault_recover() on the world communicator: a rendezvous that
+//    waits for all ranks, then drains mailboxes, resets barriers and split
+//    staging in every live communicator group, and clears the fault flag.
+//    Comm state is then as-new; simulation state is the caller's problem
+//    (that is what checkpoints are for).
+//
+// Faults fire only at Comm entry points.  A spec whose (step, phase, rank)
+// performs no communication never fires; a fatal (non-injected) exception
+// on a sibling rank still surfaces as JobPoisoned, which does NOT derive
+// from CommError and must not be swallowed by recovery loops.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greem::parx {
+
+/// Base of all typed communication failures (injected or secondary).
+class CommError : public std::runtime_error {
+ public:
+  explicit CommError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class FaultKind : std::uint8_t {
+  kRankAbort,          ///< the rank dies: fires at its next comm op of any kind
+  kSendFailure,        ///< a point-to-point send fails
+  kCollectiveFailure,  ///< a synchronizing collective entry fails
+};
+
+/// Phase tag of the fault context; drivers map their phases onto these.
+enum class FaultPhase : std::uint8_t { kAny, kDD, kPM, kPP, kCkpt };
+
+/// Context step value meaning "not inside any faultable region".
+inline constexpr std::uint64_t kNoFaultStep = ~std::uint64_t{0};
+
+struct FaultSpec {
+  std::uint64_t step = 1;                 ///< 1-based step index (0 = setup/construction)
+  FaultPhase phase = FaultPhase::kAny;    ///< kAny matches every phase of the step
+  FaultKind kind = FaultKind::kRankAbort;
+  int rank = 0;                           ///< world rank that fails
+  int times = 1;                          ///< firings before the spec is spent
+};
+
+/// Thrown on the rank named by a matching spec.
+class FaultInjected : public CommError {
+ public:
+  explicit FaultInjected(const FaultSpec& s);
+  FaultSpec spec;
+};
+
+/// Thrown on every other rank once the fault flag is up.
+class RemoteFault : public CommError {
+ public:
+  RemoteFault() : CommError("parx: a sibling rank hit an injected fault") {}
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Append a spec; chainable.
+  FaultPlan& at(const FaultSpec& s) {
+    specs_.push_back(s);
+    return *this;
+  }
+
+  /// Seeded random plan: `n_faults` rank-aborts at uniform step in
+  /// [1, max_step], uniform phase in {dd, pm, pp}, uniform rank in
+  /// [0, nranks).  Deterministic in the seed (chaos testing with replay).
+  static FaultPlan random(std::uint64_t seed, int n_faults, std::uint64_t max_step,
+                          int nranks);
+
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  bool empty() const { return specs_.empty(); }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+struct FaultContext {
+  std::uint64_t step = kNoFaultStep;
+  FaultPhase phase = FaultPhase::kAny;
+};
+
+/// Set / read the calling rank thread's fault context (thread-local).
+void set_fault_context(std::uint64_t step, FaultPhase phase);
+FaultContext fault_context();
+
+const char* to_string(FaultPhase p);
+const char* to_string(FaultKind k);
+
+/// Parse "STEP:PHASE[:RANK[:KIND]]", e.g. "3:pp", "2:dd:1", "4:any:0:send".
+/// PHASE in {any,dd,pm,pp,ckpt}; KIND in {abort,send,collective}.
+std::optional<FaultSpec> parse_fault_at(std::string_view s);
+
+/// Which class of Comm operation an injection point sits in.
+enum class FaultOp : std::uint8_t { kSend, kRecv, kCollective };
+
+/// Armed form of a FaultPlan, shared by every Comm of a Runtime.
+/// should_fire is called from concurrent rank threads; firing decrements
+/// the spec's remaining count atomically, so `times` is a global budget.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// The spec to fire at this injection point, if any (marks it fired and
+  /// bumps the faults/injected counter).
+  std::optional<FaultSpec> should_fire(int world_rank, FaultOp op, const FaultContext& ctx);
+
+ private:
+  struct Armed;
+  std::unique_ptr<Armed[]> armed_;  // fixed array: Armed holds an atomic (immovable)
+  std::size_t n_ = 0;
+};
+
+}  // namespace greem::parx

@@ -1,6 +1,7 @@
 #pragma once
 // Internal shared state behind a Comm.  Not part of the public API.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -15,18 +16,41 @@
 
 #include "parx/traffic.hpp"
 
+namespace greem::parx {
+class FaultInjector;
+}
+
 namespace greem::parx::detail {
 
-/// Raised in blocked ranks when a sibling rank failed, so a single thrown
-/// exception cannot deadlock the whole job.
+/// Raised in blocked ranks when a sibling rank failed fatally (threw out of
+/// the rank function), so a single thrown exception cannot deadlock the
+/// whole job.  Deliberately NOT a CommError: recovery loops must let it
+/// propagate.
 struct JobPoisoned : std::runtime_error {
   JobPoisoned() : std::runtime_error("parx: a sibling rank failed") {}
 };
 
+struct Group;
+
 /// State shared by every communicator of one Runtime invocation.
 struct JobState {
-  std::atomic<bool> poisoned{false};
+  std::atomic<bool> poisoned{false};  ///< fatal: a rank escaped its function
+  std::atomic<bool> fault{false};     ///< recoverable: an injected fault fired
   std::shared_ptr<TrafficLedger> ledger;
+  std::shared_ptr<FaultInjector> injector;  ///< null = no injection
+  int nranks = 0;
+
+  // Rendezvous for Comm::fault_recover, deliberately independent of the
+  // (possibly corrupted) group barriers and immune to the fault flag.
+  std::mutex recover_mu;
+  std::condition_variable recover_cv;
+  int recover_arrived = 0;
+  std::uint64_t recover_gen = 0;
+
+  // Every live Group of this job, so recovery can reset them all (split
+  // subcommunicators included).  Guarded by groups_mu.
+  std::mutex groups_mu;
+  std::vector<Group*> groups;
 };
 
 struct Message {
@@ -46,8 +70,11 @@ class Barrier {
  public:
   explicit Barrier(int n) : n_(n) {}
 
-  template <class PoisonCheck>
-  void wait(PoisonCheck&& poisoned) {
+  /// `check` is invoked while polling and must throw to abort the wait
+  /// (JobPoisoned / RemoteFault); a throw may leave the arrival count
+  /// stale, which reset() clears during fault recovery.
+  template <class Check>
+  void wait(Check&& check) {
     std::unique_lock lock(mu_);
     const std::uint64_t gen = gen_;
     if (++count_ == n_) {
@@ -57,9 +84,16 @@ class Barrier {
       return;
     }
     while (gen_ == gen) {
-      if (poisoned()) throw JobPoisoned{};
+      check();
       cv_.wait_for(lock, std::chrono::milliseconds(50));
     }
+  }
+
+  /// Drop stale arrivals after an aborted wait.  Only call while no rank
+  /// can be inside wait() (the fault_recover rendezvous guarantees that).
+  void reset() {
+    std::lock_guard lock(mu_);
+    count_ = 0;
   }
 
  private:
@@ -80,6 +114,45 @@ struct Group {
         size_matrix(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {
     boxes_storage.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) boxes[static_cast<std::size_t>(i)] = &boxes_storage[static_cast<std::size_t>(i)];
+    if (job) {
+      std::lock_guard lock(job->groups_mu);
+      job->groups.push_back(this);
+    }
+  }
+
+  ~Group() {
+    if (job) {
+      std::lock_guard lock(job->groups_mu);
+      auto& gs = job->groups;
+      gs.erase(std::remove(gs.begin(), gs.end(), this), gs.end());
+    }
+  }
+
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
+  /// Restore this group's communication state to as-new after an aborted
+  /// operation: drain mailboxes, reset barriers, clear split staging.
+  /// Groups whose last reference lives in split staging are moved into
+  /// `deferred` instead of being destroyed here, so the caller can finish
+  /// iterating the job's group registry before any unregistration runs.
+  void reset_comm_state(std::vector<std::shared_ptr<Group>>& deferred) {
+    for (auto& box : boxes_storage) {
+      std::lock_guard lock(box.mu);
+      box.msgs.clear();
+    }
+    barrier.reset();
+    size_barrier.reset();
+    split_barrier.reset();
+    std::fill(size_matrix.begin(), size_matrix.end(), 0);
+    {
+      std::lock_guard lock(split_mu);
+      split_entries.clear();
+      for (auto& r : split_results) {
+        if (r.first) deferred.push_back(std::move(r.first));
+        r = {nullptr, -1};
+      }
+    }
   }
 
   int size;

@@ -13,6 +13,7 @@ namespace greem::parx {
 
 Runtime::Runtime(int nranks) : nranks_(nranks) {
   job_ = std::make_shared<detail::JobState>();
+  job_->nranks = nranks;
   job_->ledger = std::make_shared<TrafficLedger>(static_cast<std::size_t>(nranks));
   std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
   std::iota(world_ranks.begin(), world_ranks.end(), 0);
@@ -23,14 +24,22 @@ Runtime::~Runtime() = default;
 
 TrafficLedger& Runtime::ledger() { return *job_->ledger; }
 
+void Runtime::set_fault_plan(const FaultPlan& plan) {
+  job_->injector = plan.empty() ? nullptr : std::make_shared<FaultInjector>(plan);
+}
+
 void Runtime::run(const std::function<void(Comm&)>& fn) {
   job_->poisoned.store(false);
+  job_->fault.store(false);
   std::mutex err_mu;
   std::exception_ptr first_error;
 
   auto body = [&](int rank) {
-    // Route this rank thread's spans onto a per-rank trace track.
+    // Route this rank thread's spans onto a per-rank trace track; start
+    // outside any faultable region (the context is thread-local and the
+    // rank-0 thread persists across run() calls).
     const int prev_track = telemetry::set_trace_rank(rank);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
     Comm comm(world_, rank);
     try {
       fn(comm);

@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "parx/comm.hpp"
+#include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 
 namespace greem::parx {
@@ -31,6 +32,11 @@ class Runtime {
   /// finish.  If any rank throws, the job is poisoned (blocked ranks are
   /// released) and the first exception is rethrown here.
   void run(const std::function<void(Comm&)>& fn);
+
+  /// Install a deterministic fault plan for subsequent run() invocations
+  /// (see parx/fault.hpp).  An empty plan disables injection.  Not
+  /// thread-safe against a concurrent run().
+  void set_fault_plan(const FaultPlan& plan);
 
   TrafficLedger& ledger();
 

@@ -111,6 +111,18 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double v) {
+  before_item();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    os_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+  return *this;
+}
+
 JsonWriter& JsonWriter::value_int(std::int64_t v) {
   before_item();
   os_ << v;

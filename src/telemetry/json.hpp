@@ -42,6 +42,15 @@ class JsonWriter {
   JsonWriter& value(const std::string& v) { return value(std::string_view(v)); }
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
+
+  /// Like value(double) but with full round-trip precision (%.17g): the
+  /// printed text re-parses (strtod) to the identical bit pattern.  Used
+  /// where exactness is state, not presentation -- checkpoint manifests.
+  JsonWriter& value_exact(double v);
+  JsonWriter& field_exact(std::string_view k, double v) {
+    key(k);
+    return value_exact(v);
+  }
   template <class T>
     requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
   JsonWriter& value(T v) {

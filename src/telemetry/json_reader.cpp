@@ -1,0 +1,277 @@
+#include "telemetry/json_reader.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace greem::telemetry {
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+const std::string kEmptyString;
+const std::vector<JsonValue> kEmptyArray;
+const std::vector<std::pair<std::string, JsonValue>> kEmptyObject;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool at_end() const { return pos >= text.size(); }
+  char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (at_end() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool consume_word(std::string_view w) {
+    if (text.substr(pos, w.size()) != w) return false;
+    pos += w.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return std::nullopt;
+    skip_ws();
+    if (at_end()) return std::nullopt;
+    switch (peek()) {
+      case 'n': return consume_word("null") ? std::optional(JsonValue::null()) : std::nullopt;
+      case 't': return consume_word("true") ? std::optional(JsonValue::boolean(true)) : std::nullopt;
+      case 'f':
+        return consume_word("false") ? std::optional(JsonValue::boolean(false)) : std::nullopt;
+      case '"': return parse_string_value();
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (!at_end()) {
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) return std::nullopt;  // raw control char
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (at_end()) return std::nullopt;
+      const char e = text[pos++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return std::nullopt;
+          }
+          // UTF-8 encode the BMP code point (the writer only escapes
+          // control characters, so surrogate pairs do not occur).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_string_value() {
+    auto s = parse_string();
+    if (!s) return std::nullopt;
+    return JsonValue::string(std::move(*s));
+  }
+
+  std::optional<JsonValue> parse_number() {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // (no leading '+', no leading zeros, no bare '.').
+    const std::size_t start = pos;
+    consume('-');
+    if (at_end()) return std::nullopt;
+    if (peek() == '0') {
+      ++pos;
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    } else {
+      return std::nullopt;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos;
+      if (at_end() || peek() < '0' || peek() > '9') return std::nullopt;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!at_end() && (peek() == '-' || peek() == '+')) ++pos;
+      if (at_end() || peek() < '0' || peek() > '9') return std::nullopt;
+      while (!at_end() && peek() >= '0' && peek() <= '9') ++pos;
+    }
+    // strtod needs a NUL-terminated buffer; the token is short.
+    const std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return JsonValue::number(v);
+  }
+
+  std::optional<JsonValue> parse_array(int depth) {
+    consume('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::array(std::move(items));
+    for (;;) {
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      items.push_back(std::move(*v));
+      skip_ws();
+      if (consume(']')) return JsonValue::array(std::move(items));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object(int depth) {
+    consume('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::object(std::move(members));
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      auto v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      members.emplace_back(std::move(*key), std::move(*v));
+      skip_ws();
+      if (consume('}')) return JsonValue::object(std::move(members));
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+};
+
+}  // namespace
+
+std::int64_t JsonValue::as_i64(std::int64_t fallback) const {
+  if (!is_number() || !std::isfinite(num_)) return fallback;
+  return static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t JsonValue::as_u64(std::uint64_t fallback) const {
+  if (!is_number() || !std::isfinite(num_) || num_ < 0) return fallback;
+  return static_cast<std::uint64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  return is_string() ? str_ : kEmptyString;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  return is_array() ? arr_ : kEmptyArray;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  return is_object() ? obj_ : kEmptyObject;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::number_or(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_double(fallback) : fallback;
+}
+
+std::uint64_t JsonValue::u64_or(std::string_view key, std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return v ? v->as_u64(fallback) : fallback;
+}
+
+std::string JsonValue::string_or(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v && v->is_string() ? v->as_string() : std::move(fallback);
+}
+
+JsonValue JsonValue::null() { return JsonValue{}; }
+
+JsonValue JsonValue::boolean(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  Parser p{text};
+  auto v = p.parse_value(0);
+  if (!v) return std::nullopt;
+  p.skip_ws();
+  if (!p.at_end()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace greem::telemetry

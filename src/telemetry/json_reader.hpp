@@ -1,0 +1,73 @@
+#pragma once
+// Minimal JSON reader, the counterpart of JsonWriter: parses the artifacts
+// this repository writes (checkpoint manifests, BENCH_*.json, StepReport
+// JSONL lines) back into a small DOM.  Strict where it matters for
+// integrity -- rejects trailing garbage, unterminated strings, bad escapes
+// and over-deep nesting -- and deliberately small everywhere else (numbers
+// are doubles; exact 64-bit values travel as hex strings or via
+// JsonWriter::value_exact round-trips, which are bit-exact for doubles).
+//
+// Always compiled, like json.hpp: plain I/O, no instrumentation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace greem::telemetry {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Type-checked accessors; return the fallback on kind mismatch.
+  bool as_bool(bool fallback = false) const { return is_bool() ? bool_ : fallback; }
+  double as_double(double fallback = 0.0) const { return is_number() ? num_ : fallback; }
+  std::int64_t as_i64(std::int64_t fallback = 0) const;
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  const std::string& as_string() const;  ///< empty string on mismatch
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<JsonValue>& items() const;
+  /// Object members in file order (empty for non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+  /// First member named `key`, nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience: find(key) then the typed accessor (fallback when absent).
+  double number_or(std::string_view key, double fallback) const;
+  std::uint64_t u64_or(std::string_view key, std::uint64_t fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+  // -- construction (used by the parser; tests may build values directly) --
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array(std::vector<JsonValue> items);
+  static JsonValue object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse one JSON document.  Returns nullopt on any syntax error, nesting
+/// deeper than 64 levels, or non-whitespace trailing content.
+std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace greem::telemetry

@@ -1,0 +1,476 @@
+// Checkpoint/restart subsystem tests: CRC and atomic-file primitives,
+// manifest round trips, bitwise restore determinism of the distributed
+// simulation (including a pending mid-step PM half-kick), corruption
+// rejection, retention pruning, and the injected-fault rollback-recovery
+// loop end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "ckpt/atomic_file.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "ckpt/hash.hpp"
+#include "ckpt/manifest.hpp"
+#include "ckpt/recovery.hpp"
+#include "core/parallel_sim.hpp"
+#include "parx/fault.hpp"
+#include "parx/runtime.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/rng.hpp"
+
+namespace greem::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- hashes --
+
+TEST(Crc32, MatchesKnownVector) {
+  // The IEEE CRC32 check value ("123456789" -> 0xCBF43926), so our table
+  // is interoperable with zlib/cksum implementations.
+  const char* s = "123456789";
+  EXPECT_EQ(crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  Crc32 inc;
+  inc.update(data.data(), 10);
+  inc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(inc.value(), crc32(data.data(), data.size()));
+}
+
+TEST(Fnv1a64, OrderAndValueSensitive) {
+  const auto h1 = Fnv1a64{}.mix(1).mix(2).value();
+  const auto h2 = Fnv1a64{}.mix(2).mix(1).value();
+  const auto h3 = Fnv1a64{}.mix(1).mix(2).value();
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, h3);
+}
+
+// ----------------------------------------------------------- atomic file --
+
+TEST(AtomicFile, CommitPublishesExactlyOnce) {
+  const std::string path = testing::TempDir() + "/atomic_commit.txt";
+  fs::remove(path);
+  {
+    AtomicFileWriter w(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.write("hello", 5));
+    EXPECT_FALSE(fs::exists(path)) << "must not appear before commit";
+    ASSERT_TRUE(w.commit());
+  }
+  ASSERT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::ifstream in(path);
+  std::string got;
+  std::getline(in, got);
+  EXPECT_EQ(got, "hello");
+}
+
+TEST(AtomicFile, AbortLeavesNothing) {
+  const std::string path = testing::TempDir() + "/atomic_abort.txt";
+  fs::remove(path);
+  {
+    AtomicFileWriter w(path);
+    w.write("partial", 7);
+    // No commit: the destructor aborts.
+  }
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(AtomicFile, CommitPreservesPreviousOnOpenFailure) {
+  const std::string path = "/nonexistent-dir-xyz/file.txt";
+  AtomicFileWriter w(path);
+  EXPECT_FALSE(w.ok());
+  EXPECT_FALSE(w.write("x", 1));
+  EXPECT_FALSE(w.commit());
+}
+
+// --------------------------------------------------------------- manifest --
+
+Manifest sample_manifest() {
+  Manifest m;
+  m.state.step = 4;
+  m.state.substep = 9;
+  m.state.clock = 0.1 + 0.2;  // a value that %.9g would round
+  m.state.pending_long_kick = 1.0 / 3.0;
+  m.state.config_fingerprint = 0xDEADBEEFCAFE1234ull;
+  m.state.dims = {2, 2, 1};
+  m.state.decomp_flat = {0.0, 0.5000000001, 1.0, 0.0, 1.0 / 3.0, 1.0};
+  m.state.smoother_history = {{0.1, 0.2}, {0.3, 0.4}};
+  for (int r = 0; r < 4; ++r)
+    m.shards.push_back({r, "shard_0000" + std::to_string(r) + ".bin", 100 + r, 9600,
+                        0xABCD0000u + r, 1e-3 * r});
+  return m;
+}
+
+TEST(Manifest, RoundTripsBitwise) {
+  const Manifest m = sample_manifest();
+  const auto parsed = parse_manifest(manifest_to_json(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->state.step, m.state.step);
+  EXPECT_EQ(parsed->state.substep, m.state.substep);
+  // Bitwise, not approximate: restored state must be exact.
+  EXPECT_EQ(std::memcmp(&parsed->state.clock, &m.state.clock, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&parsed->state.pending_long_kick, &m.state.pending_long_kick,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(parsed->state.config_fingerprint, m.state.config_fingerprint);
+  EXPECT_EQ(parsed->state.dims, m.state.dims);
+  ASSERT_EQ(parsed->state.decomp_flat.size(), m.state.decomp_flat.size());
+  for (std::size_t i = 0; i < m.state.decomp_flat.size(); ++i)
+    EXPECT_EQ(std::memcmp(&parsed->state.decomp_flat[i], &m.state.decomp_flat[i],
+                          sizeof(double)),
+              0);
+  EXPECT_EQ(parsed->state.smoother_history, m.state.smoother_history);
+  ASSERT_EQ(parsed->shards.size(), m.shards.size());
+  EXPECT_EQ(parsed->shards[3].crc32, m.shards[3].crc32);
+  EXPECT_EQ(parsed->shards[3].n_items, m.shards[3].n_items);
+}
+
+TEST(Manifest, RejectsGarbageAndInconsistency) {
+  EXPECT_FALSE(parse_manifest("").has_value());
+  EXPECT_FALSE(parse_manifest("not json").has_value());
+  EXPECT_FALSE(parse_manifest("{}").has_value());
+  EXPECT_FALSE(parse_manifest(R"({"format":"other","version":1})").has_value());
+
+  const Manifest m = sample_manifest();
+  // Valid JSON with trailing garbage is rejected by the strict parser.
+  EXPECT_FALSE(parse_manifest(manifest_to_json(m) + "trailing").has_value());
+
+  // dims product disagreeing with the shard count is rejected.
+  Manifest bad = m;
+  bad.state.dims = {3, 1, 1};
+  EXPECT_FALSE(parse_manifest(manifest_to_json(bad)).has_value());
+
+  // A future version is rejected (no silent misinterpretation).
+  std::string json = manifest_to_json(m);
+  const auto at = json.find("\"version\": 1");
+  ASSERT_NE(at, std::string::npos);
+  json.replace(at, 12, "\"version\": 9");
+  EXPECT_FALSE(parse_manifest(json).has_value());
+}
+
+// ------------------------------------------------- distributed round trip --
+
+using core::ParallelSimConfig;
+using core::ParallelSimulation;
+using core::Particle;
+
+ParallelSimConfig deterministic_config(std::array<int, 3> dims) {
+  ParallelSimConfig cfg;
+  cfg.dims = dims;
+  cfg.pm.n_mesh = 16;
+  cfg.theta = 0.3;
+  cfg.ncrit = 32;
+  cfg.eps = 1e-3;
+  cfg.sampling.target_samples = 2000;
+  // Interaction-count cost weighting: the one config change that makes the
+  // whole run (and therefore checkpoint round trips) bitwise reproducible.
+  cfg.cost_metric = core::CostMetric::kInteractions;
+  return cfg;
+}
+
+std::vector<Particle> test_particles(std::size_t n, std::uint64_t seed) {
+  auto ps = core::random_uniform_particles(n, 1.0, seed);
+  Rng rng(seed + 1);
+  for (auto& p : ps) p.mom = {rng.normal() * 0.2, rng.normal() * 0.2, rng.normal() * 0.2};
+  return ps;
+}
+
+/// Collect all particles sorted by id (collective helper; returns the full
+/// set on every rank via the caller's mutex-protected vector on rank 0).
+std::vector<Particle> sorted_locals(std::vector<std::vector<Particle>>& per_rank) {
+  std::vector<Particle> all;
+  for (auto& v : per_rank) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  return all;
+}
+
+void expect_bitwise_equal(const std::vector<Particle>& a, const std::vector<Particle>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(Particle)), 0)
+        << "particle " << a[i].id << " differs bitwise";
+  }
+}
+
+struct RunResult {
+  std::vector<Particle> particles;
+  double clock = 0;
+};
+
+/// Run `total_steps` on `nranks` ranks; when `ckpt_dir` is non-null, write
+/// a checkpoint after `ckpt_at` steps.  When `restore` is non-null, start
+/// from that checkpoint (dir or parent) instead of `initial`.
+RunResult run_sim(std::array<int, 3> dims, const std::vector<Particle>& initial,
+                  int total_steps, double dt, const std::string* ckpt_dir = nullptr,
+                  int ckpt_at = 0, const std::string* restore = nullptr) {
+  const int p = dims[0] * dims[1] * dims[2];
+  std::mutex mu;
+  std::vector<std::vector<Particle>> per_rank(static_cast<std::size_t>(p));
+  double clock = 0;
+  parx::run_ranks(p, [&](parx::Comm& world) {
+    std::vector<Particle> local =
+        world.rank() == 0 ? initial : std::vector<Particle>{};
+    auto cfg = deterministic_config(dims);
+    if (restore) cfg.restore_from = *restore;
+    ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    for (std::uint64_t s = sim.step_index() + 1; s <= static_cast<std::uint64_t>(total_steps);
+         ++s) {
+      sim.step(static_cast<double>(s) * dt);
+      if (ckpt_dir && s == static_cast<std::uint64_t>(ckpt_at))
+        sim.checkpoint(*ckpt_dir, /*keep_last=*/0);
+    }
+    sim.synchronize();
+    std::lock_guard lock(mu);
+    const auto loc = sim.local();
+    per_rank[static_cast<std::size_t>(world.rank())].assign(loc.begin(), loc.end());
+    clock = sim.clock();
+  });
+  return {sorted_locals(per_rank), clock};
+}
+
+TEST(CkptRoundTrip, RestoreIsBitwiseDeterministic) {
+  const std::string dir = testing::TempDir() + "/ckpt_bitwise";
+  fs::remove_all(dir);
+  const auto initial = test_particles(600, 42);
+  const double dt = 0.004;
+
+  // Uninterrupted 4-step run.
+  const auto full = run_sim({2, 2, 1}, initial, 4, dt);
+
+  // 2 steps + checkpoint; at that point the sim owes the next step a PM
+  // half-kick (mid-KDK), which the manifest must carry.
+  const auto half = run_sim({2, 2, 1}, initial, 2, dt, &dir, 2);
+  const auto latest = find_latest(dir);
+  ASSERT_TRUE(latest.has_value());
+  const auto manifest = read_manifest(*latest);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->state.step, 2u);
+  EXPECT_NE(manifest->state.pending_long_kick, 0.0)
+      << "checkpoint must capture the pending long-range half-kick";
+  EXPECT_FALSE(manifest->state.smoother_history.empty());
+
+  // Restore + remaining 2 steps: bitwise-identical to the full run.
+  const auto resumed = run_sim({2, 2, 1}, initial, 4, dt, nullptr, 0, &dir);
+  EXPECT_EQ(resumed.clock, full.clock);
+  expect_bitwise_equal(resumed.particles, full.particles);
+}
+
+TEST(CkptRoundTrip, RestoreAcceptsExplicitCheckpointDir) {
+  const std::string dir = testing::TempDir() + "/ckpt_explicit";
+  fs::remove_all(dir);
+  const auto initial = test_particles(300, 7);
+  const double dt = 0.004;
+  const auto full = run_sim({2, 1, 1}, initial, 3, dt);
+  run_sim({2, 1, 1}, initial, 2, dt, &dir, 2);
+  const auto latest = find_latest(dir);
+  ASSERT_TRUE(latest.has_value());
+  // Pass the checkpoint directory itself, not the parent.
+  const auto resumed = run_sim({2, 1, 1}, initial, 3, dt, nullptr, 0, &*latest);
+  expect_bitwise_equal(resumed.particles, full.particles);
+}
+
+TEST(Ckpt, CorruptShardFailsLoudlyOnEveryRank) {
+  const std::string dir = testing::TempDir() + "/ckpt_corrupt";
+  fs::remove_all(dir);
+  const auto initial = test_particles(300, 11);
+  run_sim({2, 1, 1}, initial, 2, 0.004, &dir, 2);
+  const auto latest = find_latest(dir);
+  ASSERT_TRUE(latest.has_value());
+
+  // Flip one payload byte in rank 1's shard.
+  const std::string shard = *latest + "/shard_00001.bin";
+  {
+    std::fstream f(shard, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const auto size = f.tellg();
+    f.seekp(static_cast<std::streamoff>(size) - 5);
+    char b;
+    f.seekg(static_cast<std::streamoff>(size) - 5);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(size) - 5);
+    f.write(&b, 1);
+  }
+
+  parx::run_ranks(2, [&](parx::Comm& world) {
+    // The CRC mismatch is detected by rank 1 but thrown on every rank
+    // (collective agreement), so no rank proceeds with stale state.
+    EXPECT_THROW(read_checkpoint(world, *latest), CkptError);
+  });
+}
+
+TEST(Ckpt, UncommittedCheckpointIsInvisible) {
+  const std::string dir = testing::TempDir() + "/ckpt_uncommitted";
+  fs::remove_all(dir);
+  const auto initial = test_particles(300, 13);
+  run_sim({2, 1, 1}, initial, 1, 0.004, &dir, 1);
+  run_sim({2, 1, 1}, initial, 2, 0.004, &dir, 2);
+  auto committed = list_committed(dir);
+  ASSERT_EQ(committed.size(), 2u);
+
+  // Simulate a crash between shard commit and manifest commit: the newest
+  // checkpoint loses its manifest and must vanish from the committed set.
+  fs::remove(fs::path(committed[1]) / kManifestName);
+  committed = list_committed(dir);
+  ASSERT_EQ(committed.size(), 1u);
+  const auto latest = find_latest(dir);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(*latest, committed[0]);
+
+  // A corrupt (truncated) manifest is equally invisible.
+  {
+    std::ofstream f(fs::path(committed[0]) / kManifestName, std::ios::trunc);
+    f << "{\"format\": \"greem-ckpt\", \"version\": 1";
+  }
+  EXPECT_FALSE(find_latest(dir).has_value());
+}
+
+TEST(Ckpt, RetentionKeepsOnlyNewest) {
+  const std::string dir = testing::TempDir() + "/ckpt_retention";
+  fs::remove_all(dir);
+  const auto initial = test_particles(200, 17);
+  parx::run_ranks(2, [&](parx::Comm& world) {
+    std::vector<Particle> local =
+        world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, deterministic_config({2, 1, 1}), std::move(local), 0.0);
+    for (int s = 1; s <= 3; ++s) {
+      sim.step(s * 0.004);
+      sim.checkpoint(dir, /*keep_last=*/2);
+    }
+  });
+  const auto committed = list_committed(dir);
+  ASSERT_EQ(committed.size(), 2u);
+  EXPECT_NE(committed[0].find("ckpt_00000002"), std::string::npos);
+  EXPECT_NE(committed[1].find("ckpt_00000003"), std::string::npos);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "ckpt_00000001"));
+}
+
+TEST(Ckpt, FingerprintMismatchRejected) {
+  const std::string dir = testing::TempDir() + "/ckpt_fingerprint";
+  fs::remove_all(dir);
+  const auto initial = test_particles(200, 19);
+  run_sim({2, 1, 1}, initial, 1, 0.004, &dir, 1);
+  parx::run_ranks(2, [&](parx::Comm& world) {
+    auto cfg = deterministic_config({2, 1, 1});
+    cfg.theta = 0.7;  // different physics: must not silently resume
+    cfg.restore_from = dir;
+    std::vector<Particle> local =
+        world.rank() == 0 ? initial : std::vector<Particle>{};
+    EXPECT_THROW(ParallelSimulation(world, cfg, std::move(local), 0.0), CkptError);
+  });
+}
+
+TEST(ConfigFingerprint, SensitiveToDynamicsInsensitiveToReporting) {
+  const auto base = deterministic_config({2, 2, 1});
+  const auto h0 = core::config_fingerprint(base);
+
+  auto changed = base;
+  changed.theta = 0.31;
+  EXPECT_NE(core::config_fingerprint(changed), h0);
+  changed = base;
+  changed.sampling.seed += 1;
+  EXPECT_NE(core::config_fingerprint(changed), h0);
+  changed = base;
+  changed.pm.n_mesh = 32;
+  EXPECT_NE(core::config_fingerprint(changed), h0);
+
+  // Reporting and restore paths are not physics.
+  changed = base;
+  changed.step_report_path = "/tmp/report.jsonl";
+  changed.restore_from = "/tmp/ckpts";
+  changed.pool_threads = 3;
+  EXPECT_EQ(core::config_fingerprint(changed), h0);
+}
+
+// --------------------------------------------------- fault injection e2e --
+
+TEST(Recovery, InjectedRankAbortRollsBackAndMatchesBitwise) {
+  const std::string dir = testing::TempDir() + "/ckpt_recovery";
+  fs::remove_all(dir);
+  const auto initial = test_particles(400, 23);
+  const double dt = 0.004;
+  const int nsteps = 4;
+  const auto schedule = [dt](std::uint64_t i) { return static_cast<double>(i + 1) * dt; };
+
+  // Reference: uninterrupted run.
+  const auto full = run_sim({2, 2, 1}, initial, nsteps, dt);
+
+  const auto injected_before =
+      telemetry::Registry::global().counter("faults/injected").value();
+
+  // Faulted run: rank 2 aborts in the PP phase of step 3, once.
+  parx::Runtime rt(4);
+  rt.set_fault_plan(parx::FaultPlan().at(
+      {.step = 3, .phase = parx::FaultPhase::kPP, .kind = parx::FaultKind::kRankAbort,
+       .rank = 2, .times = 1}));
+
+  std::mutex mu;
+  std::vector<std::vector<Particle>> per_rank(4);
+  RecoveryStats stats0;
+  rt.run([&](parx::Comm& world) {
+    std::vector<Particle> local =
+        world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, deterministic_config({2, 2, 1}), std::move(local), 0.0);
+    RecoveryOptions opts;
+    opts.dir = dir;
+    opts.checkpoint_every = 1;
+    opts.keep_last = 2;
+    opts.max_attempts = 3;
+    const auto stats = run_with_recovery(sim, nsteps, schedule, opts);
+    sim.synchronize();
+    std::lock_guard lock(mu);
+    const auto loc = sim.local();
+    per_rank[static_cast<std::size_t>(world.rank())].assign(loc.begin(), loc.end());
+    if (world.rank() == 0) stats0 = stats;
+  });
+
+  EXPECT_EQ(stats0.failures, 1u);
+  EXPECT_EQ(stats0.restores, 1u);
+  EXPECT_GE(stats0.checkpoints, static_cast<std::uint64_t>(nsteps));
+  if (telemetry::enabled()) {
+    EXPECT_EQ(telemetry::Registry::global().counter("faults/injected").value(),
+              injected_before + 1);
+    EXPECT_GE(telemetry::Registry::global().counter("ckpt/restores").value(), 1u);
+  }
+
+  // The recovered run ends in exactly the state of the uninterrupted one.
+  const auto recovered = sorted_locals(per_rank);
+  expect_bitwise_equal(recovered, full.particles);
+}
+
+TEST(Recovery, NoCheckpointToRollBackToThrows) {
+  const std::string dir = testing::TempDir() + "/ckpt_norollback";
+  fs::remove_all(dir);
+  const auto initial = test_particles(200, 29);
+  const auto schedule = [](std::uint64_t i) { return static_cast<double>(i + 1) * 0.004; };
+
+  parx::Runtime rt(2);
+  rt.set_fault_plan(parx::FaultPlan().at(
+      {.step = 1, .phase = parx::FaultPhase::kPP, .kind = parx::FaultKind::kRankAbort,
+       .rank = 1, .times = 1}));
+  rt.run([&](parx::Comm& world) {
+    std::vector<Particle> local =
+        world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, deterministic_config({2, 1, 1}), std::move(local), 0.0);
+    RecoveryOptions opts;
+    opts.dir = dir;
+    opts.checkpoint_every = 2;  // fault at step 1 precedes any checkpoint
+    EXPECT_THROW(run_with_recovery(sim, 2, schedule, opts), CkptError);
+  });
+}
+
+}  // namespace
+}  // namespace greem::ckpt

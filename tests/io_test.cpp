@@ -62,6 +62,41 @@ TEST(Snapshot, RejectsTruncatedFile) {
   EXPECT_FALSE(read_snapshot(path).has_value());
 }
 
+TEST(Snapshot, RejectsTrailingGarbage) {
+  const auto ps = core::random_uniform_particles(20, 1.0, 3);
+  const std::string path = testing::TempDir() + "/trailing.bin";
+  ASSERT_TRUE(write_snapshot(path, {}, ps));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "EXTRA BYTES";
+  }
+  EXPECT_FALSE(read_snapshot(path).has_value());
+}
+
+TEST(Snapshot, RejectsHugeClaimedCountWithoutAllocating) {
+  // A header claiming ~2^61 particles on a tiny file must be rejected by
+  // the size bound, not by attempting a petabyte resize.
+  const std::string path = testing::TempDir() + "/huge.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("GREEMSN1", 8);
+    SnapshotHeader h{};
+    h.n_particles = ~std::uint64_t{0} / sizeof(core::Particle);
+    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out << "tiny";
+  }
+  EXPECT_FALSE(read_snapshot(path).has_value());
+}
+
+TEST(Snapshot, WriteLeavesNoTempFile) {
+  const auto ps = core::random_uniform_particles(10, 1.0, 4);
+  const std::string path = testing::TempDir() + "/atomic_snap.bin";
+  ASSERT_TRUE(write_snapshot(path, {}, ps));
+  EXPECT_TRUE(read_snapshot(path).has_value());
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+}
+
 TEST(Csv, WritesHeaderAndRows) {
   const std::string path = testing::TempDir() + "/out.csv";
   {

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "parx/comm.hpp"
+#include "parx/fault.hpp"
 #include "parx/runtime.hpp"
 
 namespace greem::parx {
@@ -310,6 +311,111 @@ TEST(Parx, ManyConcurrentSmallMessages) {
         EXPECT_EQ(c.recv<int>(s, m).at(0), s * 1000 + m);
       }
     }
+  });
+}
+
+TEST(Fault, ParseFaultAtForms) {
+  auto s = parse_fault_at("3:pp");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->step, 3u);
+  EXPECT_EQ(s->phase, FaultPhase::kPP);
+  EXPECT_EQ(s->kind, FaultKind::kRankAbort);
+  EXPECT_EQ(s->rank, 0);
+
+  s = parse_fault_at("2:dd:1");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->phase, FaultPhase::kDD);
+  EXPECT_EQ(s->rank, 1);
+
+  s = parse_fault_at("4:any:2:send");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->phase, FaultPhase::kAny);
+  EXPECT_EQ(s->kind, FaultKind::kSendFailure);
+  EXPECT_EQ(s->rank, 2);
+
+  s = parse_fault_at("1:ckpt:0:collective");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->phase, FaultPhase::kCkpt);
+  EXPECT_EQ(s->kind, FaultKind::kCollectiveFailure);
+
+  EXPECT_FALSE(parse_fault_at("").has_value());
+  EXPECT_FALSE(parse_fault_at("3").has_value());
+  EXPECT_FALSE(parse_fault_at("x:pp").has_value());
+  EXPECT_FALSE(parse_fault_at("3:nope").has_value());
+  EXPECT_FALSE(parse_fault_at("3:pp:notanumber").has_value());
+  EXPECT_FALSE(parse_fault_at("3:pp:0:nokind").has_value());
+}
+
+TEST(Fault, RandomPlanIsDeterministicInSeed) {
+  const auto a = FaultPlan::random(99, 5, 10, 4);
+  const auto b = FaultPlan::random(99, 5, 10, 4);
+  const auto c = FaultPlan::random(100, 5, 10, 4);
+  ASSERT_EQ(a.specs().size(), 5u);
+  for (std::size_t i = 0; i < a.specs().size(); ++i) {
+    EXPECT_EQ(a.specs()[i].step, b.specs()[i].step);
+    EXPECT_EQ(a.specs()[i].phase, b.specs()[i].phase);
+    EXPECT_EQ(a.specs()[i].rank, b.specs()[i].rank);
+    EXPECT_GE(a.specs()[i].step, 1u);
+    EXPECT_LE(a.specs()[i].step, 10u);
+    EXPECT_LT(a.specs()[i].rank, 4);
+  }
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.specs().size(); ++i)
+    any_differs = any_differs || a.specs()[i].step != c.specs()[i].step ||
+                  a.specs()[i].rank != c.specs()[i].rank;
+  EXPECT_TRUE(any_differs) << "different seeds should draw different plans";
+}
+
+TEST(Fault, InjectedSendFaultSurfacesOnEveryRankAndRecovers) {
+  Runtime rt(3);
+  rt.set_fault_plan(FaultPlan().at({.step = 1,
+                                    .phase = FaultPhase::kAny,
+                                    .kind = FaultKind::kCollectiveFailure,
+                                    .rank = 1,
+                                    .times = 1}));
+  std::atomic<int> comm_errors{0};
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    try {
+      c.barrier();
+      // Rank 1 throws at the barrier entry; everyone else sees the flag.
+      for (;;) c.barrier();
+    } catch (const CommError&) {
+      comm_errors.fetch_add(1);
+    }
+    c.fault_recover();
+    set_fault_context(2, FaultPhase::kAny);
+    // Comm state is as-new after recovery: collectives work again.
+    EXPECT_EQ(c.allreduce_sum(1), 3);
+    if (c.rank() == 0) {
+      c.send(2, 7, std::span<const int>(std::vector<int>{41}));
+    } else if (c.rank() == 2) {
+      EXPECT_EQ(c.recv<int>(0, 7).at(0), 41);
+    }
+    c.barrier();
+  });
+  EXPECT_EQ(comm_errors.load(), 3);
+}
+
+TEST(Fault, SpentSpecDoesNotRefire) {
+  Runtime rt(2);
+  rt.set_fault_plan(FaultPlan().at({.step = 1,
+                                    .phase = FaultPhase::kAny,
+                                    .kind = FaultKind::kRankAbort,
+                                    .rank = 0,
+                                    .times = 1}));
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kDD);
+    try {
+      c.barrier();
+      for (;;) c.barrier();
+    } catch (const CommError&) {
+    }
+    c.fault_recover();
+    // Same (step, phase) context again: the budget is spent, no re-fire.
+    set_fault_context(1, FaultPhase::kDD);
+    EXPECT_NO_THROW(c.barrier());
+    EXPECT_EQ(c.allreduce_sum(c.rank()), 1);
   });
 }
 

@@ -14,6 +14,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -25,6 +26,7 @@
 #include "parx/traffic.hpp"
 #include "pp/kernels.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/json_reader.hpp"
 #include "telemetry/step_report.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -335,6 +337,54 @@ TEST(JsonWriter, RunMetaEnvelope) {
   ASSERT_NE(m, nullptr);
   EXPECT_EQ(m->find("bench")->str, "unit");
   EXPECT_EQ(m->find("kernel")->str, "testkernel");
+}
+
+// -------------------------------------------------------- json reader --
+
+TEST(JsonReader, ParsesDocumentStrictly) {
+  const auto doc = telemetry::parse_json(
+      R"({"a": 1, "b": [true, null, "x\n\u0041"], "c": {"d": -2.5e3}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->u64_or("a", 0), 1u);
+  const auto* b = doc->find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].as_bool());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].as_string(), "x\nA");
+  EXPECT_DOUBLE_EQ(doc->find("c")->number_or("d", 0), -2500.0);
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_FALSE(telemetry::parse_json("").has_value());
+  EXPECT_FALSE(telemetry::parse_json("{").has_value());
+  EXPECT_FALSE(telemetry::parse_json("{} extra").has_value());     // trailing garbage
+  EXPECT_FALSE(telemetry::parse_json("{\"a\": 01}").has_value());  // bad number
+  EXPECT_FALSE(telemetry::parse_json("{\"a\" 1}").has_value());
+  EXPECT_FALSE(telemetry::parse_json("[1,]").has_value());
+  EXPECT_FALSE(telemetry::parse_json("\"\\q\"").has_value());  // bad escape
+  // Depth bomb: > 64 nested arrays.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(telemetry::parse_json(deep).has_value());
+}
+
+TEST(JsonReader, ExactDoubleRoundTripsThroughValueExact) {
+  // value_exact (%.17g) + strtod must be a bitwise identity -- this is
+  // what checkpoint manifests rely on for clocks and domain cuts.
+  const double values[] = {0.1 + 0.2, 1.0 / 3.0, 6.02214076e23, -2.5e-17,
+                           0.004999999999999999};
+  for (const double v : values) {
+    std::ostringstream ss;
+    telemetry::JsonWriter w(ss, /*pretty=*/false);
+    w.begin_array();
+    w.value_exact(v);
+    w.end_array();
+    const auto doc = telemetry::parse_json(ss.str());
+    ASSERT_TRUE(doc.has_value()) << ss.str();
+    const double got = doc->items()[0].as_double();
+    EXPECT_EQ(std::memcmp(&got, &v, sizeof(double)), 0) << ss.str();
+  }
 }
 
 // ------------------------------------------------------------- spans --
