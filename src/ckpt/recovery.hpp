@@ -32,6 +32,10 @@ struct RecoveryOptions {
   std::uint64_t checkpoint_every = 0;  ///< steps between checkpoints (0 = never)
   std::size_t keep_last = 2;           ///< retention passed to write_checkpoint
   int max_attempts = 3;                ///< consecutive failed attempts tolerated
+  /// Deadline on the fault_recover rendezvous: a rank that cannot join
+  /// recovery within this many seconds poisons the job (RecoveryTimeout
+  /// propagates; it is not a CommError).
+  double recover_timeout_s = 60.0;
 };
 
 struct RecoveryStats {
@@ -69,7 +73,7 @@ RecoveryStats run_with_recovery(Sim& sim, std::uint64_t n_steps, Schedule t_next
       if (++attempts > opts.max_attempts) throw;
       // Every live rank lands here; rendezvous and reset comm state before
       // anyone touches a collective again.
-      sim.comm().fault_recover();
+      sim.comm().fault_recover(opts.recover_timeout_s);
       const auto latest = find_latest(opts.dir);
       if (!latest) throw CkptError("recovery: no committed checkpoint to roll back to");
       sim.restore_checkpoint(*latest);

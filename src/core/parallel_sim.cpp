@@ -1,9 +1,11 @@
 #include "core/parallel_sim.hpp"
 
 #include <cassert>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <stdexcept>
 
 #include "ckpt/checkpoint.hpp"
@@ -11,6 +13,7 @@
 #include "domain/exchange.hpp"
 #include "parx/fault.hpp"
 #include "pp/kernels.hpp"
+#include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "tree/ghost.hpp"
 #include "tree/octree.hpp"
@@ -47,6 +50,75 @@ ParallelSimulation::ParallelSimulation(parx::Comm& world, ParallelSimConfig conf
   // Initial decomposition + short-range forces (one DD + PP cycle).
   domain_cycle(substep_counter_++);
   pp_force_cycle();
+  sentinel_baseline();
+}
+
+namespace {
+
+/// Local sentinel tallies: [count, non-finite fields, mass, Px, Py, Pz].
+std::array<double, 6> sentinel_tally(std::span<const Particle> ps) {
+  std::array<double, 6> v{};
+  v[0] = static_cast<double>(ps.size());
+  for (const auto& p : ps) {
+    int bad = 0;
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (!std::isfinite(p.pos[a])) ++bad;
+      if (!std::isfinite(p.mom[a])) ++bad;
+    }
+    if (!std::isfinite(p.mass)) ++bad;
+    if (bad > 0) {
+      v[1] += bad;
+      continue;  // keep NaN out of the mass/momentum sums
+    }
+    v[2] += p.mass;
+    for (std::size_t a = 0; a < 3; ++a) v[3 + a] += p.mass * p.mom[a];
+  }
+  return v;
+}
+
+}  // namespace
+
+void ParallelSimulation::sentinel_baseline() {
+  if (config_.sentinel.every <= 0) return;
+  auto v = sentinel_tally(particles_);
+  world_.allreduce_sum(std::span<double>(v.data(), v.size()));
+  sentinel_count0_ = v[0];
+  sentinel_mass0_ = v[2];
+  sentinel_prev_mom_ = {v[3], v[4], v[5]};
+}
+
+void ParallelSimulation::sentinel_check() {
+  telemetry::Span span("sim/sentinel");
+  telemetry::Registry::global().counter("sentinel/checks").add();
+  auto v = sentinel_tally(particles_);
+  world_.allreduce_sum(std::span<double>(v.data(), v.size()));
+
+  // Every rank compares the same reduced values, so either all ranks pass
+  // or all throw the identical SentinelError: the violation is collective
+  // and the recovery rendezvous cannot deadlock on it.
+  std::ostringstream why;
+  if (v[1] != 0) {
+    why << "sentinel: " << v[1] << " non-finite particle field(s)";
+  } else if (v[0] != sentinel_count0_) {
+    why << "sentinel: global particle count " << static_cast<std::uint64_t>(v[0])
+        << " != baseline " << static_cast<std::uint64_t>(sentinel_count0_);
+  } else if (std::abs(v[2] - sentinel_mass0_) >
+             config_.sentinel.max_mass_drift * std::abs(sentinel_mass0_)) {
+    why << "sentinel: total mass drifted to " << v[2] << " from " << sentinel_mass0_;
+  } else {
+    for (std::size_t a = 0; a < 3; ++a) {
+      if (std::abs(v[3 + a] - sentinel_prev_mom_[a]) > config_.sentinel.max_momentum_drift) {
+        why << "sentinel: momentum component " << a << " drifted by "
+            << v[3 + a] - sentinel_prev_mom_[a] << " in one check interval";
+        break;
+      }
+    }
+  }
+  if (!why.str().empty()) {
+    telemetry::Registry::global().counter("sentinel/violations").add();
+    throw SentinelError(why.str() + " at step " + std::to_string(step_counter_));
+  }
+  sentinel_prev_mom_ = {v[3], v[4], v[5]};
 }
 
 void ParallelSimulation::domain_cycle(std::uint64_t substep_id) {
@@ -185,6 +257,9 @@ void ParallelSimulation::step(double t_next) {
   clock_ = t1;
   ++step_counter_;
   parx::set_fault_context(fault_step, parx::FaultPhase::kAny);
+  if (config_.sentinel.every > 0 &&
+      step_counter_ % static_cast<std::uint64_t>(config_.sentinel.every) == 0)
+    sentinel_check();
   if (reporting()) write_step_record();
 }
 
@@ -234,6 +309,7 @@ void ParallelSimulation::restore_checkpoint(const std::string& ckpt_path) {
   smoother_.set_history(gs.smoother_history);
   pm_.update_domain(decomp_.box_of(world_.rank()));
   report_ = StepReport{};
+  sentinel_baseline();
   parx::set_fault_context(step_counter_, parx::FaultPhase::kAny);
 }
 
@@ -275,6 +351,19 @@ void ParallelSimulation::write_step_record() {
   pool_prev_loops_ = ps.loops;
   pool_prev_chunks_ = ps.chunks;
   pool_prev_steals_ = ps.steals;
+
+  // Transport activity since the previous report (process-wide counters,
+  // all zero on the perfect-link fast path).
+  auto& reg = telemetry::Registry::global();
+  const std::uint64_t retx = reg.counter("parx/retransmits").value();
+  const std::uint64_t drops = reg.counter("parx/drops_injected").value();
+  const std::uint64_t corrupt = reg.counter("parx/corrupt_detected").value();
+  rec.retransmits = retx - tp_prev_retransmits_;
+  rec.transport_drops = drops - tp_prev_drops_;
+  rec.corrupt_detected = corrupt - tp_prev_corrupt_;
+  tp_prev_retransmits_ = retx;
+  tp_prev_drops_ = drops;
+  tp_prev_corrupt_ = corrupt;
 
   if (world_.rank() == 0) {
     auto phase = [&](const char* name, const parx::TrafficCounts& c) {

@@ -9,6 +9,7 @@
 // short-range tree, and the parallel PM with the direct or relay mesh
 // conversion.  Phase timings accumulate under the row names of Table I.
 
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -17,6 +18,7 @@
 #include "core/particle.hpp"
 #include "domain/multisection.hpp"
 #include "domain/sampling.hpp"
+#include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 #include "pm/parallel_pm.hpp"
 #include "telemetry/step_report.hpp"
@@ -32,6 +34,32 @@ namespace greem::core {
 /// including checkpoint/restore round trips -- bitwise deterministic.
 enum class CostMetric { kWallTime, kInteractions };
 
+/// Per-step invariant sentinel: a cheap collective check that converts
+/// silent state corruption (a bit flip that slipped past the transport
+/// CRC, a lost particle, NaN poisoning) into a typed, recoverable fault.
+/// Every rank evaluates the same globally-reduced values, so a violation
+/// throws SentinelError on all ranks together and the rollback-recovery
+/// loop treats it exactly like a communication fault.
+struct SentinelConfig {
+  int every = 1;  ///< check after every N-th step (0 disables the sentinel)
+  /// Relative drift bound on total mass vs the baseline captured at
+  /// construction / restore.  Mass is transported, never created: any
+  /// drift beyond roundoff is corruption.
+  double max_mass_drift = 1e-9;
+  /// Absolute per-component bound on total momentum change across one
+  /// check interval.  Tree-approximate forces conserve momentum only
+  /// approximately, so the default leaves this check off.
+  double max_momentum_drift = std::numeric_limits<double>::infinity();
+};
+
+/// Invariant violation detected by the sentinel.  Derives CommError so
+/// ckpt::run_with_recovery rolls back to the last checkpoint instead of
+/// propagating corrupted state.
+class SentinelError : public parx::CommError {
+ public:
+  explicit SentinelError(const std::string& what) : parx::CommError(what) {}
+};
+
 struct ParallelSimConfig {
   std::array<int, 3> dims{1, 1, 1};  ///< rank grid; product must equal comm size
   pm::ParallelPmParams pm;           ///< mesh, rcut, scheme, conversion method
@@ -44,6 +72,11 @@ struct ParallelSimConfig {
   TimeMetric metric;
   int nsub = 2;
   CostMetric cost_metric = CostMetric::kWallTime;
+
+  /// Invariant sentinel; excluded from config_fingerprint (it observes the
+  /// dynamics, it does not change them).  Must be set identically on every
+  /// rank (the check is collective).
+  SentinelConfig sentinel;
 
   /// When non-empty, the constructor restores state from a checkpoint
   /// instead of running the initial decomposition + force cycle: either a
@@ -106,6 +139,10 @@ class ParallelSimulation {
 
   double clock() const { return clock_; }
   std::span<const Particle> local() const { return particles_; }
+  /// Mutable view of this rank's particles, for tests that inject
+  /// corruption the sentinel must catch.  Collective structure (counts,
+  /// decomposition) must not be changed through it.
+  std::span<Particle> local_mutable() { return particles_; }
   std::vector<Particle> take_local() && { return std::move(particles_); }
   const domain::Decomposition& decomposition() const { return decomp_; }
 
@@ -129,6 +166,11 @@ class ParallelSimulation {
   void domain_cycle(std::uint64_t substep_id);
   void pp_force_cycle();
   void write_step_record();
+  /// Collective: capture the sentinel baselines from the current state.
+  void sentinel_baseline();
+  /// Collective: verify the invariants; throws SentinelError on every rank
+  /// when one is violated.
+  void sentinel_check();
 
   /// True when step() should aggregate and append StepRecords.
   bool reporting() const {
@@ -148,8 +190,14 @@ class ParallelSimulation {
   std::uint64_t step_counter_ = 0;
   StepReport report_;
   telemetry::StepRecord record_;
+  // Sentinel baselines (captured at construction and after each restore).
+  double sentinel_count0_ = -1;  ///< <0: baseline not yet captured
+  double sentinel_mass0_ = 0;
+  std::array<double, 3> sentinel_prev_mom_{};
   // Pool counters at the previous report, to delta per step.
   std::uint64_t pool_prev_loops_ = 0, pool_prev_chunks_ = 0, pool_prev_steals_ = 0;
+  // Transport counters at the previous report, same treatment.
+  std::uint64_t tp_prev_retransmits_ = 0, tp_prev_drops_ = 0, tp_prev_corrupt_ = 0;
 };
 
 /// Stable digest of every config field that affects the dynamics (rank

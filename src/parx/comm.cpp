@@ -3,15 +3,28 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <thread>
 #include <tuple>
 
 #include "parx/group.hpp"
+#include "parx/transport.hpp"
 
 namespace greem::parx {
 
+using detail::BlockedScope;
 using detail::Group;
 using detail::JobPoisoned;
 using detail::Message;
+using detail::steady_seconds;
+
+namespace {
+
+/// Absolute steady-clock deadline of a relative timeout.
+double deadline_of(double timeout_s) {
+  return timeout_s == kNoDeadline ? kNoDeadline : steady_seconds() + timeout_s;
+}
+
+}  // namespace
 
 Comm::Comm(std::shared_ptr<Group> group, int rank) : group_(std::move(group)), rank_(rank) {}
 
@@ -24,9 +37,9 @@ int Comm::world_rank_of(int r) const { return group_->world_ranks[static_cast<st
 TrafficLedger& Comm::ledger() { return *group_->job->ledger; }
 
 void Comm::check_abort() const {
-  const detail::JobState& job = *group_->job;
+  detail::JobState& job = *group_->job;
   if (job.poisoned.load(std::memory_order_relaxed)) throw JobPoisoned{};
-  if (job.fault.load(std::memory_order_relaxed)) throw RemoteFault{};
+  if (job.fault.load(std::memory_order_relaxed)) throw RemoteFault(job.take_reason());
 }
 
 void Comm::fault_point(FaultOp op) {
@@ -34,6 +47,16 @@ void Comm::fault_point(FaultOp op) {
   detail::JobState& job = *group_->job;
   if (!job.injector) return;
   if (auto spec = job.injector->should_fire(world_rank(), op, fault_context())) {
+    if (spec->kind == FaultKind::kHang) {
+      // The rank freezes here -- no throw, no flag -- until the watchdog
+      // (or a sibling's fault) raises the job flag, at which point
+      // check_abort converts the hang into a recoverable RemoteFault.
+      BlockedScope blocked(job, world_rank(), "hang", -1);
+      for (;;) {
+        check_abort();
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
     // Raise the job-wide flag first so siblings blocked in recv/barrier
     // notice within one poll interval.
     job.fault.store(true, std::memory_order_relaxed);
@@ -41,9 +64,10 @@ void Comm::fault_point(FaultOp op) {
   }
 }
 
-void Comm::fault_recover() {
+void Comm::fault_recover(double timeout_s) {
   telemetry::Span span("parx/fault_recover");
   detail::JobState& job = *group_->job;
+  const double deadline = deadline_of(timeout_s);
   std::vector<std::shared_ptr<Group>> deferred;
   {
     std::unique_lock lock(job.recover_mu);
@@ -55,6 +79,11 @@ void Comm::fault_recover() {
         std::lock_guard groups_lock(job.groups_mu);
         for (Group* g : job.groups) g->reset_comm_state(deferred);
       }
+      if (job.transport) job.transport->reset();
+      {
+        std::lock_guard reason_lock(job.reason_mu);
+        job.fault_reason.clear();
+      }
       job.fault.store(false, std::memory_order_relaxed);
       job.recover_arrived = 0;
       ++job.recover_gen;
@@ -62,6 +91,14 @@ void Comm::fault_recover() {
     } else {
       while (job.recover_gen == gen) {
         if (job.poisoned.load(std::memory_order_relaxed)) throw JobPoisoned{};
+        if (steady_seconds() >= deadline) {
+          // Leaving a stale arrival behind would wedge the next recovery,
+          // and a rank that skips recovery is gone for good: poison.
+          --job.recover_arrived;
+          job.poisoned.store(true, std::memory_order_relaxed);
+          throw RecoveryTimeout("parx: fault_recover rendezvous timed out on rank " +
+                                std::to_string(world_rank()));
+        }
         job.recover_cv.wait_for(lock, std::chrono::milliseconds(50));
       }
     }
@@ -71,16 +108,29 @@ void Comm::fault_recover() {
   deferred.clear();
 }
 
-void Comm::barrier() {
+void Comm::barrier(double timeout_s) {
   telemetry::Span span("parx/barrier");
   fault_point(FaultOp::kCollective);
-  group_->barrier.wait([&] { check_abort(); });
+  BlockedScope blocked(*group_->job, world_rank(), "barrier", -1);
+  const double deadline = deadline_of(timeout_s);
+  group_->barrier.wait([&] {
+    check_abort();
+    if (steady_seconds() >= deadline)
+      throw TimeoutError("parx: barrier timed out on rank " + std::to_string(world_rank()));
+  });
 }
 
 void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
   assert(dst >= 0 && dst < group_->size && dst != rank_);
   fault_point(FaultOp::kSend);
-  group_->job->ledger->record(world_rank(), world_rank_of(dst), n);
+  detail::JobState& job = *group_->job;
+  job.ledger->record(world_rank(), world_rank_of(dst), n);
+  if (job.transport) {
+    // Lossy-link mode: frame the message and hand it to the reliability
+    // sublayer (seq + CRC + ack/retransmit).  Still never blocks.
+    job.transport->send(*group_, rank_, dst, tag, data, n);
+    return;
+  }
   Message msg{rank_, tag, std::vector<std::byte>(n)};
   if (n > 0) std::memcpy(msg.payload.data(), data, n);
   auto& box = *group_->boxes[static_cast<std::size_t>(dst)];
@@ -91,8 +141,10 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
   box.cv.notify_all();
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
+std::vector<std::byte> Comm::recv_bytes(int src, int tag, double timeout_s) {
   fault_point(FaultOp::kRecv);
+  BlockedScope blocked(*group_->job, world_rank(), "recv", world_rank_of(src));
+  const double deadline = deadline_of(timeout_s);
   auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mu);
   for (;;) {
@@ -104,12 +156,17 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag) {
       }
     }
     check_abort();
+    if (steady_seconds() >= deadline)
+      throw TimeoutError("parx: recv from rank " + std::to_string(world_rank_of(src)) +
+                         " tag " + std::to_string(tag) + " timed out on rank " +
+                         std::to_string(world_rank()));
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
 }
 
 std::vector<std::size_t> Comm::exchange_sizes(std::span<const std::size_t> to_each) {
   fault_point(FaultOp::kCollective);
+  BlockedScope blocked(*group_->job, world_rank(), "exchange_sizes", -1);
   Group& g = *group_;
   const auto p = static_cast<std::size_t>(g.size);
   assert(to_each.size() == p);
@@ -126,6 +183,7 @@ std::vector<std::size_t> Comm::exchange_sizes(std::span<const std::size_t> to_ea
 Comm Comm::split(int color, int key) {
   telemetry::Span span("parx/split");
   fault_point(FaultOp::kCollective);
+  BlockedScope blocked(*group_->job, world_rank(), "split", -1);
   Group& g = *group_;
   auto poisoned = [&] { check_abort(); };
   {

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <span>
 #include <type_traits>
@@ -39,6 +40,9 @@ namespace detail {
 struct Group;
 }
 
+/// Default deadline of the blocking operations: wait forever.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
 class Comm {
  public:
   Comm() = default;  ///< Invalid communicator; only for default construction.
@@ -53,17 +57,22 @@ class Comm {
   /// World rank of local rank r in this communicator.
   int world_rank_of(int r) const;
 
-  /// Synchronize all ranks of this communicator.
-  void barrier();
+  /// Synchronize all ranks of this communicator.  With a finite
+  /// `timeout_s`, throws TimeoutError if the barrier has not completed
+  /// within that many seconds (the arrival count is then stale until the
+  /// next fault_recover).
+  void barrier(double timeout_s = kNoDeadline);
 
   /// Collective over the whole job (call on the *world* communicator from
   /// every rank) after catching a CommError: rendezvous all ranks, then
-  /// drain mailboxes, reset barriers and split staging in every live
-  /// group, and clear the fault flag.  On return the communicator stack is
-  /// as-new; the caller is responsible for restoring application state
-  /// (e.g. from a checkpoint).  Throws JobPoisoned if a sibling rank died
-  /// fatally instead of joining the recovery.
-  void fault_recover();
+  /// drain mailboxes, reset barriers, split staging and transport state in
+  /// every live group, and clear the fault flag.  On return the
+  /// communicator stack is as-new; the caller is responsible for restoring
+  /// application state (e.g. from a checkpoint).  Throws JobPoisoned if a
+  /// sibling rank died fatally instead of joining the recovery, and
+  /// RecoveryTimeout (not a CommError) if the rendezvous itself does not
+  /// complete within `timeout_s` seconds.
+  void fault_recover(double timeout_s = 60.0);
 
   /// Collective: partition ranks by `color`; order within each new
   /// communicator by (key, old rank).  Mirrors MPI_Comm_split.
@@ -73,7 +82,9 @@ class Comm {
 
   // ---- byte-level primitives ----
   void send_bytes(int dst, int tag, const void* data, std::size_t n);
-  std::vector<std::byte> recv_bytes(int src, int tag);
+  /// Blocking receive.  With a finite `timeout_s`, throws TimeoutError if
+  /// no matching message arrives within that many seconds.
+  std::vector<std::byte> recv_bytes(int src, int tag, double timeout_s = kNoDeadline);
 
   /// Collective: every rank announces the payload size it will send to each
   /// peer; returns the sizes this rank will receive from each peer.
@@ -156,8 +167,9 @@ class Comm {
   }
 
   /// Element-wise reduce of `inout` into root with a binary op (binomial
-  /// tree).  On non-root ranks `inout` holds partial results afterwards;
-  /// treat it as undefined, as with MPI_Reduce send buffers.
+  /// tree).  The root's `inout` receives the result; every other rank's
+  /// buffer is left untouched (it is a pure send buffer, matching
+  /// MPI_Reduce -- the tree accumulates into a local working copy).
   template <class T, class Op>
   void reduce(std::span<T> inout, int root, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -165,18 +177,20 @@ class Comm {
     fault_point(FaultOp::kCollective);
     const int p = size();
     const int vr = (rank_ - root + p) % p;
+    std::vector<T> acc(inout.begin(), inout.end());
     for (int mask = 1; mask < p; mask <<= 1) {
       if (vr & mask) {
         int dst = (vr - mask + root) % p;
-        send(dst, kTagReduce, std::span<const T>(inout.data(), inout.size()));
+        send(dst, kTagReduce, std::span<const T>(acc.data(), acc.size()));
         break;
       }
       if (vr + mask < p) {
         int src = (vr + mask + root) % p;
         auto part = recv<T>(src, kTagReduce);
-        for (std::size_t i = 0; i < inout.size(); ++i) inout[i] = op(inout[i], part[i]);
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], part[i]);
       }
     }
+    if (rank_ == root) std::copy(acc.begin(), acc.end(), inout.begin());
   }
 
   template <class T>

@@ -1,6 +1,7 @@
 #include "parx/fault.hpp"
 
 #include <atomic>
+#include <cstdlib>
 
 #include "telemetry/telemetry.hpp"
 #include "util/rng.hpp"
@@ -13,8 +14,10 @@ thread_local FaultContext t_ctx{};
 std::string describe(const FaultSpec& s) {
   std::string out = "parx: injected ";
   out += to_string(s.kind);
-  out += " on rank " + std::to_string(s.rank);
-  out += " at step " + std::to_string(s.step);
+  out += " on rank ";
+  out += s.rank == kEveryRank ? "*" : std::to_string(s.rank);
+  out += " at step ";
+  out += s.step == kEveryStep ? "*" : std::to_string(s.step);
   out += " phase ";
   out += to_string(s.phase);
   return out;
@@ -23,10 +26,11 @@ std::string describe(const FaultSpec& s) {
 bool kind_matches_op(FaultKind kind, FaultOp op) {
   switch (kind) {
     case FaultKind::kRankAbort: return true;
+    case FaultKind::kHang: return true;
     case FaultKind::kSendFailure: return op == FaultOp::kSend;
     case FaultKind::kCollectiveFailure: return op == FaultOp::kCollective;
+    default: return false;  // link kinds never fire at an injection point
   }
-  return false;
 }
 
 }  // namespace
@@ -53,8 +57,36 @@ const char* to_string(FaultKind k) {
     case FaultKind::kRankAbort: return "rank-abort";
     case FaultKind::kSendFailure: return "send-failure";
     case FaultKind::kCollectiveFailure: return "collective-failure";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kLinkDrop: return "drop";
+    case FaultKind::kLinkCorrupt: return "corrupt";
+    case FaultKind::kLinkDuplicate: return "dup";
+    case FaultKind::kLinkReorder: return "reorder";
+    case FaultKind::kLinkBlackhole: return "lose";
   }
   return "?";
+}
+
+bool spec_matches_context(const FaultSpec& s, int world_rank, const FaultContext& ctx) {
+  if (ctx.step == kNoFaultStep) return false;
+  if (s.rank != kEveryRank && s.rank != world_rank) return false;
+  if (s.step != kEveryStep && s.step != ctx.step) return false;
+  if (s.phase != FaultPhase::kAny && s.phase != ctx.phase) return false;
+  return true;
+}
+
+std::vector<FaultSpec> FaultPlan::failstop_specs() const {
+  std::vector<FaultSpec> out;
+  for (const auto& s : specs_)
+    if (!is_link_fault(s.kind)) out.push_back(s);
+  return out;
+}
+
+std::vector<FaultSpec> FaultPlan::link_specs() const {
+  std::vector<FaultSpec> out;
+  for (const auto& s : specs_)
+    if (is_link_fault(s.kind)) out.push_back(s);
+  return out;
 }
 
 FaultPlan FaultPlan::random(std::uint64_t seed, int n_faults, std::uint64_t max_step,
@@ -91,9 +123,14 @@ std::optional<FaultSpec> parse_fault_at(std::string_view s) {
   };
 
   FaultSpec spec;
-  std::uint64_t step = 0;
-  if (!parse_u64(next_field(), step)) return std::nullopt;
-  spec.step = step;
+  const std::string_view step = next_field();
+  if (step == "*") {
+    spec.step = kEveryStep;
+  } else {
+    std::uint64_t v = 0;
+    if (!parse_u64(step, v)) return std::nullopt;
+    spec.step = v;
+  }
 
   const std::string_view phase = next_field();
   if (phase == "any") spec.phase = FaultPhase::kAny;
@@ -104,16 +141,57 @@ std::optional<FaultSpec> parse_fault_at(std::string_view s) {
   else return std::nullopt;
 
   if (!s.empty()) {
-    std::uint64_t rank = 0;
-    if (!parse_u64(next_field(), rank)) return std::nullopt;
-    spec.rank = static_cast<int>(rank);
+    const std::string_view rank = next_field();
+    if (rank == "*") {
+      spec.rank = kEveryRank;
+    } else {
+      std::uint64_t v = 0;
+      if (!parse_u64(rank, v)) return std::nullopt;
+      spec.rank = static_cast<int>(v);
+    }
   }
   if (!s.empty()) {
-    const std::string_view kind = next_field();
+    std::string_view kind = next_field();
+    // Optional "xN" budget suffix, then optional "@RATE" probability.
+    std::optional<int> times;
+    if (const std::size_t x = kind.rfind('x'); x != std::string_view::npos &&
+                                               x > 0 && kind.find('@') != std::string_view::npos &&
+                                               x > kind.find('@')) {
+      std::uint64_t n = 0;
+      if (!parse_u64(kind.substr(x + 1), n) || n == 0) return std::nullopt;
+      times = static_cast<int>(n);
+      kind = kind.substr(0, x);
+    }
+    std::optional<double> rate;
+    if (const std::size_t at = kind.find('@'); at != std::string_view::npos) {
+      const std::string_view r = kind.substr(at + 1);
+      if (r.empty()) return std::nullopt;
+      std::string buf(r);
+      char* end = nullptr;
+      const double v = std::strtod(buf.c_str(), &end);
+      if (end != buf.c_str() + buf.size() || v < 0.0 || v > 1.0) return std::nullopt;
+      rate = v;
+      kind = kind.substr(0, at);
+    }
+
     if (kind == "abort") spec.kind = FaultKind::kRankAbort;
     else if (kind == "send") spec.kind = FaultKind::kSendFailure;
     else if (kind == "collective") spec.kind = FaultKind::kCollectiveFailure;
+    else if (kind == "hang") spec.kind = FaultKind::kHang;
+    else if (kind == "drop") spec.kind = FaultKind::kLinkDrop;
+    else if (kind == "corrupt") spec.kind = FaultKind::kLinkCorrupt;
+    else if (kind == "dup") spec.kind = FaultKind::kLinkDuplicate;
+    else if (kind == "reorder") spec.kind = FaultKind::kLinkReorder;
+    else if (kind == "lose") spec.kind = FaultKind::kLinkBlackhole;
     else return std::nullopt;
+
+    if (is_link_fault(spec.kind)) {
+      spec.rate = rate.value_or(1.0);
+      spec.times = times.value_or(spec.kind == FaultKind::kLinkBlackhole ? 1 : kUnlimited);
+    } else {
+      // Rates/budgets on fail-stop kinds are a grammar error.
+      if (rate || times) return std::nullopt;
+    }
   }
   if (!s.empty()) return std::nullopt;
   return spec;
@@ -124,11 +202,11 @@ struct FaultInjector::Armed {
   std::atomic<int> remaining{0};
 };
 
-FaultInjector::FaultInjector(FaultPlan plan) : n_(plan.specs().size()) {
+FaultInjector::FaultInjector(std::vector<FaultSpec> specs) : n_(specs.size()) {
   armed_ = std::make_unique<Armed[]>(n_);
   for (std::size_t i = 0; i < n_; ++i) {
-    armed_[i].spec = plan.specs()[i];
-    armed_[i].remaining.store(plan.specs()[i].times, std::memory_order_relaxed);
+    armed_[i].spec = specs[i];
+    armed_[i].remaining.store(specs[i].times, std::memory_order_relaxed);
   }
 }
 
@@ -136,16 +214,16 @@ FaultInjector::~FaultInjector() = default;
 
 std::optional<FaultSpec> FaultInjector::should_fire(int world_rank, FaultOp op,
                                                     const FaultContext& ctx) {
-  if (ctx.step == kNoFaultStep) return std::nullopt;
   for (std::size_t i = 0; i < n_; ++i) {
     Armed& a = armed_[i];
     const FaultSpec& s = a.spec;
-    if (s.rank != world_rank || s.step != ctx.step) continue;
-    if (s.phase != FaultPhase::kAny && s.phase != ctx.phase) continue;
+    if (!spec_matches_context(s, world_rank, ctx)) continue;
     if (!kind_matches_op(s.kind, op)) continue;
-    if (a.remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) {
-      a.remaining.fetch_add(1, std::memory_order_relaxed);  // spent; undo
-      continue;
+    if (s.times != kUnlimited) {
+      if (a.remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+        a.remaining.fetch_add(1, std::memory_order_relaxed);  // spent; undo
+        continue;
+      }
     }
     telemetry::Registry::global().counter("faults/injected").add();
     return s;

@@ -14,10 +14,12 @@
 #include <utility>
 #include <vector>
 
+#include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 
 namespace greem::parx {
 class FaultInjector;
+class ReliableTransport;
 }
 
 namespace greem::parx::detail {
@@ -32,13 +34,55 @@ struct JobPoisoned : std::runtime_error {
 
 struct Group;
 
+/// Steady-clock now in seconds (the transport/watchdog time base).
+inline double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// What a rank thread is currently blocked in, published for the hang
+/// watchdog (all fields relaxed atomics: the monitor only needs an
+/// eventually-consistent view).  blocked_since == 0 means "not blocked".
+struct RankActivity {
+  std::atomic<double> blocked_since{0.0};
+  std::atomic<const char*> op{nullptr};  ///< static string: "recv", "barrier", ...
+  std::atomic<int> peer{-1};             ///< world rank waited on, -1 = n/a
+  std::atomic<std::uint64_t> ctx_step{kNoFaultStep};
+  std::atomic<std::uint8_t> ctx_phase{0};
+};
+
 /// State shared by every communicator of one Runtime invocation.
 struct JobState {
   std::atomic<bool> poisoned{false};  ///< fatal: a rank escaped its function
   std::atomic<bool> fault{false};     ///< recoverable: an injected fault fired
   std::shared_ptr<TrafficLedger> ledger;
-  std::shared_ptr<FaultInjector> injector;  ///< null = no injection
+  std::shared_ptr<FaultInjector> injector;    ///< null = no fail-stop injection
+  std::shared_ptr<ReliableTransport> transport;  ///< null = perfect-link fast path
   int nranks = 0;
+
+  /// Why the fault flag went up when it was not an injected fail-stop
+  /// fault (transport gave up on a frame, watchdog fired).  Guarded by
+  /// reason_mu; read only on the cold throw path.
+  std::mutex reason_mu;
+  std::string fault_reason;
+
+  void raise_fault(const std::string& reason) {
+    {
+      std::lock_guard lock(reason_mu);
+      if (fault_reason.empty()) fault_reason = reason;
+    }
+    fault.store(true, std::memory_order_release);
+  }
+
+  std::string take_reason() {
+    std::lock_guard lock(reason_mu);
+    return fault_reason.empty() ? std::string("parx: a sibling rank hit an injected fault")
+                                : fault_reason;
+  }
+
+  /// Per-world-rank blocked-state report for the watchdog; sized nranks.
+  std::unique_ptr<RankActivity[]> activity;
 
   // Rendezvous for Comm::fault_recover, deliberately independent of the
   // (possibly corrupted) group barriers and immune to the fault flag.
@@ -48,9 +92,36 @@ struct JobState {
   std::uint64_t recover_gen = 0;
 
   // Every live Group of this job, so recovery can reset them all (split
-  // subcommunicators included).  Guarded by groups_mu.
+  // subcommunicators included) and the transport can route retransmitted
+  // frames by group id.  Guarded by groups_mu.
   std::mutex groups_mu;
   std::vector<Group*> groups;
+  std::atomic<std::uint64_t> next_group_id{1};
+};
+
+/// RAII: publish "this rank is blocked in `op` on `peer`" while inside a
+/// waiting loop, so the watchdog can attribute a hang.  No-op when the
+/// job has no activity array (never for Runtime-created jobs).
+class BlockedScope {
+ public:
+  BlockedScope(JobState& job, int world_rank, const char* op, int peer) {
+    if (!job.activity) return;
+    act_ = &job.activity[static_cast<std::size_t>(world_rank)];
+    const FaultContext ctx = fault_context();
+    act_->op.store(op, std::memory_order_relaxed);
+    act_->peer.store(peer, std::memory_order_relaxed);
+    act_->ctx_step.store(ctx.step, std::memory_order_relaxed);
+    act_->ctx_phase.store(static_cast<std::uint8_t>(ctx.phase), std::memory_order_relaxed);
+    act_->blocked_since.store(steady_seconds(), std::memory_order_relaxed);
+  }
+  ~BlockedScope() {
+    if (act_) act_->blocked_since.store(0.0, std::memory_order_relaxed);
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+ private:
+  RankActivity* act_ = nullptr;
 };
 
 struct Message {
@@ -71,8 +142,8 @@ class Barrier {
   explicit Barrier(int n) : n_(n) {}
 
   /// `check` is invoked while polling and must throw to abort the wait
-  /// (JobPoisoned / RemoteFault); a throw may leave the arrival count
-  /// stale, which reset() clears during fault recovery.
+  /// (JobPoisoned / RemoteFault / TimeoutError); a throw may leave the
+  /// arrival count stale, which reset() clears during fault recovery.
   template <class Check>
   void wait(Check&& check) {
     std::unique_lock lock(mu_);
@@ -115,6 +186,7 @@ struct Group {
     boxes_storage.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) boxes[static_cast<std::size_t>(i)] = &boxes_storage[static_cast<std::size_t>(i)];
     if (job) {
+      id = job->next_group_id.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard lock(job->groups_mu);
       job->groups.push_back(this);
     }
@@ -156,6 +228,7 @@ struct Group {
   }
 
   int size;
+  std::uint64_t id = 0;  ///< job-unique; routes transport frames to this group
   std::shared_ptr<JobState> job;
   std::vector<int> world_ranks;  ///< local rank -> world rank
 

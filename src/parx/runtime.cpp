@@ -15,6 +15,7 @@ Runtime::Runtime(int nranks) : nranks_(nranks) {
   job_ = std::make_shared<detail::JobState>();
   job_->nranks = nranks;
   job_->ledger = std::make_shared<TrafficLedger>(static_cast<std::size_t>(nranks));
+  job_->activity = std::make_unique<detail::RankActivity[]>(static_cast<std::size_t>(nranks));
   std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
   std::iota(world_ranks.begin(), world_ranks.end(), 0);
   world_ = std::make_shared<detail::Group>(nranks, job_, std::move(world_ranks));
@@ -24,13 +25,42 @@ Runtime::~Runtime() = default;
 
 TrafficLedger& Runtime::ledger() { return *job_->ledger; }
 
+void Runtime::ensure_monitor() {
+  if (!monitor_) monitor_ = std::make_unique<Monitor>(job_, world_);
+  monitor_->set_watchdog(watchdog_);
+}
+
 void Runtime::set_fault_plan(const FaultPlan& plan) {
-  job_->injector = plan.empty() ? nullptr : std::make_shared<FaultInjector>(plan);
+  const auto failstop = plan.failstop_specs();
+  const auto link = plan.link_specs();
+  job_->injector = failstop.empty() ? nullptr : std::make_shared<FaultInjector>(failstop);
+  if (link.empty()) {
+    job_->transport = nullptr;
+  } else {
+    auto model = std::make_shared<LinkModel>(link, plan.link_seed());
+    job_->transport = std::make_shared<ReliableTransport>(nranks_, std::move(model),
+                                                          tuning_, job_.get());
+    ensure_monitor();  // something must drive retransmission
+  }
+}
+
+void Runtime::set_transport_tuning(const TransportTuning& tuning) {
+  tuning_ = tuning;
+  if (job_->transport) job_->transport->set_tuning(tuning);
+}
+
+void Runtime::set_watchdog(const WatchdogConfig& cfg) {
+  watchdog_ = cfg;
+  if (cfg.quiescence_s > 0 || monitor_) ensure_monitor();
 }
 
 void Runtime::run(const std::function<void(Comm&)>& fn) {
   job_->poisoned.store(false);
   job_->fault.store(false);
+  {
+    std::lock_guard lock(job_->reason_mu);
+    job_->fault_reason.clear();
+  }
   std::mutex err_mu;
   std::exception_ptr first_error;
 
@@ -60,11 +90,13 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
   for (auto& t : threads) t.join();
 
   if (first_error) {
-    // Drain mailboxes so a subsequent run() starts clean.
+    // Drain mailboxes and in-flight transport state so a subsequent run()
+    // starts clean.
     for (auto& box : world_->boxes_storage) {
       std::lock_guard lock(box.mu);
       box.msgs.clear();
     }
+    if (job_->transport) job_->transport->reset();
     std::rethrow_exception(first_error);
   }
 }

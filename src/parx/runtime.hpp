@@ -8,6 +8,7 @@
 #include "parx/comm.hpp"
 #include "parx/fault.hpp"
 #include "parx/traffic.hpp"
+#include "parx/transport.hpp"
 
 namespace greem::parx {
 
@@ -34,16 +35,35 @@ class Runtime {
   void run(const std::function<void(Comm&)>& fn);
 
   /// Install a deterministic fault plan for subsequent run() invocations
-  /// (see parx/fault.hpp).  An empty plan disables injection.  Not
-  /// thread-safe against a concurrent run().
+  /// (see parx/fault.hpp).  Fail-stop specs arm the injector; link specs
+  /// arm the lossy-link model and route all sends through the reliable
+  /// transport (which starts the job monitor thread).  An empty plan
+  /// disables both.  Not thread-safe against a concurrent run().
   void set_fault_plan(const FaultPlan& plan);
+
+  /// Retransmission tuning of the next set_fault_plan() with link specs
+  /// (and of the currently installed transport, if any).
+  void set_transport_tuning(const TransportTuning& tuning);
+
+  /// Arm the hang watchdog: when any rank stays blocked inside one Comm
+  /// operation longer than cfg.quiescence_s, the monitor dumps per-rank
+  /// state and raises the job fault flag (every rank then throws
+  /// CommError, entering the normal recovery path).  quiescence_s == 0
+  /// disarms.  Not thread-safe against a concurrent run().
+  void set_watchdog(const WatchdogConfig& cfg);
 
   TrafficLedger& ledger();
 
  private:
+  void ensure_monitor();
+
   int nranks_;
+  TransportTuning tuning_;
+  WatchdogConfig watchdog_;
   std::shared_ptr<detail::JobState> job_;
   std::shared_ptr<detail::Group> world_;
+  // Declared last: the monitor thread touches job_/world_ until joined.
+  std::unique_ptr<Monitor> monitor_;
 };
 
 /// One-shot convenience: spawn `nranks`, run `fn`, tear down.

@@ -94,17 +94,30 @@ void TrafficLedger::record(int src_world, int dst_world, std::size_t bytes) {
   in_bytes_[static_cast<std::size_t>(dst_world)] += bytes;
 }
 
+void TrafficLedger::record_retransmit(int src_world, int dst_world, std::size_t bytes) {
+  (void)src_world;
+  (void)dst_world;
+  std::lock_guard lock(mu_);
+  retransmit_msgs_ += 1;
+  retransmit_bytes_ += bytes;
+}
+
 void TrafficLedger::reset() {
   std::lock_guard lock(mu_);
   std::fill(in_msgs_.begin(), in_msgs_.end(), 0);
   std::fill(in_bytes_.begin(), in_bytes_.end(), 0);
   std::fill(out_msgs_.begin(), out_msgs_.end(), 0);
   std::fill(out_bytes_.begin(), out_bytes_.end(), 0);
+  retransmit_msgs_ = 0;
+  retransmit_bytes_ = 0;
 }
 
 TrafficTotals TrafficLedger::totals() const {
   std::lock_guard lock(mu_);
-  return totals_of(in_msgs_, in_bytes_, out_msgs_, out_bytes_);
+  TrafficTotals t = totals_of(in_msgs_, in_bytes_, out_msgs_, out_bytes_);
+  t.retransmit_messages = retransmit_msgs_;
+  t.retransmit_bytes = retransmit_bytes_;
+  return t;
 }
 
 TrafficCounts TrafficLedger::counts() const {

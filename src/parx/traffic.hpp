@@ -53,6 +53,11 @@ struct TrafficTotals {
   std::uint64_t max_in_bytes = 0;      ///< busiest receiver, byte count
   std::uint64_t max_out_messages = 0;  ///< busiest sender, message count
   std::uint64_t max_out_bytes = 0;     ///< busiest sender, byte count
+  // Transport retransmissions, accounted separately from logical traffic
+  // so algorithmic communication-volume comparisons stay meaningful under
+  // an injected lossy link.
+  std::uint64_t retransmit_messages = 0;
+  std::uint64_t retransmit_bytes = 0;
 };
 
 /// Per-endpoint traffic counts captured at (or between) points in time.
@@ -80,6 +85,11 @@ class TrafficLedger {
 
   /// Record one payload message src -> dst of `bytes` bytes.
   void record(int src_world, int dst_world, std::size_t bytes);
+
+  /// Record one transport retransmission src -> dst.  Kept out of the
+  /// per-endpoint logical counters (and out of counts()/model_time());
+  /// shows up only in TrafficTotals::retransmit_*.
+  void record_retransmit(int src_world, int dst_world, std::size_t bytes);
 
   /// Legacy: clear all counters.  Must not race with record(); call from a
   /// quiescent point.  Prefer begin_phase()/Epoch, which needs no global
@@ -125,6 +135,7 @@ class TrafficLedger {
  private:
   mutable std::mutex mu_;
   std::vector<std::uint64_t> in_msgs_, in_bytes_, out_msgs_, out_bytes_;
+  std::uint64_t retransmit_msgs_ = 0, retransmit_bytes_ = 0;
 };
 
 }  // namespace greem::parx

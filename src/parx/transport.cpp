@@ -1,0 +1,506 @@
+#include "parx/transport.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "parx/group.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/hash.hpp"
+
+namespace greem::parx {
+
+using detail::Group;
+using detail::JobState;
+using detail::Message;
+
+namespace {
+
+/// Uniform [0,1) from a counter-based FNV-1a hash: same inputs, same
+/// draw, on any thread at any time.
+double hash01(std::uint64_t seed, int src, int dst, std::uint64_t seq,
+              std::uint32_t attempt, std::uint32_t salt) {
+  util::Fnv1a64 h;
+  h.mix(seed).mix(src).mix(dst).mix(seq).mix(attempt).mix(salt);
+  return static_cast<double>(h.value() >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint32_t kSaltDrop = 1;
+constexpr std::uint32_t kSaltCorrupt = 2;
+constexpr std::uint32_t kSaltDup = 3;
+constexpr std::uint32_t kSaltReorder = 4;
+constexpr std::uint32_t kSaltBlackhole = 5;
+constexpr std::uint32_t kSaltAck = 6;
+constexpr std::uint32_t kSaltBit = 7;
+
+telemetry::Counter& counter(const char* name) {
+  return telemetry::Registry::global().counter(name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- LinkModel
+
+struct LinkModel::Armed {
+  FaultSpec spec;
+  std::atomic<long long> remaining{0};  ///< <0 = unlimited
+};
+
+LinkModel::LinkModel(std::vector<FaultSpec> specs, std::uint64_t seed)
+    : n_(specs.size()), seed_(seed) {
+  armed_ = std::make_unique<Armed[]>(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    armed_[i].spec = specs[i];
+    armed_[i].remaining.store(specs[i].times == kUnlimited ? -1 : specs[i].times,
+                              std::memory_order_relaxed);
+  }
+}
+
+LinkModel::~LinkModel() = default;
+
+bool LinkModel::fire(Armed& a, double u) {
+  if (u >= a.spec.rate) return false;
+  long long r = a.remaining.load(std::memory_order_relaxed);
+  if (r < 0) return true;  // unlimited budget
+  if (a.remaining.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+    a.remaining.fetch_add(1, std::memory_order_relaxed);  // spent; undo
+    return false;
+  }
+  return true;
+}
+
+LinkModel::Decision LinkModel::decide(int src_world, int dst_world, std::uint64_t seq,
+                                      std::uint32_t attempt, const FaultContext& ctx) {
+  Decision d;
+  for (std::size_t i = 0; i < n_; ++i) {
+    Armed& a = armed_[i];
+    if (!spec_matches_context(a.spec, src_world, ctx)) continue;
+    switch (a.spec.kind) {
+      case FaultKind::kLinkDrop:
+        if (!d.drop && fire(a, hash01(seed_, src_world, dst_world, seq, attempt, kSaltDrop)))
+          d.drop = true;
+        break;
+      case FaultKind::kLinkCorrupt:
+        if (!d.corrupt &&
+            fire(a, hash01(seed_, src_world, dst_world, seq, attempt, kSaltCorrupt))) {
+          d.corrupt = true;
+          d.corrupt_salt = static_cast<std::uint64_t>(
+              hash01(seed_, src_world, dst_world, seq, attempt, kSaltBit) * 0x1.0p+32);
+        }
+        break;
+      case FaultKind::kLinkDuplicate:
+        if (!d.duplicate &&
+            fire(a, hash01(seed_, src_world, dst_world, seq, attempt, kSaltDup)))
+          d.duplicate = true;
+        break;
+      case FaultKind::kLinkReorder:
+        if (!d.reorder &&
+            fire(a, hash01(seed_, src_world, dst_world, seq, attempt, kSaltReorder)))
+          d.reorder = true;
+        break;
+      default:
+        break;  // fail-stop kinds and blackholes are sampled elsewhere
+    }
+  }
+  return d;
+}
+
+bool LinkModel::blackhole_fires(int src_world, int dst_world, std::uint64_t seq,
+                                const FaultContext& ctx) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    Armed& a = armed_[i];
+    if (a.spec.kind != FaultKind::kLinkBlackhole) continue;
+    if (!spec_matches_context(a.spec, src_world, ctx)) continue;
+    if (fire(a, hash01(seed_, src_world, dst_world, seq, 0, kSaltBlackhole))) return true;
+  }
+  return false;
+}
+
+bool LinkModel::ack_dropped(int acker_world, int to_world, std::uint64_t seq,
+                            std::uint32_t attempt, const FaultContext& ctx) {
+  for (std::size_t i = 0; i < n_; ++i) {
+    Armed& a = armed_[i];
+    if (a.spec.kind != FaultKind::kLinkDrop) continue;
+    if (!spec_matches_context(a.spec, acker_world, ctx)) continue;
+    if (fire(a, hash01(seed_, acker_world, to_world, seq, attempt, kSaltAck))) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------- ReliableTransport
+
+ReliableTransport::ReliableTransport(int nranks, std::shared_ptr<LinkModel> model,
+                                     TransportTuning tuning, JobState* job)
+    : nranks_(nranks), model_(std::move(model)), tuning_(tuning), job_(job), eps_(static_cast<std::size_t>(nranks)) {
+  for (auto& ep : eps_) {
+    ep.tx.resize(static_cast<std::size_t>(nranks));
+    ep.rx.resize(static_cast<std::size_t>(nranks));
+  }
+}
+
+ReliableTransport::~ReliableTransport() = default;
+
+std::uint32_t ReliableTransport::frame_crc(const Frame& f) {
+  util::Crc32 c;
+  auto mix = [&c](const auto& v) { c.update(&v, sizeof(v)); };
+  mix(f.seq);
+  mix(f.src_world);
+  mix(f.dst_world);
+  mix(f.group_id);
+  mix(f.src_local);
+  mix(f.dst_local);
+  mix(f.tag);
+  const std::uint64_t n = f.payload.size();
+  mix(n);
+  c.update(f.payload.data(), f.payload.size());
+  return c.value();
+}
+
+void ReliableTransport::send(Group& group, int src_local, int dst_local, int tag,
+                             const void* data, std::size_t n) {
+  Frame f;
+  f.src_world = group.world_ranks[static_cast<std::size_t>(src_local)];
+  f.dst_world = group.world_ranks[static_cast<std::size_t>(dst_local)];
+  f.group_id = group.id;
+  f.src_local = src_local;
+  f.dst_local = dst_local;
+  f.tag = tag;
+  f.payload.resize(n);
+  if (n > 0) std::memcpy(f.payload.data(), data, n);
+  f.ctx = fault_context();
+
+  bool doomed = false;
+  {
+    Endpoint& ep = eps_[static_cast<std::size_t>(f.src_world)];
+    std::lock_guard lock(ep.tx_mu);
+    TxPeer& tp = ep.tx[static_cast<std::size_t>(f.dst_world)];
+    f.seq = tp.next_seq++;
+    f.crc = frame_crc(f);
+    Pending& p = tp.unacked[f.seq];
+    p.frame = f;
+    // The blackhole verdict is per-frame and sticks to every
+    // retransmission, so an exhausted retry budget is deterministic.
+    p.doomed = model_->blackhole_fires(f.src_world, f.dst_world, f.seq, f.ctx);
+    doomed = p.doomed;
+    p.next_retry = detail::steady_seconds() + tuning().rto_s;
+  }
+  counter("parx/frames_sent").add();
+  transmit(f, doomed);
+}
+
+void ReliableTransport::transmit(const Frame& f, bool doomed) {
+  if (doomed) {
+    counter("parx/blackholed").add();
+    return;
+  }
+  const LinkModel::Decision d =
+      model_->decide(f.src_world, f.dst_world, f.seq, f.attempt, f.ctx);
+  if (d.drop) {
+    counter("parx/drops_injected").add();
+    return;
+  }
+  Frame out = f;
+  if (d.corrupt && !out.payload.empty()) {
+    const std::uint64_t bit = d.corrupt_salt % (out.payload.size() * 8);
+    out.payload[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    counter("parx/corrupted_injected").add();
+  }
+  deliver(out, d.reorder);
+  if (d.duplicate) {
+    counter("parx/duplicates_injected").add();
+    deliver(std::move(out), false);
+  }
+}
+
+void ReliableTransport::deliver(Frame f, bool hold_for_reorder) {
+  const int src = f.src_world, dst = f.dst_world;
+  const std::uint64_t seq = f.seq;
+  const std::uint32_t attempt = f.attempt;
+  const FaultContext ctx = f.ctx;
+  std::uint64_t ack_upto = 0;
+  {
+    Endpoint& ep = eps_[static_cast<std::size_t>(dst)];
+    std::lock_guard lock(ep.rx_mu);
+    RxPeer& rp = ep.rx[static_cast<std::size_t>(src)];
+    if (hold_for_reorder) {
+      // Held until the next frame on this link overtakes it (or the
+      // monitor flushes it) -- that is what "reorder" means here.
+      counter("parx/reordered_injected").add();
+      rp.limbo.push_back(std::move(f));
+      return;
+    }
+    ack_upto = process_frame(rp, f);
+    // Anything parked in limbo has now been overtaken; let it arrive.
+    while (!rp.limbo.empty()) {
+      Frame held = std::move(rp.limbo.front());
+      rp.limbo.pop_front();
+      const std::uint64_t a = process_frame(rp, held);
+      if (a > ack_upto) ack_upto = a;
+    }
+  }
+  if (ack_upto > 0) apply_ack(dst, src, ack_upto, seq, attempt, ctx);
+}
+
+std::uint64_t ReliableTransport::process_frame(RxPeer& rp, Frame& f) {
+  if (frame_crc(f) != f.crc) {
+    // Bit-flipped in flight; drop silently and let retransmission heal it.
+    counter("parx/corrupt_detected").add();
+    return 0;
+  }
+  if (f.seq < rp.expected) {
+    // Already delivered (retransmit raced the ack, or an injected dup).
+    counter("parx/duplicates_dropped").add();
+    return rp.expected;  // re-ack so the sender stops retransmitting
+  }
+  if (f.seq > rp.expected) {
+    // Out of order: park for reassembly (dedup by map key).
+    if (!rp.ooo.emplace(f.seq, std::move(f)).second)
+      counter("parx/duplicates_dropped").add();
+    return 0;
+  }
+  to_mailbox(f);
+  ++rp.expected;
+  for (auto it = rp.ooo.begin(); it != rp.ooo.end() && it->first == rp.expected;) {
+    to_mailbox(it->second);
+    ++rp.expected;
+    it = rp.ooo.erase(it);
+  }
+  return rp.expected;
+}
+
+void ReliableTransport::to_mailbox(Frame& f) {
+  std::lock_guard groups_lock(job_->groups_mu);
+  for (Group* g : job_->groups) {
+    if (g->id != f.group_id) continue;
+    auto& box = *g->boxes[static_cast<std::size_t>(f.dst_local)];
+    {
+      std::lock_guard lock(box.mu);
+      box.msgs.push_back(Message{f.src_local, f.tag, std::move(f.payload)});
+    }
+    box.cv.notify_all();
+    return;
+  }
+  // The destination communicator is gone; the application can no longer
+  // recv this message, so consuming it is the only consistent outcome.
+  counter("parx/orphaned_frames").add();
+}
+
+void ReliableTransport::apply_ack(int acker_world, int to_world, std::uint64_t upto,
+                                  std::uint64_t seq, std::uint32_t attempt,
+                                  const FaultContext& ctx) {
+  if (model_->ack_dropped(acker_world, to_world, seq, attempt, ctx)) {
+    counter("parx/acks_dropped").add();
+    return;
+  }
+  counter("parx/acks").add();
+  Endpoint& ep = eps_[static_cast<std::size_t>(to_world)];
+  std::lock_guard lock(ep.tx_mu);
+  TxPeer& tp = ep.tx[static_cast<std::size_t>(acker_world)];
+  if (upto > tp.acked_upto) tp.acked_upto = upto;
+  tp.unacked.erase(tp.unacked.begin(), tp.unacked.lower_bound(upto));
+}
+
+void ReliableTransport::tick(double now) {
+  std::lock_guard scan(scan_mu_);
+  // Flush reorder limbo: a held frame with no successor traffic must not
+  // wait for its retransmit timeout.
+  for (auto& ep : eps_) {
+    std::vector<Frame> flush;
+    {
+      std::lock_guard lock(ep.rx_mu);
+      for (auto& rp : ep.rx) {
+        while (!rp.limbo.empty()) {
+          flush.push_back(std::move(rp.limbo.front()));
+          rp.limbo.pop_front();
+        }
+      }
+    }
+    for (auto& f : flush) deliver(std::move(f), false);
+  }
+
+  // Retransmit scan.
+  struct Retx {
+    Frame frame;
+    bool doomed;
+  };
+  std::vector<Retx> retx;
+  std::string dead;
+  const TransportTuning tun = tuning();
+  for (auto& ep : eps_) {
+    std::lock_guard lock(ep.tx_mu);
+    for (std::size_t dst = 0; dst < ep.tx.size(); ++dst) {
+      TxPeer& tp = ep.tx[dst];
+      for (auto& [seq, p] : tp.unacked) {
+        if (now < p.next_retry) continue;
+        if (static_cast<int>(p.frame.attempt) + 1 >= tun.max_attempts) {
+          if (dead.empty()) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "parx: unrecoverable message loss on link %d->%d "
+                          "(seq %" PRIu64 ", %u transmissions)",
+                          p.frame.src_world, p.frame.dst_world, seq,
+                          p.frame.attempt + 1);
+            dead = buf;
+          }
+          continue;
+        }
+        ++p.frame.attempt;
+        p.next_retry =
+            now + tun.rto_s * std::pow(tun.backoff, p.frame.attempt);
+        retx.push_back({p.frame, p.doomed});
+      }
+    }
+  }
+  for (auto& r : retx) {
+    counter("parx/retransmits").add();
+    if (job_->ledger)
+      job_->ledger->record_retransmit(r.frame.src_world, r.frame.dst_world,
+                                      r.frame.payload.size());
+    transmit(r.frame, r.doomed);
+  }
+  if (!dead.empty()) {
+    counter("parx/transport_failures").add();
+    job_->raise_fault(dead);
+  }
+}
+
+void ReliableTransport::reset() {
+  std::lock_guard scan(scan_mu_);
+  for (auto& ep : eps_) {
+    {
+      std::lock_guard lock(ep.tx_mu);
+      for (auto& tp : ep.tx) tp = TxPeer{};
+    }
+    std::lock_guard lock(ep.rx_mu);
+    for (auto& rp : ep.rx) rp = RxPeer{};
+  }
+}
+
+void ReliableTransport::dump(std::ostream& os) const {
+  for (int src = 0; src < nranks_; ++src) {
+    const Endpoint& ep = eps_[static_cast<std::size_t>(src)];
+    std::lock_guard lock(ep.tx_mu);
+    for (int dst = 0; dst < nranks_; ++dst) {
+      const TxPeer& tp = ep.tx[static_cast<std::size_t>(dst)];
+      if (tp.next_seq == 0) continue;
+      os << "  link " << src << "->" << dst << ": sent seq<" << tp.next_seq
+         << ", acked<" << tp.acked_upto << ", unacked " << tp.unacked.size() << "\n";
+    }
+  }
+}
+
+// ----------------------------------------------------------------- Monitor
+
+Monitor::Monitor(std::shared_ptr<JobState> job, std::shared_ptr<Group> world)
+    : job_(std::move(job)), world_(std::move(world)) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+Monitor::~Monitor() {
+  {
+    std::lock_guard lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Monitor::set_watchdog(const WatchdogConfig& cfg) {
+  std::lock_guard lock(cfg_mu_);
+  watchdog_ = cfg;
+}
+
+void Monitor::loop() {
+  for (;;) {
+    double tick_s = 0.001;
+    if (auto t = job_->transport) tick_s = t->tuning().tick_s;
+    {
+      std::unique_lock lock(stop_mu_);
+      stop_cv_.wait_for(lock, std::chrono::duration<double>(tick_s));
+      if (stop_) return;
+    }
+    if (job_->poisoned.load(std::memory_order_relaxed)) continue;
+    const double now = detail::steady_seconds();
+    if (auto t = job_->transport) t->tick(now);
+    if (!job_->fault.load(std::memory_order_relaxed)) check_hang(now);
+  }
+}
+
+void Monitor::check_hang(double now) {
+  WatchdogConfig cfg;
+  {
+    std::lock_guard lock(cfg_mu_);
+    cfg = watchdog_;
+  }
+  if (cfg.quiescence_s <= 0 || !job_->activity) return;
+  int stuck = -1;
+  double stuck_for = 0;
+  for (int r = 0; r < job_->nranks; ++r) {
+    const auto& a = job_->activity[static_cast<std::size_t>(r)];
+    const double since = a.blocked_since.load(std::memory_order_relaxed);
+    if (since > 0 && now - since > cfg.quiescence_s && now - since > stuck_for) {
+      stuck = r;
+      stuck_for = now - since;
+    }
+  }
+  if (stuck < 0) return;
+
+  const auto& a = job_->activity[static_cast<std::size_t>(stuck)];
+  const char* op = a.op.load(std::memory_order_relaxed);
+  char head[192];
+  std::snprintf(head, sizeof(head),
+                "parx watchdog: rank %d stuck in %s for %.3f s (quiescence window %.3f s)",
+                stuck, op ? op : "?", stuck_for, cfg.quiescence_s);
+
+  std::ostringstream report;
+  report << head << "\n";
+  dump_state(report, now);
+  std::cerr << report.str();
+  if (!cfg.dump_path.empty()) {
+    std::ofstream f(cfg.dump_path);
+    if (f) f << report.str();
+  }
+  telemetry::Registry::global().counter("parx/watchdog_fired").add();
+  job_->raise_fault(head);
+}
+
+void Monitor::dump_state(std::ostream& os, double now) const {
+  os << "per-rank state:\n";
+  for (int r = 0; r < job_->nranks; ++r) {
+    const auto& a = job_->activity[static_cast<std::size_t>(r)];
+    const double since = a.blocked_since.load(std::memory_order_relaxed);
+    const char* op = a.op.load(std::memory_order_relaxed);
+    const std::uint64_t step = a.ctx_step.load(std::memory_order_relaxed);
+    const auto phase = static_cast<FaultPhase>(a.ctx_phase.load(std::memory_order_relaxed));
+    std::size_t depth = 0;
+    {
+      auto& box = *world_->boxes[static_cast<std::size_t>(r)];
+      std::lock_guard lock(box.mu);
+      depth = box.msgs.size();
+    }
+    os << "  rank " << r << ": ";
+    if (since > 0) {
+      os << "blocked in " << (op ? op : "?");
+      const int peer = a.peer.load(std::memory_order_relaxed);
+      if (peer >= 0) os << " on rank " << peer;
+      os << " for " << now - since << " s";
+    } else {
+      os << "running";
+    }
+    os << ", step ";
+    if (step == kNoFaultStep) os << "-";
+    else os << step;
+    os << " phase " << to_string(phase) << ", world mailbox depth " << depth << "\n";
+  }
+  if (auto t = job_->transport) {
+    os << "transport links:\n";
+    t->dump(os);
+  }
+}
+
+}  // namespace greem::parx

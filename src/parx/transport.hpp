@@ -1,0 +1,242 @@
+#pragma once
+// Reliable transport for parx: a lossy-link fault model underneath an
+// ack/retransmit reliability sublayer, plus the job monitor thread that
+// drives retransmission and the hang watchdog.
+//
+// Layering (see docs/fault-model.md):
+//
+//   Comm::send_bytes / recv_bytes            application bytes, exact
+//   ------------------------------------------------------------------
+//   ReliableTransport                        frames: seq + CRC32, dedup,
+//     (only when a lossy plan is installed)  in-order reassembly, cumulative
+//                                            acks, retransmit w/ backoff
+//   ------------------------------------------------------------------
+//   LinkModel                                per-message drop / bit-flip /
+//                                            duplicate / reorder / blackhole
+//   ------------------------------------------------------------------
+//   Mailboxes                                in-process "wire"
+//
+// The link model is *counter-based*: each decision hashes (seed, src,
+// dst, seq, attempt, salt) through FNV-1a, so the loss pattern is a pure
+// function of the plan -- reproducible across runs and independent of
+// thread scheduling.  The reliability sublayer makes delivery exact
+// again; after `max_attempts` transmissions of one frame it declares the
+// link dead and raises the job fault flag, surfacing as CommError on
+// every rank so the checkpoint rollback-recovery path takes over.
+//
+// With no lossy plan installed, Comm::send_bytes never touches any of
+// this (one null-pointer test), so the perfect-link fast path is
+// unchanged.
+//
+// Lock order (a thread never holds two of the same tier):
+//   scan_mu -> (tx_mu | rx_mu) -> groups_mu -> mailbox mu
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parx/fault.hpp"
+
+namespace greem::parx {
+
+namespace detail {
+struct Group;
+struct JobState;
+}
+
+/// Retransmission tuning of the reliability sublayer.
+struct TransportTuning {
+  double rto_s = 0.005;   ///< initial retransmit timeout
+  double backoff = 2.0;   ///< RTO multiplier per attempt
+  int max_attempts = 8;   ///< transmissions before the frame is declared lost
+  double tick_s = 0.001;  ///< monitor poll interval (retransmit scan, limbo flush)
+};
+
+/// Hang watchdog configuration.  quiescence_s == 0 disables the watchdog.
+struct WatchdogConfig {
+  double quiescence_s = 0;  ///< a rank blocked in one comm op longer than this hangs
+  std::string dump_path;    ///< also write the state report here (stderr always)
+};
+
+/// Deterministic lossy-link model: the armed link-fault subset of a
+/// FaultPlan.  decide() is pure up to the firing budgets (atomic, like
+/// FaultInjector's).
+class LinkModel {
+ public:
+  LinkModel(std::vector<FaultSpec> specs, std::uint64_t seed);
+  ~LinkModel();
+  LinkModel(const LinkModel&) = delete;
+  LinkModel& operator=(const LinkModel&) = delete;
+
+  struct Decision {
+    bool drop = false;
+    bool corrupt = false;
+    bool duplicate = false;
+    bool reorder = false;
+    std::uint64_t corrupt_salt = 0;  ///< selects the flipped bit
+  };
+
+  /// Sample the fate of one transmission of frame (src -> dst, seq) at
+  /// the given attempt, under the sender's fault context.
+  Decision decide(int src_world, int dst_world, std::uint64_t seq, std::uint32_t attempt,
+                  const FaultContext& ctx);
+
+  /// Sample the per-frame blackhole verdict (once, at send time): a doomed
+  /// frame is dropped on every transmission, exhausting the retry budget.
+  bool blackhole_fires(int src_world, int dst_world, std::uint64_t seq,
+                       const FaultContext& ctx);
+
+  /// Whether the cumulative ack dst -> src for `seq` is lost (acks ride
+  /// the same lossy links; only the drop rate applies to them).
+  bool ack_dropped(int acker_world, int to_world, std::uint64_t seq, std::uint32_t attempt,
+                   const FaultContext& ctx);
+
+  bool empty() const { return n_ == 0; }
+
+ private:
+  struct Armed;
+  bool fire(Armed& a, double u);
+
+  std::unique_ptr<Armed[]> armed_;
+  std::size_t n_ = 0;
+  std::uint64_t seed_;
+};
+
+/// The reliability sublayer.  One instance per job, shared by every
+/// communicator; all methods are thread-safe.
+class ReliableTransport {
+ public:
+  ReliableTransport(int nranks, std::shared_ptr<LinkModel> model, TransportTuning tuning,
+                    detail::JobState* job);
+  ~ReliableTransport();
+  ReliableTransport(const ReliableTransport&) = delete;
+  ReliableTransport& operator=(const ReliableTransport&) = delete;
+
+  /// Frame and transmit one application message (called from
+  /// Comm::send_bytes on the sender's rank thread).  Logical traffic is
+  /// recorded by the caller; retransmissions are recorded here.
+  void send(detail::Group& group, int src_local, int dst_local, int tag, const void* data,
+            std::size_t n);
+
+  /// Monitor duties: flush reorder limbo, retransmit frames past their
+  /// deadline, declare frames dead after max_attempts (raises the job
+  /// fault flag).
+  void tick(double now);
+
+  /// Drop all in-flight state (unacked frames, reassembly buffers,
+  /// sequence counters).  Only call while no rank is inside a Comm
+  /// operation (the fault_recover rendezvous or between run()s).
+  void reset();
+
+  /// Per-link sequence/ack state report for the watchdog dump.
+  void dump(std::ostream& os) const;
+
+  /// Tuning is read by the monitor thread and writable from the driver
+  /// thread at any time, so access goes through a copy under a lock.
+  TransportTuning tuning() const {
+    std::lock_guard lock(tuning_mu_);
+    return tuning_;
+  }
+  void set_tuning(const TransportTuning& t) {
+    std::lock_guard lock(tuning_mu_);
+    tuning_ = t;
+  }
+
+ private:
+  struct Frame {
+    std::uint64_t seq = 0;
+    std::uint32_t attempt = 0;
+    std::uint32_t crc = 0;
+    int src_world = -1, dst_world = -1;
+    std::uint64_t group_id = 0;
+    int src_local = -1, dst_local = -1, tag = 0;
+    std::vector<std::byte> payload;
+    FaultContext ctx;  ///< sender context at first transmission (drives the model)
+  };
+
+  struct Pending {
+    Frame frame;
+    double next_retry = 0;
+    bool doomed = false;  ///< blackholed: every transmission is dropped
+  };
+
+  struct TxPeer {
+    std::uint64_t next_seq = 0;
+    std::uint64_t acked_upto = 0;  ///< all seq < acked_upto are acked
+    std::map<std::uint64_t, Pending> unacked;
+  };
+
+  struct RxPeer {
+    std::uint64_t expected = 0;           ///< next in-order seq
+    std::map<std::uint64_t, Frame> ooo;   ///< buffered out-of-order frames
+    std::deque<Frame> limbo;              ///< reorder holding pen
+  };
+
+  struct Endpoint {
+    mutable std::mutex tx_mu;
+    std::vector<TxPeer> tx;  ///< by destination world rank
+    mutable std::mutex rx_mu;
+    std::vector<RxPeer> rx;  ///< by source world rank
+  };
+
+  static std::uint32_t frame_crc(const Frame& f);
+
+  /// Apply the link model to one transmission and deliver the survivors.
+  void transmit(const Frame& f, bool doomed);
+  /// Run the receiver-side protocol on one arriving frame (possibly held
+  /// in limbo first when the model reorders it).
+  void deliver(Frame f, bool hold_for_reorder);
+  /// Protocol body; caller holds ep[dst].rx_mu.  Returns the cumulative
+  /// ack to send (0 = none).
+  std::uint64_t process_frame(RxPeer& rp, Frame& f);
+  /// Push an in-order, verified frame into its group mailbox.
+  void to_mailbox(Frame& f);
+  /// Apply a cumulative ack at the original sender (lossy: may be dropped).
+  void apply_ack(int acker_world, int to_world, std::uint64_t upto, std::uint64_t seq,
+                 std::uint32_t attempt, const FaultContext& ctx);
+
+  int nranks_;
+  std::shared_ptr<LinkModel> model_;
+  mutable std::mutex tuning_mu_;
+  TransportTuning tuning_;
+  detail::JobState* job_;  ///< not owned; the job owns this transport
+  std::vector<Endpoint> eps_;
+  mutable std::mutex scan_mu_;  ///< serializes tick() against reset()
+};
+
+/// The job monitor: one background thread per Runtime that drives
+/// transport retransmission and the hang watchdog.  Started lazily by
+/// Runtime when a lossy plan or a watchdog is installed.
+class Monitor {
+ public:
+  Monitor(std::shared_ptr<detail::JobState> job, std::shared_ptr<detail::Group> world);
+  ~Monitor();
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  void set_watchdog(const WatchdogConfig& cfg);
+
+ private:
+  void loop();
+  void check_hang(double now);
+  void dump_state(std::ostream& os, double now) const;
+
+  std::shared_ptr<detail::JobState> job_;
+  std::shared_ptr<detail::Group> world_;
+  mutable std::mutex cfg_mu_;
+  WatchdogConfig watchdog_;
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace greem::parx

@@ -48,6 +48,13 @@ void write_jsonl(std::ostream& os, const StepRecord& r) {
     w.end_object();
   }
   w.end_object();
+  if (r.retransmits > 0 || r.transport_drops > 0 || r.corrupt_detected > 0) {
+    w.key("transport").begin_object();
+    w.field("retransmits", r.retransmits);
+    w.field("drops", r.transport_drops);
+    w.field("corrupt_detected", r.corrupt_detected);
+    w.end_object();
+  }
   w.end_object();
   os << "\n";
 }

@@ -59,6 +59,12 @@ struct StepRecord {
     double model_time_s = 0;  ///< endpoint-serialization congestion model
   };
   std::vector<PhaseTraffic> traffic;
+
+  // Reliable-transport activity during this step (counter deltas; all zero
+  // on the perfect-link fast path).
+  std::uint64_t retransmits = 0;        ///< frames retransmitted
+  std::uint64_t transport_drops = 0;    ///< transmissions dropped by the link model
+  std::uint64_t corrupt_detected = 0;   ///< frames rejected by CRC at the receiver
 };
 
 /// Append `r` to `os` as one compact JSON line (JSONL).

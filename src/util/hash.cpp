@@ -1,8 +1,8 @@
-#include "ckpt/hash.hpp"
+#include "util/hash.hpp"
 
 #include <array>
 
-namespace greem::ckpt {
+namespace greem::util {
 namespace {
 
 std::array<std::uint32_t, 256> make_crc_table() {
@@ -40,4 +40,4 @@ std::uint32_t crc32(std::span<const std::byte> data) {
   return crc32(data.data(), data.size());
 }
 
-}  // namespace greem::ckpt
+}  // namespace greem::util

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <limits>
 #include <map>
 #include <mutex>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/parallel_sim.hpp"
 #include "core/simulation.hpp"
 #include "parx/runtime.hpp"
@@ -192,6 +197,119 @@ TEST(ParallelSim, RejectsMismatchedDims) {
   parx::run_ranks(3, [](parx::Comm& world) {
     EXPECT_THROW(ParallelSimulation(world, test_config({2, 2, 1}), {}, 0.0),
                  std::invalid_argument);
+  });
+}
+
+// ------------------------------------------------------------- sentinel --
+
+TEST(Sentinel, CatchesNaNPoisoningOnEveryRank) {
+  auto initial = with_velocities(random_uniform_particles(300, 1.0, 21), 22);
+  std::atomic<int> violations{0};
+  parx::run_ranks(4, [&](parx::Comm& world) {
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, test_config({2, 2, 1}), std::move(local), 0.0);
+    sim.step(0.002);
+    // Flip one mass to NaN on one rank: the kick poisons that particle's
+    // momentum; the sentinel's global non-finite scrub must fire on ALL
+    // ranks together (it compares the same allreduced tally).
+    if (world.rank() == 1) {
+      auto mine = sim.local_mutable();
+      ASSERT_FALSE(mine.empty());
+      mine[0].mass = std::numeric_limits<double>::quiet_NaN();
+    }
+    try {
+      sim.step(0.004);
+      ADD_FAILURE() << "sentinel missed NaN corruption on rank " << world.rank();
+    } catch (const SentinelError& e) {
+      EXPECT_NE(std::string(e.what()).find("non-finite"), std::string::npos) << e.what();
+      violations.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(violations.load(), 4) << "the sentinel throw must be collective";
+}
+
+TEST(Sentinel, CatchesMassDriftAndRecoveryRollsItBack) {
+  const std::string dir = testing::TempDir() + "/sentinel_rollback";
+  std::filesystem::remove_all(dir);
+  auto initial = with_velocities(random_uniform_particles(300, 1.0, 31), 32);
+  const double dt = 0.002;
+  // Bitwise comparison needs the deterministic load-balance cost metric.
+  auto cfg = test_config({2, 1, 1});
+  cfg.cost_metric = CostMetric::kInteractions;
+
+  // Reference: the same schedule with no corruption.
+  std::mutex ref_mu;
+  std::vector<Particle> expected;
+  parx::run_ranks(2, [&](parx::Comm& world) {
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    for (int s = 1; s <= 3; ++s) sim.step(s * dt);
+    sim.synchronize();
+    std::lock_guard lock(ref_mu);
+    const auto loc = sim.local();
+    expected.insert(expected.end(), loc.begin(), loc.end());
+  });
+  std::sort(expected.begin(), expected.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+
+  std::atomic<int> violations{0};
+  std::mutex mu;
+  std::vector<Particle> collected;
+  parx::run_ranks(2, [&](parx::Comm& world) {
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    sim.step(1 * dt);
+    sim.checkpoint(dir, /*keep_last=*/2);
+    // Silently grow one particle's mass (the bit-flip-past-the-CRC model).
+    if (world.rank() == 0) {
+      auto mine = sim.local_mutable();
+      ASSERT_FALSE(mine.empty());
+      mine[0].mass *= 1.5;
+    }
+    try {
+      sim.step(2 * dt);
+      ADD_FAILURE() << "sentinel missed mass drift on rank " << world.rank();
+    } catch (const SentinelError& e) {
+      EXPECT_NE(std::string(e.what()).find("mass"), std::string::npos) << e.what();
+      violations.fetch_add(1);
+    }
+    // Standard rollback-recovery path: rendezvous, restore, retry.
+    world.fault_recover();
+    const auto latest = ckpt::find_latest(dir);
+    ASSERT_TRUE(latest.has_value());
+    sim.restore_checkpoint(*latest);
+    sim.step(2 * dt);
+    sim.step(3 * dt);
+    sim.synchronize();
+    std::lock_guard lock(mu);
+    const auto loc = sim.local();
+    collected.insert(collected.end(), loc.begin(), loc.end());
+  });
+  EXPECT_EQ(violations.load(), 2);
+  std::sort(collected.begin(), collected.end(),
+            [](const Particle& a, const Particle& b) { return a.id < b.id; });
+  ASSERT_EQ(collected.size(), expected.size());
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&collected[i], &expected[i], sizeof(Particle)), 0)
+        << "post-rollback state diverged at particle " << i;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Sentinel, DisabledSentinelLetsCorruptionThrough) {
+  auto initial = with_velocities(random_uniform_particles(200, 1.0, 41), 42);
+  parx::run_ranks(2, [&](parx::Comm& world) {
+    std::vector<Particle> local = world.rank() == 0 ? initial : std::vector<Particle>{};
+    auto cfg = test_config({2, 1, 1});
+    cfg.sentinel.every = 0;
+    ParallelSimulation sim(world, cfg, std::move(local), 0.0);
+    sim.step(0.002);
+    if (world.rank() == 0) {
+      auto mine = sim.local_mutable();
+      ASSERT_FALSE(mine.empty());
+      mine[0].mass *= 1.5;
+    }
+    EXPECT_NO_THROW(sim.step(0.004));
   });
 }
 

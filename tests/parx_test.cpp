@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "parx/comm.hpp"
 #include "parx/fault.hpp"
 #include "parx/runtime.hpp"
+#include "parx/transport.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greem::parx {
 namespace {
@@ -395,6 +399,270 @@ TEST(Fault, InjectedSendFaultSurfacesOnEveryRankAndRecovers) {
     c.barrier();
   });
   EXPECT_EQ(comm_errors.load(), 3);
+}
+
+TEST(Parx, ReduceLeavesNonRootSendBuffersUntouched) {
+  // Regression: reduce used to accumulate partial sums into the caller's
+  // buffer on interior tree ranks, corrupting what MPI semantics treat as
+  // a pure send buffer.
+  run_ranks(4, [](Comm& c) {
+    std::vector<int> buf{c.rank() + 1, 10 * (c.rank() + 1)};
+    const std::vector<int> orig = buf;
+    c.reduce_sum(std::span<int>(buf), /*root=*/0);
+    if (c.rank() == 0) {
+      EXPECT_EQ(buf[0], 1 + 2 + 3 + 4);
+      EXPECT_EQ(buf[1], 10 + 20 + 30 + 40);
+    } else {
+      EXPECT_EQ(buf, orig) << "non-root send buffer was mutated on rank " << c.rank();
+    }
+    // Same property for every root, including interior tree positions.
+    for (int root = 1; root < 4; ++root) {
+      std::vector<int> v{c.rank()};
+      c.reduce_sum(std::span<int>(v), root);
+      if (c.rank() == root) EXPECT_EQ(v[0], 0 + 1 + 2 + 3);
+      else EXPECT_EQ(v[0], c.rank());
+    }
+  });
+}
+
+TEST(Parx, RecvDeadlineThrowsTimeoutError) {
+  run_ranks(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      EXPECT_THROW((void)c.recv_bytes(1, 9, /*timeout_s=*/0.08), TimeoutError);
+    }
+    c.barrier();  // nobody ever sends; only the deadline releases rank 0
+  });
+}
+
+TEST(Parx, BarrierDeadlineThrowsTimeoutError) {
+  std::atomic<int> timeouts{0};
+  run_ranks(2, [&](Comm& c) {
+    if (c.rank() == 0) {
+      try {
+        c.barrier(/*timeout_s=*/0.08);
+      } catch (const TimeoutError&) {
+        timeouts.fetch_add(1);
+      }
+    } else {
+      // Arrive late: rank 0's stale arrival completes this wait instantly.
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      c.barrier();
+    }
+  });
+  EXPECT_EQ(timeouts.load(), 1);
+}
+
+TEST(Fault, ParseWildcardsAndLinkKinds) {
+  auto s = parse_fault_at("*:any:*:drop@0.01");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->step, kEveryStep);
+  EXPECT_EQ(s->rank, kEveryRank);
+  EXPECT_EQ(s->kind, FaultKind::kLinkDrop);
+  EXPECT_DOUBLE_EQ(s->rate, 0.01);
+  EXPECT_EQ(s->times, kUnlimited);
+
+  s = parse_fault_at("2:pp:*:lose");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->kind, FaultKind::kLinkBlackhole);
+  EXPECT_DOUBLE_EQ(s->rate, 1.0);
+  EXPECT_EQ(s->times, 1) << "each 'lose' firing dooms exactly one message";
+
+  s = parse_fault_at("5:pm:1:corrupt@0.001x10");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->kind, FaultKind::kLinkCorrupt);
+  EXPECT_DOUBLE_EQ(s->rate, 0.001);
+  EXPECT_EQ(s->times, 10);
+
+  s = parse_fault_at("*:any:3:hang");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->kind, FaultKind::kHang);
+  EXPECT_EQ(s->rank, 3);
+
+  s = parse_fault_at("1:dd:*:dup@0.5");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->kind, FaultKind::kLinkDuplicate);
+
+  EXPECT_TRUE(parse_fault_at("1:dd:0:reorder@0.25").has_value());
+  EXPECT_FALSE(parse_fault_at("*:pp:0:drop@1.5").has_value()) << "rate must be in [0,1]";
+  EXPECT_FALSE(parse_fault_at("*:pp:0:drop@").has_value());
+  EXPECT_FALSE(parse_fault_at("1:pp:0:abort@0.5").has_value())
+      << "rates are a link-fault concept";
+  EXPECT_FALSE(parse_fault_at("1:pp:0:send@0.1x2").has_value());
+  EXPECT_FALSE(parse_fault_at("1:pp:0:drop@0.1x0").has_value());
+}
+
+TEST(Fault, PlanSplitsIntoFailstopAndLinkSubsets) {
+  FaultPlan plan;
+  plan.at({.step = 1, .phase = FaultPhase::kAny, .kind = FaultKind::kRankAbort, .rank = 0})
+      .at(*parse_fault_at("*:any:*:drop@0.1"))
+      .at(*parse_fault_at("2:pp:*:lose"));
+  EXPECT_EQ(plan.failstop_specs().size(), 1u);
+  EXPECT_EQ(plan.link_specs().size(), 2u);
+}
+
+TEST(Fault, LinkDropIsRetransmittedAndDeliveredIntact) {
+  auto& retx = telemetry::Registry::global().counter("parx/retransmits");
+  const std::uint64_t retx0 = retx.value();
+  Runtime rt(2);
+  // Deterministically drop the first 2 transmissions of everything.
+  FaultSpec drop;
+  drop.step = kEveryStep;
+  drop.phase = FaultPhase::kAny;
+  drop.rank = kEveryRank;
+  drop.kind = FaultKind::kLinkDrop;
+  drop.rate = 1.0;
+  drop.times = 2;
+  rt.set_fault_plan(FaultPlan().at(drop));
+  rt.set_transport_tuning({.rto_s = 0.002, .backoff = 1.5, .max_attempts = 8, .tick_s = 0.001});
+  rt.run([](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    std::vector<int> data(300);
+    std::iota(data.begin(), data.end(), 7);
+    if (c.rank() == 0) c.send(1, 3, std::span<const int>(data));
+    else EXPECT_EQ(c.recv<int>(0, 3), data);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+#if GREEM_TELEMETRY_ENABLED
+  EXPECT_GE(retx.value() - retx0, 2u);
+#else
+  (void)retx0;
+#endif
+}
+
+TEST(Fault, LinkCorruptionIsCaughtByCrcAndHealed) {
+  auto& caught = telemetry::Registry::global().counter("parx/corrupt_detected");
+  const std::uint64_t caught0 = caught.value();
+  Runtime rt(2);
+  FaultSpec corrupt;
+  corrupt.step = kEveryStep;
+  corrupt.phase = FaultPhase::kAny;
+  corrupt.rank = kEveryRank;
+  corrupt.kind = FaultKind::kLinkCorrupt;
+  corrupt.rate = 1.0;
+  corrupt.times = 1;
+  rt.set_fault_plan(FaultPlan().at(corrupt));
+  rt.set_transport_tuning({.rto_s = 0.002, .backoff = 1.5, .max_attempts = 8, .tick_s = 0.001});
+  rt.run([](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    const std::vector<double> data{1.5, -2.5, 3.25};
+    if (c.rank() == 0) c.send(1, 4, std::span<const double>(data));
+    else EXPECT_EQ(c.recv<double>(0, 4), data);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+#if GREEM_TELEMETRY_ENABLED
+  EXPECT_EQ(caught.value() - caught0, 1u);
+#else
+  (void)caught0;
+#endif
+}
+
+TEST(Fault, DuplicatesAndReordersAreInvisibleToTheApplication) {
+  auto& dups = telemetry::Registry::global().counter("parx/duplicates_dropped");
+  const std::uint64_t dups0 = dups.value();
+  Runtime rt(3);
+  FaultPlan plan;
+  plan.at(*parse_fault_at("*:any:*:dup@1"));
+  plan.at(*parse_fault_at("*:any:*:reorder@0.5"));
+  rt.set_fault_plan(plan);
+  rt.run([](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    // Ordered stream per (src, tag) pair must survive dup + reorder.
+    for (int m = 0; m < 20; ++m) {
+      const std::vector<int> v{c.rank() * 100 + m};
+      c.send((c.rank() + 1) % 3, 5, std::span<const int>(v));
+    }
+    const int src = (c.rank() + 2) % 3;
+    for (int m = 0; m < 20; ++m) EXPECT_EQ(c.recv<int>(src, 5).at(0), src * 100 + m);
+    // Collectives still agree.
+    EXPECT_EQ(c.allreduce_sum(1), 3);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+#if GREEM_TELEMETRY_ENABLED
+  EXPECT_GT(dups.value() - dups0, 0u);
+#else
+  (void)dups0;
+#endif
+}
+
+TEST(Fault, BlackholeExhaustsRetriesAndRecoversLikeAnyFault) {
+  Runtime rt(2);
+  rt.set_fault_plan(FaultPlan().at(*parse_fault_at("1:pp:*:lose")));
+  rt.set_transport_tuning({.rto_s = 0.001, .backoff = 1.5, .max_attempts = 4, .tick_s = 0.0005});
+  std::atomic<int> comm_errors{0};
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    const std::vector<int> v{13};
+    try {
+      if (c.rank() == 0) {
+        c.send(1, 2, std::span<const int>(v));
+        for (;;) c.barrier();  // wait for the transport to give up
+      } else {
+        (void)c.recv<int>(0, 2);
+      }
+      FAIL() << "blackholed message should have surfaced as CommError";
+    } catch (const CommError&) {
+      comm_errors.fetch_add(1);
+    }
+    c.fault_recover();
+    // The lose budget is spent: the retried message goes through.
+    set_fault_context(2, FaultPhase::kPP);
+    if (c.rank() == 0) c.send(1, 2, std::span<const int>(v));
+    else EXPECT_EQ(c.recv<int>(0, 2).at(0), 13);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+  EXPECT_EQ(comm_errors.load(), 2);
+}
+
+TEST(Fault, WatchdogConvertsHangIntoRecoverableFault) {
+  auto& fired = telemetry::Registry::global().counter("parx/watchdog_fired");
+  const std::uint64_t fired0 = fired.value();
+  Runtime rt(2);
+  rt.set_fault_plan(FaultPlan().at(*parse_fault_at("1:any:0:hang")));
+  rt.set_watchdog({.quiescence_s = 0.15, .dump_path = ""});
+  std::atomic<int> comm_errors{0};
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kDD);
+    try {
+      c.barrier();  // rank 0 freezes inside; rank 1 blocks waiting
+      for (;;) c.barrier();
+    } catch (const CommError&) {
+      comm_errors.fetch_add(1);
+    }
+    c.fault_recover();
+    set_fault_context(2, FaultPhase::kAny);
+    EXPECT_EQ(c.allreduce_sum(1), 2);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+  EXPECT_EQ(comm_errors.load(), 2);
+#if GREEM_TELEMETRY_ENABLED
+  EXPECT_GE(fired.value() - fired0, 1u);
+#else
+  (void)fired0;
+#endif
+}
+
+TEST(Fault, RetransmitTrafficIsAccountedSeparately) {
+  Runtime rt(2);
+  FaultSpec drop;
+  drop.step = kEveryStep;
+  drop.phase = FaultPhase::kAny;
+  drop.rank = kEveryRank;
+  drop.kind = FaultKind::kLinkDrop;
+  drop.rate = 1.0;
+  drop.times = 1;
+  rt.set_fault_plan(FaultPlan().at(drop));
+  rt.set_transport_tuning({.rto_s = 0.002, .backoff = 1.5, .max_attempts = 8, .tick_s = 0.001});
+  rt.run([](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    const std::vector<int> v{1, 2, 3, 4};
+    if (c.rank() == 0) c.send(1, 6, std::span<const int>(v));
+    else (void)c.recv<int>(0, 6);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+  const auto t = rt.ledger().totals();
+  EXPECT_EQ(t.messages, 1u) << "logical traffic counts the send once";
+  EXPECT_GE(t.retransmit_messages, 1u);
+  EXPECT_EQ(t.retransmit_bytes % (4 * sizeof(int)), 0u);
 }
 
 TEST(Fault, SpentSpecDoesNotRefire) {

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/box.hpp"
+#include "util/hash.hpp"
 #include "util/morton.hpp"
 #include "util/parallel_for.hpp"
 #include "util/pgm.hpp"
@@ -19,6 +20,30 @@
 
 namespace greem {
 namespace {
+
+TEST(Crc32, MatchesKnownVector) {
+  // The IEEE CRC32 check value ("123456789" -> 0xCBF43926), so our table
+  // is interoperable with zlib/cksum implementations.
+  const char* s = "123456789";
+  EXPECT_EQ(util::crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  util::Crc32 inc;
+  inc.update(data.data(), 10);
+  inc.update(data.data() + 10, data.size() - 10);
+  EXPECT_EQ(inc.value(), util::crc32(data.data(), data.size()));
+}
+
+TEST(Fnv1a64, OrderAndValueSensitive) {
+  const auto h1 = util::Fnv1a64{}.mix(1).mix(2).value();
+  const auto h2 = util::Fnv1a64{}.mix(2).mix(1).value();
+  const auto h3 = util::Fnv1a64{}.mix(1).mix(2).value();
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, h3);
+}
 
 TEST(Vec3, Arithmetic) {
   Vec3 a{1, 2, 3}, b{4, 5, 6};
