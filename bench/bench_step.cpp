@@ -37,6 +37,9 @@
 //   --restore-from PATH   resume from a checkpoint dir (or its parent)
 //   --final-state FILE    rank 0 writes the final particles (sorted by id)
 //                         as a snapshot for byte-wise comparison
+//   --overlap {0,1}       overlap the PM cycle with the PP cycle (default
+//                         0; ON and OFF runs are bitwise identical, see
+//                         docs/overlap.md)
 //
 // BENCH_step.json gains a "transport" section with the reliable-transport
 // and sentinel counters plus a perfect-link overhead microbench (raw
@@ -77,6 +80,7 @@ struct Options {
   std::string watchdog_dump;
   std::string restore_from;
   std::string final_state;
+  bool overlap = false;
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -115,6 +119,8 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.restore_from = v;
     } else if (!std::strcmp(a, "--final-state") && (v = need(i))) {
       opt.final_state = v;
+    } else if (!std::strcmp(a, "--overlap") && (v = need(i))) {
+      opt.overlap = std::atoi(v) != 0;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag '%s'\n", a);
       return false;
@@ -183,6 +189,45 @@ double sim_steps_seconds(const core::ParallelSimConfig& cfg,
   return seconds;
 }
 
+/// One overlap probe run: `nsteps` steps with the overlap switch as given;
+/// returns the wall seconds plus the job-wide overlap fraction of the last
+/// step (inflight / (inflight + blocked), reduced over ranks).  Works
+/// without telemetry -- OverlapStats is plain StepReport data.
+struct OverlapProbe {
+  double seconds = 0;
+  double fraction = 0;
+};
+
+OverlapProbe overlap_steps_probe(const core::ParallelSimConfig& cfg,
+                                 const std::vector<core::Particle>& particles, int nranks,
+                                 int nsteps, double dt, bool overlap) {
+  parx::Runtime rt(nranks);
+  auto probe_cfg = cfg;
+  probe_cfg.step_report_path.clear();
+  probe_cfg.restore_from.clear();
+  probe_cfg.overlap = overlap;
+  std::mutex mu;
+  OverlapProbe out;
+  rt.run([&](parx::Comm& world) {
+    std::vector<core::Particle> local =
+        world.rank() == 0 ? particles : std::vector<core::Particle>{};
+    core::ParallelSimulation sim(world, probe_cfg, std::move(local), 0.0);
+    world.barrier();
+    Stopwatch sw;
+    for (int s = 1; s <= nsteps; ++s) sim.step(s * dt);
+    world.barrier();
+    const double seconds = sw.seconds();
+    double ov[2] = {sim.last_step().overlap.blocked_s, sim.last_step().overlap.inflight_s};
+    world.allreduce_sum(std::span<double>(ov, 2));
+    if (world.rank() == 0) {
+      std::lock_guard lock(mu);
+      out.seconds = seconds;
+      out.fraction = ov[0] + ov[1] > 0 ? ov[1] / (ov[0] + ov[1]) : 0.0;
+    }
+  });
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,6 +262,7 @@ int main(int argc, char** argv) {
   // original bitwise, which is what --final-state comparisons check.
   cfg.cost_metric = core::CostMetric::kInteractions;
   cfg.restore_from = opt.restore_from;
+  cfg.overlap = opt.overlap;
 
   parx::Runtime rt(kRanks);
   if (!opt.faults.empty()) {
@@ -383,6 +429,33 @@ int main(int argc, char** argv) {
       jw.end_object();
     }
     jw.end_object();
+    {
+      // PM/PP overlap: what the main run measured, plus (for clean runs) a
+      // dedicated ON-vs-OFF probe on the same workload, best of 3 each.
+      jw.key("overlap").begin_object();
+      jw.field("enabled", opt.overlap);
+      jw.field("fraction", last.overlap_fraction);
+      jw.field("force_wall_seconds", last.force_wall_seconds);
+      jw.field("blocked_seconds", last.overlap_blocked_seconds);
+      jw.field("inflight_seconds", last.overlap_inflight_seconds);
+      if (opt.faults.empty() && opt.watchdog_s <= 0) {
+        constexpr int kProbeSteps = 2;
+        OverlapProbe on, off;
+        on.seconds = off.seconds = 1e300;
+        for (int i = 0; i < 3; ++i) {
+          const auto a = overlap_steps_probe(cfg, particles, kRanks, kProbeSteps, dt, true);
+          if (a.seconds < on.seconds) on = a;
+          const auto b = overlap_steps_probe(cfg, particles, kRanks, kProbeSteps, dt, false);
+          if (b.seconds < off.seconds) off = b;
+        }
+        jw.field("probe_steps", kProbeSteps);
+        jw.field("step_seconds_on", on.seconds);
+        jw.field("step_seconds_off", off.seconds);
+        jw.field("probe_fraction_on", on.fraction);
+        jw.field("speedup", on.seconds > 0 ? off.seconds / on.seconds : 0.0);
+      }
+      jw.end_object();
+    }
     jw.key("counters").begin_object();
     for (const auto& [name, v] : reg.counters()) jw.field(name, v);
     jw.end_object();

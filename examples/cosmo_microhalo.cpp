@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
 
   std::vector<core::Particle> particles(ics.pos.size());
   for (std::size_t i = 0; i < particles.size(); ++i)
-    particles[i] = {ics.pos[i], ics.mom[i], {}, ics.particle_mass, i};
+    particles[i] = {ics.pos[i], ics.mom[i], {}, {}, ics.particle_mass, i};
 
   core::SimulationConfig cfg;
   cfg.force.pm.n_mesh = fft::next_pow2(2 * n_per_dim);

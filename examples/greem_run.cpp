@@ -133,7 +133,7 @@ int main(int argc, char** argv) {
                 cosmo::Cosmology::z_of_a(a_start), ics.rms_displacement_spacings);
     particles.resize(ics.pos.size());
     for (std::size_t i = 0; i < particles.size(); ++i)
-      particles[i] = {ics.pos[i], ics.mom[i], {}, ics.particle_mass, i};
+      particles[i] = {ics.pos[i], ics.mom[i], {}, {}, ics.particle_mass, i};
   }
 
   core::SimulationConfig sim_cfg;

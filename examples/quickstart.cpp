@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
 
   std::vector<core::Particle> particles(ics.pos.size());
   for (std::size_t i = 0; i < particles.size(); ++i) {
-    particles[i] = {ics.pos[i], ics.mom[i], {}, ics.particle_mass, i};
+    particles[i] = {ics.pos[i], ics.mom[i], {}, {}, ics.particle_mass, i};
   }
 
   // TreePM force: mesh, cutoff rcut = 3/n_mesh (the paper's choice),

@@ -8,6 +8,16 @@
 // the measured force cost, ghost (boundary) particle exchange for the
 // short-range tree, and the parallel PM with the direct or relay mesh
 // conversion.  Phase timings accumulate under the row names of Table I.
+//
+// The PM cycle is *pipelined*: it is evaluated at the end of each step (at
+// the same positions the next step's long-range kick needs) alongside the
+// final substep's PP cycle, and the resulting acceleration is cached on
+// the particle (Particle::acc_l) until the kick consumes it.  With
+// ParallelSimConfig::overlap on, the two cycles' communication and compute
+// stages interleave (paper §II-B: the PM part "is executed concurrently
+// with the PP part"); the interleaving never changes any arithmetic, so
+// overlap ON and OFF produce bitwise-identical snapshots.  docs/overlap.md
+// walks through the schedule.
 
 #include <limits>
 #include <span>
@@ -18,6 +28,7 @@
 #include "core/particle.hpp"
 #include "domain/multisection.hpp"
 #include "domain/sampling.hpp"
+#include "parx/comm.hpp"
 #include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 #include "pm/parallel_pm.hpp"
@@ -73,6 +84,15 @@ struct ParallelSimConfig {
   int nsub = 2;
   CostMetric cost_metric = CostMetric::kWallTime;
 
+  /// Overlap the PM cycle's conversions and FFT with the final substep's
+  /// PP ghost exchange and tree build (paper §II-B runs the two parts
+  /// concurrently).  Purely a scheduling switch: ON and OFF execute
+  /// identical arithmetic in identical order and produce bitwise-identical
+  /// snapshots (docs/overlap.md), so it is excluded from
+  /// config_fingerprint and checkpoints move freely between settings.
+  /// Must be set identically on every rank (the stage order is collective).
+  bool overlap = false;
+
   /// Invariant sentinel; excluded from config_fingerprint (it observes the
   /// dynamics, it does not change them).  Must be set identically on every
   /// rank (the check is collective).
@@ -115,7 +135,9 @@ class ParallelSimulation {
   /// Collective: advance the clock to t_next.
   void step(double t_next);
 
-  /// Collective: apply the pending long-range closing half-kick.
+  /// Apply the pending long-range closing half-kick from the cached
+  /// Particle::acc_l (evaluated at the current positions by the pipelined
+  /// PM cycle).  Local: no communication, no recompute.
   void synchronize();
 
   /// Collective: write a checkpoint of the current state under `dir`,
@@ -146,10 +168,23 @@ class ParallelSimulation {
   std::vector<Particle> take_local() && { return std::move(particles_); }
   const domain::Decomposition& decomposition() const { return decomp_; }
 
+  /// Comm/compute overlap telemetry of the combined force cycle.  Phase
+  /// rows in the TimingBreakdowns are *busy* time (per-phase stopwatch
+  /// segments of this rank's thread); under overlap a drain row measures
+  /// only the residual stall, not the full message flight, so wall time
+  /// must come from window_s, never from summing rows across cycles.
+  struct OverlapStats {
+    bool enabled = false;   ///< config overlap switch at measurement time
+    double window_s = 0;    ///< wall seconds of the combined force cycle
+    double blocked_s = 0;   ///< parx completion-wait stall inside the window
+    double inflight_s = 0;  ///< sum of post-to-drain flight windows (0 when off)
+  };
+
   struct StepReport {
-    TimingBreakdown pm, pp, dd;      ///< this rank's phase seconds
+    TimingBreakdown pm, pp, dd;      ///< this rank's phase seconds (busy time)
     tree::TraversalStats pp_stats;   ///< this rank's traversal statistics
     std::size_t n_ghost_imported = 0;
+    OverlapStats overlap;            ///< final-substep combined force cycle
     /// Global traffic per phase bucket, accumulated from ledger epochs.
     /// Observed on rank 0 only (the ledger is global); empty elsewhere
     /// and when step reporting is off.
@@ -164,7 +199,30 @@ class ParallelSimulation {
 
  private:
   void domain_cycle(std::uint64_t substep_id);
+
+  /// In-flight ghost exchange posted by pp_start.
+  struct GhostWork {
+    parx::AlltoallvHandle<Vec3> hpos;
+    parx::AlltoallvHandle<double> hmass;
+    std::vector<Vec3> pos;      ///< local positions; ghosts appended by pp_finish
+    std::vector<double> mass;
+  };
+
+  /// PP cycle, split at its communication boundary so the PM stages can
+  /// run while the ghosts are in flight.  pp_start selects the boundary
+  /// particles and posts the ghost all-to-alls; pp_finish drains them in
+  /// arrival order (concatenating in rank order, so results are identical
+  /// to the blocking exchange), builds the tree and computes acc_s.
+  GhostWork pp_start();
+  void pp_finish(GhostWork& g);
+  /// Exactly pp_start + pp_finish under one traffic epoch.
   void pp_force_cycle();
+
+  /// The final substep's PP cycle plus the pipelined PM cycle (acc_l at
+  /// the current positions), sequential or interleaved per
+  /// config_.overlap; fills report_.overlap either way.
+  void combined_force_cycle(std::uint64_t fault_step);
+
   void write_step_record();
   /// Collective: capture the sentinel baselines from the current state.
   void sentinel_baseline();

@@ -17,6 +17,11 @@ struct Particle {
   Vec3 pos;      ///< comoving position in [0,1)^3
   Vec3 mom;      ///< momentum p = a^2 dx/dt (comoving) or velocity (static)
   Vec3 acc_s;    ///< cached short-range acceleration at pos
+  /// Cached long-range (PM) acceleration, evaluated at the end-of-step
+  /// positions by the pipelined PM cycle; the next step's long kick (and
+  /// synchronize()) consume it.  Migrates through domain exchange and
+  /// checkpoints with the particle, like acc_s.
+  Vec3 acc_l;
   double mass = 0;
   std::uint64_t id = 0;
 };

@@ -24,7 +24,55 @@ double deadline_of(double timeout_s) {
   return timeout_s == kNoDeadline ? kNoDeadline : steady_seconds() + timeout_s;
 }
 
+thread_local double t_blocked_seconds = 0.0;
+
+/// Accumulates wall time spent inside a completion wait into the
+/// thread-local blocked counter (exception-safe).
+struct BlockedTimer {
+  double t0 = steady_seconds();
+  ~BlockedTimer() { t_blocked_seconds += steady_seconds() - t0; }
+};
+
+/// Deliver queued messages to posted receives.  Caller holds box.mu.
+/// Messages are scanned in arrival order and each goes to the
+/// earliest-posted live matching request; since both queues are FIFO per
+/// (src, tag), this preserves parx's in-order delivery guarantee.
+void match_pending(detail::Mailbox& box) {
+  if (box.pending.empty()) return;
+  auto msg = box.msgs.begin();
+  while (msg != box.msgs.end()) {
+    detail::RequestState* hit = nullptr;
+    for (auto& st : box.pending) {
+      if (!st->cancelled && !st->done.load(std::memory_order_relaxed) &&
+          st->peer == msg->src && st->tag == msg->tag) {
+        hit = st.get();
+        break;
+      }
+    }
+    if (!hit) {
+      ++msg;
+      continue;
+    }
+    hit->payload = std::move(msg->payload);
+    hit->done.store(true, std::memory_order_release);
+    msg = box.msgs.erase(msg);
+  }
+  while (!box.pending.empty() &&
+         (box.pending.front()->cancelled ||
+          box.pending.front()->done.load(std::memory_order_relaxed)))
+    box.pending.pop_front();
+}
+
 }  // namespace
+
+double thread_blocked_seconds() { return t_blocked_seconds; }
+
+bool Request::done() const { return st_ && st_->done.load(std::memory_order_acquire); }
+
+std::vector<std::byte> Request::take_bytes() {
+  assert(st_ && st_->done.load(std::memory_order_acquire));
+  return std::move(st_->payload);
+}
 
 Comm::Comm(std::shared_ptr<Group> group, int rank) : group_(std::move(group)), rank_(rank) {}
 
@@ -137,31 +185,152 @@ void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
   {
     std::lock_guard lock(box.mu);
     box.msgs.push_back(std::move(msg));
+    ++box.delivered;
   }
   box.cv.notify_all();
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag, double timeout_s) {
+Request Comm::isend(int dst, int tag, const void* data, std::size_t n) {
+  // parx sends are buffered and never block, so the request is born
+  // complete; it exists for uniform wait_any/wait_all sets.
+  send_bytes(dst, tag, data, n);
+  Request r;
+  r.st_ = std::make_shared<detail::RequestState>();
+  r.st_->kind = detail::RequestState::Kind::kSend;
+  r.st_->peer = dst;
+  r.st_->peer_world = world_rank_of(dst);
+  r.st_->tag = tag;
+  r.st_->done.store(true, std::memory_order_release);
+  return r;
+}
+
+Request Comm::irecv(int src, int tag) {
+  assert(src >= 0 && src < group_->size && src != rank_);
   fault_point(FaultOp::kRecv);
-  BlockedScope blocked(*group_->job, world_rank(), "recv", world_rank_of(src));
+  Request r;
+  r.st_ = std::make_shared<detail::RequestState>();
+  r.st_->kind = detail::RequestState::Kind::kRecv;
+  r.st_->peer = src;
+  r.st_->peer_world = world_rank_of(src);
+  r.st_->tag = tag;
+  auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
+  {
+    std::lock_guard lock(box.mu);
+    box.pending.push_back(r.st_);
+    match_pending(box);  // the message may already be queued
+  }
+  return r;
+}
+
+bool Comm::test(Request& req) {
+  if (!req.st_) return false;
+  if (req.st_->done.load(std::memory_order_acquire)) return true;
+  check_abort();
+  auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard lock(box.mu);
+  match_pending(box);
+  return req.st_->done.load(std::memory_order_relaxed);
+}
+
+template <class Ready>
+void Comm::wait_until(Ready&& ready, double timeout_s, const char* opname, int peer_world) {
+  check_abort();
+  BlockedScope blocked(*group_->job, world_rank(), opname, peer_world);
+  BlockedTimer timer;
   const double deadline = deadline_of(timeout_s);
   auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
   std::unique_lock lock(box.mu);
+  std::uint64_t seen = box.delivered;
   for (;;) {
-    for (auto it = box.msgs.begin(); it != box.msgs.end(); ++it) {
-      if (it->src == src && it->tag == tag) {
-        auto payload = std::move(it->payload);
-        box.msgs.erase(it);
-        return payload;
-      }
-    }
+    match_pending(box);
+    if (ready()) return;
     check_abort();
     if (steady_seconds() >= deadline)
-      throw TimeoutError("parx: recv from rank " + std::to_string(world_rank_of(src)) +
-                         " tag " + std::to_string(tag) + " timed out on rank " +
+      throw TimeoutError(std::string("parx: ") + opname + " timed out on rank " +
                          std::to_string(world_rank()));
+    if (box.delivered != seen) {
+      // Traffic is still landing in this mailbox: the rank is making
+      // progress even though its own requests are not complete yet, so
+      // restart the watchdog's quiescence clock.
+      seen = box.delivered;
+      blocked.refresh();
+    }
     box.cv.wait_for(lock, std::chrono::milliseconds(50));
   }
+}
+
+void Comm::wait(Request& req, double timeout_s) {
+  if (!req.st_) throw std::logic_error("parx: wait on an invalid request");
+  try {
+    wait_until([&] { return req.st_->done.load(std::memory_order_relaxed); }, timeout_s,
+               "wait", req.st_->peer_world);
+  } catch (const TimeoutError&) {
+    // Cancel so a late message is not eaten by this abandoned request.
+    auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
+    std::lock_guard lock(box.mu);
+    if (!req.st_->done.load(std::memory_order_relaxed)) req.st_->cancelled = true;
+    throw;
+  }
+}
+
+int Comm::wait_any(std::span<Request> reqs, double timeout_s) {
+  int found = -1;
+  wait_until(
+      [&] {
+        bool live = false;
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+          auto& st = reqs[i].st_;
+          if (!st || st->claimed) continue;
+          live = true;
+          if (st->done.load(std::memory_order_relaxed)) {
+            st->claimed = true;
+            found = static_cast<int>(i);
+            return true;
+          }
+        }
+        if (!live) throw std::logic_error("parx: wait_any with no active requests");
+        return false;
+      },
+      timeout_s, "wait_any", -1);
+  return found;
+}
+
+void Comm::wait_all(std::span<Request> reqs, double timeout_s) {
+  wait_until(
+      [&] {
+        for (auto& r : reqs)
+          if (r.st_ && !r.st_->done.load(std::memory_order_relaxed)) return false;
+        return true;
+      },
+      timeout_s, "wait_all", -1);
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag, double timeout_s) {
+  // Blocking receive = irecv + wait: one matching discipline for both, so
+  // a blocking recv can never overtake an earlier-posted irecv on the
+  // same (src, tag).
+  Request req = irecv(src, tag);
+  try {
+    wait_until([&] { return req.st_->done.load(std::memory_order_relaxed); }, timeout_s,
+               "recv", req.st_->peer_world);
+  } catch (const TimeoutError&) {
+    auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
+    {
+      std::lock_guard lock(box.mu);
+      if (req.st_->done.load(std::memory_order_relaxed)) return req.take_bytes();
+      req.st_->cancelled = true;
+    }
+    throw TimeoutError("parx: recv from rank " + std::to_string(world_rank_of(src)) +
+                       " tag " + std::to_string(tag) + " timed out on rank " +
+                       std::to_string(world_rank()));
+  }
+  return req.take_bytes();
+}
+
+int Comm::next_collective_tag() {
+  const std::uint32_t seq =
+      group_->coll_seq[static_cast<std::size_t>(rank_)].fetch_add(1, std::memory_order_relaxed);
+  return kCollTagBase - static_cast<int>(seq % kCollSeqWindow);
 }
 
 std::vector<std::size_t> Comm::exchange_sizes(std::span<const std::size_t> to_each) {

@@ -10,9 +10,15 @@
 //  * send() is buffered and never blocks (an MPI_Isend with an unbounded
 //    buffer); recv() blocks until a matching (src, tag) message arrives.
 //  * Messages between a fixed (src, tag) pair are delivered in order.
+//    Nonblocking receives (irecv) join the same matching discipline:
+//    receives are matched to messages in posting order per (src, tag).
 //  * Collectives are implemented on top of point-to-point with the textbook
 //    algorithms (binomial-tree reduce/bcast, flat gather, pairwise
 //    alltoallv), so the traffic ledger records a realistic message pattern.
+//    Every collective entry draws a per-rank sequence number that selects
+//    its message tag, so collectives in flight concurrently on the same
+//    communicator (e.g. a posted ialltoallv under a later reduce) cannot
+//    cross payloads.  See docs/overlap.md.
 //  * Zero-byte payloads are not transferred and not recorded; payload sizes
 //    are agreed out of band (exchange_sizes uses shared memory, modeling
 //    MPI's envelope metadata).
@@ -38,10 +44,59 @@ namespace greem::parx {
 
 namespace detail {
 struct Group;
+struct RequestState;
 }
 
 /// Default deadline of the blocking operations: wait forever.
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Seconds the calling thread has spent blocked inside parx completion
+/// waits (recv/wait/wait_any/wait_all) since thread start.  Monotonic,
+/// thread-local; take a delta around a code region to measure how long it
+/// stalled on communication (the overlap telemetry does exactly that).
+double thread_blocked_seconds();
+
+/// Handle to one nonblocking operation (isend/irecv).  Cheap to copy;
+/// copies share the operation.  Completion is observed through
+/// Comm::test/wait/wait_any/wait_all; a completed receive surrenders its
+/// payload exactly once through take_bytes()/take<T>().
+class Request {
+ public:
+  Request() = default;  ///< Invalid (never-completing) request.
+
+  bool valid() const { return st_ != nullptr; }
+  /// Completion peek without driving progress; use Comm::test to also
+  /// match freshly arrived messages.
+  bool done() const;
+
+  /// Move the completed receive payload out (valid exactly once, after
+  /// completion).  Sends carry no payload.
+  std::vector<std::byte> take_bytes();
+
+  template <class T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = take_bytes();
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+ private:
+  friend class Comm;
+  std::shared_ptr<detail::RequestState> st_;
+};
+
+/// In-flight personalized all-to-all posted by Comm::ialltoallv.  `out`
+/// is indexed by source rank and filled as payloads land (the self slice
+/// is copied at post time); drain with Comm::wait_alltoallv.
+template <class T>
+struct AlltoallvHandle {
+  std::vector<std::vector<T>> out;
+  std::vector<Request> reqs;   ///< pending receives, posting order
+  std::vector<int> src_of;     ///< reqs[i] receives from rank src_of[i]
+  bool active = false;
+};
 
 class Comm {
  public:
@@ -92,6 +147,40 @@ class Comm {
   /// therefore not charged to the traffic ledger.
   std::vector<std::size_t> exchange_sizes(std::span<const std::size_t> to_each);
 
+  // ---- nonblocking point-to-point ----
+
+  /// Nonblocking send.  parx sends are buffered, so the returned request
+  /// is already complete; it exists so send/recv sets can be waited
+  /// uniformly.  Traffic is recorded at post time, like send_bytes.
+  Request isend(int dst, int tag, const void* data, std::size_t n);
+
+  template <class T>
+  Request isend(int dst, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return isend(dst, tag, data.data(), data.size_bytes());
+  }
+
+  /// Post a nonblocking receive for (src, tag).  Matching is FIFO per
+  /// (src, tag) against both earlier-posted receives and queued messages,
+  /// so mixing irecv and blocking recv on one pair stays ordered.
+  Request irecv(int src, int tag);
+
+  /// Drive matching and report completion without blocking.
+  bool test(Request& req);
+
+  /// Block until `req` completes.  TimeoutError cancels the request (a
+  /// late message is then left for the next matching receive).
+  void wait(Request& req, double timeout_s = kNoDeadline);
+
+  /// Block until some request completes; returns its index and claims it
+  /// (a claimed request is never returned again).  Throws TimeoutError
+  /// without cancelling anything -- the caller may wait again.  All
+  /// requests must belong to this communicator.
+  int wait_any(std::span<Request> reqs, double timeout_s = kNoDeadline);
+
+  /// Block until every request completes.
+  void wait_all(std::span<Request> reqs, double timeout_s = kNoDeadline);
+
   // ---- typed point-to-point (trivially-copyable payloads only) ----
   template <class T>
   void send(int dst, int tag, std::span<const T> data) {
@@ -110,32 +199,66 @@ class Comm {
 
   // ---- collectives ----
 
-  /// Personalized all-to-all with per-destination payloads; returns the
-  /// payload received from each source (empty vectors allowed both ways).
+  /// Post a personalized all-to-all: sizes are agreed and sends go out
+  /// immediately (buffered), receives are posted but not drained, so the
+  /// caller can compute while payloads arrive.  The exchange runs under
+  /// its own sequenced tag and may stay in flight across later
+  /// collectives on this communicator.
   template <class T>
-  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_to) {
+  AlltoallvHandle<T> ialltoallv(const std::vector<std::vector<T>>& send_to) {
     static_assert(std::is_trivially_copyable_v<T>);
-    telemetry::Span span("parx/alltoallv");
+    telemetry::Span span("parx/ialltoallv");
     fault_point(FaultOp::kCollective);
+    const int tag = next_collective_tag();
     const auto p = static_cast<std::size_t>(size());
     std::vector<std::size_t> sizes(p);
     for (std::size_t j = 0; j < p; ++j) sizes[j] = send_to[j].size() * sizeof(T);
     auto from_each = exchange_sizes(sizes);
 
     const auto me = static_cast<std::size_t>(rank_);
-    std::vector<std::vector<T>> out(p);
-    out[me] = send_to[me];  // self-transfer stays local, no message
+    AlltoallvHandle<T> h;
+    h.active = true;
+    h.out.resize(p);
+    h.out[me] = send_to[me];  // self-transfer stays local, no message
     // Skewed destination order keeps the instantaneous pattern balanced.
     for (std::size_t k = 1; k < p; ++k) {
       std::size_t dst = (me + k) % p;
       if (!send_to[dst].empty())
-        send(static_cast<int>(dst), kTagAlltoall, std::span<const T>(send_to[dst]));
+        send(static_cast<int>(dst), tag, std::span<const T>(send_to[dst]));
     }
     for (std::size_t k = 1; k < p; ++k) {
-      std::size_t src = (me + p - k) % p;
-      if (from_each[src] > 0) out[src] = recv<T>(static_cast<int>(src), kTagAlltoall);
+      std::size_t src = (me + k) % p;
+      if (from_each[src] > 0) {
+        h.reqs.push_back(irecv(static_cast<int>(src), tag));
+        h.src_of.push_back(static_cast<int>(src));
+      }
     }
-    return out;
+    return h;
+  }
+
+  /// Drain an in-flight all-to-all in arrival order (wait_any): whichever
+  /// payload lands first is unpacked first, so a slow peer stalls nothing
+  /// but its own slice.  `out` is indexed by source, so arrival order
+  /// changes only the stall pattern, never the result.
+  template <class T>
+  std::vector<std::vector<T>> wait_alltoallv(AlltoallvHandle<T>& h,
+                                             double timeout_s = kNoDeadline) {
+    for (std::size_t remaining = h.reqs.size(); remaining > 0; --remaining) {
+      const int i = wait_any(std::span<Request>(h.reqs), timeout_s);
+      h.out[static_cast<std::size_t>(h.src_of[static_cast<std::size_t>(i)])] =
+          h.reqs[static_cast<std::size_t>(i)].template take<T>();
+    }
+    h.active = false;
+    return std::move(h.out);
+  }
+
+  /// Personalized all-to-all with per-destination payloads; returns the
+  /// payload received from each source (empty vectors allowed both ways).
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_to) {
+    telemetry::Span span("parx/alltoallv");
+    auto h = ialltoallv(send_to);
+    return wait_alltoallv(h);
   }
 
   /// Broadcast `v` (contents and size) from root to all ranks
@@ -147,12 +270,13 @@ class Comm {
     if (p == 1) return;
     telemetry::Span span("parx/bcast");
     fault_point(FaultOp::kCollective);
+    const int tag = next_collective_tag();
     const int vr = (rank_ - root + p) % p;
     int mask = 1;
     while (mask < p) {
       if (vr & mask) {
         int src = (vr - mask + root) % p;
-        v = recv<T>(src, kTagBcast);
+        v = recv<T>(src, tag);
         break;
       }
       mask <<= 1;
@@ -161,7 +285,7 @@ class Comm {
     for (; mask > 0; mask >>= 1) {
       if (vr + mask < p) {
         int dst = (vr + mask + root) % p;
-        send(dst, kTagBcast, std::span<const T>(v));
+        send(dst, tag, std::span<const T>(v));
       }
     }
   }
@@ -175,18 +299,19 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     telemetry::Span span("parx/reduce");
     fault_point(FaultOp::kCollective);
+    const int tag = next_collective_tag();
     const int p = size();
     const int vr = (rank_ - root + p) % p;
     std::vector<T> acc(inout.begin(), inout.end());
     for (int mask = 1; mask < p; mask <<= 1) {
       if (vr & mask) {
         int dst = (vr - mask + root) % p;
-        send(dst, kTagReduce, std::span<const T>(acc.data(), acc.size()));
+        send(dst, tag, std::span<const T>(acc.data(), acc.size()));
         break;
       }
       if (vr + mask < p) {
         int src = (vr + mask + root) % p;
-        auto part = recv<T>(src, kTagReduce);
+        auto part = recv<T>(src, tag);
         for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], part[i]);
       }
     }
@@ -236,12 +361,13 @@ class Comm {
     static_assert(std::is_trivially_copyable_v<T>);
     telemetry::Span span("parx/gatherv");
     fault_point(FaultOp::kCollective);
+    const int tag = next_collective_tag();
     const auto p = static_cast<std::size_t>(size());
     std::vector<std::size_t> sizes(p, 0);
     if (rank_ != root) sizes[static_cast<std::size_t>(root)] = mine.size_bytes();
     auto from_each = exchange_sizes(sizes);
     if (rank_ != root) {
-      if (!mine.empty()) send(root, kTagGather, mine);
+      if (!mine.empty()) send(root, tag, mine);
       return {};
     }
     std::vector<T> out;
@@ -249,7 +375,7 @@ class Comm {
       if (static_cast<int>(r) == rank_) {
         out.insert(out.end(), mine.begin(), mine.end());
       } else if (from_each[r] > 0) {
-        auto part = recv<T>(static_cast<int>(r), kTagGather);
+        auto part = recv<T>(static_cast<int>(r), tag);
         out.insert(out.end(), part.begin(), part.end());
       }
     }
@@ -272,10 +398,21 @@ class Comm {
   /// The flag checks of fault_point alone (polled while blocked).
   void check_abort() const;
 
-  static constexpr int kTagAlltoall = -101;
-  static constexpr int kTagBcast = -102;
-  static constexpr int kTagReduce = -103;
-  static constexpr int kTagGather = -104;
+  /// Draw this rank's next collective sequence number and fold it into a
+  /// negative tag (application tags are non-negative).  Called exactly
+  /// once per collective entry on every rank, so SPMD call order keeps
+  /// the tags in agreement; the window bounds how many collectives may
+  /// be in flight concurrently on one communicator.
+  int next_collective_tag();
+
+  static constexpr int kCollTagBase = -101;
+  static constexpr std::uint32_t kCollSeqWindow = 4096;
+
+  /// Core of wait/wait_any/wait_all: block on this rank's mailbox until
+  /// `ready` (called under the mailbox lock, after matching) returns
+  /// true.  Restamps the watchdog whenever the arrival counter moves.
+  template <class Ready>
+  void wait_until(Ready&& ready, double timeout_s, const char* opname, int peer_world);
 
   std::shared_ptr<detail::Group> group_;
   int rank_ = -1;

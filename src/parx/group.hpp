@@ -120,6 +120,14 @@ class BlockedScope {
   BlockedScope(const BlockedScope&) = delete;
   BlockedScope& operator=(const BlockedScope&) = delete;
 
+  /// Restart the quiescence clock: the wait loops call this whenever they
+  /// observe progress (a message arrived, a request completed), so a rank
+  /// parked in wait_any/wait_all with traffic still flowing toward it is
+  /// never mistaken for hung.
+  void refresh() {
+    if (act_) act_->blocked_since.store(steady_seconds(), std::memory_order_relaxed);
+  }
+
  private:
   RankActivity* act_ = nullptr;
 };
@@ -130,10 +138,34 @@ struct Message {
   std::vector<std::byte> payload;
 };
 
+/// One posted nonblocking operation.  Receive requests are parked in the
+/// owning mailbox's `pending` queue until a matching message arrives;
+/// sends complete at post time (parx sends are buffered).  `done` is the
+/// only field read outside the mailbox lock (payload hand-off is
+/// release/acquire through it); everything else is guarded by the
+/// mailbox mu until completion.
+struct RequestState {
+  enum class Kind : std::uint8_t { kSend, kRecv };
+  Kind kind = Kind::kRecv;
+  int peer = -1;        ///< local rank of the counterpart
+  int peer_world = -1;  ///< world rank of the counterpart (watchdog label)
+  int tag = 0;
+  bool claimed = false;    ///< already returned by a wait_any (mailbox mu)
+  bool cancelled = false;  ///< timed-out recv; must not eat a late message
+  std::atomic<bool> done{false};
+  std::vector<std::byte> payload;  ///< completed receive payload
+};
+
 struct Mailbox {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Message> msgs;
+  /// Posted receives in posting order; per (src, tag) both this queue and
+  /// `msgs` are FIFO, which preserves parx's in-order delivery guarantee.
+  std::deque<std::shared_ptr<RequestState>> pending;
+  /// Monotonic arrival counter (every push bumps it): wait loops compare
+  /// it across sleeps to detect progress and refresh the watchdog stamp.
+  std::uint64_t delivered = 0;
 };
 
 /// Sense-counting barrier reusable across generations.
@@ -185,6 +217,8 @@ struct Group {
         size_matrix(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {
     boxes_storage.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) boxes[static_cast<std::size_t>(i)] = &boxes_storage[static_cast<std::size_t>(i)];
+    coll_seq = std::make_unique<std::atomic<std::uint32_t>[]>(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) coll_seq[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
     if (job) {
       id = job->next_group_id.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard lock(job->groups_mu);
@@ -212,7 +246,15 @@ struct Group {
     for (auto& box : boxes_storage) {
       std::lock_guard lock(box.mu);
       box.msgs.clear();
+      // Orphan in-flight requests: the Request handles on unwound rank
+      // stacks are gone; dropping the queue drops the last references.
+      box.pending.clear();
+      box.delivered = 0;
     }
+    // Collective tag sequencing restarts from zero on every rank -- the
+    // recovery rendezvous guarantees all ranks reset together, so the
+    // SPMD agreement on per-collective tags survives recovery.
+    for (int i = 0; i < size; ++i) coll_seq[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
     barrier.reset();
     size_barrier.reset();
     split_barrier.reset();
@@ -235,6 +277,13 @@ struct Group {
   std::deque<Mailbox> boxes_storage;  // deque: Mailbox is immovable
   std::vector<Mailbox*> boxes;
   Barrier barrier;
+
+  /// Per-rank collective sequence counters: every collective entry on
+  /// rank r bumps coll_seq[r] exactly once, and the value selects the
+  /// operation's message tag.  SPMD call order keeps the counters in
+  /// agreement across ranks, so two collectives in flight on the same
+  /// communicator can never cross payloads.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> coll_seq;
 
   // Staging area for exchange_sizes: row r = sizes rank r sends to each peer.
   std::vector<std::size_t> size_matrix;

@@ -281,6 +281,7 @@ void ReliableTransport::to_mailbox(Frame& f) {
     {
       std::lock_guard lock(box.mu);
       box.msgs.push_back(Message{f.src_local, f.tag, std::move(f.payload)});
+      ++box.delivered;
     }
     box.cv.notify_all();
     return;

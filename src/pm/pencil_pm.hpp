@@ -8,7 +8,11 @@
 // The mesh conversion generalizes the slab case: input cell (x, y, z)
 // belongs to the pencil rank at grid position (row_of(y), col_of(z)), and
 // payloads travel in a canonical order both sides derive from allgathered
-// region geometry, exactly as in the relay/direct converter.
+// region geometry, exactly as in the relay/direct converter.  The
+// conversions ride on the request-based alltoallv, so they drain in
+// arrival order (no head-of-line blocking on one slow peer) while
+// unpacking in canonical sender order keeps the mesh bitwise independent
+// of arrival timing -- see docs/overlap.md.
 
 #include <memory>
 #include <optional>

@@ -105,11 +105,10 @@ void MeshConverter::set_regions(const CellRegion& density_region,
       world_.allgatherv(std::span<const CellRegion>(&potential_region_, 1));
 }
 
-std::vector<double> MeshConverter::forward_over(parx::Comm& comm,
-                                                const std::vector<CellRegion>& regions,
-                                                const LocalMesh& local_density) {
+std::vector<std::vector<double>> MeshConverter::forward_pack(parx::Comm& comm,
+                                                             const std::vector<CellRegion>& regions,
+                                                             const LocalMesh& local_density) {
   const std::size_t n = params_.n_mesh;
-  const int n_fft = params_.n_fft;
   const auto p = static_cast<std::size_t>(comm.size());
   assert(regions.size() == p);
 
@@ -123,7 +122,15 @@ std::vector<double> MeshConverter::forward_over(parx::Comm& comm,
     for (long y = mine.lo[1]; y < mine.hi(1); ++y)
       for (long x = mine.lo[0]; x < mine.hi(0); ++x) buf.push_back(local_density.at(x, y, z));
   }
-  auto recv = comm.alltoallv(send);
+  return send;
+}
+
+std::vector<double> MeshConverter::forward_unpack(parx::Comm& comm,
+                                                  const std::vector<CellRegion>& regions,
+                                                  const std::vector<std::vector<double>>& recv) {
+  const std::size_t n = params_.n_mesh;
+  const int n_fft = params_.n_fft;
+  const auto p = static_cast<std::size_t>(comm.size());
 
   if (comm.rank() >= n_fft) return {};
 
@@ -152,9 +159,9 @@ std::vector<double> MeshConverter::forward_over(parx::Comm& comm,
   return slab;
 }
 
-LocalMesh MeshConverter::backward_over(parx::Comm& comm,
-                                       const std::vector<CellRegion>& regions,
-                                       const std::vector<double>& slab_phi) {
+std::vector<std::vector<double>> MeshConverter::backward_pack(parx::Comm& comm,
+                                                              const std::vector<CellRegion>& regions,
+                                                              const std::vector<double>& slab_phi) {
   const std::size_t n = params_.n_mesh;
   const int n_fft = params_.n_fft;
   const auto p = static_cast<std::size_t>(comm.size());
@@ -181,7 +188,14 @@ LocalMesh MeshConverter::backward_over(parx::Comm& comm,
       }
     }
   }
-  auto recv = comm.alltoallv(send);
+  return send;
+}
+
+LocalMesh MeshConverter::backward_unpack(parx::Comm& comm,
+                                         const std::vector<CellRegion>& regions,
+                                         const std::vector<std::vector<double>>& recv) {
+  const std::size_t n = params_.n_mesh;
+  const int n_fft = params_.n_fft;
 
   // Assemble: walk my region; each plane's values arrive from its owner in
   // the same canonical order.
@@ -198,27 +212,54 @@ LocalMesh MeshConverter::backward_over(parx::Comm& comm,
   return out;
 }
 
-std::vector<double> MeshConverter::gather_density(const LocalMesh& local_density,
-                                                  TimingBreakdown* t) {
+parx::Comm& MeshConverter::conv_comm() {
+  return params_.method == MeshConversion::kDirect ? world_ : comm_smalla2a_;
+}
+
+std::vector<CellRegion> MeshConverter::conv_slice(
+    const std::vector<CellRegion>& world_regions) const {
+  if (params_.method == MeshConversion::kDirect) return world_regions;
+  const int gs = group_start(group_of(world_.rank()));
+  return {world_regions.begin() + gs, world_regions.begin() + gs + comm_smalla2a_.size()};
+}
+
+MeshConverter::PendingGather MeshConverter::start_gather(const LocalMesh& local_density,
+                                                         TimingBreakdown* t) {
   Stopwatch sw;
-  std::vector<double> slab;
+  PendingGather pg;
+  pg.active = true;
+  // Traffic is recorded at send time, so the a2a phase probe can close at
+  // the end of posting; the epoch boundary blur is the same as before
+  // (see the PhaseProbe note).
   if (params_.method == MeshConversion::kDirect) {
     telemetry::Span span("pm/direct/forward_a2a");
     PhaseProbe probe(world_, "direct_forward_a2a");
-    slab = forward_over(world_, world_density_regions_, local_density);
+    pg.a2a = world_.ialltoallv(forward_pack(world_, world_density_regions_, local_density));
   } else {
     // Step 1 (paper): alltoallv inside the group -> partial slabs on the
     // group's first n_fft members.
-    const int g = group_of(world_.rank());
-    const int gs = group_start(g);
-    std::vector<CellRegion> group_regions(
-        world_density_regions_.begin() + gs,
-        world_density_regions_.begin() + gs + comm_smalla2a_.size());
+    telemetry::Span span("pm/relay/forward_a2a");
+    PhaseProbe probe(world_, "relay_forward_a2a");
+    pg.a2a = comm_smalla2a_.ialltoallv(
+        forward_pack(comm_smalla2a_, conv_slice(world_density_regions_), local_density));
+  }
+  if (t) t->add("communication", sw.seconds());
+  return pg;
+}
+
+std::vector<double> MeshConverter::finish_gather(PendingGather& pg, TimingBreakdown* t) {
+  Stopwatch sw;
+  std::vector<double> slab;
+  if (params_.method == MeshConversion::kDirect) {
+    telemetry::Span span("pm/direct/forward_wait");
+    auto recv = world_.wait_alltoallv(pg.a2a);
+    slab = forward_unpack(world_, world_density_regions_, recv);
+  } else {
     std::vector<double> partial;
     {
-      telemetry::Span span("pm/relay/forward_a2a");
-      PhaseProbe probe(world_, "relay_forward_a2a");
-      partial = forward_over(comm_smalla2a_, group_regions, local_density);
+      telemetry::Span span("pm/relay/forward_wait");
+      auto recv = comm_smalla2a_.wait_alltoallv(pg.a2a);
+      partial = forward_unpack(comm_smalla2a_, conv_slice(world_density_regions_), recv);
     }
     // Step 2: reduce the partial slabs across groups onto the root group.
     {
@@ -231,18 +272,20 @@ std::vector<double> MeshConverter::gather_density(const LocalMesh& local_density
       }
     }
   }
+  pg.active = false;
   if (t) t->add("communication", sw.seconds());
   return slab;
 }
 
-LocalMesh MeshConverter::scatter_potential(const std::vector<double>& slab_phi,
-                                           TimingBreakdown* t) {
+MeshConverter::PendingScatter MeshConverter::start_scatter(const std::vector<double>& slab_phi,
+                                                           TimingBreakdown* t) {
   Stopwatch sw;
-  LocalMesh out;
+  PendingScatter ps;
+  ps.active = true;
   if (params_.method == MeshConversion::kDirect) {
     telemetry::Span span("pm/direct/backward_a2a");
     PhaseProbe probe(world_, "direct_backward_a2a");
-    out = backward_over(world_, world_potential_regions_, slab_phi);
+    ps.a2a = world_.ialltoallv(backward_pack(world_, world_potential_regions_, slab_phi));
   } else {
     // Step 4 (paper): bcast the slab potential across groups...
     std::vector<double> buf = slab_phi;
@@ -253,19 +296,39 @@ LocalMesh MeshConverter::scatter_potential(const std::vector<double>& slab_phi,
         comm_reduce_.bcast(buf, 0);
     }
     // ...step 5: alltoallv inside the group to each member's local mesh.
-    const int g = group_of(world_.rank());
-    const int gs = group_start(g);
-    std::vector<CellRegion> group_regions(
-        world_potential_regions_.begin() + gs,
-        world_potential_regions_.begin() + gs + comm_smalla2a_.size());
-    {
-      telemetry::Span span("pm/relay/backward_a2a");
-      PhaseProbe probe(world_, "relay_backward_a2a");
-      out = backward_over(comm_smalla2a_, group_regions, buf);
-    }
+    telemetry::Span span("pm/relay/backward_a2a");
+    PhaseProbe probe(world_, "relay_backward_a2a");
+    ps.a2a = comm_smalla2a_.ialltoallv(
+        backward_pack(comm_smalla2a_, conv_slice(world_potential_regions_), buf));
   }
   if (t) t->add("communication", sw.seconds());
+  return ps;
+}
+
+LocalMesh MeshConverter::finish_scatter(PendingScatter& ps, TimingBreakdown* t) {
+  Stopwatch sw;
+  LocalMesh out;
+  {
+    telemetry::Span span(params_.method == MeshConversion::kDirect ? "pm/direct/backward_wait"
+                                                                   : "pm/relay/backward_wait");
+    auto recv = conv_comm().wait_alltoallv(ps.a2a);
+    out = backward_unpack(conv_comm(), conv_slice(world_potential_regions_), recv);
+  }
+  ps.active = false;
+  if (t) t->add("communication", sw.seconds());
   return out;
+}
+
+std::vector<double> MeshConverter::gather_density(const LocalMesh& local_density,
+                                                  TimingBreakdown* t) {
+  auto pg = start_gather(local_density, t);
+  return finish_gather(pg, t);
+}
+
+LocalMesh MeshConverter::scatter_potential(const std::vector<double>& slab_phi,
+                                           TimingBreakdown* t) {
+  auto ps = start_scatter(slab_phi, t);
+  return finish_scatter(ps, t);
 }
 
 }  // namespace greem::pm

@@ -68,16 +68,58 @@ class MeshConverter {
   /// local potential mesh over its potential region.
   LocalMesh scatter_potential(const std::vector<double>& slab_phi, TimingBreakdown* t);
 
+  // ---- split (asynchronous) conversion --------------------------------
+  // start_* packs and posts the conversion's all-to-all (sends go out,
+  // receives are posted, nothing is drained), so the caller can overlap
+  // independent work while payloads arrive; finish_* drains in arrival
+  // order and unpacks in canonical rank order, so the result -- including
+  // the floating-point accumulation order of overlapping slab
+  // contributions -- is identical to the blocking conversion.
+  // gather_density/scatter_potential are exactly start + finish.
+
+  /// In-flight forward conversion posted by start_gather.
+  struct PendingGather {
+    parx::AlltoallvHandle<double> a2a;
+    bool active = false;
+  };
+
+  /// In-flight backward conversion posted by start_scatter.
+  struct PendingScatter {
+    parx::AlltoallvHandle<double> a2a;
+    bool active = false;
+  };
+
+  PendingGather start_gather(const LocalMesh& local_density, TimingBreakdown* t);
+  std::vector<double> finish_gather(PendingGather& pg, TimingBreakdown* t);
+  /// Relay: runs the (small) cross-group bcast synchronously, then posts
+  /// the in-group all-to-all.  Call on every rank; `slab_phi` is ignored
+  /// on non-slab-holders.
+  PendingScatter start_scatter(const std::vector<double>& slab_phi, TimingBreakdown* t);
+  LocalMesh finish_scatter(PendingScatter& ps, TimingBreakdown* t);
+
  private:
   int group_of(int world_rank) const;
   int group_start(int g) const;
 
-  // Forward/backward over one communicator whose ranks 0..n_fft-1 hold
-  // slabs; `regions` holds the region of each comm member.
-  std::vector<double> forward_over(parx::Comm& comm, const std::vector<CellRegion>& regions,
-                                   const LocalMesh& local_density);
-  LocalMesh backward_over(parx::Comm& comm, const std::vector<CellRegion>& regions,
-                          const std::vector<double>& slab_phi);
+  /// The conversion communicator (world for kDirect, my group for kRelay)
+  /// and that communicator's slice of a world-indexed region table.
+  parx::Comm& conv_comm();
+  std::vector<CellRegion> conv_slice(const std::vector<CellRegion>& world_regions) const;
+
+  // Pack/unpack halves of the conversion over one communicator whose
+  // ranks 0..n_fft-1 hold slabs; `regions` holds the region of each comm
+  // member.  Unpack replays every sender's canonical order, accumulating
+  // in sender rank order regardless of arrival order.
+  std::vector<std::vector<double>> forward_pack(parx::Comm& comm,
+                                                const std::vector<CellRegion>& regions,
+                                                const LocalMesh& local_density);
+  std::vector<double> forward_unpack(parx::Comm& comm, const std::vector<CellRegion>& regions,
+                                     const std::vector<std::vector<double>>& recv);
+  std::vector<std::vector<double>> backward_pack(parx::Comm& comm,
+                                                 const std::vector<CellRegion>& regions,
+                                                 const std::vector<double>& slab_phi);
+  LocalMesh backward_unpack(parx::Comm& comm, const std::vector<CellRegion>& regions,
+                            const std::vector<std::vector<double>>& recv);
 
   parx::Comm world_;
   ConverterParams params_;

@@ -130,6 +130,65 @@ TEST(ParxSoak, LossyLinksAreBitwiseInvisible) {
   }
 }
 
+/// Workload with requests held in flight across other collectives: each
+/// round posts an ialltoallv, runs an allreduce and an isend/irecv wave
+/// (drained with wait_all) under the exchange, then drains the exchange.
+/// Exercises the retransmission sublayer against pending requests.
+std::vector<std::uint64_t> run_inflight_workload(Runtime& rt) {
+  std::vector<std::uint64_t> digest(kRanks, 0);
+  rt.run([&](Comm& c) {
+    constexpr FaultPhase kPhases[] = {FaultPhase::kDD, FaultPhase::kPM, FaultPhase::kPP};
+    util::Fnv1a64 h;
+    const int me = c.rank();
+    for (int r = 0; r < kRounds / 2; ++r) {
+      set_fault_context(static_cast<std::uint64_t>(r) + 1, kPhases[r % 3]);
+      std::vector<std::vector<double>> send(kRanks);
+      for (int d = 0; d < kRanks; ++d) {
+        const auto n = payload_len(r, me, d);
+        for (std::size_t i = 0; i < n; ++i)
+          send[static_cast<std::size_t>(d)].push_back(element(r, me, d, static_cast<int>(i)));
+      }
+      auto a2a = c.ialltoallv(send);
+      // While the exchange is in flight: a reduction ...
+      h.mix(c.allreduce_sum(element(r, me, me, r)));
+      // ... and a tagged point-to-point ring wave drained with wait_all.
+      const int nxt = (me + 1) % kRanks, prv = (me + kRanks - 1) % kRanks;
+      const std::vector<double> ring{element(r, me, nxt, 0), element(r, me, nxt, 1)};
+      std::vector<Request> wave;
+      wave.push_back(c.irecv(prv, 7));
+      wave.push_back(c.isend(nxt, 7, std::span<const double>(ring)));
+      c.wait_all(std::span<Request>(wave));
+      for (double x : wave[0].take<double>()) h.mix(x);
+      // Drain the exchange last: its payloads crossed everything above.
+      const auto got = c.wait_alltoallv(a2a);
+      for (const auto& v : got)
+        for (double x : v) h.mix(x);
+    }
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+    digest[static_cast<std::size_t>(me)] = h.value();
+  });
+  return digest;
+}
+
+TEST(ParxSoak, InflightRequestsSurviveLossyLinksBitwise) {
+  Runtime clean(kRanks);
+  const auto expected = run_inflight_workload(clean);
+  EXPECT_EQ(clean.ledger().totals().retransmit_messages, 0u);
+
+  Runtime rt(kRanks);
+  FaultPlan plan;
+  plan.at(*parse_fault_at("*:any:*:drop@0.03"))
+      .at(*parse_fault_at("*:any:*:dup@0.03"))
+      .at(*parse_fault_at("*:any:*:reorder@0.05"));
+  rt.set_fault_plan(plan);
+  rt.set_transport_tuning({.rto_s = 0.001, .backoff = 1.5, .max_attempts = 30,
+                           .tick_s = 0.0005});
+  const auto got = run_inflight_workload(rt);
+  EXPECT_EQ(got, expected) << "in-flight requests diverged under a lossy link";
+  EXPECT_GT(rt.ledger().totals().retransmit_messages, 0u);
+  EXPECT_EQ(rt.ledger().totals().messages, clean.ledger().totals().messages);
+}
+
 TEST(ParxSoak, DifferentLinkSeedsDrawDifferentButReproduciblePatterns) {
   const auto run_with_seed = [](std::uint64_t seed) {
     Runtime rt(kRanks);

@@ -665,6 +665,125 @@ TEST(Fault, RetransmitTrafficIsAccountedSeparately) {
   EXPECT_EQ(t.retransmit_bytes % (4 * sizeof(int)), 0u);
 }
 
+TEST(Parx, WaitAnyCompletesOutOfPostingOrder) {
+  // Rank 0 posts receives from ranks 1 and 2 but rank 2's payload arrives
+  // first (rank 1 holds its send until rank 0 releases it), so wait_any
+  // must hand back the *later-posted* request first.
+  run_ranks(3, [](Comm& c) {
+    const int tag = 9;
+    if (c.rank() == 0) {
+      std::vector<Request> reqs;
+      reqs.push_back(c.irecv(1, tag));
+      reqs.push_back(c.irecv(2, tag));
+      const int first = c.wait_any(std::span<Request>(reqs));
+      EXPECT_EQ(first, 1) << "rank 2's payload was the only one in flight";
+      EXPECT_EQ(reqs[1].take<int>().at(0), 2);
+      const std::vector<int> go{1};
+      c.send(1, 0, std::span<const int>(go));  // release rank 1
+      const int second = c.wait_any(std::span<Request>(reqs));
+      EXPECT_EQ(second, 0);
+      EXPECT_EQ(reqs[0].take<int>().at(0), 1);
+    } else if (c.rank() == 1) {
+      (void)c.recv<int>(0, 0);  // wait until rank 0 drained rank 2
+      const std::vector<int> v{1};
+      c.send(0, tag, std::span<const int>(v));
+    } else {
+      const std::vector<int> v{2};
+      c.send(0, tag, std::span<const int>(v));
+    }
+  });
+}
+
+TEST(Parx, InterleavedCollectivesKeepTagsIsolated) {
+  // Two all-to-alls posted back to back plus an allreduce while both are
+  // in flight; the sequenced collective tags must keep the three payload
+  // streams apart even though they share every (src, dst) pair.  Draining
+  // the second exchange before the first exercises out-of-order drains.
+  run_ranks(4, [](Comm& c) {
+    const int p = c.size();
+    auto payload = [&](int round, int dst) {
+      return std::vector<int>{1000 * round + 10 * c.rank() + dst};
+    };
+    std::vector<std::vector<int>> a(static_cast<std::size_t>(p)), b(static_cast<std::size_t>(p));
+    for (int d = 0; d < p; ++d) {
+      a[static_cast<std::size_t>(d)] = payload(1, d);
+      b[static_cast<std::size_t>(d)] = payload(2, d);
+    }
+    auto ha = c.ialltoallv(a);
+    auto hb = c.ialltoallv(b);
+    EXPECT_EQ(c.allreduce_sum(1), p);  // collective between post and drain
+    auto rb = c.wait_alltoallv(hb);
+    auto ra = c.wait_alltoallv(ha);
+    for (int s = 0; s < p; ++s) {
+      EXPECT_EQ(ra[static_cast<std::size_t>(s)].at(0), 1000 + 10 * s + c.rank());
+      EXPECT_EQ(rb[static_cast<std::size_t>(s)].at(0), 2000 + 10 * s + c.rank());
+    }
+  });
+}
+
+TEST(Fault, WatchdogIgnoresParkedWaitWithLiveTraffic) {
+  // Regression: a rank parked in wait_all while messages are still landing
+  // is making progress, not hanging.  Rank 1 spreads four sends over ~2.7x
+  // the quiescence window; each arrival restamps rank 0's blocked clock,
+  // so the watchdog must stay silent for the whole wait.
+  auto& fired = telemetry::Registry::global().counter("parx/watchdog_fired");
+  const std::uint64_t fired0 = fired.value();
+  Runtime rt(2);
+  rt.set_watchdog({.quiescence_s = 0.15, .dump_path = ""});
+  rt.run([](Comm& c) {
+    const int tag = 11;
+    if (c.rank() == 0) {
+      std::vector<Request> reqs;
+      for (int i = 0; i < 4; ++i) reqs.push_back(c.irecv(1, tag + i));
+      EXPECT_NO_THROW(c.wait_all(std::span<Request>(reqs)));
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(reqs[static_cast<std::size_t>(i)].take<int>().at(0), i);
+    } else {
+      for (int i = 0; i < 4; ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        const std::vector<int> v{i};
+        c.send(0, tag + i, std::span<const int>(v));
+      }
+    }
+  });
+  EXPECT_EQ(fired.value() - fired0, 0u);
+}
+
+TEST(Fault, WatchdogStillFiresOnGenuinelyStuckWait) {
+  // The converse guard: a rank parked in wait() whose peer froze (hang
+  // fault) receives no traffic at all, so the quiescence clock runs out
+  // and the watchdog converts the hang into a recoverable fault.
+  auto& fired = telemetry::Registry::global().counter("parx/watchdog_fired");
+  const std::uint64_t fired0 = fired.value();
+  Runtime rt(2);
+  rt.set_fault_plan(FaultPlan().at(*parse_fault_at("1:any:1:hang")));
+  rt.set_watchdog({.quiescence_s = 0.15, .dump_path = ""});
+  std::atomic<int> comm_errors{0};
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kDD);
+    try {
+      if (c.rank() == 0) {
+        Request r = c.irecv(1, 3);
+        c.wait(r);  // rank 1 froze before sending: no arrivals, ever
+      } else {
+        c.barrier();  // freezes here (hang fault), never sends
+      }
+      FAIL() << "stuck wait should have surfaced as CommError";
+    } catch (const CommError&) {
+      comm_errors.fetch_add(1);
+    }
+    c.fault_recover();
+    set_fault_context(2, FaultPhase::kAny);
+    EXPECT_EQ(c.allreduce_sum(1), 2);
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+  EXPECT_EQ(comm_errors.load(), 2);
+#if GREEM_TELEMETRY_ENABLED
+  EXPECT_GE(fired.value() - fired0, 1u);
+#else
+  (void)fired0;
+#endif
+}
+
 TEST(Fault, SpentSpecDoesNotRefire) {
   Runtime rt(2);
   rt.set_fault_plan(FaultPlan().at({.step = 1,
