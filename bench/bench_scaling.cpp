@@ -15,6 +15,8 @@
 // reference (threads created for every loop with static chunking -- the
 // pre-pool behavior), and records both in BENCH_scaling.json.
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -135,10 +137,15 @@ std::vector<ThreadPoint> thread_scan(const std::vector<std::size_t>& counts, Pas
   std::vector<ThreadPoint> out;
   double t1 = 0;
   for (const std::size_t T : counts) {
-    double best = 1e300;
-    for (int rep = 0; rep < 3; ++rep) best = std::min(best, pass(T));
-    if (T == 1) t1 = best;
-    out.push_back({T, best, t1 / best, t1 / best / static_cast<double>(T)});
+    // Median of 5 after a discarded warmup (cold caches, thread spin-up):
+    // a robust central value rather than a lucky best-of-N.
+    (void)pass(T);
+    std::array<double, 5> s;
+    for (auto& v : s) v = pass(T);
+    std::sort(s.begin(), s.end());
+    const double med = s[2];
+    if (T == 1) t1 = med;
+    out.push_back({T, med, t1 / med, t1 / med / static_cast<double>(T)});
   }
   return out;
 }

@@ -40,12 +40,20 @@
 //   --overlap {0,1}       overlap the PM cycle with the PP cycle (default
 //                         0; ON and OFF runs are bitwise identical, see
 //                         docs/overlap.md)
+//   --large-n LIST        comma-separated particle counts (e.g.
+//                         "1000000,10000000"); for each N, run a short
+//                         no-plan / rate-0-plan / overlap-ON/OFF sweep and
+//                         emit a "large_n_sweep" entry (the CI perf gate
+//                         reads these)
 //
 // BENCH_step.json gains a "transport" section with the reliable-transport
 // and sentinel counters plus a perfect-link overhead microbench (raw
-// mailbox path vs the framed transport at rate 0).
+// zero-copy path vs the framed transport at rate 0).  All overhead probes
+// report the median of 5 runs after one discarded warmup
+// (docs/transport-fastpath.md).
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +89,7 @@ struct Options {
   std::string restore_from;
   std::string final_state;
   bool overlap = false;
+  std::vector<std::size_t> large_n;
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -121,6 +130,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.final_state = v;
     } else if (!std::strcmp(a, "--overlap") && (v = need(i))) {
       opt.overlap = std::atoi(v) != 0;
+    } else if (!std::strcmp(a, "--large-n") && (v = need(i))) {
+      for (const char* p = v; *p;) {
+        char* end = nullptr;
+        const long long n = std::strtoll(p, &end, 10);
+        if (end == p || n <= 0) {
+          std::fprintf(stderr, "bad --large-n list '%s'\n", v);
+          return false;
+        }
+        opt.large_n.push_back(static_cast<std::size_t>(n));
+        p = *end == ',' ? end + 1 : end;
+      }
     } else {
       std::fprintf(stderr, "unknown or incomplete flag '%s'\n", a);
       return false;
@@ -197,6 +217,18 @@ struct OverlapProbe {
   double seconds = 0;
   double fraction = 0;
 };
+
+/// Median of 5 samples after one discarded warmup run: probes report a
+/// robust central value instead of a lucky best-of-N (the warmup pays
+/// cold caches, page faults and thread spin-up once, off the record).
+template <class F>
+double median5_seconds(F&& run) {
+  (void)run();
+  std::array<double, 5> s;
+  for (auto& v : s) v = run();
+  std::sort(s.begin(), s.end());
+  return s[2];
+}
 
 OverlapProbe overlap_steps_probe(const core::ParallelSimConfig& cfg,
                                  const std::vector<core::Particle>& particles, int nranks,
@@ -329,6 +361,46 @@ int main(int argc, char** argv) {
   });
   const double wall_seconds = wall.seconds();
 
+  // Large-N overlap campaign: for each requested N, a short sweep over
+  // {no plan, rate-0 plan} x {overlap on, off} on a mesh scaled to the
+  // particle count.  Single run per configuration -- at these sizes the
+  // runs are long enough that scheduler noise is a small relative error,
+  // and the CI perf gate reads the ratios, not the absolute times.
+  struct SweepPoint {
+    std::size_t n = 0, n_mesh = 0;
+    double no_plan_s = 0, rate0_s = 0, on_s = 0, off_s = 0, fraction_on = 0;
+  };
+  std::vector<SweepPoint> sweep;
+  if (!opt.large_n.empty() && opt.faults.empty() && opt.watchdog_s <= 0) {
+    for (std::size_t n : opt.large_n) {
+      SweepPoint p;
+      p.n = n;
+      // Smallest power-of-two mesh with at least one cell per particle
+      // on average (n_mesh >= cbrt(N)), like the production configs.
+      p.n_mesh = 8;
+      while (p.n_mesh * p.n_mesh * p.n_mesh < n) p.n_mesh *= 2;
+      std::printf("large-n sweep: N=%zu mesh=%zu^3...\n", n, p.n_mesh);
+      auto pts = core::clustered_particles(n, 1.0, 4, 0.7, 0.03, 2718);
+      auto scfg = cfg;
+      scfg.pm.n_mesh = static_cast<int>(p.n_mesh);
+      scfg.step_report_path.clear();
+      scfg.restore_from.clear();
+      constexpr int kSweepSteps = 2;
+      // Discarded warmup: the first run at a new N pays allocator and
+      // page-cache effects that would land entirely on the no-plan leg
+      // and skew every ratio computed from it.
+      (void)sim_steps_seconds(scfg, pts, kRanks, 1, dt, false);
+      p.no_plan_s = sim_steps_seconds(scfg, pts, kRanks, kSweepSteps, dt, false);
+      p.rate0_s = sim_steps_seconds(scfg, pts, kRanks, kSweepSteps, dt, true);
+      const auto on = overlap_steps_probe(scfg, pts, kRanks, kSweepSteps, dt, true);
+      const auto off = overlap_steps_probe(scfg, pts, kRanks, kSweepSteps, dt, false);
+      p.on_s = on.seconds;
+      p.off_s = off.seconds;
+      p.fraction_on = on.fraction;
+      sweep.push_back(p);
+    }
+  }
+
   if (telemetry::write_chrome_trace(trace_path))
     std::printf("wrote %s (%llu spans, %llu dropped)\n", trace_path,
                 static_cast<unsigned long long>(telemetry::trace_event_count()),
@@ -378,30 +450,32 @@ int main(int argc, char** argv) {
     jw.field("blackholed", reg.counter("parx/blackholed").value());
     jw.field("corrupt_detected", reg.counter("parx/corrupt_detected").value());
     jw.field("duplicates_dropped", reg.counter("parx/duplicates_dropped").value());
+    jw.field("fastpath_messages", reg.counter("parx/fastpath_messages").value());
     jw.field("acks", reg.counter("parx/acks").value());
+    jw.field("acks_piggybacked", reg.counter("parx/acks_piggybacked").value());
     jw.field("watchdog_fired", reg.counter("parx/watchdog_fired").value());
     jw.field("sentinel_checks", reg.counter("sentinel/checks").value());
     jw.field("sentinel_violations", reg.counter("sentinel/violations").value());
     jw.field("retransmit_messages", rt.ledger().totals().retransmit_messages);
     jw.field("retransmit_bytes", rt.ledger().totals().retransmit_bytes);
     {
-      // Perfect-link overhead probe: raw mailbox path vs the framed
-      // transport with a rate-0 link plan (nothing ever fires).  Best of
-      // 3 each, to shrink scheduler noise.
+      // Perfect-link overhead probe: raw zero-copy path vs the framed
+      // transport with a rate-0 link plan (nothing ever fires).  Median
+      // of 5 with a discarded warmup, each.
       constexpr int kRounds = 200;
-      double raw = 1e300, reliable = 1e300;
-      for (int i = 0; i < 3; ++i)
-        raw = std::min(raw, alltoallv_rounds_seconds(kRounds, parx::FaultPlan()));
+      const double raw = median5_seconds(
+          [&] { return alltoallv_rounds_seconds(kRounds, parx::FaultPlan()); });
       parx::FaultSpec idle;
       idle.step = parx::kEveryStep;
       idle.rank = parx::kEveryRank;
       idle.kind = parx::FaultKind::kLinkDrop;
       idle.rate = 0.0;
       idle.times = parx::kUnlimited;
-      for (int i = 0; i < 3; ++i)
-        reliable = std::min(reliable, alltoallv_rounds_seconds(kRounds, parx::FaultPlan().at(idle)));
+      const double reliable = median5_seconds(
+          [&] { return alltoallv_rounds_seconds(kRounds, parx::FaultPlan().at(idle)); });
       jw.key("overhead_microbench").begin_object();
       jw.field("alltoallv_rounds", kRounds);
+      jw.field("repeats", 5);
       jw.field("raw_seconds", raw);
       jw.field("reliable_seconds", reliable);
       jw.field("reliable_overhead_fraction", raw > 0 ? reliable / raw - 1.0 : 0.0);
@@ -409,16 +483,21 @@ int main(int argc, char** argv) {
     }
     if (opt.faults.empty() && opt.watchdog_s <= 0) {
       // Step-time probe for the headline acceptance number: real simulation
-      // steps with no plan installed, measured twice (the spread is the
-      // noise floor -- the disabled transport costs one pointer test per
-      // message), plus a rate-0 plan run bounding the fully-armed
-      // transport on the same workload.
+      // steps with no plan installed, measured as two independent
+      // median-of-5 sets (their spread is the noise floor -- the disabled
+      // transport costs one pointer test per message), plus a rate-0 plan
+      // set bounding the fully-armed transport on the same workload.
       constexpr int kProbeSteps = 2;
-      const double a = sim_steps_seconds(cfg, particles, kRanks, kProbeSteps, dt, false);
-      const double b = sim_steps_seconds(cfg, particles, kRanks, kProbeSteps, dt, false);
-      const double r0 = sim_steps_seconds(cfg, particles, kRanks, kProbeSteps, dt, true);
+      auto no_plan = [&] {
+        return sim_steps_seconds(cfg, particles, kRanks, kProbeSteps, dt, false);
+      };
+      const double a = median5_seconds(no_plan);
+      const double b = median5_seconds(no_plan);
+      const double r0 = median5_seconds(
+          [&] { return sim_steps_seconds(cfg, particles, kRanks, kProbeSteps, dt, true); });
       jw.key("step_overhead_probe").begin_object();
       jw.field("steps", kProbeSteps);
+      jw.field("repeats", 5);
       jw.field("no_plan_seconds", a);
       jw.field("no_plan_repeat_seconds", b);
       jw.field("rate0_transport_seconds", r0);
@@ -431,7 +510,7 @@ int main(int argc, char** argv) {
     jw.end_object();
     {
       // PM/PP overlap: what the main run measured, plus (for clean runs) a
-      // dedicated ON-vs-OFF probe on the same workload, best of 3 each.
+      // dedicated ON-vs-OFF probe on the same workload, median of 5 each.
       jw.key("overlap").begin_object();
       jw.field("enabled", opt.overlap);
       jw.field("fraction", last.overlap_fraction);
@@ -440,21 +519,42 @@ int main(int argc, char** argv) {
       jw.field("inflight_seconds", last.overlap_inflight_seconds);
       if (opt.faults.empty() && opt.watchdog_s <= 0) {
         constexpr int kProbeSteps = 2;
-        OverlapProbe on, off;
-        on.seconds = off.seconds = 1e300;
-        for (int i = 0; i < 3; ++i) {
-          const auto a = overlap_steps_probe(cfg, particles, kRanks, kProbeSteps, dt, true);
-          if (a.seconds < on.seconds) on = a;
-          const auto b = overlap_steps_probe(cfg, particles, kRanks, kProbeSteps, dt, false);
-          if (b.seconds < off.seconds) off = b;
-        }
+        double fraction_on = 0;
+        const double on = median5_seconds([&] {
+          const auto p = overlap_steps_probe(cfg, particles, kRanks, kProbeSteps, dt, true);
+          fraction_on = std::max(fraction_on, p.fraction);
+          return p.seconds;
+        });
+        const double off = median5_seconds([&] {
+          return overlap_steps_probe(cfg, particles, kRanks, kProbeSteps, dt, false).seconds;
+        });
         jw.field("probe_steps", kProbeSteps);
-        jw.field("step_seconds_on", on.seconds);
-        jw.field("step_seconds_off", off.seconds);
-        jw.field("probe_fraction_on", on.fraction);
-        jw.field("speedup", on.seconds > 0 ? off.seconds / on.seconds : 0.0);
+        jw.field("repeats", 5);
+        jw.field("step_seconds_on", on);
+        jw.field("step_seconds_off", off);
+        jw.field("probe_fraction_on", fraction_on);
+        jw.field("speedup", on > 0 ? off / on : 0.0);
       }
       jw.end_object();
+    }
+    if (!sweep.empty()) {
+      jw.key("large_n_sweep").begin_array();
+      for (const auto& p : sweep) {
+        jw.begin_object();
+        jw.field("n_particles", p.n);
+        jw.field("n_mesh", p.n_mesh);
+        jw.field("steps", 2);
+        jw.field("no_plan_seconds", p.no_plan_s);
+        jw.field("rate0_seconds", p.rate0_s);
+        jw.field("rate0_overhead_fraction",
+                 p.no_plan_s > 0 ? p.rate0_s / p.no_plan_s - 1.0 : 0.0);
+        jw.field("overlap_on_seconds", p.on_s);
+        jw.field("overlap_off_seconds", p.off_s);
+        jw.field("overlap_fraction_on", p.fraction_on);
+        jw.field("overlap_speedup", p.on_s > 0 ? p.off_s / p.on_s : 0.0);
+        jw.end_object();
+      }
+      jw.end_array();
     }
     jw.key("counters").begin_object();
     for (const auto& [name, v] : reg.counters()) jw.field(name, v);

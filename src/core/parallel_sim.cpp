@@ -1,5 +1,6 @@
 #include "core/parallel_sim.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <cstring>
@@ -164,8 +165,8 @@ ParallelSimulation::GhostWork ParallelSimulation::pp_start() {
   // "communication" (posting half): ghost sends go out, receives are
   // posted; the payloads fly while the caller does other work.
   sw.restart();
-  g.hpos = world_.ialltoallv(exports.pos);
-  g.hmass = world_.ialltoallv(exports.mass);
+  g.hpos = world_.ialltoallv(std::move(exports.pos));
+  g.hmass = world_.ialltoallv(std::move(exports.mass));
   report_.pp.add("communication", sw.seconds());
   return g;
 }
@@ -248,6 +249,24 @@ void ParallelSimulation::combined_force_cycle(std::uint64_t fault_step) {
 
   auto pos = positions_of(particles_);
   auto mass = masses_of(particles_);
+
+  // The drift since the exchange can carry fast particles beyond the
+  // 2-cell pad that update_domain() assumed around the domain box, which
+  // would run the density stencil off the local mesh.  Re-announce the PM
+  // regions from the box that actually covers the drifted positions (a
+  // collective, like the exchange itself).  In a healthy step the union
+  // equals the domain box and the regions are unchanged.
+  {
+    Box pm_box = decomp_.box_of(world_.rank());
+    for (const Vec3& q : pos) {
+      for (std::size_t a = 0; a < 3; ++a) {
+        pm_box.lo[a] = std::min(pm_box.lo[a], q[a]);
+        pm_box.hi[a] = std::max(pm_box.hi[a], q[a]);
+      }
+    }
+    pm_.update_domain(pm_box);
+  }
+
   std::vector<Vec3> accl(particles_.size(), Vec3{});
   auto store_accl = [&] {
     for (std::size_t i = 0; i < particles_.size(); ++i) particles_[i].acc_l = accl[i];

@@ -46,7 +46,7 @@ std::vector<Complex> PencilFft::transpose_xy(const std::vector<Complex>& data, b
             buf.push_back(data[((z - zr.begin) * xm.count + (x - xm.begin)) * n + y]);
     }
   }
-  auto recv = col_comm_.alltoallv(send);
+  auto recv = col_comm_.alltoallv(std::move(send));
 
   std::vector<Complex> out;
   if (to_y) {
@@ -108,7 +108,7 @@ std::vector<Complex> PencilFft::transpose_yz(const std::vector<Complex>& data, b
             buf.push_back(data[out_index(x, y, z)]);
     }
   }
-  auto recv = row_comm_.alltoallv(send);
+  auto recv = row_comm_.alltoallv(std::move(send));
 
   std::vector<Complex> out;
   if (to_z) {

@@ -61,7 +61,7 @@ void SlabFft::transpose_to_xchunks(const std::vector<Complex>& slab,
         for (std::size_t x = xd.begin; x < xd.end(); ++x)
           buf.push_back(slab[(zi * n + y) * n + x]);
   }
-  auto recv = comm_.alltoallv(send);
+  auto recv = comm_.alltoallv(std::move(send));
 
   // Unpack into z-fastest layout: chunks[((x - x0)*n + y)*n + z].
   chunks.assign(xr.count * n * n, Complex{});
@@ -93,7 +93,7 @@ void SlabFft::transpose_to_slabs(const std::vector<Complex>& chunks,
         for (std::size_t xi = 0; xi < xr.count; ++xi)
           buf.push_back(chunks[(xi * n + y) * n + z]);
   }
-  auto recv = comm_.alltoallv(send);
+  auto recv = comm_.alltoallv(std::move(send));
 
   slab.assign(zr.count * n * n, Complex{});
   for (int s = 0; s < p; ++s) {

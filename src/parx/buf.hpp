@@ -1,0 +1,143 @@
+#pragma once
+// Type-erased owning payload buffer moved through parx mailboxes.
+//
+// Ranks are threads, so on the perfect-link fast path a message need not
+// be serialized at all: the sender hands *ownership* of its buffer to the
+// destination mailbox and the receiver takes the very same allocation
+// back out (docs/transport-fastpath.md).  Buf erases the element type so
+// one mailbox queue carries vector<double>, vector<Particle>, raw bytes
+// and transport frames alike:
+//
+//   * adopt(vector<T>&&)  — no copy; take<T>() later moves the vector out
+//                           (pointer-identical round trip),
+//   * Buf(ptr, n)         — copying construction for callers that keep
+//                           their buffer (span sends),
+//   * share(shared vec)   — wraps the reliable transport's frame payload,
+//                           which retransmission state may still reference;
+//                           take() moves when the reference is unique.
+//
+// take<U>() with a mismatched element type falls back to one memcpy, so a
+// typed mismatch costs exactly what the pre-zero-copy path always cost.
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <typeinfo>
+#include <vector>
+
+namespace greem::parx {
+
+class Buf {
+ public:
+  Buf() = default;
+
+  /// Copying construction from raw bytes (the caller keeps `p`).
+  Buf(const void* p, std::size_t n) {
+    auto h = std::make_unique<VecHolder<std::byte>>();
+    h->v.resize(n);
+    if (n > 0) std::memcpy(h->v.data(), p, n);
+    set(std::move(h), &typeid(std::byte));
+  }
+
+  Buf(Buf&&) noexcept = default;
+  Buf& operator=(Buf&&) noexcept = default;
+  Buf(const Buf&) = delete;
+  Buf& operator=(const Buf&) = delete;
+
+  /// Adopt a typed vector without copying; the element type is remembered
+  /// so a matching take<T>() returns this exact allocation.
+  template <class T>
+  static Buf adopt(std::vector<T>&& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Buf b;
+    auto h = std::make_unique<VecHolder<T>>();
+    h->v = std::move(v);
+    b.set(std::move(h), &typeid(T));
+    return b;
+  }
+
+  /// Wrap a transport frame payload shared with retransmission state.
+  static Buf share(std::shared_ptr<std::vector<std::byte>> v) {
+    Buf b;
+    auto h = std::make_unique<SharedHolder>();
+    h->v = std::move(v);
+    b.holder_ = std::move(h);
+    b.type_ = nullptr;
+    auto* sh = static_cast<SharedHolder*>(b.holder_.get());
+    if (sh->v) {
+      b.data_ = sh->v->data();
+      b.size_ = sh->v->size();
+    }
+    return b;
+  }
+
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Surrender the payload as a vector<T> (valid once).  Zero-copy when
+  /// the buffer was adopted as vector<T> (or is a uniquely-held transport
+  /// payload taken as bytes); one memcpy otherwise.
+  template <class T>
+  std::vector<T> take() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (type_ && *type_ == typeid(T)) {
+      std::vector<T> out = std::move(static_cast<VecHolder<T>*>(holder_.get())->v);
+      clear();
+      return out;
+    }
+    if constexpr (std::is_same_v<T, std::byte>) {
+      if (holder_ && !type_) {
+        auto* sh = static_cast<SharedHolder*>(holder_.get());
+        // The sender's retransmit state usually dropped its reference by
+        // the time the application receives; then the move is free.  A
+        // still-shared payload (ack in flight) is copied -- either way the
+        // bytes are identical, so results never depend on the race.
+        if (sh->v.use_count() == 1) {
+          std::vector<std::byte> out = std::move(*sh->v);
+          clear();
+          return out;
+        }
+      }
+    }
+    std::vector<T> out(size_ / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), data_, out.size() * sizeof(T));
+    clear();
+    return out;
+  }
+
+ private:
+  struct HolderBase {
+    virtual ~HolderBase() = default;
+  };
+  template <class T>
+  struct VecHolder final : HolderBase {
+    std::vector<T> v;
+  };
+  struct SharedHolder final : HolderBase {
+    std::shared_ptr<std::vector<std::byte>> v;
+  };
+
+  template <class T>
+  void set(std::unique_ptr<VecHolder<T>> h, const std::type_info* type) {
+    data_ = reinterpret_cast<const std::byte*>(h->v.data());
+    size_ = h->v.size() * sizeof(T);
+    type_ = type;
+    holder_ = std::move(h);
+  }
+
+  void clear() {
+    holder_.reset();
+    type_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  std::unique_ptr<HolderBase> holder_;
+  const std::type_info* type_ = nullptr;  ///< element typeid; null for shared payloads
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace greem::parx

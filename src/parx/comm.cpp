@@ -8,6 +8,7 @@
 
 #include "parx/group.hpp"
 #include "parx/transport.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greem::parx {
 
@@ -69,10 +70,12 @@ double thread_blocked_seconds() { return t_blocked_seconds; }
 
 bool Request::done() const { return st_ && st_->done.load(std::memory_order_acquire); }
 
-std::vector<std::byte> Request::take_bytes() {
+Buf Request::take_buf() {
   assert(st_ && st_->done.load(std::memory_order_acquire));
   return std::move(st_->payload);
 }
+
+std::vector<std::byte> Request::take_bytes() { return take_buf().take<std::byte>(); }
 
 Comm::Comm(std::shared_ptr<Group> group, int rank) : group_(std::move(group)), rank_(rank) {}
 
@@ -127,7 +130,7 @@ void Comm::fault_recover(double timeout_s) {
         std::lock_guard groups_lock(job.groups_mu);
         for (Group* g : job.groups) g->reset_comm_state(deferred);
       }
-      if (job.transport) job.transport->reset();
+      if (auto t = job.transport_ref()) t->reset();
       {
         std::lock_guard reason_lock(job.reason_mu);
         job.fault_reason.clear();
@@ -168,32 +171,54 @@ void Comm::barrier(double timeout_s) {
   });
 }
 
-void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
+bool Comm::send_framed(int dst, int tag, const void* data, std::size_t n) {
   assert(dst >= 0 && dst < group_->size && dst != rank_);
   fault_point(FaultOp::kSend);
   detail::JobState& job = *group_->job;
+  // Logical traffic is recorded here, before the path branch, so the
+  // ledger's accounting is identical across fast-path/framed/lossy runs
+  // by construction.
   job.ledger->record(world_rank(), world_rank_of(dst), n);
-  if (job.transport) {
-    // Lossy-link mode: frame the message and hand it to the reliability
-    // sublayer (seq + CRC + ack/retransmit).  Still never blocks.
-    job.transport->send(*group_, rank_, dst, tag, data, n);
-    return;
+  if (ReliableTransport* t = job.transport_hot.load(std::memory_order_acquire)) {
+    if (t->framed(world_rank())) {
+      // This sender's links are covered by the installed lossy plan:
+      // frame the message and hand it to the reliability sublayer
+      // (seq + CRC + ack/retransmit).  Still never blocks.
+      t->send(*group_, rank_, dst, tag, data, n);
+      return true;
+    }
+    // Transport installed but this sender's links are all clean: count the
+    // bypass (cached ref; registry lookup is a mutexed map, not hot-path).
+    static telemetry::Counter& fastpath =
+        telemetry::Registry::global().counter("parx/fastpath_messages");
+    fastpath.add(1);
   }
-  Message msg{rank_, tag, std::vector<std::byte>(n)};
-  if (n > 0) std::memcpy(msg.payload.data(), data, n);
+  return false;
+}
+
+void Comm::deliver_local(int dst, int tag, Buf&& payload) {
   auto& box = *group_->boxes[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mu);
-    box.msgs.push_back(std::move(msg));
+    box.msgs.push_back(Message{rank_, tag, std::move(payload)});
     ++box.delivered;
   }
   box.cv.notify_all();
 }
 
-Request Comm::isend(int dst, int tag, const void* data, std::size_t n) {
+void Comm::send_bytes(int dst, int tag, const void* data, std::size_t n) {
+  if (!send_framed(dst, tag, data, n)) deliver_local(dst, tag, Buf(data, n));
+}
+
+std::byte* Comm::coll_scratch(std::size_t bytes) {
+  auto& slot = group_->coll_scratch[static_cast<std::size_t>(rank_)];
+  if (slot.size() < bytes) slot.resize(bytes);
+  return slot.data();
+}
+
+Request Comm::completed_send(int dst, int tag) {
   // parx sends are buffered and never block, so the request is born
   // complete; it exists for uniform wait_any/wait_all sets.
-  send_bytes(dst, tag, data, n);
   Request r;
   r.st_ = std::make_shared<detail::RequestState>();
   r.st_->kind = detail::RequestState::Kind::kSend;
@@ -202,6 +227,11 @@ Request Comm::isend(int dst, int tag, const void* data, std::size_t n) {
   r.st_->tag = tag;
   r.st_->done.store(true, std::memory_order_release);
   return r;
+}
+
+Request Comm::isend(int dst, int tag, const void* data, std::size_t n) {
+  send_bytes(dst, tag, data, n);
+  return completed_send(dst, tag);
 }
 
 Request Comm::irecv(int src, int tag) {
@@ -305,7 +335,7 @@ void Comm::wait_all(std::span<Request> reqs, double timeout_s) {
       timeout_s, "wait_all", -1);
 }
 
-std::vector<std::byte> Comm::recv_bytes(int src, int tag, double timeout_s) {
+Buf Comm::recv_buf(int src, int tag, double timeout_s) {
   // Blocking receive = irecv + wait: one matching discipline for both, so
   // a blocking recv can never overtake an earlier-posted irecv on the
   // same (src, tag).
@@ -317,14 +347,18 @@ std::vector<std::byte> Comm::recv_bytes(int src, int tag, double timeout_s) {
     auto& box = *group_->boxes[static_cast<std::size_t>(rank_)];
     {
       std::lock_guard lock(box.mu);
-      if (req.st_->done.load(std::memory_order_relaxed)) return req.take_bytes();
+      if (req.st_->done.load(std::memory_order_relaxed)) return req.take_buf();
       req.st_->cancelled = true;
     }
     throw TimeoutError("parx: recv from rank " + std::to_string(world_rank_of(src)) +
                        " tag " + std::to_string(tag) + " timed out on rank " +
                        std::to_string(world_rank()));
   }
-  return req.take_bytes();
+  return req.take_buf();
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, int tag, double timeout_s) {
+  return recv_buf(src, tag, timeout_s).take<std::byte>();
 }
 
 int Comm::next_collective_tag() {

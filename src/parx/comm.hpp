@@ -22,6 +22,15 @@
 //  * Zero-byte payloads are not transferred and not recorded; payload sizes
 //    are agreed out of band (exchange_sizes uses shared memory, modeling
 //    MPI's envelope metadata).
+//  * Zero-copy fast path: ranks are threads, so when the destination link
+//    is not covered by an installed lossy plan, sends move buffer
+//    *ownership* into the destination mailbox -- no frame header, no
+//    CRC, no copy for the rvalue overloads (send(vector&&), rvalue
+//    alltoallv), one typed copy for span sends.  Links a FaultPlan names
+//    go through the framed ReliableTransport instead; the partition is
+//    computed once at plan-install time (docs/transport-fastpath.md).
+//    Both paths preserve per-(src, tag) FIFO order and are bitwise
+//    indistinguishable to the application.
 //
 // All recorded traffic is attributed to *world* ranks, so ledger statistics
 // remain meaningful inside split communicators.
@@ -36,6 +45,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "parx/buf.hpp"
 #include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 #include "telemetry/trace.hpp"
@@ -73,17 +83,17 @@ class Request {
   /// completion).  Sends carry no payload.
   std::vector<std::byte> take_bytes();
 
+  /// Zero-copy when the sender handed over a vector<T> (fast path);
+  /// one memcpy otherwise.
   template <class T>
   std::vector<T> take() {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = take_bytes();
-    std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
-    return out;
+    return take_buf().take<T>();
   }
 
  private:
   friend class Comm;
+  Buf take_buf();
   std::shared_ptr<detail::RequestState> st_;
 };
 
@@ -157,7 +167,18 @@ class Comm {
   template <class T>
   Request isend(int dst, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    return isend(dst, tag, data.data(), data.size_bytes());
+    send(dst, tag, data);
+    return completed_send(dst, tag);
+  }
+
+  /// Nonblocking move-send: on the fast path the vector's allocation is
+  /// handed to the receiver without a copy.  The vector is consumed either
+  /// way.
+  template <class T>
+  Request isend(int dst, int tag, std::vector<T>&& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dst, tag, std::move(data));
+    return completed_send(dst, tag);
   }
 
   /// Post a nonblocking receive for (src, tag).  Matching is FIFO per
@@ -182,19 +203,32 @@ class Comm {
   void wait_all(std::span<Request> reqs, double timeout_s = kNoDeadline);
 
   // ---- typed point-to-point (trivially-copyable payloads only) ----
+
+  /// The caller keeps `data`; the fast path makes one typed copy (whose
+  /// allocation the receiver's take<T>() then adopts move-for-free).
   template <class T>
   void send(int dst, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
-    send_bytes(dst, tag, data.data(), data.size_bytes());
+    if (!send_framed(dst, tag, data.data(), data.size_bytes()))
+      deliver_local(dst, tag, Buf::adopt(std::vector<T>(data.begin(), data.end())));
+  }
+
+  /// Move-send: zero-copy ownership handoff on the fast path.  The vector
+  /// is consumed (left empty) on every path, so callers cannot observe
+  /// which path ran.
+  template <class T>
+  void send(int dst, int tag, std::vector<T>&& data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (!send_framed(dst, tag, data.data(), data.size() * sizeof(T)))
+      deliver_local(dst, tag, Buf::adopt(std::move(data)));
+    else
+      data.clear();
   }
 
   template <class T>
   std::vector<T> recv(int src, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
-    auto bytes = recv_bytes(src, tag);
-    std::vector<T> out(bytes.size() / sizeof(T));
-    std::memcpy(out.data(), bytes.data(), bytes.size());
-    return out;
+    return recv_buf(src, tag, kNoDeadline).take<T>();
   }
 
   // ---- collectives ----
@@ -236,6 +270,40 @@ class Comm {
     return h;
   }
 
+  /// Move-posting all-to-all: each per-destination slice is handed over
+  /// (zero-copy on the fast path, self slice moved, no slice copied).
+  /// `send_to` is consumed.
+  template <class T>
+  AlltoallvHandle<T> ialltoallv(std::vector<std::vector<T>>&& send_to) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    telemetry::Span span("parx/ialltoallv");
+    fault_point(FaultOp::kCollective);
+    const int tag = next_collective_tag();
+    const auto p = static_cast<std::size_t>(size());
+    std::vector<std::size_t> sizes(p);
+    for (std::size_t j = 0; j < p; ++j) sizes[j] = send_to[j].size() * sizeof(T);
+    auto from_each = exchange_sizes(sizes);
+
+    const auto me = static_cast<std::size_t>(rank_);
+    AlltoallvHandle<T> h;
+    h.active = true;
+    h.out.resize(p);
+    h.out[me] = std::move(send_to[me]);  // self-transfer stays local, no message
+    for (std::size_t k = 1; k < p; ++k) {
+      std::size_t dst = (me + k) % p;
+      if (!send_to[dst].empty())
+        send(static_cast<int>(dst), tag, std::move(send_to[dst]));
+    }
+    for (std::size_t k = 1; k < p; ++k) {
+      std::size_t src = (me + k) % p;
+      if (from_each[src] > 0) {
+        h.reqs.push_back(irecv(static_cast<int>(src), tag));
+        h.src_of.push_back(static_cast<int>(src));
+      }
+    }
+    return h;
+  }
+
   /// Drain an in-flight all-to-all in arrival order (wait_any): whichever
   /// payload lands first is unpacked first, so a slow peer stalls nothing
   /// but its own slice.  `out` is indexed by source, so arrival order
@@ -258,6 +326,15 @@ class Comm {
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send_to) {
     telemetry::Span span("parx/alltoallv");
     auto h = ialltoallv(send_to);
+    return wait_alltoallv(h);
+  }
+
+  /// Move variant: consumes `send_to`, handing every slice over without a
+  /// copy on the fast path.
+  template <class T>
+  std::vector<std::vector<T>> alltoallv(std::vector<std::vector<T>>&& send_to) {
+    telemetry::Span span("parx/alltoallv");
+    auto h = ialltoallv(std::move(send_to));
     return wait_alltoallv(h);
   }
 
@@ -293,7 +370,8 @@ class Comm {
   /// Element-wise reduce of `inout` into root with a binary op (binomial
   /// tree).  The root's `inout` receives the result; every other rank's
   /// buffer is left untouched (it is a pure send buffer, matching
-  /// MPI_Reduce -- the tree accumulates into a local working copy).
+  /// MPI_Reduce).  The tree accumulates into this communicator's per-rank
+  /// scratch slot, so a steady-state reduce allocates no working copy.
   template <class T, class Op>
   void reduce(std::span<T> inout, int root, Op op) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -302,20 +380,22 @@ class Comm {
     const int tag = next_collective_tag();
     const int p = size();
     const int vr = (rank_ - root + p) % p;
-    std::vector<T> acc(inout.begin(), inout.end());
+    const std::size_t n = inout.size();
+    T* acc = reinterpret_cast<T*>(coll_scratch(inout.size_bytes()));
+    if (n > 0) std::memcpy(acc, inout.data(), inout.size_bytes());
     for (int mask = 1; mask < p; mask <<= 1) {
       if (vr & mask) {
         int dst = (vr - mask + root) % p;
-        send(dst, tag, std::span<const T>(acc.data(), acc.size()));
+        send(dst, tag, std::span<const T>(acc, n));
         break;
       }
       if (vr + mask < p) {
         int src = (vr + mask + root) % p;
         auto part = recv<T>(src, tag);
-        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] = op(acc[i], part[i]);
+        for (std::size_t i = 0; i < n; ++i) acc[i] = op(acc[i], part[i]);
       }
     }
-    if (rank_ == root) std::copy(acc.begin(), acc.end(), inout.begin());
+    if (rank_ == root && n > 0) std::memcpy(inout.data(), acc, inout.size_bytes());
   }
 
   template <class T>
@@ -323,12 +403,41 @@ class Comm {
     reduce(inout, root, [](T a, T b) { return a + b; });
   }
 
+  /// Broadcast the contents of `v` from root into every rank's `v` (size
+  /// must already agree on all ranks).  The fixed-size sibling of bcast:
+  /// no vector round trip, receives land straight in the caller's buffer.
+  template <class T>
+  void bcast_span(std::span<T> v, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const int p = size();
+    if (p == 1) return;
+    telemetry::Span span("parx/bcast");
+    fault_point(FaultOp::kCollective);
+    const int tag = next_collective_tag();
+    const int vr = (rank_ - root + p) % p;
+    int mask = 1;
+    while (mask < p) {
+      if (vr & mask) {
+        int src = (vr - mask + root) % p;
+        Buf b = recv_buf(src, tag, kNoDeadline);
+        if (!v.empty()) std::memcpy(v.data(), b.data(), v.size_bytes());
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    for (; mask > 0; mask >>= 1) {
+      if (vr + mask < p) {
+        int dst = (vr + mask + root) % p;
+        send(dst, tag, std::span<const T>(v.data(), v.size()));
+      }
+    }
+  }
+
   template <class T, class Op>
   void allreduce(std::span<T> inout, Op op) {
     reduce(inout, 0, op);
-    std::vector<T> v(inout.begin(), inout.end());
-    bcast(v, 0);
-    std::copy(v.begin(), v.end(), inout.begin());
+    bcast_span(inout, 0);
   }
 
   template <class T>
@@ -391,6 +500,28 @@ class Comm {
   }
 
  private:
+  /// Common send prologue (fault point, ledger record) plus the framed
+  /// branch: hands the message to the ReliableTransport when the sender's
+  /// links are covered by the installed lossy plan and returns true.
+  /// Returns false when the message should take the zero-copy fast path
+  /// (the caller then builds a Buf and calls deliver_local).
+  bool send_framed(int dst, int tag, const void* data, std::size_t n);
+
+  /// Fast-path delivery: move the payload straight into the destination
+  /// mailbox.
+  void deliver_local(int dst, int tag, Buf&& payload);
+
+  /// Blocking receive returning the owning buffer (typed take<T>() on the
+  /// result is zero-copy when the sender adopted a vector<T>).
+  Buf recv_buf(int src, int tag, double timeout_s);
+
+  /// This rank's slot of the communicator's reusable collective working
+  /// buffer, grown to at least `bytes`.
+  std::byte* coll_scratch(std::size_t bytes);
+
+  /// A born-complete send request (parx sends are buffered).
+  Request completed_send(int dst, int tag);
+
   /// Injection point at a Comm operation entry: throws RemoteFault when a
   /// sibling's fault is pending, JobPoisoned when a sibling died fatally,
   /// FaultInjected when this rank's context matches an armed FaultSpec.

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "parx/buf.hpp"
 #include "parx/fault.hpp"
 #include "parx/traffic.hpp"
 
@@ -58,8 +59,31 @@ struct JobState {
   std::atomic<bool> fault{false};     ///< recoverable: an injected fault fired
   std::shared_ptr<TrafficLedger> ledger;
   std::shared_ptr<FaultInjector> injector;    ///< null = no fail-stop injection
-  std::shared_ptr<ReliableTransport> transport;  ///< null = perfect-link fast path
   int nranks = 0;
+
+  // The reliable transport (null = perfect-link fast path for everyone).
+  // Ownership lives in `transport` under transport_mu; the rank hot path
+  // reads the raw mirror `transport_hot` lock-free.  Installing a plan is
+  // only legal at a globally quiescent point (between run()s, or inside a
+  // run with every rank parked at a barrier around the install) -- the
+  // barrier's release/acquire then orders the swap against rank reads,
+  // and quiescence guarantees no rank still holds the old raw pointer.
+  // The monitor thread may race the swap, so it goes through
+  // transport_ref(), which pins the object for the duration of a tick.
+  std::mutex transport_mu;
+  std::shared_ptr<ReliableTransport> transport;
+  std::atomic<ReliableTransport*> transport_hot{nullptr};
+
+  void set_transport(std::shared_ptr<ReliableTransport> t) {
+    std::lock_guard lock(transport_mu);
+    transport = std::move(t);
+    transport_hot.store(transport.get(), std::memory_order_release);
+  }
+
+  std::shared_ptr<ReliableTransport> transport_ref() {
+    std::lock_guard lock(transport_mu);
+    return transport;
+  }
 
   /// Why the fault flag went up when it was not an injected fail-stop
   /// fault (transport gave up on a frame, watchdog fired).  Guarded by
@@ -97,6 +121,11 @@ struct JobState {
   std::mutex groups_mu;
   std::vector<Group*> groups;
   std::atomic<std::uint64_t> next_group_id{1};
+
+  /// The world group, set once by Runtime before any run and outliving
+  /// every run: the transport routes world-group frames to it without
+  /// taking groups_mu (the dominant delivery path).
+  Group* world_group = nullptr;
 };
 
 /// RAII: publish "this rank is blocked in `op` on `peer`" while inside a
@@ -135,7 +164,7 @@ class BlockedScope {
 struct Message {
   int src;
   int tag;
-  std::vector<std::byte> payload;
+  Buf payload;  ///< owning, type-erased: fast-path sends hand their buffer over
 };
 
 /// One posted nonblocking operation.  Receive requests are parked in the
@@ -153,7 +182,7 @@ struct RequestState {
   bool claimed = false;    ///< already returned by a wait_any (mailbox mu)
   bool cancelled = false;  ///< timed-out recv; must not eat a late message
   std::atomic<bool> done{false};
-  std::vector<std::byte> payload;  ///< completed receive payload
+  Buf payload;  ///< completed receive payload (ownership travels, not bytes)
 };
 
 struct Mailbox {
@@ -217,6 +246,7 @@ struct Group {
         size_matrix(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {
     boxes_storage.resize(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) boxes[static_cast<std::size_t>(i)] = &boxes_storage[static_cast<std::size_t>(i)];
+    coll_scratch.resize(static_cast<std::size_t>(n));
     coll_seq = std::make_unique<std::atomic<std::uint32_t>[]>(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) coll_seq[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
     if (job) {
@@ -277,6 +307,12 @@ struct Group {
   std::deque<Mailbox> boxes_storage;  // deque: Mailbox is immovable
   std::vector<Mailbox*> boxes;
   Barrier barrier;
+
+  /// Per-rank collective working buffers (the reduce-tree accumulator),
+  /// grown on demand and reused across calls so steady-state collectives
+  /// allocate nothing.  Each rank only ever touches its own slot, so no
+  /// locking; never shrunk, so a recovery reset can leave them alone.
+  std::vector<std::vector<std::byte>> coll_scratch;
 
   /// Per-rank collective sequence counters: every collective entry on
   /// rank r bumps coll_seq[r] exactly once, and the value selects the

@@ -19,6 +19,7 @@ Runtime::Runtime(int nranks) : nranks_(nranks) {
   std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
   std::iota(world_ranks.begin(), world_ranks.end(), 0);
   world_ = std::make_shared<detail::Group>(nranks, job_, std::move(world_ranks));
+  job_->world_group = world_.get();  // lock-free frame routing for world traffic
 }
 
 Runtime::~Runtime() = default;
@@ -35,18 +36,18 @@ void Runtime::set_fault_plan(const FaultPlan& plan) {
   const auto link = plan.link_specs();
   job_->injector = failstop.empty() ? nullptr : std::make_shared<FaultInjector>(failstop);
   if (link.empty()) {
-    job_->transport = nullptr;
+    job_->set_transport(nullptr);
   } else {
     auto model = std::make_shared<LinkModel>(link, plan.link_seed());
-    job_->transport = std::make_shared<ReliableTransport>(nranks_, std::move(model),
-                                                          tuning_, job_.get());
+    job_->set_transport(std::make_shared<ReliableTransport>(nranks_, std::move(model),
+                                                            tuning_, job_.get()));
     ensure_monitor();  // something must drive retransmission
   }
 }
 
 void Runtime::set_transport_tuning(const TransportTuning& tuning) {
   tuning_ = tuning;
-  if (job_->transport) job_->transport->set_tuning(tuning);
+  if (auto t = job_->transport_ref()) t->set_tuning(tuning);
 }
 
 void Runtime::set_watchdog(const WatchdogConfig& cfg) {
@@ -96,7 +97,7 @@ void Runtime::run(const std::function<void(Comm&)>& fn) {
       std::lock_guard lock(box.mu);
       box.msgs.clear();
     }
-    if (job_->transport) job_->transport->reset();
+    if (auto t = job_->transport_ref()) t->reset();
     std::rethrow_exception(first_error);
   }
 }

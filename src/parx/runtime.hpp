@@ -34,11 +34,19 @@ class Runtime {
   /// released) and the first exception is rethrown here.
   void run(const std::function<void(Comm&)>& fn);
 
-  /// Install a deterministic fault plan for subsequent run() invocations
-  /// (see parx/fault.hpp).  Fail-stop specs arm the injector; link specs
-  /// arm the lossy-link model and route all sends through the reliable
-  /// transport (which starts the job monitor thread).  An empty plan
-  /// disables both.  Not thread-safe against a concurrent run().
+  /// Install a deterministic fault plan (see parx/fault.hpp).  Fail-stop
+  /// specs arm the injector; link specs arm the lossy-link model and
+  /// route the *covered senders'* messages through the reliable transport
+  /// (which starts the job monitor thread) -- uncovered senders keep the
+  /// zero-copy fast path (docs/transport-fastpath.md).  An empty plan
+  /// disables both.
+  ///
+  /// Legal either between run() invocations, or from a single rank inside
+  /// a run at a globally quiescent point: every other rank parked at a
+  /// barrier bracketing the call and no message in flight (in-flight
+  /// framed state of a replaced transport is discarded with it).  The
+  /// bracketing barrier's release/acquire publishes the swap to the rank
+  /// threads; never call it concurrently with live traffic.
   void set_fault_plan(const FaultPlan& plan);
 
   /// Retransmission tuning of the next set_fault_plan() with link specs

@@ -38,9 +38,11 @@ constexpr std::uint32_t kSaltBlackhole = 5;
 constexpr std::uint32_t kSaltAck = 6;
 constexpr std::uint32_t kSaltBit = 7;
 
-telemetry::Counter& counter(const char* name) {
-  return telemetry::Registry::global().counter(name);
-}
+/// Cached counter references: registry lookup is a mutexed map, so every
+/// hot-path site below binds its counter once (addresses are stable for
+/// the process lifetime).
+#define PARX_COUNTER(var, name) \
+  static telemetry::Counter& var = telemetry::Registry::global().counter(name)
 
 }  // namespace
 
@@ -63,6 +65,9 @@ LinkModel::LinkModel(std::vector<FaultSpec> specs, std::uint64_t seed)
 
 LinkModel::~LinkModel() = default;
 
+// The hash draw is evaluated lazily (only when the spec could fire at
+// all), so rate-0 specs -- the "armed but idle" perf probes -- cost a
+// comparison, not an FNV pass, per message.
 bool LinkModel::fire(Armed& a, double u) {
   if (u >= a.spec.rate) return false;
   long long r = a.remaining.load(std::memory_order_relaxed);
@@ -80,6 +85,7 @@ LinkModel::Decision LinkModel::decide(int src_world, int dst_world, std::uint64_
   for (std::size_t i = 0; i < n_; ++i) {
     Armed& a = armed_[i];
     if (!spec_matches_context(a.spec, src_world, ctx)) continue;
+    if (a.spec.rate <= 0) continue;
     switch (a.spec.kind) {
       case FaultKind::kLinkDrop:
         if (!d.drop && fire(a, hash01(seed_, src_world, dst_world, seq, attempt, kSaltDrop)))
@@ -114,7 +120,7 @@ bool LinkModel::blackhole_fires(int src_world, int dst_world, std::uint64_t seq,
                                 const FaultContext& ctx) {
   for (std::size_t i = 0; i < n_; ++i) {
     Armed& a = armed_[i];
-    if (a.spec.kind != FaultKind::kLinkBlackhole) continue;
+    if (a.spec.kind != FaultKind::kLinkBlackhole || a.spec.rate <= 0) continue;
     if (!spec_matches_context(a.spec, src_world, ctx)) continue;
     if (fire(a, hash01(seed_, src_world, dst_world, seq, 0, kSaltBlackhole))) return true;
   }
@@ -125,10 +131,24 @@ bool LinkModel::ack_dropped(int acker_world, int to_world, std::uint64_t seq,
                             std::uint32_t attempt, const FaultContext& ctx) {
   for (std::size_t i = 0; i < n_; ++i) {
     Armed& a = armed_[i];
-    if (a.spec.kind != FaultKind::kLinkDrop) continue;
+    if (a.spec.kind != FaultKind::kLinkDrop || a.spec.rate <= 0) continue;
     if (!spec_matches_context(a.spec, acker_world, ctx)) continue;
     if (fire(a, hash01(seed_, acker_world, to_world, seq, attempt, kSaltAck))) return true;
   }
+  return false;
+}
+
+bool LinkModel::covers_sender(int src_world) const {
+  for (std::size_t i = 0; i < n_; ++i) {
+    const FaultSpec& s = armed_[i].spec;
+    if (s.rank == kEveryRank || s.rank == src_world) return true;
+  }
+  return false;
+}
+
+bool LinkModel::can_corrupt() const {
+  for (std::size_t i = 0; i < n_; ++i)
+    if (armed_[i].spec.kind == FaultKind::kLinkCorrupt) return true;
   return false;
 }
 
@@ -141,11 +161,19 @@ ReliableTransport::ReliableTransport(int nranks, std::shared_ptr<LinkModel> mode
     ep.tx.resize(static_cast<std::size_t>(nranks));
     ep.rx.resize(static_cast<std::size_t>(nranks));
   }
+  // Partition senders into framed vs fast-path once, at install time, and
+  // decide whether CRC framing is engaged at all (pay-for-what-you-use:
+  // a drop-only plan cannot flip bits, so both CRC passes are skipped).
+  framed_.resize(static_cast<std::size_t>(nranks), 0);
+  for (int r = 0; r < nranks; ++r)
+    framed_[static_cast<std::size_t>(r)] = model_->covers_sender(r) ? 1 : 0;
+  crc_on_ = model_->can_corrupt();
+  rto_hint_.store(tuning_.rto_s, std::memory_order_relaxed);
 }
 
 ReliableTransport::~ReliableTransport() = default;
 
-std::uint32_t ReliableTransport::frame_crc(const Frame& f) {
+std::uint32_t ReliableTransport::frame_crc(const Frame& f) const {
   util::Crc32 c;
   auto mix = [&c](const auto& v) { c.update(&v, sizeof(v)); };
   mix(f.seq);
@@ -155,9 +183,11 @@ std::uint32_t ReliableTransport::frame_crc(const Frame& f) {
   mix(f.src_local);
   mix(f.dst_local);
   mix(f.tag);
-  const std::uint64_t n = f.payload.size();
+  // ack_upto is deliberately excluded: the corrupt model flips payload
+  // bits only, and cumulative acks are idempotent.
+  const std::uint64_t n = f.payload ? f.payload->size() : 0;
   mix(n);
-  c.update(f.payload.data(), f.payload.size());
+  if (f.payload) c.update(f.payload->data(), f.payload->size());
   return c.value();
 }
 
@@ -170,51 +200,78 @@ void ReliableTransport::send(Group& group, int src_local, int dst_local, int tag
   f.src_local = src_local;
   f.dst_local = dst_local;
   f.tag = tag;
-  f.payload.resize(n);
-  if (n > 0) std::memcpy(f.payload.data(), data, n);
+  // The only payload copy on the framed path: retransmissions and
+  // deliveries share this allocation from here on.
+  f.payload = std::make_shared<std::vector<std::byte>>(n);
+  if (n > 0) std::memcpy(f.payload->data(), data, n);
   f.ctx = fault_context();
+
+  // Piggyback the reverse link's pending cumulative ack, if any.  The
+  // lock-free probe keeps clean sends from paying the peer lock when
+  // nothing is owed; the RxPeer and TxPeer locks below are same-tier and
+  // taken sequentially, never nested.
+  {
+    Endpoint& ep = eps_[static_cast<std::size_t>(f.src_world)];
+    RxPeer& rp = ep.rx[static_cast<std::size_t>(f.dst_world)];
+    if (rp.ack_pending.load(std::memory_order_relaxed) > 0) {
+      std::lock_guard lock(rp.mu);
+      const std::uint64_t pending = rp.ack_pending.load(std::memory_order_relaxed);
+      if (pending > 0) {
+        f.ack_upto = pending;
+        rp.ack_pending.store(0, std::memory_order_relaxed);
+        acks_backlog_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+  }
 
   bool doomed = false;
   {
     Endpoint& ep = eps_[static_cast<std::size_t>(f.src_world)];
-    std::lock_guard lock(ep.tx_mu);
     TxPeer& tp = ep.tx[static_cast<std::size_t>(f.dst_world)];
+    std::lock_guard lock(tp.mu);
     f.seq = tp.next_seq++;
-    f.crc = frame_crc(f);
-    Pending& p = tp.unacked[f.seq];
-    p.frame = f;
+    if (crc_on_) f.crc = frame_crc(f);
     // The blackhole verdict is per-frame and sticks to every
     // retransmission, so an exhausted retry budget is deterministic.
-    p.doomed = model_->blackhole_fires(f.src_world, f.dst_world, f.seq, f.ctx);
-    doomed = p.doomed;
-    p.next_retry = detail::steady_seconds() + tuning().rto_s;
+    doomed = model_->blackhole_fires(f.src_world, f.dst_world, f.seq, f.ctx);
+    tp.unacked.push_back(Pending{f, detail::steady_seconds() + rto_hint(), doomed});
   }
-  counter("parx/frames_sent").add();
-  transmit(f, doomed);
+  unacked_frames_.fetch_add(1, std::memory_order_relaxed);
+  PARX_COUNTER(frames_sent, "parx/frames_sent");
+  frames_sent.add();
+  transmit(std::move(f), doomed);
 }
 
-void ReliableTransport::transmit(const Frame& f, bool doomed) {
+void ReliableTransport::transmit(Frame f, bool doomed) {
   if (doomed) {
-    counter("parx/blackholed").add();
+    PARX_COUNTER(blackholed, "parx/blackholed");
+    blackholed.add();
     return;
   }
   const LinkModel::Decision d =
       model_->decide(f.src_world, f.dst_world, f.seq, f.attempt, f.ctx);
   if (d.drop) {
-    counter("parx/drops_injected").add();
+    PARX_COUNTER(drops, "parx/drops_injected");
+    drops.add();
     return;
   }
-  Frame out = f;
-  if (d.corrupt && !out.payload.empty()) {
-    const std::uint64_t bit = d.corrupt_salt % (out.payload.size() * 8);
-    out.payload[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
-    counter("parx/corrupted_injected").add();
+  if (d.corrupt && f.payload && !f.payload->empty()) {
+    // Deep-copy before flipping so the retransmit queue's pristine copy
+    // heals the corruption (f.payload still aliases that copy here).
+    f.payload = std::make_shared<std::vector<std::byte>>(*f.payload);
+    const std::uint64_t bit = d.corrupt_salt % (f.payload->size() * 8);
+    (*f.payload)[bit / 8] ^= std::byte{static_cast<unsigned char>(1u << (bit % 8))};
+    PARX_COUNTER(corrupted, "parx/corrupted_injected");
+    corrupted.add();
   }
-  deliver(out, d.reorder);
   if (d.duplicate) {
-    counter("parx/duplicates_injected").add();
-    deliver(std::move(out), false);
+    PARX_COUNTER(dups, "parx/duplicates_injected");
+    dups.add();
+    deliver(f, d.reorder);
+    deliver(std::move(f), false);
+    return;
   }
+  deliver(std::move(f), d.reorder);
 }
 
 void ReliableTransport::deliver(Frame f, bool hold_for_reorder) {
@@ -222,45 +279,74 @@ void ReliableTransport::deliver(Frame f, bool hold_for_reorder) {
   const std::uint64_t seq = f.seq;
   const std::uint32_t attempt = f.attempt;
   const FaultContext ctx = f.ctx;
-  std::uint64_t ack_upto = 0;
+  std::uint64_t pig = f.ack_upto;  ///< piggybacked acks carried by arriving frames
+  std::uint64_t ack = 0;
   {
     Endpoint& ep = eps_[static_cast<std::size_t>(dst)];
-    std::lock_guard lock(ep.rx_mu);
     RxPeer& rp = ep.rx[static_cast<std::size_t>(src)];
+    std::lock_guard lock(rp.mu);
     if (hold_for_reorder) {
       // Held until the next frame on this link overtakes it (or the
-      // monitor flushes it) -- that is what "reorder" means here.
-      counter("parx/reordered_injected").add();
+      // monitor flushes it) -- that is what "reorder" means here.  Its
+      // piggybacked ack waits with it.
+      PARX_COUNTER(reordered, "parx/reordered_injected");
+      reordered.add();
       rp.limbo.push_back(std::move(f));
+      limbo_frames_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    ack_upto = process_frame(rp, f);
+    ack = process_frame(rp, f);
     // Anything parked in limbo has now been overtaken; let it arrive.
     while (!rp.limbo.empty()) {
       Frame held = std::move(rp.limbo.front());
       rp.limbo.pop_front();
+      limbo_frames_.fetch_sub(1, std::memory_order_relaxed);
+      if (held.ack_upto > pig) pig = held.ack_upto;
       const std::uint64_t a = process_frame(rp, held);
-      if (a > ack_upto) ack_upto = a;
+      if (a > ack) ack = a;
     }
+    // Acks are not applied immediately: record as pending; the next
+    // reverse-direction data frame piggybacks it, or the monitor flushes
+    // it as a standalone ack on the batching deadline.
+    if (ack > 0) note_ack(rp, ack, seq, attempt, ctx);
   }
-  if (ack_upto > 0) apply_ack(dst, src, ack_upto, seq, attempt, ctx);
+  // The carrier frame already survived the link model, so its piggybacked
+  // ack applies without a second drop draw.
+  if (pig > 0) apply_ack_clean(src, dst, pig);
+}
+
+void ReliableTransport::note_ack(RxPeer& rp, std::uint64_t ack, std::uint64_t seq,
+                                 std::uint32_t attempt, const FaultContext& ctx) {
+  const std::uint64_t pending = rp.ack_pending.load(std::memory_order_relaxed);
+  if (pending == 0) {
+    rp.ack_since = detail::steady_seconds();
+    acks_backlog_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (ack > pending) rp.ack_pending.store(ack, std::memory_order_relaxed);
+  rp.ack_seq = seq;
+  rp.ack_attempt = attempt;
+  rp.ack_ctx = ctx;
 }
 
 std::uint64_t ReliableTransport::process_frame(RxPeer& rp, Frame& f) {
-  if (frame_crc(f) != f.crc) {
+  if (crc_on_ && frame_crc(f) != f.crc) {
     // Bit-flipped in flight; drop silently and let retransmission heal it.
-    counter("parx/corrupt_detected").add();
+    PARX_COUNTER(caught, "parx/corrupt_detected");
+    caught.add();
     return 0;
   }
   if (f.seq < rp.expected) {
     // Already delivered (retransmit raced the ack, or an injected dup).
-    counter("parx/duplicates_dropped").add();
+    PARX_COUNTER(dropped, "parx/duplicates_dropped");
+    dropped.add();
     return rp.expected;  // re-ack so the sender stops retransmitting
   }
   if (f.seq > rp.expected) {
     // Out of order: park for reassembly (dedup by map key).
-    if (!rp.ooo.emplace(f.seq, std::move(f)).second)
-      counter("parx/duplicates_dropped").add();
+    if (!rp.ooo.emplace(f.seq, std::move(f)).second) {
+      PARX_COUNTER(dropped, "parx/duplicates_dropped");
+      dropped.add();
+    }
     return 0;
   }
   to_mailbox(f);
@@ -274,69 +360,137 @@ std::uint64_t ReliableTransport::process_frame(RxPeer& rp, Frame& f) {
 }
 
 void ReliableTransport::to_mailbox(Frame& f) {
-  std::lock_guard groups_lock(job_->groups_mu);
-  for (Group* g : job_->groups) {
-    if (g->id != f.group_id) continue;
+  auto push = [&](Group* g) {
     auto& box = *g->boxes[static_cast<std::size_t>(f.dst_local)];
     {
       std::lock_guard lock(box.mu);
-      box.msgs.push_back(Message{f.src_local, f.tag, std::move(f.payload)});
+      // The payload may still be shared with the retransmit queue; the
+      // receiver's take() moves it once the queue lets go (Buf::share).
+      box.msgs.push_back(Message{f.src_local, f.tag, Buf::share(std::move(f.payload))});
       ++box.delivered;
     }
     box.cv.notify_all();
+  };
+  // World traffic (the dominant path) routes without the global registry
+  // lock: the world group is created before any run and outlives them all.
+  Group* wg = job_->world_group;
+  if (wg && wg->id == f.group_id) {
+    push(wg);
+    return;
+  }
+  std::lock_guard groups_lock(job_->groups_mu);
+  for (Group* g : job_->groups) {
+    if (g->id != f.group_id) continue;
+    push(g);
     return;
   }
   // The destination communicator is gone; the application can no longer
   // recv this message, so consuming it is the only consistent outcome.
-  counter("parx/orphaned_frames").add();
+  PARX_COUNTER(orphaned, "parx/orphaned_frames");
+  orphaned.add();
+}
+
+void ReliableTransport::clear_acked(TxPeer& tp, std::uint64_t upto) {
+  if (upto > tp.acked_upto) tp.acked_upto = upto;
+  std::uint64_t cleared = 0;
+  while (!tp.unacked.empty() && tp.unacked.front().frame.seq < upto) {
+    tp.unacked.pop_front();
+    ++cleared;
+  }
+  if (cleared > 0) unacked_frames_.fetch_sub(cleared, std::memory_order_relaxed);
 }
 
 void ReliableTransport::apply_ack(int acker_world, int to_world, std::uint64_t upto,
                                   std::uint64_t seq, std::uint32_t attempt,
                                   const FaultContext& ctx) {
   if (model_->ack_dropped(acker_world, to_world, seq, attempt, ctx)) {
-    counter("parx/acks_dropped").add();
+    PARX_COUNTER(acks_dropped, "parx/acks_dropped");
+    acks_dropped.add();
     return;
   }
-  counter("parx/acks").add();
-  Endpoint& ep = eps_[static_cast<std::size_t>(to_world)];
-  std::lock_guard lock(ep.tx_mu);
-  TxPeer& tp = ep.tx[static_cast<std::size_t>(acker_world)];
-  if (upto > tp.acked_upto) tp.acked_upto = upto;
-  tp.unacked.erase(tp.unacked.begin(), tp.unacked.lower_bound(upto));
+  PARX_COUNTER(acks, "parx/acks");
+  acks.add();
+  TxPeer& tp = eps_[static_cast<std::size_t>(to_world)].tx[static_cast<std::size_t>(acker_world)];
+  std::lock_guard lock(tp.mu);
+  clear_acked(tp, upto);
+}
+
+void ReliableTransport::apply_ack_clean(int acker_world, int to_world, std::uint64_t upto) {
+  PARX_COUNTER(piggybacked, "parx/acks_piggybacked");
+  piggybacked.add();
+  TxPeer& tp = eps_[static_cast<std::size_t>(to_world)].tx[static_cast<std::size_t>(acker_world)];
+  std::lock_guard lock(tp.mu);
+  clear_acked(tp, upto);
 }
 
 void ReliableTransport::tick(double now) {
+  // Idle early-out: nothing unacked, no ack owed, nothing in limbo --
+  // the common case on clean links between bursts -- costs three relaxed
+  // loads and no lock (a stale hint only delays work by one tick).
+  if (unacked_frames_.load(std::memory_order_relaxed) == 0 &&
+      acks_backlog_.load(std::memory_order_relaxed) == 0 &&
+      limbo_frames_.load(std::memory_order_relaxed) == 0)
+    return;
   std::lock_guard scan(scan_mu_);
+  const TransportTuning tun = tuning();
+
   // Flush reorder limbo: a held frame with no successor traffic must not
   // wait for its retransmit timeout.
-  for (auto& ep : eps_) {
-    std::vector<Frame> flush;
-    {
-      std::lock_guard lock(ep.rx_mu);
+  if (limbo_frames_.load(std::memory_order_relaxed) > 0) {
+    for (auto& ep : eps_) {
+      std::vector<Frame> flush;
       for (auto& rp : ep.rx) {
+        std::lock_guard lock(rp.mu);
         while (!rp.limbo.empty()) {
           flush.push_back(std::move(rp.limbo.front()));
           rp.limbo.pop_front();
+          limbo_frames_.fetch_sub(1, std::memory_order_relaxed);
         }
       }
+      for (auto& f : flush) deliver(std::move(f), false);
     }
-    for (auto& f : flush) deliver(std::move(f), false);
+  }
+
+  // Standalone-ack flush: pending acks no reverse traffic picked up, once
+  // past the batching deadline.  These ride the lossy link (drop draw in
+  // apply_ack), using the raising frame's identity for determinism.
+  if (acks_backlog_.load(std::memory_order_relaxed) > 0) {
+    struct AckOut {
+      int acker, to;
+      std::uint64_t upto, seq;
+      std::uint32_t attempt;
+      FaultContext ctx;
+    };
+    std::vector<AckOut> acks;
+    for (std::size_t dst = 0; dst < eps_.size(); ++dst) {
+      Endpoint& ep = eps_[dst];
+      for (std::size_t src = 0; src < ep.rx.size(); ++src) {
+        RxPeer& rp = ep.rx[src];
+        std::lock_guard lock(rp.mu);
+        const std::uint64_t pending = rp.ack_pending.load(std::memory_order_relaxed);
+        if (pending == 0 || now - rp.ack_since < tun.ack_delay_s) continue;
+        acks.push_back({static_cast<int>(dst), static_cast<int>(src), pending,
+                        rp.ack_seq, rp.ack_attempt, rp.ack_ctx});
+        rp.ack_pending.store(0, std::memory_order_relaxed);
+        acks_backlog_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    for (auto& a : acks) apply_ack(a.acker, a.to, a.upto, a.seq, a.attempt, a.ctx);
   }
 
   // Retransmit scan.
+  if (unacked_frames_.load(std::memory_order_relaxed) == 0) return;
   struct Retx {
     Frame frame;
     bool doomed;
   };
   std::vector<Retx> retx;
   std::string dead;
-  const TransportTuning tun = tuning();
   for (auto& ep : eps_) {
-    std::lock_guard lock(ep.tx_mu);
     for (std::size_t dst = 0; dst < ep.tx.size(); ++dst) {
       TxPeer& tp = ep.tx[dst];
-      for (auto& [seq, p] : tp.unacked) {
+      std::lock_guard lock(tp.mu);
+      for (auto& p : tp.unacked) {
         if (now < p.next_retry) continue;
         if (static_cast<int>(p.frame.attempt) + 1 >= tun.max_attempts) {
           if (dead.empty()) {
@@ -344,7 +498,7 @@ void ReliableTransport::tick(double now) {
             std::snprintf(buf, sizeof(buf),
                           "parx: unrecoverable message loss on link %d->%d "
                           "(seq %" PRIu64 ", %u transmissions)",
-                          p.frame.src_world, p.frame.dst_world, seq,
+                          p.frame.src_world, p.frame.dst_world, p.frame.seq,
                           p.frame.attempt + 1);
             dead = buf;
           }
@@ -358,14 +512,16 @@ void ReliableTransport::tick(double now) {
     }
   }
   for (auto& r : retx) {
-    counter("parx/retransmits").add();
+    PARX_COUNTER(retransmits, "parx/retransmits");
+    retransmits.add();
     if (job_->ledger)
       job_->ledger->record_retransmit(r.frame.src_world, r.frame.dst_world,
-                                      r.frame.payload.size());
-    transmit(r.frame, r.doomed);
+                                      r.frame.payload ? r.frame.payload->size() : 0);
+    transmit(std::move(r.frame), r.doomed);
   }
   if (!dead.empty()) {
-    counter("parx/transport_failures").add();
+    PARX_COUNTER(failures, "parx/transport_failures");
+    failures.add();
     job_->raise_fault(dead);
   }
 }
@@ -373,21 +529,26 @@ void ReliableTransport::tick(double now) {
 void ReliableTransport::reset() {
   std::lock_guard scan(scan_mu_);
   for (auto& ep : eps_) {
-    {
-      std::lock_guard lock(ep.tx_mu);
-      for (auto& tp : ep.tx) tp = TxPeer{};
+    for (auto& tp : ep.tx) {
+      std::lock_guard lock(tp.mu);
+      tp = TxPeer{};
     }
-    std::lock_guard lock(ep.rx_mu);
-    for (auto& rp : ep.rx) rp = RxPeer{};
+    for (auto& rp : ep.rx) {
+      std::lock_guard lock(rp.mu);
+      rp = RxPeer{};
+    }
   }
+  unacked_frames_.store(0, std::memory_order_relaxed);
+  acks_backlog_.store(0, std::memory_order_relaxed);
+  limbo_frames_.store(0, std::memory_order_relaxed);
 }
 
 void ReliableTransport::dump(std::ostream& os) const {
   for (int src = 0; src < nranks_; ++src) {
     const Endpoint& ep = eps_[static_cast<std::size_t>(src)];
-    std::lock_guard lock(ep.tx_mu);
     for (int dst = 0; dst < nranks_; ++dst) {
       const TxPeer& tp = ep.tx[static_cast<std::size_t>(dst)];
+      std::lock_guard lock(tp.mu);
       if (tp.next_seq == 0) continue;
       os << "  link " << src << "->" << dst << ": sent seq<" << tp.next_seq
          << ", acked<" << tp.acked_upto << ", unacked " << tp.unacked.size() << "\n";
@@ -419,7 +580,7 @@ void Monitor::set_watchdog(const WatchdogConfig& cfg) {
 void Monitor::loop() {
   for (;;) {
     double tick_s = 0.001;
-    if (auto t = job_->transport) tick_s = t->tuning().tick_s;
+    if (auto t = job_->transport_ref()) tick_s = t->tuning().tick_s;
     {
       std::unique_lock lock(stop_mu_);
       stop_cv_.wait_for(lock, std::chrono::duration<double>(tick_s));
@@ -427,7 +588,7 @@ void Monitor::loop() {
     }
     if (job_->poisoned.load(std::memory_order_relaxed)) continue;
     const double now = detail::steady_seconds();
-    if (auto t = job_->transport) t->tick(now);
+    if (auto t = job_->transport_ref()) t->tick(now);
     if (!job_->fault.load(std::memory_order_relaxed)) check_hang(now);
   }
 }
@@ -498,7 +659,7 @@ void Monitor::dump_state(std::ostream& os, double now) const {
     else os << step;
     os << " phase " << to_string(phase) << ", world mailbox depth " << depth << "\n";
   }
-  if (auto t = job_->transport) {
+  if (auto t = job_->transport_ref()) {
     os << "transport links:\n";
     t->dump(os);
   }

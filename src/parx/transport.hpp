@@ -24,13 +24,33 @@
 // link dead and raises the job fault flag, surfacing as CommError on
 // every rank so the checkpoint rollback-recovery path takes over.
 //
-// With no lossy plan installed, Comm::send_bytes never touches any of
-// this (one null-pointer test), so the perfect-link fast path is
-// unchanged.
+// Pay-for-what-you-use (docs/transport-fastpath.md):
+//  * With no lossy plan installed, Comm sends never touch any of this
+//    (one null-pointer test) -- the zero-copy fast path.
+//  * With a plan installed, only senders a FaultSpec actually names are
+//    framed; every other sender's links keep the fast path.  The
+//    partition (framed()) is computed once at construction.
+//  * CRC32 framing is engaged only when the plan can corrupt (a
+//    kLinkCorrupt spec is armed); drop/dup/reorder-only plans skip both
+//    CRC passes, since no transmission can ever flip a bit.
+//  * Cumulative acks piggyback on reverse-direction data frames
+//    (Frame::ack_upto); the monitor flushes leftover standalone acks on
+//    the ack_delay_s batching deadline.  Acks are cumulative and
+//    idempotent, so a piggybacked ack lost with its dropped carrier
+//    frame is simply repeated later.
+//
+// Frame payloads are shared (shared_ptr) between the retransmit queue
+// and in-flight deliveries, so a frame is copied exactly once, at
+// framing time; an injected bit flip deep-copies first so the pristine
+// retransmit copy heals it.
 //
 // Lock order (a thread never holds two of the same tier):
-//   scan_mu -> (tx_mu | rx_mu) -> groups_mu -> mailbox mu
+//   scan_mu -> peer mu (TxPeer | RxPeer) -> groups_mu -> mailbox mu
+// Peer locks are per *link*, not per endpoint, so concurrent senders to
+// one destination never contend; send() takes the reverse RxPeer lock
+// (piggyback fetch) then its TxPeer lock *sequentially*, never nested.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +78,12 @@ struct TransportTuning {
   double backoff = 2.0;   ///< RTO multiplier per attempt
   int max_attempts = 8;   ///< transmissions before the frame is declared lost
   double tick_s = 0.001;  ///< monitor poll interval (retransmit scan, limbo flush)
+  /// Standalone-ack batching deadline: a pending cumulative ack that no
+  /// reverse-direction data frame has picked up is flushed by the monitor
+  /// once it is at least this old (0 = on the next tick), so worst-case
+  /// ack latency is ack_delay_s + tick_s.  Keep it below rto_s or clean
+  /// links will retransmit spuriously.
+  double ack_delay_s = 0.0;
 };
 
 /// Hang watchdog configuration.  quiescence_s == 0 disables the watchdog.
@@ -99,6 +125,17 @@ class LinkModel {
   bool ack_dropped(int acker_world, int to_world, std::uint64_t seq, std::uint32_t attempt,
                    const FaultContext& ctx);
 
+  /// Whether any armed spec could ever fire for frames sent by
+  /// `src_world` (link faults are sender-attributed).  Deliberately
+  /// context-insensitive -- a spec gated on a future step still frames
+  /// its sender for the whole plan epoch -- so the framed/fast-path
+  /// partition is fixed at install time.
+  bool covers_sender(int src_world) const;
+
+  /// Whether any armed spec is a kLinkCorrupt (decides if CRC framing is
+  /// engaged at all).
+  bool can_corrupt() const;
+
   bool empty() const { return n_ == 0; }
 
  private:
@@ -126,6 +163,11 @@ class ReliableTransport {
   void send(detail::Group& group, int src_local, int dst_local, int tag, const void* data,
             std::size_t n);
 
+  /// Whether sends from this world rank go through the framed sublayer
+  /// (some armed spec covers them); false = zero-copy fast path.
+  /// Immutable after construction, so lock-free.
+  bool framed(int src_world) const { return framed_[static_cast<std::size_t>(src_world)] != 0; }
+
   /// Monitor duties: flush reorder limbo, retransmit frames past their
   /// deadline, declare frames dead after max_attempts (raises the job
   /// fault flag).
@@ -148,6 +190,7 @@ class ReliableTransport {
   void set_tuning(const TransportTuning& t) {
     std::lock_guard lock(tuning_mu_);
     tuning_ = t;
+    rto_hint_.store(t.rto_s, std::memory_order_relaxed);
   }
 
  private:
@@ -155,10 +198,17 @@ class ReliableTransport {
     std::uint64_t seq = 0;
     std::uint32_t attempt = 0;
     std::uint32_t crc = 0;
+    /// Piggybacked cumulative ack for the reverse link (0 = none): every
+    /// seq < ack_upto of dst->src traffic is acknowledged by this frame.
+    /// Excluded from crc -- the corrupt model flips payload bits only,
+    /// and acks are cumulative/idempotent, so a stale value is harmless.
+    std::uint64_t ack_upto = 0;
     int src_world = -1, dst_world = -1;
     std::uint64_t group_id = 0;
     int src_local = -1, dst_local = -1, tag = 0;
-    std::vector<std::byte> payload;
+    /// Shared with the retransmit queue: framing copies the application
+    /// bytes exactly once; retransmissions and deliveries bump refcounts.
+    std::shared_ptr<std::vector<std::byte>> payload;
     FaultContext ctx;  ///< sender context at first transmission (drives the model)
   };
 
@@ -169,39 +219,108 @@ class ReliableTransport {
   };
 
   struct TxPeer {
+    /// Per-link lock: only this link's sender, its receiver's piggybacked
+    /// acks, and the monitor ever take it, so it is all but uncontended.
+    mutable std::mutex mu;
     std::uint64_t next_seq = 0;
     std::uint64_t acked_upto = 0;  ///< all seq < acked_upto are acked
-    std::map<std::uint64_t, Pending> unacked;
+    /// In seq order (sends only ever append, cumulative acks only ever
+    /// pop the front), so no per-frame map nodes.
+    std::deque<Pending> unacked;
+
+    // The mutex deletes the implicit moves; vector growth and reset()
+    // only touch peers under exclusion, so moving state without the lock
+    // is safe (the destination keeps its own fresh mutex).
+    TxPeer() = default;
+    TxPeer(TxPeer&& o) noexcept
+        : next_seq(o.next_seq), acked_upto(o.acked_upto), unacked(std::move(o.unacked)) {}
+    TxPeer& operator=(TxPeer&& o) noexcept {
+      next_seq = o.next_seq;
+      acked_upto = o.acked_upto;
+      unacked = std::move(o.unacked);
+      return *this;
+    }
   };
 
   struct RxPeer {
+    /// Per-link lock: the sender thread delivering on this link and the
+    /// monitor are the only takers, so it is all but uncontended.
+    mutable std::mutex mu;
     std::uint64_t expected = 0;           ///< next in-order seq
     std::map<std::uint64_t, Frame> ooo;   ///< buffered out-of-order frames
     std::deque<Frame> limbo;              ///< reorder holding pen
+    /// Deferred cumulative ack (0 = none pending): raised by arriving
+    /// frames, drained by reverse-direction sends (piggyback) or the
+    /// monitor's batching deadline.  seq/attempt/ctx of the raising frame
+    /// are kept for the standalone ack's deterministic drop draw.
+    /// Atomic so send() can probe it without mu (mutations stay under mu;
+    /// a stale read only defers the ack to the monitor flush).
+    std::atomic<std::uint64_t> ack_pending{0};
+    double ack_since = 0;
+    std::uint64_t ack_seq = 0;
+    std::uint32_t ack_attempt = 0;
+    FaultContext ack_ctx;
+
+    // The mutex and atomic members delete the implicit moves; vector
+    // growth and reset() only touch peers under exclusion, so a relaxed
+    // copy is safe (the destination keeps its own fresh mutex).
+    RxPeer() = default;
+    RxPeer(RxPeer&& o) noexcept
+        : expected(o.expected),
+          ooo(std::move(o.ooo)),
+          limbo(std::move(o.limbo)),
+          ack_pending(o.ack_pending.load(std::memory_order_relaxed)),
+          ack_since(o.ack_since),
+          ack_seq(o.ack_seq),
+          ack_attempt(o.ack_attempt),
+          ack_ctx(o.ack_ctx) {}
+    RxPeer& operator=(RxPeer&& o) noexcept {
+      expected = o.expected;
+      ooo = std::move(o.ooo);
+      limbo = std::move(o.limbo);
+      ack_pending.store(o.ack_pending.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      ack_since = o.ack_since;
+      ack_seq = o.ack_seq;
+      ack_attempt = o.ack_attempt;
+      ack_ctx = o.ack_ctx;
+      return *this;
+    }
   };
 
   struct Endpoint {
-    mutable std::mutex tx_mu;
     std::vector<TxPeer> tx;  ///< by destination world rank
-    mutable std::mutex rx_mu;
     std::vector<RxPeer> rx;  ///< by source world rank
   };
 
-  static std::uint32_t frame_crc(const Frame& f);
+  std::uint32_t frame_crc(const Frame& f) const;
 
   /// Apply the link model to one transmission and deliver the survivors.
-  void transmit(const Frame& f, bool doomed);
+  /// Takes its frame by value: callers that keep a copy (the retransmit
+  /// queue) pass one; the hot path moves and never copies.
+  void transmit(Frame f, bool doomed);
   /// Run the receiver-side protocol on one arriving frame (possibly held
   /// in limbo first when the model reorders it).
   void deliver(Frame f, bool hold_for_reorder);
-  /// Protocol body; caller holds ep[dst].rx_mu.  Returns the cumulative
-  /// ack to send (0 = none).
+  /// Protocol body; caller holds rp.mu.  Returns the cumulative ack to
+  /// record as pending (0 = none).
   std::uint64_t process_frame(RxPeer& rp, Frame& f);
+  /// Record `ack` as this link's pending cumulative ack (caller holds
+  /// rp.mu; seq/attempt/ctx identify the frame that raised it, for the
+  /// standalone ack's deterministic drop draw).
+  void note_ack(RxPeer& rp, std::uint64_t ack, std::uint64_t seq, std::uint32_t attempt,
+                const FaultContext& ctx);
   /// Push an in-order, verified frame into its group mailbox.
   void to_mailbox(Frame& f);
-  /// Apply a cumulative ack at the original sender (lossy: may be dropped).
+  /// Apply a standalone cumulative ack at the original sender (rides the
+  /// lossy link: may be dropped).
   void apply_ack(int acker_world, int to_world, std::uint64_t upto, std::uint64_t seq,
                  std::uint32_t attempt, const FaultContext& ctx);
+  /// Apply a piggybacked ack (its carrier data frame already survived the
+  /// link model, so no second drop draw).
+  void apply_ack_clean(int acker_world, int to_world, std::uint64_t upto);
+  /// Ack application body; caller holds tp.mu.
+  void clear_acked(TxPeer& tp, std::uint64_t upto);
 
   int nranks_;
   std::shared_ptr<LinkModel> model_;
@@ -209,7 +328,20 @@ class ReliableTransport {
   TransportTuning tuning_;
   detail::JobState* job_;  ///< not owned; the job owns this transport
   std::vector<Endpoint> eps_;
+  std::vector<char> framed_;  ///< by sender world rank; fixed at construction
+  bool crc_on_ = false;       ///< plan has a corrupt spec; fixed at construction
   mutable std::mutex scan_mu_;  ///< serializes tick() against reset()
+
+  /// rto_s mirror so the send hot path skips tuning_mu_ (a stale value
+  /// only shifts one frame's first retry deadline).
+  double rto_hint() const { return rto_hint_.load(std::memory_order_relaxed); }
+  std::atomic<double> rto_hint_{0.005};
+
+  // Work-pending hints so an idle tick() returns without taking any lock
+  // (relaxed: a stale read only delays work by one tick).
+  std::atomic<std::uint64_t> unacked_frames_{0};
+  std::atomic<std::uint64_t> acks_backlog_{0};  ///< RxPeers with ack_pending != 0
+  std::atomic<std::uint64_t> limbo_frames_{0};
 };
 
 /// The job monitor: one background thread per Runtime that drives

@@ -94,7 +94,7 @@ std::vector<double> PencilPm::gather_density(const LocalMesh& rho) {
       for (long x = mine.lo[0]; x < mine.hi(0); ++x) buf.push_back(rho.at(x, y, z));
     }
   }
-  auto recv = world_.alltoallv(send);
+  auto recv = world_.alltoallv(std::move(send));
 
   if (!is_fft_rank()) return {};
   std::vector<double> pencil(fft_->in_cells(), 0.0);
@@ -137,7 +137,7 @@ LocalMesh PencilPm::scatter_potential(const std::vector<double>& pot) {
       }
     }
   }
-  auto recv = world_.alltoallv(send);
+  auto recv = world_.alltoallv(std::move(send));
 
   const CellRegion& mine = potential_region_;
   LocalMesh out(mine);

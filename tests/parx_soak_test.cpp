@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "parx/comm.hpp"
@@ -62,7 +63,10 @@ std::vector<std::uint64_t> run_workload(Runtime& rt) {
         for (std::size_t i = 0; i < n; ++i)
           send[static_cast<std::size_t>(d)].push_back(element(r, me, d, static_cast<int>(i)));
       }
-      const auto got = c.alltoallv(send);
+      // Move-based exchange: on clean links each slice's allocation is
+      // handed to its receiver (zero-copy fast path); on framed links the
+      // slice is consumed all the same, so behavior is path-invariant.
+      const auto got = c.alltoallv(std::move(send));
       for (const auto& v : got)
         for (double x : v) h.mix(x);
       // A reduction everyone depends on.
@@ -187,6 +191,49 @@ TEST(ParxSoak, InflightRequestsSurviveLossyLinksBitwise) {
   EXPECT_EQ(got, expected) << "in-flight requests diverged under a lossy link";
   EXPECT_GT(rt.ledger().totals().retransmit_messages, 0u);
   EXPECT_EQ(rt.ledger().totals().messages, clean.ledger().totals().messages);
+}
+
+TEST(ParxSoak, FastFramedAndLossyPathsAgreeBitwiseWithIdenticalLedgers) {
+  // The same workload over all three routing regimes -- pure fast path
+  // (no plan), framed-but-clean (rate-0 plans, wildcard and partial), and
+  // genuinely lossy (partial plan, one covered sender) -- must produce
+  // bitwise-identical results and identical *logical* ledger accounting;
+  // only the retransmit columns may differ.
+  Runtime clean(kRanks);
+  const auto expected = run_workload(clean);
+  const auto clean_totals = clean.ledger().totals();
+  ASSERT_GT(clean_totals.messages, 0u);
+
+  const Scenario scenarios[] = {
+      {"framed-all-rate0", {"*:any:*:drop@0"}},
+      {"framed-partial-rate0", {"*:any:1:drop@0"}},
+      {"lossy-partial", {"*:any:1:drop@0.05"}},
+  };
+  for (const auto& sc : scenarios) {
+    SCOPED_TRACE(sc.name);
+    Runtime rt(kRanks);
+    FaultPlan plan;
+    for (const char* s : sc.specs) {
+      auto spec = parse_fault_at(s);
+      ASSERT_TRUE(spec.has_value()) << s;
+      plan.at(*spec);
+    }
+    rt.set_fault_plan(plan);
+    rt.set_transport_tuning({.rto_s = 0.001, .backoff = 1.5, .max_attempts = 30,
+                             .tick_s = 0.0005});
+    const auto got = run_workload(rt);
+    EXPECT_EQ(got, expected) << "diverged under " << sc.name;
+    const auto t = rt.ledger().totals();
+    EXPECT_EQ(t.messages, clean_totals.messages) << sc.name;
+    EXPECT_EQ(t.bytes, clean_totals.bytes) << sc.name;
+    if (std::string(sc.name) != "lossy-partial") {
+      EXPECT_EQ(t.retransmit_messages, 0u)
+          << sc.name << ": a clean framed run must not retransmit";
+    } else {
+      EXPECT_GT(t.retransmit_messages, 0u)
+          << sc.name << ": expected the lossy sender to force retransmissions";
+    }
+  }
 }
 
 TEST(ParxSoak, DifferentLinkSeedsDrawDifferentButReproduciblePatterns) {

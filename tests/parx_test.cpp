@@ -806,5 +806,164 @@ TEST(Fault, SpentSpecDoesNotRefire) {
   });
 }
 
+TEST(Fastpath, MoveSendIsZeroCopyAcrossRanks) {
+  // With no plan installed, a move-send hands the sender's allocation
+  // straight to the receiver: the received vector reuses the same buffer.
+  std::atomic<const int*> sent_data{nullptr};
+  run_ranks(2, [&](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<int> v(1024);
+      std::iota(v.begin(), v.end(), 0);
+      sent_data.store(v.data());
+      c.send(1, 9, std::move(v));
+    } else {
+      while (sent_data.load() == nullptr) std::this_thread::yield();
+      const auto got = c.recv<int>(0, 9);
+      EXPECT_EQ(got.data(), sent_data.load()) << "fast path must not copy the payload";
+      EXPECT_EQ(got.size(), 1024u);
+      EXPECT_EQ(got.at(1023), 1023);
+    }
+  });
+}
+
+TEST(Fastpath, PartialPlanFramesOnlyCoveredSenders) {
+  auto& frames = telemetry::Registry::global().counter("parx/frames_sent");
+  auto& fast = telemetry::Registry::global().counter("parx/fastpath_messages");
+  const std::uint64_t frames0 = frames.value(), fast0 = fast.value();
+  Runtime rt(2);
+  // The plan names sender rank 1 only; rank 0's sends must keep the
+  // zero-copy fast path even though a transport is installed.
+  FaultSpec idle;
+  idle.step = kEveryStep;
+  idle.phase = FaultPhase::kAny;
+  idle.rank = 1;
+  idle.kind = FaultKind::kLinkDrop;
+  idle.rate = 0.0;
+  idle.times = kUnlimited;
+  rt.set_fault_plan(FaultPlan().at(idle));
+  const std::vector<int> a{1, 2, 3}, b{4, 5, 6};
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    if (c.rank() == 0) {
+      c.send(1, 11, std::span<const int>(a));
+      EXPECT_EQ(c.recv<int>(1, 12), b);
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 11), a);
+      c.send(0, 12, std::span<const int>(b));
+    }
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+#if GREEM_TELEMETRY_ENABLED
+  EXPECT_EQ(frames.value() - frames0, 1u) << "only rank 1's send is framed";
+  EXPECT_EQ(fast.value() - fast0, 1u) << "rank 0's send takes the fast path";
+#else
+  (void)frames0;
+  (void)fast0;
+#endif
+}
+
+TEST(Fastpath, MidJobPlanFlipRoutesNewTrafficFramed) {
+  auto& frames = telemetry::Registry::global().counter("parx/frames_sent");
+  const std::uint64_t frames0 = frames.value();
+  Runtime rt(2);
+  const std::vector<int> a{10, 20, 30}, b{40, 50, 60};
+  rt.run([&](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    // Phase 1: no plan, both directions ride the fast path.
+    if (c.rank() == 0) {
+      c.send(1, 21, std::span<const int>(a));
+      EXPECT_EQ(c.recv<int>(1, 22), b);
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 21), a);
+      c.send(0, 22, std::span<const int>(b));
+    }
+    // Globally quiescent, barrier-bracketed plan install from one rank:
+    // the contract under which a mid-job flip is legal.
+    c.barrier();
+    if (c.rank() == 0) {
+      FaultSpec idle;
+      idle.step = kEveryStep;
+      idle.phase = FaultPhase::kAny;
+      idle.rank = kEveryRank;
+      idle.kind = FaultKind::kLinkDrop;
+      idle.rate = 0.0;
+      idle.times = kUnlimited;
+      rt.set_fault_plan(FaultPlan().at(idle));
+    }
+    c.barrier();
+    // Phase 2: the same exchange now rides the framed transport, with
+    // bitwise-identical results.
+    if (c.rank() == 0) {
+      c.send(1, 23, std::span<const int>(a));
+      EXPECT_EQ(c.recv<int>(1, 24), b);
+    } else {
+      EXPECT_EQ(c.recv<int>(0, 23), a);
+      c.send(0, 24, std::span<const int>(b));
+    }
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+#if GREEM_TELEMETRY_ENABLED
+  // Exactly the two phase-2 data sends are framed (the phase-2 barrier
+  // traffic is framed too, so allow more than the data frames).
+  EXPECT_GE(frames.value() - frames0, 2u);
+#else
+  (void)frames0;
+#endif
+}
+
+TEST(Fastpath, PiggybackedAcksCoalesce) {
+  auto& frames = telemetry::Registry::global().counter("parx/frames_sent");
+  auto& standalone = telemetry::Registry::global().counter("parx/acks");
+  auto& piggy = telemetry::Registry::global().counter("parx/acks_piggybacked");
+  const std::uint64_t frames0 = frames.value(), standalone0 = standalone.value(),
+                      piggy0 = piggy.value();
+  Runtime rt(2);
+  FaultSpec idle;
+  idle.step = kEveryStep;
+  idle.phase = FaultPhase::kAny;
+  idle.rank = kEveryRank;
+  idle.kind = FaultKind::kLinkDrop;
+  idle.rate = 0.0;
+  idle.times = kUnlimited;
+  rt.set_fault_plan(FaultPlan().at(idle));
+  rt.run([](Comm& c) {
+    set_fault_context(1, FaultPhase::kPP);
+    // Steady bidirectional traffic: nearly every ack should ride a
+    // reverse-direction data frame instead of going out standalone.
+    const int peer = 1 - c.rank();
+    for (int m = 0; m < 200; ++m) {
+      const std::vector<int> v{m};
+      c.send(peer, 31, std::span<const int>(v));
+      EXPECT_EQ(c.recv<int>(peer, 31).at(0), m);
+    }
+    set_fault_context(kNoFaultStep, FaultPhase::kAny);
+  });
+#if GREEM_TELEMETRY_ENABLED
+  const std::uint64_t sent = frames.value() - frames0;
+  EXPECT_GT(piggy.value() - piggy0, 0u) << "acks must piggyback on reverse data frames";
+  EXPECT_LT(standalone.value() - standalone0, sent)
+      << "coalescing must beat one standalone ack per frame";
+#else
+  (void)frames0;
+  (void)standalone0;
+  (void)piggy0;
+#endif
+}
+
+TEST(Parx, RvalueAlltoallvMatchesLvalueAndEmptiesSource) {
+  run_ranks(3, [](Comm& c) {
+    const int p = c.size();
+    std::vector<std::vector<int>> payload(static_cast<std::size_t>(p));
+    for (int j = 0; j < p; ++j)
+      payload[static_cast<std::size_t>(j)] = {c.rank() * 10 + j, j};
+    auto copy = payload;
+    const auto ref = c.alltoallv(payload);      // lvalue: source intact
+    const auto got = c.alltoallv(std::move(copy));  // rvalue: source consumed
+    EXPECT_EQ(got, ref);
+    EXPECT_EQ(payload.size(), static_cast<std::size_t>(p));
+    for (const auto& v : copy) EXPECT_TRUE(v.empty()) << "moved-from slices are consumed";
+  });
+}
+
 }  // namespace
 }  // namespace greem::parx
