@@ -34,6 +34,13 @@
 //                         "@RATE" / "xN" (e.g. 3:pp:2, "*:any:*:drop@0.01")
 //   --watchdog SEC        arm the hang watchdog with this quiescence window
 //   --watchdog-dump FILE  watchdog also writes its state dump here
+//   --flight-dump FILE    flight-recorder dump path (Chrome trace JSON;
+//                         default BENCH_flight_trace.json, "" disables) --
+//                         written at end of run, or by the watchdog /
+//                         sentinel / fault-recovery hooks the moment they
+//                         fire (docs/observability.md)
+//   --live-port N         start the live introspection endpoint on
+//                         127.0.0.1:N (0 = ephemeral port; default off)
 //   --restore-from PATH   resume from a checkpoint dir (or its parent)
 //   --final-state FILE    rank 0 writes the final particles (sorted by id)
 //                         as a snapshot for byte-wise comparison
@@ -68,9 +75,12 @@
 #include "parx/fault.hpp"
 #include "parx/runtime.hpp"
 #include "pp/kernels.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/live_endpoint.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "util/task_pool.hpp"
 #include "util/timer.hpp"
 
 using namespace greem;
@@ -86,6 +96,8 @@ struct Options {
   std::vector<parx::FaultSpec> faults;
   double watchdog_s = 0;
   std::string watchdog_dump;
+  std::string flight_dump = "BENCH_flight_trace.json";
+  int live_port = -1;  ///< -1 = endpoint off, 0 = ephemeral
   std::string restore_from;
   std::string final_state;
   bool overlap = false;
@@ -124,6 +136,10 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.watchdog_s = std::atof(v);
     } else if (!std::strcmp(a, "--watchdog-dump") && (v = need(i))) {
       opt.watchdog_dump = v;
+    } else if (!std::strcmp(a, "--flight-dump") && (v = need(i))) {
+      opt.flight_dump = v;
+    } else if (!std::strcmp(a, "--live-port") && (v = need(i))) {
+      opt.live_port = std::atoi(v);
     } else if (!std::strcmp(a, "--restore-from") && (v = need(i))) {
       opt.restore_from = v;
     } else if (!std::strcmp(a, "--final-state") && (v = need(i))) {
@@ -211,11 +227,16 @@ double sim_steps_seconds(const core::ParallelSimConfig& cfg,
 
 /// One overlap probe run: `nsteps` steps with the overlap switch as given;
 /// returns the wall seconds plus the job-wide overlap fraction of the last
-/// step (inflight / (inflight + blocked), reduced over ranks).  Works
-/// without telemetry -- OverlapStats is plain StepReport data.
+/// step (inflight / (inflight + blocked), reduced over ranks), the PP load
+/// imbalance (max/mean over ranks of the last step's traversal+force
+/// seconds) and the task-pool busy imbalance (max/mean per-slot busy time
+/// over the probe's steps).  Works without telemetry -- OverlapStats and
+/// the timing breakdowns are plain StepReport data.
 struct OverlapProbe {
   double seconds = 0;
   double fraction = 0;
+  double pp_imbalance = 0;
+  double pool_imbalance = 0;
 };
 
 /// Median of 5 samples after one discarded warmup run: probes report a
@@ -245,16 +266,27 @@ OverlapProbe overlap_steps_probe(const core::ParallelSimConfig& cfg,
         world.rank() == 0 ? particles : std::vector<core::Particle>{};
     core::ParallelSimulation sim(world, probe_cfg, std::move(local), 0.0);
     world.barrier();
+    // Reset pool tallies after the bootstrap force so the busy-imbalance
+    // figure covers only the measured steps (the pool is process-wide).
+    if (world.rank() == 0) TaskPool::global().reset_stats();
+    world.barrier();
     Stopwatch sw;
     for (int s = 1; s <= nsteps; ++s) sim.step(s * dt);
     world.barrier();
     const double seconds = sw.seconds();
     double ov[2] = {sim.last_step().overlap.blocked_s, sim.last_step().overlap.inflight_s};
     world.allreduce_sum(std::span<double>(ov, 2));
+    const double pp_local = sim.last_step().pp.get("tree traversal") +
+                            sim.last_step().pp.get("force calculation");
+    const double pp_max = world.allreduce_max(pp_local);
+    const double pp_mean =
+        world.allreduce_sum(pp_local) / static_cast<double>(world.size());
     if (world.rank() == 0) {
       std::lock_guard lock(mu);
       out.seconds = seconds;
       out.fraction = ov[0] + ov[1] > 0 ? ov[1] / (ov[0] + ov[1]) : 0.0;
+      out.pp_imbalance = pp_mean > 0 ? pp_max / pp_mean : 0.0;
+      out.pool_imbalance = TaskPool::global().stats().imbalance();
     }
   });
   return out;
@@ -275,6 +307,18 @@ int main(int argc, char** argv) {
                 "will be empty.\n");
   // Appending to a stale JSONL from a previous run would mix runs.
   std::remove(jsonl_path);
+
+  // Arm the flight-recorder dump path so the watchdog / sentinel /
+  // fault-recovery hooks write their post-mortem artifact here, and start
+  // the live introspection endpoint when requested.
+  if (!opt.flight_dump.empty()) telemetry::set_flight_dump_path(opt.flight_dump);
+  if (opt.live_port >= 0) {
+    if (telemetry::LiveEndpoint::global().start(opt.live_port))
+      std::printf("live endpoint listening on 127.0.0.1:%d\n",
+                  telemetry::LiveEndpoint::global().port());
+    else
+      std::fprintf(stderr, "failed to start live endpoint on port %d\n", opt.live_port);
+  }
 
   auto particles = core::clustered_particles(opt.particles, 1.0, 4, 0.7, 0.03, 2718);
 
@@ -302,7 +346,8 @@ int main(int argc, char** argv) {
     for (const auto& s : opt.faults) plan.at(s);
     rt.set_fault_plan(plan);
   }
-  if (opt.watchdog_s > 0) rt.set_watchdog({opt.watchdog_s, opt.watchdog_dump});
+  if (opt.watchdog_s > 0)
+    rt.set_watchdog({opt.watchdog_s, opt.watchdog_dump, opt.flight_dump});
 
   const double dt = 0.001;
   const auto schedule = [dt](std::uint64_t i) { return static_cast<double>(i + 1) * dt; };
@@ -361,6 +406,17 @@ int main(int argc, char** argv) {
   });
   const double wall_seconds = wall.seconds();
 
+  // Flight-recorder artifact: dump the main run's recent event history now,
+  // before the probes and sweeps below wrap the per-thread rings.  If the
+  // watchdog fired it already dumped the hang evidence to this path --
+  // don't overwrite it with post-hang history.
+  if (!opt.flight_dump.empty() &&
+      telemetry::Registry::global().counter("parx/watchdog_fired").value() == 0) {
+    if (telemetry::dump_flight_recorder(opt.flight_dump))
+      std::printf("wrote %s (%llu flight events recorded)\n", opt.flight_dump.c_str(),
+                  static_cast<unsigned long long>(telemetry::flight_event_count()));
+  }
+
   // Large-N overlap campaign: for each requested N, a short sweep over
   // {no plan, rate-0 plan} x {overlap on, off} on a mesh scaled to the
   // particle count.  Single run per configuration -- at these sizes the
@@ -369,6 +425,7 @@ int main(int argc, char** argv) {
   struct SweepPoint {
     std::size_t n = 0, n_mesh = 0;
     double no_plan_s = 0, rate0_s = 0, on_s = 0, off_s = 0, fraction_on = 0;
+    double pp_imbalance = 0, pool_imbalance = 0;  ///< from the overlap-off leg
   };
   std::vector<SweepPoint> sweep;
   if (!opt.large_n.empty() && opt.faults.empty() && opt.watchdog_s <= 0) {
@@ -397,6 +454,8 @@ int main(int argc, char** argv) {
       p.on_s = on.seconds;
       p.off_s = off.seconds;
       p.fraction_on = on.fraction;
+      p.pp_imbalance = off.pp_imbalance;
+      p.pool_imbalance = off.pool_imbalance;
       sweep.push_back(p);
     }
   }
@@ -428,6 +487,16 @@ int main(int argc, char** argv) {
     jw.field("pool_steals", last.pool_steals);
     jw.field("pool_imbalance", last.pool_imbalance);
     jw.field("ghosts_imported", last.ghosts_imported);
+    if (!last.pp_groups.empty()) {
+      std::uint64_t groups = 0;
+      double max_group_s = 0;
+      for (const auto& g : last.pp_groups) {
+        groups += g.groups;
+        max_group_s = std::max(max_group_s, g.max_group_s);
+      }
+      jw.field("pp_groups_total", groups);
+      jw.field("pp_max_group_seconds", max_group_s);
+    }
     jw.end_object();
     jw.key("checkpointing").begin_object();
     jw.field("checkpoint_every", opt.checkpoint_every);
@@ -508,6 +577,29 @@ int main(int argc, char** argv) {
       jw.end_object();
     }
     jw.end_object();
+    if (opt.faults.empty() && opt.watchdog_s <= 0) {
+      // Flight-recorder overhead probe: the same no-plan workload with the
+      // recorder armed (the default) vs disarmed, median of 5 each -- the
+      // always-on recording budget is "a few relaxed stores per event", and
+      // this is the number the CI perf gate holds it to.
+      constexpr int kProbeSteps = 2;
+      auto no_plan = [&] {
+        return sim_steps_seconds(cfg, particles, kRanks, kProbeSteps, dt, false);
+      };
+      const double armed = median5_seconds(no_plan);
+      telemetry::set_flight_recorder_enabled(false);
+      const double disarmed = median5_seconds(no_plan);
+      telemetry::set_flight_recorder_enabled(true);
+      jw.key("flight_recorder").begin_object();
+      jw.field("enabled", telemetry::enabled());
+      jw.field("events_recorded", telemetry::flight_event_count());
+      jw.field("probe_steps", kProbeSteps);
+      jw.field("repeats", 5);
+      jw.field("armed_seconds", armed);
+      jw.field("disarmed_seconds", disarmed);
+      jw.field("overhead_fraction", disarmed > 0 ? armed / disarmed - 1.0 : 0.0);
+      jw.end_object();
+    }
     {
       // PM/PP overlap: what the main run measured, plus (for clean runs) a
       // dedicated ON-vs-OFF probe on the same workload, median of 5 each.
@@ -552,6 +644,8 @@ int main(int argc, char** argv) {
         jw.field("overlap_off_seconds", p.off_s);
         jw.field("overlap_fraction_on", p.fraction_on);
         jw.field("overlap_speedup", p.on_s > 0 ? p.off_s / p.on_s : 0.0);
+        jw.field("pp_imbalance", p.pp_imbalance);
+        jw.field("pool_imbalance", p.pool_imbalance);
         jw.end_object();
       }
       jw.end_array();
@@ -568,5 +662,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rstats.checkpoints),
                 static_cast<unsigned long long>(rstats.restores));
   }
+  telemetry::LiveEndpoint::global().stop();
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "domain/exchange.hpp"
 #include "parx/fault.hpp"
 #include "pp/kernels.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/live_endpoint.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 #include "tree/ghost.hpp"
@@ -120,6 +122,15 @@ void ParallelSimulation::sentinel_check() {
   }
   if (!why.str().empty()) {
     telemetry::Registry::global().counter("sentinel/violations").add();
+    // Post-mortem hooks before the (collective, identical-on-every-rank)
+    // throw: mark the trip in the flight recorder, dump the recent event
+    // history once, and tell any live-endpoint subscribers why.
+    telemetry::flight_record_mark("sentinel/violation",
+                                  static_cast<std::int64_t>(step_counter_));
+    if (world_.rank() == 0) {
+      telemetry::dump_flight_recorder();
+      telemetry::LiveEndpoint::global().publish_event("sentinel", why.str());
+    }
     throw SentinelError(why.str() + " at step " + std::to_string(step_counter_));
   }
   sentinel_prev_mom_ = {v[3], v[4], v[5]};
@@ -209,7 +220,8 @@ void ParallelSimulation::pp_finish(GhostWork& g) {
   tp.kernel = config_.kernel;
   std::vector<Vec3> acc(pos.size(), Vec3{});
   tree::TraversalTimes times;
-  auto stats = tree::tree_accelerations_targets(octree, tp, n_local, acc, {}, &times);
+  auto stats = tree::tree_accelerations_targets(octree, tp, n_local, acc, {}, &times,
+                                                &report_.pp_group_costs);
   report_.pp.add("tree traversal", times.traverse_s);
   report_.pp.add("force calculation", times.force_s);
   report_.pp_stats.merge(stats);
@@ -495,6 +507,39 @@ void ParallelSimulation::write_step_record() {
   rec.overlap_inflight_seconds = ov[1];
   rec.overlap_fraction = ov[0] + ov[1] > 0 ? ov[1] / (ov[0] + ov[1]) : 0;
 
+  // Per-group PP cost attribution, folded to one summary row per rank:
+  // each rank contributes its slot of a zero-elsewhere table and the sum
+  // reduction is an allgather.  The per-group detail stays rank-local in
+  // report_.pp_group_costs (load-balance input); the record carries the
+  // cross-rank view.
+  if (!report_.pp_group_costs.empty()) {
+    constexpr std::size_t kCols = 6;
+    std::vector<double> table(static_cast<std::size_t>(world_.size()) * kCols, 0.0);
+    double* row = table.data() + static_cast<std::size_t>(world_.rank()) * kCols;
+    double max_group_s = 0;
+    for (const auto& gc : report_.pp_group_costs) {
+      row[0] += 1;
+      row[1] += static_cast<double>(gc.interactions);
+      row[2] += static_cast<double>(gc.ghost_sources);
+      row[3] += gc.walk_s;
+      row[4] += gc.force_s;
+      max_group_s = std::max(max_group_s, gc.walk_s + gc.force_s);
+    }
+    row[5] = max_group_s;
+    world_.allreduce_sum(std::span<double>(table));
+    rec.pp_groups.resize(world_.size());
+    for (int r = 0; r < world_.size(); ++r) {
+      const double* src = table.data() + static_cast<std::size_t>(r) * kCols;
+      auto& g = rec.pp_groups[r];
+      g.groups = static_cast<std::uint64_t>(src[0]);
+      g.interactions = static_cast<std::uint64_t>(src[1]);
+      g.ghost_sources = static_cast<std::uint64_t>(src[2]);
+      g.walk_s = src[3];
+      g.force_s = src[4];
+      g.max_group_s = src[5];
+    }
+  }
+
   if (world_.rank() == 0) {
     auto phase = [&](const char* name, const parx::TrafficCounts& c) {
       if (c.world_size() == 0) return;
@@ -504,8 +549,18 @@ void ParallelSimulation::write_step_record() {
     phase("dd", report_.traffic_dd);
     phase("pp", report_.traffic_pp);
     phase("pm", report_.traffic_pm);
-    std::ofstream os(config_.step_report_path, std::ios::app);
-    if (os) telemetry::write_jsonl(os, rec);
+    // Render the line once, append + flush it atomically (optionally
+    // fsynced), and mirror it to any live-endpoint subscribers.
+    std::ostringstream line;
+    telemetry::write_jsonl(line, rec);
+    telemetry::append_jsonl_line(config_.step_report_path, line.view(),
+                                 config_.step_report_fsync);
+    auto& live = telemetry::LiveEndpoint::global();
+    if (live.running()) {
+      std::string_view lv = line.view();
+      while (!lv.empty() && (lv.back() == '\n' || lv.back() == '\r')) lv.remove_suffix(1);
+      live.publish(lv);
+    }
   }
   record_ = std::move(rec);
 }
@@ -550,15 +605,16 @@ TimingBreakdown allreduce_max(parx::Comm& comm, const TimingBreakdown& local) {
 }
 
 tree::TraversalStats allreduce_sum(parx::Comm& comm, const tree::TraversalStats& local) {
-  std::uint64_t vals[5] = {local.ngroups, local.sum_ni, local.sum_nj, local.interactions,
-                           local.nodes_visited};
-  comm.allreduce_sum(std::span<std::uint64_t>(vals, 5));
+  std::uint64_t vals[6] = {local.ngroups,      local.sum_ni,        local.sum_nj,
+                           local.interactions, local.nodes_visited, local.ghost_sources};
+  comm.allreduce_sum(std::span<std::uint64_t>(vals, 6));
   tree::TraversalStats out;
   out.ngroups = vals[0];
   out.sum_ni = vals[1];
   out.sum_nj = vals[2];
   out.interactions = vals[3];
   out.nodes_visited = vals[4];
+  out.ghost_sources = vals[5];
   return out;
 }
 

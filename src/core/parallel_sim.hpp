@@ -122,6 +122,12 @@ struct ParallelSimConfig {
   /// writes the file.
   std::string step_report_path;
 
+  /// fsync the step-report file after each appended line (the append is
+  /// always flushed to the OS either way, so a killed *process* loses
+  /// nothing; fsync additionally survives a killed machine).  Excluded
+  /// from config_fingerprint.
+  bool step_report_fsync = false;
+
   double rcut() const { return pm.effective_rcut(); }
 };
 
@@ -184,6 +190,10 @@ class ParallelSimulation {
     TimingBreakdown pm, pp, dd;      ///< this rank's phase seconds (busy time)
     tree::TraversalStats pp_stats;   ///< this rank's traversal statistics
     std::size_t n_ghost_imported = 0;
+    /// Per-group cost attribution of the final PP cycle (walk/force
+    /// seconds, interactions, ghost imports per group) -- rank-local, in
+    /// tree.groups(ncrit) order; the load-balance v2 input.
+    std::vector<tree::GroupCost> pp_group_costs;
     OverlapStats overlap;            ///< final-substep combined force cycle
     /// Global traffic per phase bucket, accumulated from ledger epochs.
     /// Observed on rank 0 only (the ledger is global); empty elsewhere

@@ -8,7 +8,10 @@
 
 #include "parx/group.hpp"
 #include "parx/transport.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/live_endpoint.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace greem::parx {
 
@@ -53,6 +56,18 @@ void match_pending(detail::Mailbox& box) {
     if (!hit) {
       ++msg;
       continue;
+    }
+    if (msg->flow != 0) {
+      // Close the causal trace on the receiver thread: the flight
+      // recorder's recv event pairs with the send-side event through the
+      // flow id, and the delivery latency feeds the registry histogram.
+      telemetry::flight_record_frame(telemetry::FrameEventKind::kRecv, msg->src_world,
+                                     telemetry::current_trace_rank(), /*seq=*/0,
+                                     msg->payload.size(), msg->flow);
+      static telemetry::Histogram& lat =
+          telemetry::Registry::global().histogram("parx/recv_latency_s");
+      const std::int64_t now = telemetry::trace_now_ns();
+      lat.record(static_cast<double>(now > msg->sent_ns ? now - msg->sent_ns : 0) * 1e-9);
     }
     hit->payload = std::move(msg->payload);
     hit->done.store(true, std::memory_order_release);
@@ -131,10 +146,18 @@ void Comm::fault_recover(double timeout_s) {
         for (Group* g : job.groups) g->reset_comm_state(deferred);
       }
       if (auto t = job.transport_ref()) t->reset();
+      std::string reason;
       {
         std::lock_guard reason_lock(job.reason_mu);
+        reason = std::move(job.fault_reason);
         job.fault_reason.clear();
       }
+      // Post-mortem hooks: keep the evidence of what led into recovery
+      // (dump only when a flight-dump path is configured) and tell any
+      // live-endpoint client the job is recovering.
+      telemetry::flight_record_mark("parx/fault_recover", world_rank());
+      telemetry::dump_flight_recorder();
+      telemetry::LiveEndpoint::global().publish_event("fault_recover", reason);
       job.fault.store(false, std::memory_order_relaxed);
       job.recover_arrived = 0;
       ++job.recover_gen;
@@ -197,10 +220,20 @@ bool Comm::send_framed(int dst, int tag, const void* data, std::size_t n) {
 }
 
 void Comm::deliver_local(int dst, int tag, Buf&& payload) {
+  Message m{rank_, tag, std::move(payload)};
+  if constexpr (telemetry::enabled()) {
+    // Stamp the causal trace at hand-off: the fast path has no frame, so
+    // this is where the flow id is born (seq stays 0).
+    m.src_world = world_rank();
+    m.flow = telemetry::next_flow_id();
+    m.sent_ns = telemetry::trace_now_ns();
+    telemetry::flight_record_frame(telemetry::FrameEventKind::kSend, m.src_world,
+                                   world_rank_of(dst), /*seq=*/0, m.payload.size(), m.flow);
+  }
   auto& box = *group_->boxes[static_cast<std::size_t>(dst)];
   {
     std::lock_guard lock(box.mu);
-    box.msgs.push_back(Message{rank_, tag, std::move(payload)});
+    box.msgs.push_back(std::move(m));
     ++box.delivered;
   }
   box.cv.notify_all();

@@ -165,6 +165,11 @@ struct Message {
   int src;
   int tag;
   Buf payload;  ///< owning, type-erased: fast-path sends hand their buffer over
+  // Causal-trace stamp applied at send time (flight recorder flow events
+  // and latency histograms); flow == 0 means unstamped (telemetry OFF).
+  int src_world = -1;
+  std::uint64_t flow = 0;
+  std::int64_t sent_ns = 0;
 };
 
 /// One posted nonblocking operation.  Receive requests are parked in the

@@ -10,7 +10,10 @@
 #include <sstream>
 
 #include "parx/group.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/live_endpoint.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "util/hash.hpp"
 
 namespace greem::parx {
@@ -43,6 +46,29 @@ constexpr std::uint32_t kSaltBit = 7;
 /// the process lifetime).
 #define PARX_COUNTER(var, name) \
   static telemetry::Counter& var = telemetry::Registry::global().counter(name)
+
+/// Format "parx/link/S->D/<what>" without allocating beyond the registry's
+/// own copy of the name.
+std::string link_name(int src, int dst, const char* what) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "parx/link/%d->%d/%s", src, dst, what);
+  return buf;
+}
+
+/// Lazily bind a per-link instrument slot (benign race: the registry
+/// returns one stable reference per name, so concurrent fills agree).
+template <class T, class Lookup>
+T& link_slot(std::vector<std::atomic<T*>>& cache, int nranks, int src, int dst,
+             Lookup&& lookup) {
+  auto& slot = cache[static_cast<std::size_t>(src) * static_cast<std::size_t>(nranks) +
+                     static_cast<std::size_t>(dst)];
+  T* p = slot.load(std::memory_order_acquire);
+  if (!p) {
+    p = &lookup();
+    slot.store(p, std::memory_order_release);
+  }
+  return *p;
+}
 
 }  // namespace
 
@@ -156,7 +182,14 @@ bool LinkModel::can_corrupt() const {
 
 ReliableTransport::ReliableTransport(int nranks, std::shared_ptr<LinkModel> model,
                                      TransportTuning tuning, JobState* job)
-    : nranks_(nranks), model_(std::move(model)), tuning_(tuning), job_(job), eps_(static_cast<std::size_t>(nranks)) {
+    : nranks_(nranks),
+      model_(std::move(model)),
+      tuning_(tuning),
+      job_(job),
+      eps_(static_cast<std::size_t>(nranks)),
+      link_lat_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)),
+      link_rtt_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)),
+      link_retx_(static_cast<std::size_t>(nranks) * static_cast<std::size_t>(nranks)) {
   for (auto& ep : eps_) {
     ep.tx.resize(static_cast<std::size_t>(nranks));
     ep.rx.resize(static_cast<std::size_t>(nranks));
@@ -172,6 +205,24 @@ ReliableTransport::ReliableTransport(int nranks, std::shared_ptr<LinkModel> mode
 }
 
 ReliableTransport::~ReliableTransport() = default;
+
+telemetry::Histogram& ReliableTransport::link_latency(int src_world, int dst_world) {
+  return link_slot(link_lat_, nranks_, src_world, dst_world, [&]() -> telemetry::Histogram& {
+    return telemetry::Registry::global().histogram(link_name(src_world, dst_world, "latency_s"));
+  });
+}
+
+telemetry::Histogram& ReliableTransport::link_ack_rtt(int src_world, int dst_world) {
+  return link_slot(link_rtt_, nranks_, src_world, dst_world, [&]() -> telemetry::Histogram& {
+    return telemetry::Registry::global().histogram(link_name(src_world, dst_world, "ack_rtt_s"));
+  });
+}
+
+telemetry::Counter& ReliableTransport::link_retransmits(int src_world, int dst_world) {
+  return link_slot(link_retx_, nranks_, src_world, dst_world, [&]() -> telemetry::Counter& {
+    return telemetry::Registry::global().counter(link_name(src_world, dst_world, "retransmits"));
+  });
+}
 
 std::uint32_t ReliableTransport::frame_crc(const Frame& f) const {
   util::Crc32 c;
@@ -205,6 +256,10 @@ void ReliableTransport::send(Group& group, int src_local, int dst_local, int tag
   f.payload = std::make_shared<std::vector<std::byte>>(n);
   if (n > 0) std::memcpy(f.payload->data(), data, n);
   f.ctx = fault_context();
+  // Causal-trace stamp: travels with the frame (and its retransmit-queue
+  // copy) into the destination Message, pairing send and recv events.
+  f.flow = telemetry::next_flow_id();
+  f.sent_ns = telemetry::trace_now_ns();
 
   // Piggyback the reverse link's pending cumulative ack, if any.  The
   // lock-free probe keeps clean sends from paying the peer lock when
@@ -239,6 +294,8 @@ void ReliableTransport::send(Group& group, int src_local, int dst_local, int tag
   unacked_frames_.fetch_add(1, std::memory_order_relaxed);
   PARX_COUNTER(frames_sent, "parx/frames_sent");
   frames_sent.add();
+  telemetry::flight_record_frame(telemetry::FrameEventKind::kSend, f.src_world, f.dst_world,
+                                 f.seq, n, f.flow);
   transmit(std::move(f), doomed);
 }
 
@@ -253,6 +310,8 @@ void ReliableTransport::transmit(Frame f, bool doomed) {
   if (d.drop) {
     PARX_COUNTER(drops, "parx/drops_injected");
     drops.add();
+    telemetry::flight_record_frame(telemetry::FrameEventKind::kDrop, f.src_world, f.dst_world,
+                                   f.seq, f.payload ? f.payload->size() : 0, f.flow);
     return;
   }
   if (d.corrupt && f.payload && !f.payload->empty()) {
@@ -360,13 +419,24 @@ std::uint64_t ReliableTransport::process_frame(RxPeer& rp, Frame& f) {
 }
 
 void ReliableTransport::to_mailbox(Frame& f) {
+  if (f.flow != 0) {
+    // In-order acceptance closes the wire leg: send -> deliver latency
+    // includes every retransmit and reassembly delay on this link.
+    const std::int64_t now = telemetry::trace_now_ns();
+    link_latency(f.src_world, f.dst_world)
+        .record(static_cast<double>(now > f.sent_ns ? now - f.sent_ns : 0) * 1e-9);
+    telemetry::flight_record_frame(telemetry::FrameEventKind::kDeliver, f.src_world,
+                                   f.dst_world, f.seq, f.payload ? f.payload->size() : 0,
+                                   f.flow);
+  }
   auto push = [&](Group* g) {
     auto& box = *g->boxes[static_cast<std::size_t>(f.dst_local)];
     {
       std::lock_guard lock(box.mu);
       // The payload may still be shared with the retransmit queue; the
       // receiver's take() moves it once the queue lets go (Buf::share).
-      box.msgs.push_back(Message{f.src_local, f.tag, Buf::share(std::move(f.payload))});
+      box.msgs.push_back(Message{f.src_local, f.tag, Buf::share(std::move(f.payload)),
+                                 f.src_world, f.flow, f.sent_ns});
       ++box.delivered;
     }
     box.cv.notify_all();
@@ -393,7 +463,20 @@ void ReliableTransport::to_mailbox(Frame& f) {
 void ReliableTransport::clear_acked(TxPeer& tp, std::uint64_t upto) {
   if (upto > tp.acked_upto) tp.acked_upto = upto;
   std::uint64_t cleared = 0;
+  const std::int64_t now = telemetry::trace_now_ns();
   while (!tp.unacked.empty() && tp.unacked.front().frame.seq < upto) {
+    const Frame& f = tp.unacked.front().frame;
+    if (f.flow != 0) {
+      // Retiring a frame closes its ack round trip (first send -> ack).
+      const double rtt = static_cast<double>(now > f.sent_ns ? now - f.sent_ns : 0) * 1e-9;
+      link_ack_rtt(f.src_world, f.dst_world).record(rtt);
+      static telemetry::Histogram& all_rtt =
+          telemetry::Registry::global().histogram("parx/ack_rtt_s");
+      all_rtt.record(rtt);
+      telemetry::flight_record_frame(telemetry::FrameEventKind::kAck, f.src_world,
+                                     f.dst_world, f.seq, f.payload ? f.payload->size() : 0,
+                                     f.flow);
+    }
     tp.unacked.pop_front();
     ++cleared;
   }
@@ -514,6 +597,11 @@ void ReliableTransport::tick(double now) {
   for (auto& r : retx) {
     PARX_COUNTER(retransmits, "parx/retransmits");
     retransmits.add();
+    link_retransmits(r.frame.src_world, r.frame.dst_world).add();
+    telemetry::flight_record_frame(telemetry::FrameEventKind::kRetransmit, r.frame.src_world,
+                                   r.frame.dst_world, r.frame.seq,
+                                   r.frame.payload ? r.frame.payload->size() : 0,
+                                   r.frame.flow);
     if (job_->ledger)
       job_->ledger->record_retransmit(r.frame.src_world, r.frame.dst_world,
                                       r.frame.payload ? r.frame.payload->size() : 0);
@@ -628,6 +716,23 @@ void Monitor::check_hang(double now) {
     if (f) f << report.str();
   }
   telemetry::Registry::global().counter("parx/watchdog_fired").add();
+  // Post-mortem: mark every rank's blocked/running verdict in the flight
+  // recorder, then dump the rings as a Chrome-trace artifact next to the
+  // text report.  The configured path wins; the module-level path
+  // (set_flight_dump_path / $GREEM_FLIGHT_DUMP) is the fallback.
+  telemetry::flight_record_mark("watchdog/fired", stuck,
+                                static_cast<std::int64_t>(stuck_for * 1e3));
+  for (int r = 0; r < job_->nranks; ++r) {
+    const auto& ra = job_->activity[static_cast<std::size_t>(r)];
+    const bool blocked = ra.blocked_since.load(std::memory_order_relaxed) > 0;
+    telemetry::flight_record_mark(blocked ? "watchdog/blocked" : "watchdog/running", r,
+                                  ra.peer.load(std::memory_order_relaxed));
+  }
+  if (!cfg.flight_dump_path.empty())
+    telemetry::dump_flight_recorder(cfg.flight_dump_path);
+  else
+    telemetry::dump_flight_recorder();
+  telemetry::LiveEndpoint::global().publish_event("watchdog", head);
   job_->raise_fault(head);
 }
 

@@ -64,6 +64,7 @@
 #include <vector>
 
 #include "parx/fault.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace greem::parx {
 
@@ -90,6 +91,9 @@ struct TransportTuning {
 struct WatchdogConfig {
   double quiescence_s = 0;  ///< a rank blocked in one comm op longer than this hangs
   std::string dump_path;    ///< also write the state report here (stderr always)
+  /// Where to dump the flight recorder (Chrome trace JSON) when the
+  /// watchdog fires; empty falls back to telemetry::flight_dump_path().
+  std::string flight_dump_path;
 };
 
 /// Deterministic lossy-link model: the armed link-fault subset of a
@@ -210,6 +214,11 @@ class ReliableTransport {
     /// bytes exactly once; retransmissions and deliveries bump refcounts.
     std::shared_ptr<std::vector<std::byte>> payload;
     FaultContext ctx;  ///< sender context at first transmission (drives the model)
+    /// Causal-trace stamp applied at framing time: flow pairs the frame's
+    /// send and recv flight-recorder events; sent_ns feeds the per-link
+    /// latency and ack-RTT histograms.  0/0 when telemetry is off.
+    std::uint64_t flow = 0;
+    std::int64_t sent_ns = 0;
   };
 
   struct Pending {
@@ -322,6 +331,14 @@ class ReliableTransport {
   /// Ack application body; caller holds tp.mu.
   void clear_acked(TxPeer& tp, std::uint64_t upto);
 
+  // Per-link instruments ("parx/link/S->D/..."), created lazily on first
+  // event so the registry only holds links that carried traffic.  The
+  // publication race is benign: the registry returns one stable reference
+  // per name.
+  telemetry::Histogram& link_latency(int src_world, int dst_world);
+  telemetry::Histogram& link_ack_rtt(int src_world, int dst_world);
+  telemetry::Counter& link_retransmits(int src_world, int dst_world);
+
   int nranks_;
   std::shared_ptr<LinkModel> model_;
   mutable std::mutex tuning_mu_;
@@ -329,6 +346,10 @@ class ReliableTransport {
   detail::JobState* job_;  ///< not owned; the job owns this transport
   std::vector<Endpoint> eps_;
   std::vector<char> framed_;  ///< by sender world rank; fixed at construction
+  /// Lazily-filled per-link instrument caches, indexed src * nranks + dst.
+  std::vector<std::atomic<telemetry::Histogram*>> link_lat_;
+  std::vector<std::atomic<telemetry::Histogram*>> link_rtt_;
+  std::vector<std::atomic<telemetry::Counter*>> link_retx_;
   bool crc_on_ = false;       ///< plan has a corrupt spec; fixed at construction
   mutable std::mutex scan_mu_;  ///< serializes tick() against reset()
 

@@ -1,0 +1,175 @@
+#include "telemetry/live_endpoint.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greem::telemetry {
+
+std::string metrics_snapshot_json() {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", "metrics");
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : Registry::global().counters()) w.field(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : Registry::global().gauges()) w.field(name, v);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+LiveEndpoint& LiveEndpoint::global() {
+  static LiveEndpoint* e = new LiveEndpoint;  // leaked: outlives static teardown
+  return *e;
+}
+
+LiveEndpoint::~LiveEndpoint() { stop(); }
+
+bool LiveEndpoint::start(int port) {
+  if (running()) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 8) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void LiveEndpoint::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::lock_guard lock(mu_);
+  for (const int fd : clients_) ::close(fd);
+  clients_.clear();
+}
+
+std::size_t LiveEndpoint::clients() const {
+  std::lock_guard lock(mu_);
+  return clients_.size();
+}
+
+void LiveEndpoint::send_line(int fd, std::string_view line) {
+  std::string out(line);
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw std::runtime_error("client write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void LiveEndpoint::publish(std::string_view json_line) {
+  if (!running()) return;
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < clients_.size();) {
+    try {
+      send_line(clients_[i], json_line);
+      ++i;
+    } catch (const std::exception&) {
+      ::close(clients_[i]);
+      clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LiveEndpoint::publish_event(std::string_view type, std::string_view detail) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", type);
+  w.field("detail", detail);
+  w.end_object();
+  publish(os.str());
+}
+
+void LiveEndpoint::serve() {
+  while (running()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard lock(mu_);
+      for (const int fd : clients_) fds.push_back({fd, POLLIN, 0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (n <= 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+      if (cfd >= 0) {
+        timeval tv{1, 0};  // bound publish() stalls on a wedged client
+        ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::lock_guard lock(mu_);
+        try {
+          send_line(cfd, "{\"type\":\"hello\",\"service\":\"greem\",\"version\":1}");
+          send_line(cfd, metrics_snapshot_json());
+          clients_.push_back(cfd);
+        } catch (const std::exception&) {
+          ::close(cfd);
+        }
+      }
+    }
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      char buf[256];
+      const ssize_t r = ::recv(fds[i].fd, buf, sizeof(buf) - 1, 0);
+      std::lock_guard lock(mu_);
+      const auto it = std::find(clients_.begin(), clients_.end(), fds[i].fd);
+      if (it == clients_.end()) continue;
+      if (r <= 0) {  // peer closed (or error): drop the client
+        ::close(*it);
+        clients_.erase(it);
+        continue;
+      }
+      buf[r] = '\0';
+      if (std::string_view(buf).find("metrics") != std::string_view::npos) {
+        try {
+          send_line(*it, metrics_snapshot_json());
+        } catch (const std::exception&) {
+          ::close(*it);
+          clients_.erase(it);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace greem::telemetry

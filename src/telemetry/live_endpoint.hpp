@@ -1,0 +1,79 @@
+#pragma once
+// Live introspection endpoint: a tiny per-process TCP server (loopback
+// only) streaming newline-delimited JSON to connected clients -- the first
+// brick of the "simulation as a service" roadmap item.
+//
+// Protocol (one JSON document per line, both directions):
+//   server -> client on connect:  {"type":"hello",...} then a metrics
+//                                 snapshot line
+//   server -> client streamed:    whatever publish() is handed -- per-step
+//                                 StepReport records (parallel_sim),
+//                                 watchdog / sentinel / recovery events
+//   client -> server commands:    "metrics\n" requests a fresh metrics
+//                                 snapshot line; anything else is ignored
+//
+// The server is passive with respect to the simulation: publish() writes
+// to whoever is connected and drops clients whose sockets fail; nothing
+// blocks the step loop beyond a bounded send (1s SO_SNDTIMEO).
+//
+// Always compiled (plain sockets + JSON, like JsonWriter); under
+// GREEM_TELEMETRY=OFF the metrics snapshot is simply empty.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace greem::telemetry {
+
+/// One JSON document: {"type":"metrics","counters":{...},"gauges":{...}}.
+std::string metrics_snapshot_json();
+
+class LiveEndpoint {
+ public:
+  /// The process-wide endpoint publishers use (started on demand by
+  /// whoever owns the process entry point; publish() on a non-running
+  /// endpoint is a cheap no-op).
+  static LiveEndpoint& global();
+
+  LiveEndpoint() = default;
+  ~LiveEndpoint();
+  LiveEndpoint(const LiveEndpoint&) = delete;
+  LiveEndpoint& operator=(const LiveEndpoint&) = delete;
+
+  /// Listen on 127.0.0.1:`port` (0 picks an ephemeral port, see port()).
+  /// Returns false if the socket could not be bound; already-running is
+  /// a no-op returning true.
+  bool start(int port = 0);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after start() succeeded).
+  int port() const { return port_; }
+  std::size_t clients() const;
+  std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
+
+  /// Broadcast one JSON document (no trailing newline -- added here) to
+  /// every connected client.  No-op when not running.
+  void publish(std::string_view json_line);
+
+  /// Convenience: publish {"type":<type>,"detail":<detail>}.
+  void publish_event(std::string_view type, std::string_view detail);
+
+ private:
+  void serve();
+  void send_line(int fd, std::string_view line);  ///< callers hold mu_
+
+  mutable std::mutex mu_;  ///< guards clients_ and all writes to them
+  std::vector<int> clients_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> published_{0};
+  std::thread thread_;
+};
+
+}  // namespace greem::telemetry

@@ -1,5 +1,10 @@
 #include "telemetry/step_report.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+
 #include "telemetry/json.hpp"
 
 namespace greem::telemetry {
@@ -62,8 +67,41 @@ void write_jsonl(std::ostream& os, const StepRecord& r) {
   w.field("inflight_seconds", r.overlap_inflight_seconds);
   w.field("fraction", r.overlap_fraction);
   w.end_object();
+  if (!r.pp_groups.empty()) {
+    w.key("pp_groups").begin_array();
+    for (const auto& g : r.pp_groups) {
+      w.begin_object();
+      w.field("groups", g.groups);
+      w.field("interactions", g.interactions);
+      w.field("ghost_sources", g.ghost_sources);
+      w.field("walk_s", g.walk_s);
+      w.field("force_s", g.force_s);
+      w.field("max_group_s", g.max_group_s);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
   os << "\n";
+}
+
+bool append_jsonl_line(const std::string& path, std::string_view line, bool fsync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  bool ok = true;
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (ok && fsync && ::fsync(fd) != 0) ok = false;
+  ::close(fd);
+  return ok;
 }
 
 }  // namespace greem::telemetry

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/timer.hpp"
@@ -82,9 +83,31 @@ struct StepRecord {
   double overlap_blocked_seconds = 0;  ///< sum over ranks of wait-stall time
   double overlap_inflight_seconds = 0; ///< sum over ranks of post-to-drain windows
   double overlap_fraction = 0;         ///< inflight / (inflight + blocked)
+
+  /// Per-rank PP group-walk cost summary (final PP cycle of the step) --
+  /// the coarse view of tree::GroupCost attribution: where the short-range
+  /// work sits across ranks, which rank carries the most expensive single
+  /// group.  Empty when group costs were not collected.
+  struct RankGroups {
+    std::uint64_t groups = 0;         ///< group count on this rank
+    std::uint64_t interactions = 0;   ///< sum of per-group Ni*Nj
+    std::uint64_t ghost_sources = 0;  ///< opened ghost leaf sources
+    double walk_s = 0;                ///< summed per-group walk seconds
+    double force_s = 0;               ///< summed per-group kernel seconds
+    double max_group_s = 0;  ///< costliest single group (walk + force)
+  };
+  std::vector<RankGroups> pp_groups;  ///< indexed by rank
 };
 
 /// Append `r` to `os` as one compact JSON line (JSONL).
 void write_jsonl(std::ostream& os, const StepRecord& r);
+
+/// Append one pre-rendered line to `path` with a single POSIX
+/// O_APPEND write, then flush it to the OS (and to the disk when
+/// `fsync` is set) before returning -- a crash right after a step can
+/// never lose that step's record, which is the whole point of a
+/// post-mortem report stream.  Returns false if the file could not be
+/// opened or fully written.
+bool append_jsonl_line(const std::string& path, std::string_view line, bool fsync = false);
 
 }  // namespace greem::telemetry

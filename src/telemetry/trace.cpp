@@ -9,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 
 namespace greem::telemetry {
@@ -68,14 +69,19 @@ int set_trace_rank(int r) {
   return prev;
 }
 
-std::int64_t Span::now_ns() {
+int current_trace_rank() { return tl_pid; }
+
+std::int64_t trace_now_ns() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point epoch = clock::now();
   return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch).count();
 }
 
+std::int64_t Span::now_ns() { return trace_now_ns(); }
+
 void Span::finish() {
   const std::int64_t end_ns = now_ns();
+  flight_record_span(name_, start_ns_, end_ns - start_ns_);
   ThreadBuffer& buf = my_buffer();
   std::lock_guard lock(buf.mu);
   if (buf.events.size() >= kMaxEventsPerThread) {

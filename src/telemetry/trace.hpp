@@ -35,6 +35,15 @@ inline constexpr int kHostTrack = -1;
 /// scoped users can restore it.
 int set_trace_rank(int r);
 
+/// The rank track this thread currently records to (kHostTrack outside
+/// parx rank threads).
+int current_trace_rank();
+
+/// Nanoseconds since the process-wide trace epoch -- the time base of
+/// every span, frame event and flight-recorder dump, so artifacts from
+/// different subsystems line up in Perfetto.
+std::int64_t trace_now_ns();
+
 /// RAII complete-event span.  `name` must have static storage duration.
 class Span {
  public:
@@ -76,6 +85,8 @@ void clear_trace();
 #else
 
 inline int set_trace_rank(int) { return kHostTrack; }
+inline int current_trace_rank() { return kHostTrack; }
+inline std::int64_t trace_now_ns() { return 0; }
 
 class Span {
  public:

@@ -39,6 +39,12 @@ struct Walker {
   pp::InteractionList* list;
   TraversalStats* stats;
   std::vector<pp::QuadSource>* quad_list = nullptr;  ///< kNewtonQuad only
+  /// Opened leaf sources with original index >= ghost_from are counted as
+  /// ghost imports (parallel ranks: locals precede ghosts).  count_ghosts
+  /// false (the default) skips the per-particle index lookup entirely.
+  bool count_ghosts = false;
+  std::uint32_t ghost_from = std::numeric_limits<std::uint32_t>::max();
+  std::uint64_t ghost_sources = 0;
 
   void walk(std::uint32_t ni) {
     const TreeNode& node = tree.nodes()[ni];
@@ -71,8 +77,10 @@ struct Walker {
     if (node.is_leaf()) {
       const auto pos = tree.sorted_pos();
       const auto mass = tree.sorted_mass();
-      for (std::uint32_t i = node.first; i < node.first + node.count; ++i)
+      for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
         list->add(pos[i] + offset, mass[i]);
+        if (count_ghosts && tree.original_index(i) >= ghost_from) ++ghost_sources;
+      }
       return;
     }
     for (std::uint32_t c = 0; c < node.nchildren; ++c) walk(node.first_child + c);
@@ -81,16 +89,22 @@ struct Walker {
 
 TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
                              std::size_t n_targets, std::span<Vec3> acc,
-                             std::span<const Vec3> image_offsets, TraversalTimes* times) {
+                             std::span<const Vec3> image_offsets, TraversalTimes* times,
+                             std::vector<GroupCost>* group_costs) {
   static const Vec3 kHome{0, 0, 0};
   if (image_offsets.empty()) image_offsets = {&kHome, 1};
 
   telemetry::Span span("tree/traversal_force");
   TraversalStats stats;
+  if (group_costs) group_costs->clear();
   if (tree.num_particles() == 0) return stats;
 
   const auto group_nodes = tree.groups(params.ncrit);
   const bool quad = params.kernel == KernelKind::kNewtonQuad;
+  if (group_costs) group_costs->assign(group_nodes.size(), GroupCost{});
+  // Ghost attribution only pays its per-source index lookup when ghosts
+  // can exist at all (parallel ranks importing sources beyond n_targets).
+  const bool count_ghosts = n_targets < tree.num_particles();
 
   // Groups own disjoint particle ranges, so the group loop parallelizes
   // over the intra-rank thread pool (the paper's MPI/OpenMP hybrid: ranks
@@ -125,12 +139,15 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
       quad_nodes.clear();
       Walker walker{tree, params, &g, {}, &list, &local_stats,
                     quad ? &quad_nodes : nullptr};
+      walker.count_ghosts = count_ghosts;
+      walker.ghost_from = static_cast<std::uint32_t>(n_targets);
       for (const Vec3& off : image_offsets) {
         walker.offset = off;
         walker.walk(0);
       }
       const std::uint64_t nj = list.size() + quad_nodes.size();
-      sc.traverse_s += sw.seconds();
+      const double walk_s = sw.seconds();
+      sc.traverse_s += walk_s;
 
       // Count only targets (locals) toward the paper's statistics.
       std::uint64_t ni_targets = 0;
@@ -140,6 +157,21 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
       local_stats.sum_ni += ni_targets;
       local_stats.sum_nj += nj;
       local_stats.interactions += ni_targets * nj;
+      local_stats.ghost_sources += walker.ghost_sources;
+
+      // Per-group cost record: slot gidx is this group's regardless of
+      // which pool slot ran it, so the output is deterministically indexed.
+      GroupCost* gc = group_costs ? &(*group_costs)[gidx] : nullptr;
+      if (gc) {
+        gc->node = group_nodes[gidx];
+        gc->ni = static_cast<std::uint32_t>(ni_targets);
+        gc->nj = nj;
+        gc->interactions = ni_targets * nj;
+        gc->ghost_sources = walker.ghost_sources;
+        gc->walk_s = walk_s;
+        gc->center = g.center;
+        gc->half = g.half;
+      }
       if (ni_targets == 0) continue;
 
       sw.restart();
@@ -166,7 +198,9 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
         const std::uint32_t orig = tree.original_index(g.first + i);
         if (orig < n_targets) acc[orig] += group_acc[i];
       }
-      sc.force_s += sw.seconds();
+      const double force_s = sw.seconds();
+      sc.force_s += force_s;
+      if (gc) gc->force_s = force_s;
     }
   });
 
@@ -192,6 +226,17 @@ TraversalStats run_traversal(const Octree& tree, const TraversalParams& params,
     reg.counter("tree/interactions").add(stats.interactions);
     reg.counter("tree/groups").add(stats.ngroups);
     reg.counter("tree/nodes_visited").add(stats.nodes_visited);
+    reg.counter("tree/ghost_sources").add(stats.ghost_sources);
+    if (group_costs) {
+      // Distribution views of the cost attribution (imbalance shows up as
+      // a heavy tail long before the per-step means move).
+      auto& walk_h = reg.histogram("pp/group_walk_s");
+      auto& int_h = reg.histogram("pp/group_interactions");
+      for (const GroupCost& gc : *group_costs) {
+        walk_h.record(gc.walk_s);
+        int_h.record(static_cast<double>(gc.interactions));
+      }
+    }
   }
   return stats;
 }
@@ -204,19 +249,21 @@ void TraversalStats::merge(const TraversalStats& o) {
   sum_nj += o.sum_nj;
   interactions += o.interactions;
   nodes_visited += o.nodes_visited;
+  ghost_sources += o.ghost_sources;
 }
 
 TraversalStats tree_accelerations(const Octree& tree, const TraversalParams& params,
                                   std::span<Vec3> acc, std::span<const Vec3> image_offsets,
                                   TraversalTimes* times) {
-  return run_traversal(tree, params, tree.num_particles(), acc, image_offsets, times);
+  return run_traversal(tree, params, tree.num_particles(), acc, image_offsets, times, nullptr);
 }
 
 TraversalStats tree_accelerations_targets(const Octree& tree, const TraversalParams& params,
                                           std::size_t n_targets, std::span<Vec3> acc,
                                           std::span<const Vec3> image_offsets,
-                                          TraversalTimes* times) {
-  return run_traversal(tree, params, n_targets, acc, image_offsets, times);
+                                          TraversalTimes* times,
+                                          std::vector<GroupCost>* group_costs) {
+  return run_traversal(tree, params, n_targets, acc, image_offsets, times, group_costs);
 }
 
 TraversalStats tree_potentials(const Octree& tree, const TraversalParams& params,

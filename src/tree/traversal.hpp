@@ -39,6 +39,10 @@ struct TraversalStats {
   std::uint64_t sum_nj = 0;        ///< total interaction-list length over groups
   std::uint64_t interactions = 0;  ///< sum Ni * Nj
   std::uint64_t nodes_visited = 0;
+  /// Ghost-import attribution: opened leaf sources whose original index is
+  /// >= n_targets (parallel ranks: imported ghosts), summed over groups.
+  /// Always 0 when every particle is a target.
+  std::uint64_t ghost_sources = 0;
 
   double mean_ni() const { return ngroups ? double(sum_ni) / double(ngroups) : 0; }
   double mean_nj() const { return ngroups ? double(sum_nj) / double(ngroups) : 0; }
@@ -51,6 +55,22 @@ struct TraversalStats {
 struct TraversalTimes {
   double traverse_s = 0;
   double force_s = 0;
+};
+
+/// Per-group cost attribution, one entry per group node in
+/// tree.groups(ncrit) order -- the input the load-balance roadmap item
+/// needs (which spatial regions cost what).  Every field except the two
+/// timings is deterministic: independent of pool size and scheduling.
+struct GroupCost {
+  std::uint32_t node = 0;  ///< group node index into tree.nodes()
+  std::uint32_t ni = 0;    ///< target (local) particles in the group
+  std::uint64_t nj = 0;    ///< interaction-list length (sources + multipoles)
+  std::uint64_t interactions = 0;   ///< ni * nj
+  std::uint64_t ghost_sources = 0;  ///< opened leaf sources that are ghosts
+  double walk_s = 0;   ///< tree walk (interaction-list build) seconds
+  double force_s = 0;  ///< kernel evaluation seconds
+  Vec3 center{};       ///< group bounding cube, for spatial re-balancing
+  double half = 0;
 };
 
 /// Compute accelerations of all tree particles, accumulated into `acc`
@@ -66,11 +86,14 @@ TraversalStats tree_accelerations(const Octree& tree, const TraversalParams& par
 
 /// As above but only accumulates accelerations for original indices
 /// < n_targets (parallel ranks: locals precede ghosts).  Interaction
-/// counts in the stats include only target particles.
+/// counts in the stats include only target particles.  When `group_costs`
+/// is non-null it is resized to the group count and filled with one
+/// per-group cost record (deterministic content modulo the timings).
 TraversalStats tree_accelerations_targets(const Octree& tree, const TraversalParams& params,
                                           std::size_t n_targets, std::span<Vec3> acc,
                                           std::span<const Vec3> image_offsets = {},
-                                          TraversalTimes* times = nullptr);
+                                          TraversalTimes* times = nullptr,
+                                          std::vector<GroupCost>* group_costs = nullptr);
 
 /// Short-range potentials (-G m h(2r/rcut)/r summed over the interaction
 /// list) for all tree particles, accumulated into `pot` indexed by the

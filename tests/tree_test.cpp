@@ -533,5 +533,64 @@ TEST(Traversal, TreePotentialsMatchDirectPairSum) {
     EXPECT_NEAR(pot[i], ref[i], 1e-6 * std::max(1.0, std::abs(ref[i])));
 }
 
+TEST(GroupCosts, SumToTraversalStats) {
+  // Locals followed by "ghosts" (sources beyond n_targets), the parallel
+  // rank layout: the per-group cost records must tile the traversal stats
+  // exactly -- they are the same counters, just not collapsed.
+  const auto pos = random_positions(600, 17);
+  std::vector<double> mass(pos.size(), 1.0 / 600);
+  const std::size_t n_targets = 400;
+
+  Octree tree(pos, mass);
+  TraversalParams tp;
+  tp.theta = 0.5;
+  tp.rcut = 0.25;
+  tp.ncrit = 32;
+  tp.eps2 = 1e-10;
+  tp.kernel = KernelKind::kScalar;
+
+  std::vector<Vec3> acc(pos.size());
+  std::vector<GroupCost> costs;
+  const auto stats = tree_accelerations_targets(tree, tp, n_targets, acc, {}, nullptr, &costs);
+
+  ASSERT_EQ(costs.size(), stats.ngroups);
+  std::uint64_t ni = 0, nj = 0, interactions = 0, ghosts = 0;
+  for (const auto& gc : costs) {
+    ni += gc.ni;
+    nj += gc.nj;
+    interactions += gc.interactions;
+    ghosts += gc.ghost_sources;
+    EXPECT_EQ(gc.interactions, static_cast<std::uint64_t>(gc.ni) * gc.nj);
+    EXPECT_GE(gc.walk_s, 0.0);
+    EXPECT_GE(gc.force_s, 0.0);
+    EXPECT_GT(gc.half, 0.0);
+    EXPECT_LT(gc.node, tree.nodes().size());
+  }
+  EXPECT_EQ(ni, stats.sum_ni);
+  EXPECT_EQ(nj, stats.sum_nj);
+  EXPECT_EQ(interactions, stats.interactions);
+  EXPECT_EQ(ghosts, stats.ghost_sources);
+  EXPECT_EQ(ni, n_targets);  // every target sits in exactly one group
+
+  // With a 0.25 cutoff on clustered-random data some group actually opened
+  // a ghost leaf; and when every particle is a target the count is zero.
+  EXPECT_GT(stats.ghost_sources, 0u);
+  std::vector<Vec3> acc_all(pos.size());
+  const auto stats_all = tree_accelerations(tree, tp, acc_all);
+  EXPECT_EQ(stats_all.ghost_sources, 0u);
+
+  // Determinism modulo timings: a second run produces identical records.
+  std::vector<Vec3> acc2(pos.size());
+  std::vector<GroupCost> costs2;
+  (void)tree_accelerations_targets(tree, tp, n_targets, acc2, {}, nullptr, &costs2);
+  ASSERT_EQ(costs2.size(), costs.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    EXPECT_EQ(costs2[i].node, costs[i].node);
+    EXPECT_EQ(costs2[i].ni, costs[i].ni);
+    EXPECT_EQ(costs2[i].nj, costs[i].nj);
+    EXPECT_EQ(costs2[i].ghost_sources, costs[i].ghost_sources);
+  }
+}
+
 }  // namespace
 }  // namespace greem::tree
