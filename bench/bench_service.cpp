@@ -1,0 +1,290 @@
+// Service soak: hundreds of small jobs through one SimService, with mixed
+// priorities and injected faults, checking the two properties the daemon
+// promises (docs/service.md):
+//
+//   1. Zero cross-job interference: every job's final state is bitwise
+//      identical to a solo run of the same spec -- including jobs that
+//      rolled back, and jobs that merely shared the ranks with them.
+//   2. Fair-share scheduling stays live under faults: aggregate job
+//      throughput plus scheduling-latency (submit -> first step) and
+//      turnaround percentiles, split per priority class.
+//
+// Usage: bench_service [--jobs N] [--ranks R] [--steps S] [--particles P]
+//                      [--mesh M] [--fault-every K] [--max-active A]
+//                      [--root DIR] [--out FILE]
+//
+// Every --fault-every'th job carries a fault plan, rotating through three
+// flavours: a one-shot rank abort (rollback + retry), an unlimited 5%
+// link-drop (repaired transparently by the reliable transport), and a
+// one-message blackhole (retry exhaustion -> rollback).  Faulted jobs
+// checkpoint every step so rollbacks are cheap.
+//
+// Writes BENCH_service.json; exits nonzero on any interference mismatch
+// or failed job, so CI can gate on the binary alone.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/snapshot.hpp"
+#include "parx/runtime.hpp"
+#include "svc/job.hpp"
+#include "svc/service.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+using namespace greem;
+
+namespace {
+
+struct Options {
+  int jobs = 200;
+  int ranks = 8;
+  std::uint64_t steps = 3;
+  std::uint64_t particles = 512;
+  int mesh = 16;
+  int fault_every = 5;   ///< every Kth job gets a fault plan (0 = none)
+  std::size_t max_active = 4;
+  int distinct_seeds = 16;  ///< solo baselines computed once per seed
+  std::string root = "BENCH_svc_jobs";
+  std::string out = "BENCH_service.json";
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (a == "--jobs") o.jobs = std::stoi(next());
+    else if (a == "--ranks") o.ranks = std::stoi(next());
+    else if (a == "--steps") o.steps = std::stoull(next());
+    else if (a == "--particles") o.particles = std::stoull(next());
+    else if (a == "--mesh") o.mesh = std::stoi(next());
+    else if (a == "--fault-every") o.fault_every = std::stoi(next());
+    else if (a == "--max-active") o.max_active = std::stoul(next());
+    else if (a == "--root") o.root = next();
+    else if (a == "--out") o.out = next();
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+svc::JobSpec base_spec(const Options& o, int i) {
+  svc::JobSpec s;
+  s.name = "soak-" + std::to_string(i);
+  s.steps = o.steps;
+  s.n_particles = o.particles;
+  s.n_mesh = o.mesh;
+  s.nclusters = 2;
+  s.seed = static_cast<std::uint64_t>(1 + i % o.distinct_seeds);
+  s.priority = (i % 3 == 0) ? 1 : (i % 3 == 1) ? 2 : 4;
+  return s;
+}
+
+/// Solo baseline hash of `spec` (fresh runtime, no service, no faults).
+std::uint64_t solo_hash(const svc::JobSpec& spec, int nranks) {
+  parx::Runtime rt(nranks);
+  std::uint64_t hash = 0;
+  rt.run([&](parx::Comm& world) {
+    auto cfg = svc::make_sim_config(spec, world.size());
+    std::vector<core::Particle> local;
+    if (world.rank() == 0) local = svc::make_initial_particles(spec);
+    core::ParallelSimulation sim(world, std::move(cfg), std::move(local), 0.0);
+    for (std::uint64_t s = 1; s <= spec.steps; ++s)
+      sim.step(static_cast<double>(s) * spec.dt);
+    sim.synchronize();
+    const auto sorted = svc::gather_sorted(world, sim);
+    if (world.rank() == 0) hash = svc::state_hash(sorted, sim.clock());
+  });
+  return hash;
+}
+
+struct Pcts {
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+Pcts percentiles(std::vector<double> v) {
+  Pcts p;
+  if (v.empty()) return p;
+  std::sort(v.begin(), v.end());
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(q * (v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+  };
+  p.p50 = at(0.50);
+  p.p90 = at(0.90);
+  p.p99 = at(0.99);
+  p.max = v.back();
+  return p;
+}
+
+void json_pcts(telemetry::JsonWriter& w, const char* key, const Pcts& p) {
+  w.key(key).begin_object();
+  w.field("p50", p.p50);
+  w.field("p90", p.p90);
+  w.field("p99", p.p99);
+  w.field("max", p.max);
+  w.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  std::filesystem::remove_all(opt.root);
+
+  // -- phase 1: solo baselines, one per distinct seed ---------------------
+  std::printf("solo baselines: %d spec(s), %d ranks...\n", opt.distinct_seeds,
+              opt.ranks);
+  std::map<std::uint64_t, std::uint64_t> baseline;  // seed -> state hash
+  for (int i = 0; i < opt.distinct_seeds && i < opt.jobs; ++i) {
+    const auto spec = base_spec(opt, i);
+    baseline[spec.seed] = solo_hash(spec, opt.ranks);
+  }
+
+  // -- phase 2: the soak --------------------------------------------------
+  svc::ServiceConfig cfg;
+  cfg.nranks = opt.ranks;
+  cfg.root = opt.root;
+  cfg.max_active = opt.max_active;
+  svc::SimService service(cfg);
+  service.start();
+
+  static const char* kFaultFlavors[] = {
+      "2:pp:0",            // one-shot rank abort: rollback + clean retry
+      "*:any:*:drop@0.05",  // lossy link: repaired by the transport
+      "2:pp:*:lose",        // blackhole: retry exhaustion -> rollback
+  };
+  int faulted = 0;
+  std::vector<std::uint64_t> ids;
+  const double t_submit0 = service.now_s();
+  for (int i = 0; i < opt.jobs; ++i) {
+    auto spec = base_spec(opt, i);
+    if (opt.fault_every > 0 && i % opt.fault_every == 0) {
+      spec.faults = {kFaultFlavors[faulted % 3]};
+      spec.checkpoint_every = 1;
+      spec.link_seed = static_cast<std::uint64_t>(i + 1);
+      ++faulted;
+    }
+    ids.push_back(service.submit(std::move(spec)));
+  }
+  std::printf("submitted %d jobs (%d faulted), soaking...\n", opt.jobs, faulted);
+  if (!service.wait_all_idle(/*timeout_s=*/1800)) {
+    std::fprintf(stderr, "FAIL: soak did not drain within the deadline\n");
+    return 1;
+  }
+  const double wall = service.now_s() - t_submit0;
+  service.stop();
+  if (!service.dispatcher_error().empty()) {
+    std::fprintf(stderr, "FAIL: dispatcher died: %s\n",
+                 service.dispatcher_error().c_str());
+    return 1;
+  }
+
+  // -- phase 3: interference + latency accounting -------------------------
+  int done = 0, failed = 0, mismatches = 0, rollbacks = 0;
+  std::uint64_t steps_total = 0;
+  std::vector<double> sched_lat, turnaround;
+  struct PrioAgg {
+    int jobs = 0;
+    double sched_sum = 0, turn_sum = 0;
+  };
+  std::map<int, PrioAgg> per_prio;
+  for (int i = 0; i < opt.jobs; ++i) {
+    const auto st = service.status(ids[static_cast<std::size_t>(i)]);
+    if (!st) continue;
+    rollbacks += st->rollbacks;
+    steps_total += st->steps_done;
+    if (st->state != svc::JobState::kDone) {
+      ++failed;
+      std::fprintf(stderr, "job %llu (%s): %s %s\n",
+                   static_cast<unsigned long long>(st->id), st->name.c_str(),
+                   std::string(svc::to_string(st->state)).c_str(),
+                   st->error.c_str());
+      continue;
+    }
+    ++done;
+    const double sched = st->first_step_s - st->submit_s;
+    const double turn = st->finish_s - st->submit_s;
+    sched_lat.push_back(sched);
+    turnaround.push_back(turn);
+    auto& agg = per_prio[st->priority];
+    ++agg.jobs;
+    agg.sched_sum += sched;
+    agg.turn_sum += turn;
+
+    const auto spec = base_spec(opt, i);
+    const auto snap = io::read_snapshot(service.job_dir(st->id) + "/final.bin");
+    if (!snap || svc::state_hash(snap->particles, snap->header.clock) !=
+                     baseline.at(spec.seed)) {
+      ++mismatches;
+      std::fprintf(stderr, "INTERFERENCE: job %llu final state differs from solo\n",
+                   static_cast<unsigned long long>(st->id));
+    }
+  }
+  const Pcts sp = percentiles(sched_lat);
+  const Pcts tp = percentiles(turnaround);
+
+  std::printf("%d/%d done, %d failed, %d rollbacks, %d mismatches, %.2fs wall "
+              "(%.1f jobs/s, %.1f steps/s)\n",
+              done, opt.jobs, failed, rollbacks, mismatches, wall, done / wall,
+              static_cast<double>(steps_total) / wall);
+  std::printf("latency: sched p50 %.3fs p99 %.3fs | turnaround p50 %.3fs p99 %.3fs\n",
+              sp.p50, sp.p99, tp.p50, tp.p99);
+
+  if (std::ofstream os(opt.out); os) {
+    telemetry::JsonWriter w(os);
+    w.begin_object();
+    telemetry::write_meta(w, telemetry::RunMeta::collect("service", "n/a"));
+    w.key("config").begin_object();
+    w.field("jobs", opt.jobs);
+    w.field("ranks", opt.ranks);
+    w.field("steps_per_job", opt.steps);
+    w.field("n_particles", opt.particles);
+    w.field("fault_every", opt.fault_every);
+    w.field("max_active", static_cast<std::uint64_t>(opt.max_active));
+    w.end_object();
+    w.key("totals").begin_object();
+    w.field("done", done);
+    w.field("failed", failed);
+    w.field("faulted_jobs", faulted);
+    w.field("rollbacks", rollbacks);
+    w.field("interference_mismatches", mismatches);
+    w.field("steps", steps_total);
+    w.field("wall_seconds", wall);
+    w.end_object();
+    w.key("throughput").begin_object();
+    w.field("jobs_per_second", done / wall);
+    w.field("steps_per_second", static_cast<double>(steps_total) / wall);
+    w.end_object();
+    w.key("latency_seconds").begin_object();
+    json_pcts(w, "scheduling", sp);  // submit -> first step
+    json_pcts(w, "turnaround", tp);  // submit -> terminal
+    w.end_object();
+    w.key("per_priority").begin_array();
+    for (const auto& [prio, agg] : per_prio) {
+      w.begin_object();
+      w.field("priority", prio);
+      w.field("jobs", agg.jobs);
+      w.field("mean_scheduling_s", agg.jobs ? agg.sched_sum / agg.jobs : 0.0);
+      w.field("mean_turnaround_s", agg.jobs ? agg.turn_sum / agg.jobs : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << "\n";
+    std::printf("wrote %s\n", opt.out.c_str());
+  }
+  return (mismatches == 0 && failed == 0) ? 0 : 1;
+}

@@ -1,0 +1,97 @@
+// greem_serve: the simulation-as-a-service daemon.  Starts the process
+// services -- one shared parx Runtime (Runtime::shared), one TaskPool,
+// the loopback live endpoint -- and a SimService multiplexing submitted
+// jobs over them, then waits for a shutdown command (or SIGINT/SIGTERM).
+//
+// Talk to it with any line-oriented TCP client, one JSON command per
+// line (docs/service.md has the grammar):
+//
+//   $ ./greem_serve --ranks 8 --port 4815 --root /tmp/jobs &
+//   $ exec 3<>/dev/tcp/127.0.0.1/4815
+//   $ echo '{"cmd":"submit","spec":{"name":"demo","steps":4}}' >&3
+//   $ echo '{"cmd":"watch","id":1}' >&3 && head -8 <&3
+//   $ echo '{"cmd":"shutdown"}' >&3
+//
+// Flags:
+//   --ranks N    rank-thread count of the shared runtime (default 8)
+//   --port N     live-endpoint port on 127.0.0.1 (default 0 = ephemeral,
+//                printed on stdout)
+//   --root DIR   per-job output root (default greem_jobs)
+//   --pool N     TaskPool threads (default 0 = leave as is)
+//   --max-active N  jobs resident at once (default 4)
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "svc/service.hpp"
+#include "telemetry/live_endpoint.hpp"
+
+using namespace greem;
+
+namespace {
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  svc::ServiceConfig cfg;
+  cfg.use_shared_runtime = true;
+  cfg.root = "greem_jobs";
+  int port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    auto need = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(a, "--ranks")) {
+      cfg.nranks = std::atoi(need());
+    } else if (!std::strcmp(a, "--port")) {
+      port = std::atoi(need());
+    } else if (!std::strcmp(a, "--root")) {
+      cfg.root = need();
+    } else if (!std::strcmp(a, "--pool")) {
+      cfg.pool_threads = static_cast<std::size_t>(std::atoll(need()));
+    } else if (!std::strcmp(a, "--max-active")) {
+      cfg.max_active = static_cast<std::size_t>(std::atoll(need()));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return 2;
+    }
+  }
+
+  auto& ep = telemetry::LiveEndpoint::global();
+  if (!ep.start(port)) {
+    std::fprintf(stderr, "greem_serve: cannot bind 127.0.0.1:%d\n", port);
+    return 1;
+  }
+
+  svc::SimService service(cfg);
+  service.attach_endpoint(ep);
+  service.start();
+  std::printf("greem_serve: %d ranks, listening on 127.0.0.1:%d, root %s\n",
+              cfg.nranks, ep.port(), cfg.root.c_str());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  // The dispatcher exits when a shutdown command (or a signal) arrives.
+  while (service.running() && g_signal == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  service.stop();
+  ep.stop();
+  const std::string err = service.dispatcher_error();
+  if (!err.empty()) {
+    std::fprintf(stderr, "greem_serve: dispatcher died: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("greem_serve: bye\n");
+  return 0;
+}

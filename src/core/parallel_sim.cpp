@@ -446,6 +446,7 @@ void ParallelSimulation::restore_checkpoint(const std::string& ckpt_path) {
 void ParallelSimulation::write_step_record() {
   telemetry::Span span("sim/step_report");
   telemetry::StepRecord rec;
+  rec.job = config_.job_label;
   rec.step = step_counter_;
   rec.t = clock_;
   rec.ranks = world_.size();
@@ -559,7 +560,10 @@ void ParallelSimulation::write_step_record() {
     if (live.running()) {
       std::string_view lv = line.view();
       while (!lv.empty() && (lv.back() == '\n' || lv.back() == '\r')) lv.remove_suffix(1);
-      live.publish(lv);
+      if (config_.job_label.empty())
+        live.publish(lv);
+      else
+        live.publish_topic(config_.job_label, lv);
     }
   }
   record_ = std::move(rec);

@@ -128,6 +128,13 @@ struct ParallelSimConfig {
   /// from config_fingerprint.
   bool step_report_fsync = false;
 
+  /// Service-mode label ("job-<id>") stamped on every StepRecord and used
+  /// as the live-endpoint topic so `watch` clients only see their job's
+  /// stream.  Empty for solo runs (records carry no job field and go to
+  /// every subscriber).  Excluded from config_fingerprint: a label is
+  /// reporting plumbing, not physics.
+  std::string job_label;
+
   double rcut() const { return pm.effective_rcut(); }
 };
 

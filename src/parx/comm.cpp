@@ -111,8 +111,9 @@ void Comm::check_abort() const {
 void Comm::fault_point(FaultOp op) {
   check_abort();
   detail::JobState& job = *group_->job;
-  if (!job.injector) return;
-  if (auto spec = job.injector->should_fire(world_rank(), op, fault_context())) {
+  FaultInjector* injector = job.injector_hot.load(std::memory_order_acquire);
+  if (!injector) return;
+  if (auto spec = injector->should_fire(world_rank(), op, fault_context())) {
     if (spec->kind == FaultKind::kHang) {
       // The rank freezes here -- no throw, no flag -- until the watchdog
       // (or a sibling's fault) raises the job flag, at which point

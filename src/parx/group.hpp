@@ -58,8 +58,26 @@ struct JobState {
   std::atomic<bool> poisoned{false};  ///< fatal: a rank escaped its function
   std::atomic<bool> fault{false};     ///< recoverable: an injected fault fired
   std::shared_ptr<TrafficLedger> ledger;
-  std::shared_ptr<FaultInjector> injector;    ///< null = no fail-stop injection
   int nranks = 0;
+
+  // The fail-stop injector (null = no injection), mirrored exactly like
+  // the transport below: ownership in `injector` under injector_mu, the
+  // per-op hot path reading the raw `injector_hot` lock-free.  The same
+  // quiescent-point contract applies to swaps.
+  std::mutex injector_mu;
+  std::shared_ptr<FaultInjector> injector;
+  std::atomic<FaultInjector*> injector_hot{nullptr};
+
+  void set_injector(std::shared_ptr<FaultInjector> i) {
+    std::lock_guard lock(injector_mu);
+    injector = std::move(i);
+    injector_hot.store(injector.get(), std::memory_order_release);
+  }
+
+  std::shared_ptr<FaultInjector> injector_ref() {
+    std::lock_guard lock(injector_mu);
+    return injector;
+  }
 
   // The reliable transport (null = perfect-link fast path for everyone).
   // Ownership lives in `transport` under transport_mu; the rank hot path

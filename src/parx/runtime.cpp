@@ -3,6 +3,8 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,17 +34,46 @@ void Runtime::ensure_monitor() {
 }
 
 void Runtime::set_fault_plan(const FaultPlan& plan) {
+  install_fault_domain(make_fault_domain(plan));
+}
+
+std::shared_ptr<FaultDomain> Runtime::make_fault_domain(const FaultPlan& plan) {
+  auto d = std::make_shared<FaultDomain>();
   const auto failstop = plan.failstop_specs();
   const auto link = plan.link_specs();
-  job_->injector = failstop.empty() ? nullptr : std::make_shared<FaultInjector>(failstop);
-  if (link.empty()) {
-    job_->set_transport(nullptr);
-  } else {
+  if (!failstop.empty()) d->injector_ = std::make_shared<FaultInjector>(failstop);
+  if (!link.empty()) {
     auto model = std::make_shared<LinkModel>(link, plan.link_seed());
-    job_->set_transport(std::make_shared<ReliableTransport>(nranks_, std::move(model),
-                                                            tuning_, job_.get()));
-    ensure_monitor();  // something must drive retransmission
+    d->transport_ = std::make_shared<ReliableTransport>(nranks_, std::move(model),
+                                                        tuning_, job_.get());
   }
+  return d;
+}
+
+std::shared_ptr<FaultDomain> Runtime::install_fault_domain(
+    std::shared_ptr<FaultDomain> domain) {
+  auto prev = std::make_shared<FaultDomain>();
+  prev->injector_ = job_->injector_ref();
+  prev->transport_ = job_->transport_ref();
+  job_->set_injector(domain ? domain->injector_ : nullptr);
+  job_->set_transport(domain ? domain->transport_ : nullptr);
+  if (domain && domain->transport_) ensure_monitor();  // something must drive retransmission
+  return prev;
+}
+
+Runtime& Runtime::shared(int nranks) {
+  static std::mutex mu;
+  static Runtime* rt = nullptr;  // leaked: outlives static teardown
+  std::lock_guard lock(mu);
+  if (!rt) {
+    if (nranks <= 0)
+      throw std::invalid_argument("Runtime::shared: first call must size the runtime");
+    rt = new Runtime(nranks);
+  } else if (nranks > 0 && nranks != rt->nranks()) {
+    throw std::invalid_argument("Runtime::shared: already created with " +
+                                std::to_string(rt->nranks()) + " ranks");
+  }
+  return *rt;
 }
 
 void Runtime::set_transport_tuning(const TransportTuning& tuning) {

@@ -16,6 +16,26 @@ namespace detail {
 struct JobState;
 }
 
+/// The armed form of one FaultPlan: the fail-stop injector and the
+/// reliable transport (lossy-link model + ack/retransmit state) built
+/// from its specs.  A domain owns state that must survive being swapped
+/// out -- fire-once budgets, transport seq/ack windows -- so a service
+/// multiplexing many jobs over one Runtime can give each job its own
+/// fault domain, install it around that job's steps, and a spec that
+/// already fired for job A never re-arms when A is scheduled again.
+class FaultDomain {
+ public:
+  FaultDomain() = default;
+  /// No injector and no transport: installing it is equivalent to
+  /// installing an empty plan (perfect links, zero-copy fast path).
+  bool empty() const { return !injector_ && !transport_; }
+
+ private:
+  friend class Runtime;
+  std::shared_ptr<FaultInjector> injector_;
+  std::shared_ptr<ReliableTransport> transport_;
+};
+
 class Runtime {
  public:
   /// Create a job with `nranks` ranks.  The traffic ledger persists across
@@ -49,6 +69,18 @@ class Runtime {
   /// threads; never call it concurrently with live traffic.
   void set_fault_plan(const FaultPlan& plan);
 
+  /// Arm `plan` into a standalone domain without installing it.  The
+  /// domain captures the current transport tuning; link specs get their
+  /// own ReliableTransport whose state persists across installs.
+  std::shared_ptr<FaultDomain> make_fault_domain(const FaultPlan& plan);
+
+  /// Swap the installed fault domain (nullptr or an empty domain clears
+  /// injection and restores the fast path for everyone); returns the
+  /// previously installed state as a domain.  Same quiescence contract
+  /// as set_fault_plan: between run()s, or from a single rank with every
+  /// other rank parked at a bracketing barrier and no message in flight.
+  std::shared_ptr<FaultDomain> install_fault_domain(std::shared_ptr<FaultDomain> domain);
+
   /// Retransmission tuning of the next set_fault_plan() with link specs
   /// (and of the currently installed transport, if any).
   void set_transport_tuning(const TransportTuning& tuning);
@@ -61,6 +93,15 @@ class Runtime {
   void set_watchdog(const WatchdogConfig& cfg);
 
   TrafficLedger& ledger();
+
+  /// Process-wide runtime service, the "one parx job per process" the
+  /// simulation-as-a-service layer multiplexes simulations onto.  The
+  /// first call creates it with `nranks` ranks (> 0 required); later
+  /// calls return the same instance and must pass the same nranks or 0
+  /// ("whatever exists").  Throws std::invalid_argument on mismatch.
+  /// Never destroyed: like TaskPool::global(), it outlives static
+  /// teardown order concerns.
+  static Runtime& shared(int nranks = 0);
 
  private:
   void ensure_monitor();

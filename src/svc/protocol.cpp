@@ -1,0 +1,137 @@
+#include "svc/protocol.hpp"
+
+#include <sstream>
+
+#include "telemetry/json.hpp"
+#include "telemetry/json_reader.hpp"
+
+namespace greem::svc {
+
+namespace {
+
+void write_status_fields(telemetry::JsonWriter& w, const JobStatus& s) {
+  w.field("id", s.id);
+  w.field("job", SimService::job_label(s.id));
+  w.field("name", s.name);
+  w.field("state", to_string(s.state));
+  w.field("priority", s.priority);
+  w.field("steps_done", s.steps_done);
+  w.field("steps_total", s.steps_total);
+  w.field("rollbacks", s.rollbacks);
+  if (!s.error.empty()) w.field("error", s.error);
+}
+
+std::string error_line(std::string_view what) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", "error");
+  w.field("error", what);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
+
+std::string status_line(const JobStatus& s) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", "status");
+  write_status_fields(w, s);
+  w.end_object();
+  return os.str();
+}
+
+std::vector<std::string> handle_command_line(SimService& svc,
+                                             telemetry::LiveEndpoint& ep,
+                                             std::uint64_t client,
+                                             std::string_view line) {
+  const auto doc = telemetry::parse_json(line);
+  if (!doc || !doc->is_object()) return {error_line("malformed JSON command")};
+  const std::string cmd = doc->string_or("cmd", "");
+
+  if (cmd == "submit") {
+    const telemetry::JsonValue* spec_v = doc->find("spec");
+    if (!spec_v) spec_v = &*doc;  // flat form: spec fields at top level
+    const auto spec = spec_from_json(*spec_v);
+    if (!spec) return {error_line("malformed job spec")};
+    try {
+      const std::uint64_t id = svc.submit(*spec);
+      std::ostringstream os;
+      telemetry::JsonWriter w(os, /*pretty=*/false);
+      w.begin_object();
+      w.field("type", "submitted");
+      w.field("id", id);
+      w.field("job", SimService::job_label(id));
+      w.end_object();
+      return {os.str()};
+    } catch (const std::exception& e) {
+      return {error_line(e.what())};
+    }
+  }
+
+  if (cmd == "list") {
+    std::ostringstream os;
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("type", "jobs");
+    w.key("jobs").begin_array();
+    for (const auto& s : svc.list()) {
+      w.begin_object();
+      write_status_fields(w, s);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return {os.str()};
+  }
+
+  if (cmd == "status") {
+    const auto s = svc.status(doc->u64_or("id", 0));
+    if (!s) return {error_line("unknown job id")};
+    return {status_line(*s)};
+  }
+
+  if (cmd == "cancel") {
+    const std::uint64_t id = doc->u64_or("id", 0);
+    const bool ok = svc.cancel(id);
+    std::ostringstream os;
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("type", "cancelled");
+    w.field("id", id);
+    w.field("ok", ok);
+    w.end_object();
+    return {os.str()};
+  }
+
+  if (cmd == "watch") {
+    const std::uint64_t id = doc->u64_or("id", 0);
+    if (!svc.status(id)) return {error_line("unknown job id")};
+    ep.watch(client, SimService::job_label(id));
+    std::ostringstream os;
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("type", "watching");
+    w.field("id", id);
+    w.field("topic", SimService::job_label(id));
+    w.end_object();
+    return {os.str()};
+  }
+
+  if (cmd == "shutdown") {
+    svc.request_shutdown();
+    std::ostringstream os;
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("type", "shutdown");
+    w.field("ok", true);
+    w.end_object();
+    return {os.str()};
+  }
+
+  return {error_line("unknown command: " + cmd)};
+}
+
+}  // namespace greem::svc

@@ -1,0 +1,43 @@
+#pragma once
+// The job-control protocol: JSONL commands over the live endpoint
+// (docs/service.md has the full grammar).  One JSON object per line in,
+// one or more JSON lines back; streamed lines (watch) arrive interleaved
+// with replies and are distinguished by their "type".
+//
+//   {"cmd":"submit","spec":{...}}  -> {"type":"submitted","id":N,"job":"job-N"}
+//   {"cmd":"list"}                 -> {"type":"jobs","jobs":[{...},...]}
+//   {"cmd":"status","id":N}        -> {"type":"status",...}
+//   {"cmd":"cancel","id":N}        -> {"type":"cancelled","id":N,"ok":b}
+//   {"cmd":"watch","id":N}         -> {"type":"watching","id":N,"topic":"job-N"}
+//                                     then that job's StepRecord lines and
+//                                     job/frame event lines as they happen
+//   {"cmd":"shutdown"}             -> {"type":"shutdown","ok":true}
+//   anything else                  -> {"type":"error","error":"..."}
+//
+// Unknown fields in commands are ignored; clients must likewise ignore
+// unknown reply fields and line types (the hello line's `proto` field
+// versions the whole exchange).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "telemetry/live_endpoint.hpp"
+
+namespace greem::svc {
+
+/// {"type":"status",...} for one job.
+std::string status_line(const JobStatus& s);
+
+/// Execute one command line against `svc`; `client` is the live-endpoint
+/// client id (needed by watch).  Returns the reply lines.  This is the
+/// function SimService::attach_endpoint installs as the endpoint's
+/// command handler; tests can call it directly without a socket.
+std::vector<std::string> handle_command_line(SimService& svc,
+                                             telemetry::LiveEndpoint& ep,
+                                             std::uint64_t client,
+                                             std::string_view line);
+
+}  // namespace greem::svc

@@ -1,0 +1,49 @@
+#include "svc/scheduler.hpp"
+
+#include <algorithm>
+
+namespace greem::svc {
+
+void FairShareScheduler::add(std::uint64_t id, int weight) {
+  if (contains(id)) return;
+  Entry e;
+  e.id = id;
+  e.weight = std::max(weight, 1);
+  if (!entries_.empty()) {
+    e.pass = std::min_element(entries_.begin(), entries_.end(),
+                              [](const Entry& a, const Entry& b) { return a.pass < b.pass; })
+                 ->pass;
+  }
+  entries_.push_back(e);
+}
+
+void FairShareScheduler::remove(std::uint64_t id) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+bool FairShareScheduler::contains(std::uint64_t id) const {
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [&](const Entry& e) { return e.id == id; });
+}
+
+std::optional<std::uint64_t> FairShareScheduler::pick() const {
+  if (entries_.empty()) return std::nullopt;
+  const Entry* best = &entries_.front();
+  for (const Entry& e : entries_) {
+    if (e.pass < best->pass || (e.pass == best->pass && e.id < best->id)) best = &e;
+  }
+  return best->id;
+}
+
+void FairShareScheduler::charge(std::uint64_t id, std::uint64_t cost) {
+  for (Entry& e : entries_) {
+    if (e.id != id) continue;
+    e.pass += std::max<std::uint64_t>(cost, 1) * kStride1 /
+              static_cast<std::uint64_t>(e.weight);
+    return;
+  }
+}
+
+}  // namespace greem::svc

@@ -1,0 +1,53 @@
+#pragma once
+// Stride (fair-share) scheduler over runnable jobs: each job holds a pass
+// counter advanced by cost/weight on every charge; pick() returns the
+// lowest pass (ties to the lowest id, so the order is deterministic).
+// Over time each job receives TaskPool capacity proportional to its
+// weight regardless of per-step cost differences -- the between-jobs
+// analog of the within-job PM/PP work partitioning the TPM papers solve.
+//
+// Deliberately tiny and allocation-light: the service holds its job-table
+// mutex around every call, so the scheduler itself is not thread-safe.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace greem::svc {
+
+class FairShareScheduler {
+ public:
+  /// Register a runnable job.  Its pass starts at the current minimum
+  /// (not zero), so a late arrival cannot monopolize the pool while it
+  /// "catches up" with long-running peers.  weight < 1 is clamped to 1.
+  void add(std::uint64_t id, int weight);
+
+  /// Deregister (finished, failed or cancelled).  Unknown ids are a no-op.
+  void remove(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The next job to run: minimum pass, ties broken by lowest id.
+  std::optional<std::uint64_t> pick() const;
+
+  /// Account one scheduling slice: pass += cost * stride / weight.  Use a
+  /// deterministic cost (the job's particle count) so replays schedule
+  /// identically.  cost < 1 is clamped to 1.
+  void charge(std::uint64_t id, std::uint64_t cost);
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::uint64_t pass = 0;
+    int weight = 1;
+  };
+  /// Stride of a weight-1 job per unit cost.  Large enough that integer
+  /// division by any sane weight keeps plenty of resolution.
+  static constexpr std::uint64_t kStride1 = 1ull << 16;
+
+  std::vector<Entry> entries_;  ///< unordered; linear scans (tens of jobs)
+};
+
+}  // namespace greem::svc

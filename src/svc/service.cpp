@@ -1,0 +1,560 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "ckpt/checkpoint.hpp"
+#include "io/snapshot.hpp"
+#include "svc/protocol.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/hash.hpp"
+
+namespace greem::svc {
+
+namespace {
+constexpr std::uint64_t kNoJob = 0;
+}  // namespace
+
+SimService::SimService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.use_shared_runtime) {
+    rt_ = &parx::Runtime::shared(cfg_.nranks);
+  } else {
+    owned_rt_ = std::make_unique<parx::Runtime>(cfg_.nranks);
+    rt_ = owned_rt_.get();
+  }
+  ep_ = &telemetry::LiveEndpoint::global();
+  std::filesystem::create_directories(cfg_.root);
+  t0_ = std::chrono::steady_clock::now();
+}
+
+SimService::~SimService() { stop(); }
+
+double SimService::now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+}
+
+std::string SimService::job_dir(std::uint64_t id) const {
+  return cfg_.root + "/" + job_label(id);
+}
+
+std::string SimService::job_label(std::uint64_t id) {
+  return "job-" + std::to_string(id);
+}
+
+std::string SimService::dispatcher_error() const {
+  std::lock_guard lock(jobs_mu_);
+  return dispatcher_error_;
+}
+
+void SimService::start() {
+  std::lock_guard lock(jobs_mu_);
+  if (started_) return;
+  shutdown_ = false;
+  dispatcher_done_ = false;
+  dispatcher_error_.clear();
+  thread_ = std::thread([this] { dispatcher(); });
+  started_ = true;
+}
+
+void SimService::request_shutdown() {
+  std::lock_guard lock(jobs_mu_);
+  shutdown_ = true;
+}
+
+void SimService::stop() {
+  request_shutdown();
+  std::thread t;
+  {
+    std::lock_guard lock(jobs_mu_);
+    t = std::move(thread_);
+    started_ = false;
+  }
+  if (t.joinable()) t.join();
+}
+
+bool SimService::running() const {
+  std::lock_guard lock(jobs_mu_);
+  return started_ && !dispatcher_done_;
+}
+
+std::uint64_t SimService::submit(JobSpec spec) {
+  // Arm the fault domain up front: a malformed fault spec rejects the
+  // submit instead of detonating mid-run, and fire-once budgets live in
+  // one injector for the job's whole life.
+  auto domain = rt_->make_fault_domain(make_fault_plan(spec));
+  std::lock_guard lock(jobs_mu_);
+  const std::uint64_t id = next_id_++;
+  Job j;
+  j.id = id;
+  j.spec = std::move(spec);
+  j.domain = std::move(domain);
+  j.submit_s = now_s();
+  jobs_.emplace(id, std::move(j));
+  telemetry::Registry::global().counter("svc/jobs_submitted").add();
+  return id;
+}
+
+bool SimService::cancel(std::uint64_t id) {
+  std::lock_guard lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || is_terminal(it->second.state)) return false;
+  if (it->second.state == JobState::kQueued) {
+    finalize_locked(it->second, JobState::kCancelled);
+  } else {
+    it->second.cancel_requested = true;
+  }
+  return true;
+}
+
+JobStatus SimService::status_locked(const Job& j) const {
+  JobStatus s;
+  s.id = j.id;
+  s.name = j.spec.name;
+  s.state = j.state;
+  s.priority = j.spec.priority;
+  s.steps_done = j.steps_done;
+  s.steps_total = j.spec.steps;
+  s.rollbacks = j.rollbacks;
+  s.error = j.error;
+  s.submit_s = j.submit_s;
+  s.first_step_s = j.first_step_s;
+  s.finish_s = j.finish_s;
+  return s;
+}
+
+std::optional<JobStatus> SimService::status(std::uint64_t id) const {
+  std::lock_guard lock(jobs_mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return status_locked(it->second);
+}
+
+std::vector<JobStatus> SimService::list() const {
+  std::lock_guard lock(jobs_mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, j] : jobs_) out.push_back(status_locked(j));
+  return out;
+}
+
+bool SimService::wait(std::uint64_t id, double timeout_s) {
+  std::unique_lock lock(jobs_mu_);
+  const auto done = [&] {
+    const auto it = jobs_.find(id);
+    return it == jobs_.end() || is_terminal(it->second.state) || dispatcher_done_;
+  };
+  jobs_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), done);
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() && is_terminal(it->second.state);
+}
+
+bool SimService::wait_all_idle(double timeout_s) {
+  std::unique_lock lock(jobs_mu_);
+  const auto idle = [&] {
+    if (dispatcher_done_) return true;
+    return std::all_of(jobs_.begin(), jobs_.end(),
+                       [](const auto& kv) { return is_terminal(kv.second.state); });
+  };
+  jobs_cv_.wait_for(lock, std::chrono::duration<double>(timeout_s), idle);
+  return std::all_of(jobs_.begin(), jobs_.end(),
+                     [](const auto& kv) { return is_terminal(kv.second.state); });
+}
+
+void SimService::attach_endpoint(telemetry::LiveEndpoint& ep) {
+  ep_ = &ep;
+  ep.set_command_handler(
+      [this, &ep](std::uint64_t client, std::string_view line) {
+        return handle_command_line(*this, ep, client, line);
+      });
+}
+
+void SimService::publish_job_event(const Job& j, std::string_view type,
+                                   std::string_view detail) {
+  if (!ep_ || !ep_->running()) return;
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", type);
+  w.field("job", job_label(j.id));
+  w.field("state", to_string(j.state));
+  w.field("step", j.steps_done);
+  if (!detail.empty()) w.field("detail", detail);
+  w.end_object();
+  ep_->publish_topic(job_label(j.id), os.str());
+}
+
+void SimService::finalize_locked(Job& j, JobState state) {
+  j.state = state;
+  j.finish_s = now_s();
+  sched_.remove(j.id);
+  const char* counter = state == JobState::kDone     ? "svc/jobs_done"
+                        : state == JobState::kFailed ? "svc/jobs_failed"
+                                                     : "svc/jobs_cancelled";
+  telemetry::Registry::global().counter(counter).add();
+  publish_job_event(j, "job");
+  jobs_cv_.notify_all();
+}
+
+void SimService::dispatcher() {
+  try {
+    rt_->run([this](parx::Comm& world) { rank_loop(world); });
+    std::lock_guard lock(jobs_mu_);
+    dispatcher_done_ = true;
+    jobs_cv_.notify_all();
+  } catch (const std::exception& e) {
+    std::lock_guard lock(jobs_mu_);
+    dispatcher_error_ = e.what();
+    dispatcher_done_ = true;
+    jobs_cv_.notify_all();
+  }
+}
+
+void SimService::rank_loop(parx::Comm& world) {
+  for (;;) {
+    Cmd cmd;
+    if (world.rank() == 0) cmd = decide();
+    world.bcast_span(std::span<Cmd>(&cmd, 1), 0);
+    if (static_cast<Op>(cmd.op) == Op::kShutdown) return;
+    try {
+      execute(world, cmd);
+      // The command frame: no rank reaches the next iteration's bcast
+      // until every rank finished this command -- so when a fault fires,
+      // every rank catches it in the SAME iteration with the SAME cmd
+      // (blocked ranks see the fault flag and throw out of this barrier).
+      world.barrier();
+    } catch (const parx::CommError& e) {
+      // Collective by construction: the injected rank throws
+      // FaultInjected, every other rank RemoteFault (or SentinelError on
+      // all ranks at once).  Rendezvous, then roll back only this job.
+      world.fault_recover(cfg_.recover_timeout_s);
+      recover(world, cmd, e.what());
+      world.barrier();
+    }
+  }
+}
+
+SimService::Cmd SimService::decide() {
+  std::lock_guard lock(jobs_mu_);
+  if (shutdown_) return {static_cast<std::uint64_t>(Op::kShutdown), kNoJob};
+
+  // 1. Cancellations of resident jobs (queued ones were finalized in
+  //    cancel() directly).
+  for (auto& [id, j] : jobs_) {
+    if (j.cancel_requested && !is_terminal(j.state) && sims_.count(id)) {
+      j.cancel_requested = false;
+      return {static_cast<std::uint64_t>(Op::kCancel), id};
+    }
+  }
+  // 2. Completions, checkpoints and frames due (flags set by kStep
+  //    bookkeeping; cleared here so each fires once).
+  for (auto& [id, j] : jobs_) {
+    if (j.finish_due) {
+      j.finish_due = false;
+      return {static_cast<std::uint64_t>(Op::kFinish), id};
+    }
+  }
+  for (auto& [id, j] : jobs_) {
+    if (j.ckpt_due) {
+      j.ckpt_due = false;
+      return {static_cast<std::uint64_t>(Op::kCheckpoint), id};
+    }
+  }
+  for (auto& [id, j] : jobs_) {
+    if (j.frame_due) {
+      j.frame_due = false;
+      return {static_cast<std::uint64_t>(Op::kSnapshot), id};
+    }
+  }
+  // 3. Admission: highest priority first, FIFO (lowest id) within a
+  //    priority, while below the residency cap.
+  if (sims_.size() < cfg_.max_active) {
+    Job* best = nullptr;
+    for (auto& [id, j] : jobs_) {
+      if (j.state != JobState::kQueued) continue;
+      if (!best || j.spec.priority > best->spec.priority) best = &j;
+    }
+    if (best) {
+      best->state = JobState::kRunning;
+      sched_.add(best->id, best->spec.priority);
+      return {static_cast<std::uint64_t>(Op::kStart), best->id};
+    }
+  }
+  // 4. Fair-share pick among runnable jobs.
+  if (const auto id = sched_.pick())
+    return {static_cast<std::uint64_t>(Op::kStep), *id};
+  return {static_cast<std::uint64_t>(Op::kIdle), kNoJob};
+}
+
+void SimService::execute(parx::Comm& world, const Cmd& cmd) {
+  switch (static_cast<Op>(cmd.op)) {
+    case Op::kIdle:
+      std::this_thread::sleep_for(std::chrono::duration<double>(cfg_.idle_sleep_s));
+      return;
+    case Op::kStart: return exec_start(world, cmd);
+    case Op::kStep: return exec_step(world, cmd);
+    case Op::kCheckpoint: return exec_checkpoint(world, cmd);
+    case Op::kSnapshot: return exec_snapshot(world, cmd);
+    case Op::kFinish: return exec_finish(world, cmd);
+    case Op::kCancel: return exec_teardown(world, cmd, JobState::kCancelled);
+    case Op::kShutdown: return;  // handled in rank_loop
+  }
+}
+
+void SimService::swap_domain(parx::Comm& world,
+                             const std::shared_ptr<parx::FaultDomain>& d) {
+  // Quiescent-point bracket (parx/runtime.hpp contract): every rank but 0
+  // parked at the closing barrier while rank 0 swaps; the barrier's
+  // release/acquire publishes the swap.
+  world.barrier();
+  if (world.rank() == 0) rt_->install_fault_domain(d);
+  world.barrier();
+}
+
+void SimService::construct_sims(parx::Comm& world, std::uint64_t id) {
+  JobSpec spec;
+  {
+    std::lock_guard lock(jobs_mu_);
+    spec = jobs_.at(id).spec;
+  }
+  auto cfg = make_sim_config(spec, world.size());
+  cfg.job_label = job_label(id);
+  cfg.pool_threads = cfg_.pool_threads;
+  if (spec.step_report) cfg.step_report_path = job_dir(id) + "/steps.jsonl";
+  std::vector<core::Particle> local;
+  if (world.rank() == 0) local = make_initial_particles(spec);
+  sims_.at(id)[static_cast<std::size_t>(world.rank())] =
+      std::make_unique<core::ParallelSimulation>(world, std::move(cfg),
+                                                 std::move(local), /*t_start=*/0.0);
+  parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
+  world.barrier();
+}
+
+void SimService::destroy_sims(parx::Comm& world, std::uint64_t id) {
+  sims_.at(id)[static_cast<std::size_t>(world.rank())].reset();
+  world.barrier();
+  if (world.rank() == 0) sims_.erase(id);
+}
+
+void SimService::exec_start(parx::Comm& world, const Cmd& cmd) {
+  if (world.rank() == 0) {
+    std::filesystem::create_directories(job_dir(cmd.job) + "/ckpt");
+    sims_[cmd.job].resize(static_cast<std::size_t>(world.size()));
+  }
+  world.barrier();
+  construct_sims(world, cmd.job);
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    publish_job_event(jobs_.at(cmd.job), "job");
+  }
+}
+
+void SimService::exec_step(parx::Comm& world, const Cmd& cmd) {
+  auto& sim = *sims_.at(cmd.job)[static_cast<std::size_t>(world.rank())];
+  std::shared_ptr<parx::FaultDomain> domain;
+  JobSpec spec;
+  {
+    std::lock_guard lock(jobs_mu_);
+    const Job& j = jobs_.at(cmd.job);
+    domain = j.domain;
+    spec = j.spec;
+  }
+  const bool faulty = domain && !domain->empty();
+  if (faulty) swap_domain(world, domain);
+  sim.step(static_cast<double>(sim.step_index() + 1) * spec.dt);
+  parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
+  if (faulty) swap_domain(world, nullptr);
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    Job& j = jobs_.at(cmd.job);
+    j.steps_done = sim.step_index();
+    j.attempts = 0;  // consecutive-failure budget resets on a clean step
+    if (j.first_step_s < 0) j.first_step_s = now_s();
+    sched_.charge(j.id, spec.n_particles);
+    telemetry::Registry::global().counter("svc/steps").add();
+    if (j.steps_done >= spec.steps) {
+      sched_.remove(j.id);
+      j.finish_due = true;
+    } else if (spec.checkpoint_every > 0 && j.steps_done % spec.checkpoint_every == 0) {
+      j.ckpt_due = true;
+    }
+    if (spec.snapshot_every > 0 && j.steps_done % spec.snapshot_every == 0 &&
+        j.steps_done < spec.steps)
+      j.frame_due = true;
+  }
+}
+
+void SimService::exec_checkpoint(parx::Comm& world, const Cmd& cmd) {
+  auto& sim = *sims_.at(cmd.job)[static_cast<std::size_t>(world.rank())];
+  std::shared_ptr<parx::FaultDomain> domain;
+  std::size_t keep_last = 2;
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    jobs_.at(cmd.job).state = JobState::kCheckpointing;
+  }
+  {
+    std::lock_guard lock(jobs_mu_);
+    const Job& j = jobs_.at(cmd.job);
+    domain = j.domain;
+    keep_last = j.spec.keep_last;
+  }
+  const bool faulty = domain && !domain->empty();
+  if (faulty) swap_domain(world, domain);
+  sim.checkpoint(job_dir(cmd.job) + "/ckpt", keep_last);
+  parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
+  if (faulty) swap_domain(world, nullptr);
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    Job& j = jobs_.at(cmd.job);
+    j.state = JobState::kRunning;
+    telemetry::Registry::global().counter("svc/checkpoints").add();
+  }
+}
+
+void SimService::exec_snapshot(parx::Comm& world, const Cmd& cmd) {
+  auto& sim = *sims_.at(cmd.job)[static_cast<std::size_t>(world.rank())];
+  const auto sorted = gather_sorted(world, sim);
+  if (world.rank() == 0) {
+    io::SnapshotHeader h;
+    h.n_particles = sorted.size();
+    h.clock = sim.clock();
+    h.particle_mass = sorted.empty() ? 0.0 : sorted.front().mass;
+    const std::string path =
+        job_dir(cmd.job) + "/frame_" + std::to_string(sim.step_index()) + ".bin";
+    io::write_snapshot(path, h, sorted);
+    std::lock_guard lock(jobs_mu_);
+    publish_job_event(jobs_.at(cmd.job), "frame", path);
+  }
+}
+
+void SimService::exec_finish(parx::Comm& world, const Cmd& cmd) {
+  auto& sim = *sims_.at(cmd.job)[static_cast<std::size_t>(world.rank())];
+  sim.synchronize();
+  const auto sorted = gather_sorted(world, sim);
+  const double clock = sim.clock();
+  bool final_snapshot = true;
+  {
+    std::lock_guard lock(jobs_mu_);
+    final_snapshot = jobs_.at(cmd.job).spec.final_snapshot;
+  }
+  if (world.rank() == 0 && final_snapshot) {
+    io::SnapshotHeader h;
+    h.n_particles = sorted.size();
+    h.clock = clock;
+    h.particle_mass = sorted.empty() ? 0.0 : sorted.front().mass;
+    io::write_snapshot(job_dir(cmd.job) + "/final.bin", h, sorted);
+  }
+  destroy_sims(world, cmd.job);
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    finalize_locked(jobs_.at(cmd.job), JobState::kDone);
+  }
+}
+
+void SimService::exec_teardown(parx::Comm& world, const Cmd& cmd, JobState final_state) {
+  destroy_sims(world, cmd.job);
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    finalize_locked(jobs_.at(cmd.job), final_state);
+  }
+}
+
+void SimService::recover(parx::Comm& world, const Cmd& cmd, const std::string& what) {
+  // fault_recover already drained mailboxes and reset the installed
+  // transport; clear the domain (the job's injector/transport objects
+  // survive inside Job::domain).  The context reset must come FIRST:
+  // the swap bracket's own barriers are comm ops, and a sibling spec the
+  // original firing left unspent (e.g. one abort per rank in the same
+  // step) would fire inside recovery and escape the rank loop's catch.
+  parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
+  swap_domain(world, nullptr);
+
+  enum : std::uint64_t { kRestore = 0, kReinit = 1, kFail = 2, kIgnore = 3 };
+  std::uint64_t action = kIgnore;
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    const auto it = jobs_.find(cmd.job);
+    if (it != jobs_.end() && !is_terminal(it->second.state) && sims_.count(cmd.job)) {
+      Job& j = it->second;
+      ++j.rollbacks;
+      telemetry::Registry::global().counter("svc/rollbacks").add();
+      if (++j.attempts > j.spec.max_attempts) {
+        j.error = what;
+        action = kFail;
+      } else {
+        action = ckpt::find_latest(job_dir(cmd.job) + "/ckpt") ? kRestore : kReinit;
+      }
+      publish_job_event(j, "rollback", what);
+    }
+  }
+  world.bcast_span(std::span<std::uint64_t>(&action, 1), 0);
+
+  switch (action) {
+    case kRestore: {
+      // Every rank resolves the same newest checkpoint (same dir, same
+      // filesystem state -- no rank wrote one since the reduce above).
+      const auto latest = ckpt::find_latest(job_dir(cmd.job) + "/ckpt");
+      if (!latest) throw std::runtime_error("svc: checkpoint vanished during rollback");
+      auto& sim = *sims_.at(cmd.job)[static_cast<std::size_t>(world.rank())];
+      sim.restore_checkpoint(*latest);
+      parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
+      if (world.rank() == 0) {
+        std::lock_guard lock(jobs_mu_);
+        Job& j = jobs_.at(cmd.job);
+        j.steps_done = sim.step_index();
+        j.state = JobState::kRunning;
+        j.finish_due = j.steps_done >= j.spec.steps;
+        if (!j.finish_due && !sched_.contains(j.id)) sched_.add(j.id, j.spec.priority);
+      }
+      break;
+    }
+    case kReinit: {
+      // No checkpoint yet: rebuild from the deterministic IC (bitwise the
+      // same construction the job started from).
+      sims_.at(cmd.job)[static_cast<std::size_t>(world.rank())].reset();
+      world.barrier();
+      construct_sims(world, cmd.job);
+      if (world.rank() == 0) {
+        std::lock_guard lock(jobs_mu_);
+        Job& j = jobs_.at(cmd.job);
+        j.steps_done = 0;
+        j.state = JobState::kRunning;
+        j.finish_due = false;
+        if (!sched_.contains(j.id)) sched_.add(j.id, j.spec.priority);
+      }
+      break;
+    }
+    case kFail: {
+      destroy_sims(world, cmd.job);
+      if (world.rank() == 0) {
+        std::lock_guard lock(jobs_mu_);
+        finalize_locked(jobs_.at(cmd.job), JobState::kFailed);
+      }
+      break;
+    }
+    case kIgnore:
+    default:
+      break;
+  }
+}
+
+std::vector<core::Particle> gather_sorted(parx::Comm& world,
+                                          const core::ParallelSimulation& sim) {
+  const auto mine = sim.local();
+  auto all = world.gatherv(std::span<const core::Particle>(mine), 0);
+  if (world.rank() == 0)
+    std::sort(all.begin(), all.end(),
+              [](const core::Particle& a, const core::Particle& b) { return a.id < b.id; });
+  return all;
+}
+
+std::uint64_t state_hash(std::span<const core::Particle> particles, double clock) {
+  util::Fnv1a64 h;
+  h.mix(clock);
+  if (!particles.empty()) h.bytes(particles.data(), particles.size_bytes());
+  return h.value();
+}
+
+}  // namespace greem::svc

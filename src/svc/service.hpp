@@ -1,0 +1,219 @@
+#pragma once
+// SimService: the long-lived job manager that multiplexes many
+// independent simulations over ONE parx Runtime (ranks are threads) and
+// ONE process-wide work-stealing TaskPool.  A submitted JobSpec becomes a
+// Job (lifecycle: queued -> running <-> checkpointing -> done / failed /
+// cancelled); a stride fair-share scheduler time-slices the rank threads
+// between runnable jobs at step granularity.
+//
+// Execution model.  start() launches one dispatcher thread that enters
+// Runtime::run(rank_loop).  Each loop iteration, rank 0 picks the next
+// command under the job-table mutex and broadcasts it; every rank then
+// executes it collectively and meets a trailing barrier.  Commands are
+// therefore serialized across jobs -- one job steps at a time over ALL
+// ranks -- which is what makes per-job state bitwise independent of
+// contention: the TaskPool's chunk mapping depends only on (range, grain),
+// each simulation's collectives see exactly the traffic of its own step,
+// and a job's arithmetic never interleaves with another's.
+//
+// Isolation.  Each job gets its own directory (<root>/job-<id>/ with
+// ckpt/, steps.jsonl, frame_<N>.bin, final.bin), its own fault domain
+// (parx::FaultDomain -- armed once at submit so fire-once budgets persist
+// across scheduling slices) installed only around ITS steps and
+// checkpoints, and its own rollback loop: a fault or sentinel trip while
+// job A is on the ranks rolls back A alone (restore from A's newest
+// checkpoint, or rebuild A from its deterministic IC when none exists);
+// every other job's in-memory state is untouched because it was not
+// executing.  docs/service.md walks through the protocol and semantics.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/parallel_sim.hpp"
+#include "parx/runtime.hpp"
+#include "svc/job.hpp"
+#include "svc/scheduler.hpp"
+#include "telemetry/live_endpoint.hpp"
+
+namespace greem::svc {
+
+struct ServiceConfig {
+  int nranks = 8;               ///< rank-thread count of the runtime
+  std::string root = "svc_jobs";  ///< per-job dirs live under here
+  std::size_t max_active = 4;   ///< jobs resident (admitted) at once
+  double idle_sleep_s = 0.002;  ///< dispatcher nap when nothing is runnable
+  double recover_timeout_s = 30.0;  ///< fault_recover rendezvous deadline
+  std::size_t pool_threads = 0;     ///< TaskPool size (0 = leave as is)
+  /// Use the process-wide Runtime::shared(nranks) instead of a private
+  /// runtime -- the daemon mode.  Tests keep private runtimes so suites
+  /// with different rank counts coexist in one process.
+  bool use_shared_runtime = false;
+};
+
+/// External view of one job (returned by status()/list()).
+struct JobStatus {
+  std::uint64_t id = 0;
+  std::string name;
+  JobState state = JobState::kQueued;
+  int priority = 1;
+  std::uint64_t steps_done = 0;
+  std::uint64_t steps_total = 0;
+  int rollbacks = 0;
+  std::string error;       ///< non-empty iff state == kFailed
+  double submit_s = -1;    ///< seconds since service start
+  double first_step_s = -1;  ///< first step executed (-1 = none yet)
+  double finish_s = -1;      ///< entered a terminal state (-1 = not yet)
+};
+
+class SimService {
+ public:
+  explicit SimService(ServiceConfig cfg);
+  ~SimService();  ///< stop()s if still running
+
+  SimService(const SimService&) = delete;
+  SimService& operator=(const SimService&) = delete;
+
+  /// Launch the dispatcher (idempotent).
+  void start();
+  /// Request shutdown and join the dispatcher.  Resident jobs are
+  /// destroyed where they stand (their checkpoints remain on disk);
+  /// queued jobs stay queued in the table.
+  void stop();
+  /// Ask the dispatcher to wind down without joining -- safe from any
+  /// thread, including the live-endpoint serve thread.
+  void request_shutdown();
+  bool running() const;
+
+  /// Enqueue a job; returns its id (ids start at 1 and never recycle).
+  /// Throws std::invalid_argument on a malformed fault spec.
+  std::uint64_t submit(JobSpec spec);
+
+  /// Cancel a job: queued jobs flip to kCancelled immediately, resident
+  /// jobs are torn down at the next command boundary.  Returns false for
+  /// unknown or already-terminal ids.
+  bool cancel(std::uint64_t id);
+
+  std::optional<JobStatus> status(std::uint64_t id) const;
+  std::vector<JobStatus> list() const;
+
+  /// Block until `id` reaches a terminal state (true) or the timeout
+  /// expires (false).
+  bool wait(std::uint64_t id, double timeout_s = 300.0);
+  /// Block until every submitted job is terminal.
+  bool wait_all_idle(double timeout_s = 600.0);
+
+  /// Install the job-control protocol (docs/service.md) on `ep` and use
+  /// it for job event/stream publication.  Pass LiveEndpoint::global() to
+  /// also carry the per-step records ParallelSimulation publishes there.
+  void attach_endpoint(telemetry::LiveEndpoint& ep);
+
+  /// <root>/job-<id> -- every output of that job lives under it.
+  std::string job_dir(std::uint64_t id) const;
+  /// "job-<id>": the StepRecord job field and the watch topic.
+  static std::string job_label(std::uint64_t id);
+
+  const ServiceConfig& config() const { return cfg_; }
+  /// Seconds since service construction (the clock of JobStatus stamps).
+  double now_s() const;
+  /// Set when the dispatcher died on an unrecoverable error (the service
+  /// is then defunct; running() is false).
+  std::string dispatcher_error() const;
+
+ private:
+  enum class Op : std::uint64_t {
+    kIdle = 0,
+    kStart,       ///< admit: construct the job's sims on every rank
+    kStep,        ///< one step of job `job`
+    kCheckpoint,  ///< checkpoint job `job` into its ckpt dir
+    kSnapshot,    ///< gather + write frame_<step>.bin
+    kFinish,      ///< synchronize, final.bin, tear down, kDone
+    kCancel,      ///< tear down resident job, kCancelled
+    kShutdown,    ///< exit the rank loop
+  };
+  struct Cmd {
+    std::uint64_t op = 0;  ///< Op
+    std::uint64_t job = 0;
+  };
+
+  struct Job {
+    std::uint64_t id = 0;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::uint64_t steps_done = 0;
+    int rollbacks = 0;
+    int attempts = 0;  ///< consecutive rollbacks since the last clean step
+    bool ckpt_due = false;
+    bool frame_due = false;
+    bool finish_due = false;
+    bool cancel_requested = false;
+    std::string error;
+    std::shared_ptr<parx::FaultDomain> domain;  ///< armed once, persists
+    double submit_s = -1, first_step_s = -1, finish_s = -1;
+  };
+
+  void dispatcher();
+  void rank_loop(parx::Comm& world);
+  Cmd decide();                                 ///< rank 0, locks jobs_mu_
+  void execute(parx::Comm& world, const Cmd& cmd);
+  void exec_start(parx::Comm& world, const Cmd& cmd);
+  void exec_step(parx::Comm& world, const Cmd& cmd);
+  void exec_checkpoint(parx::Comm& world, const Cmd& cmd);
+  void exec_snapshot(parx::Comm& world, const Cmd& cmd);
+  void exec_finish(parx::Comm& world, const Cmd& cmd);
+  void exec_teardown(parx::Comm& world, const Cmd& cmd, JobState final_state);
+  /// Collective rollback of the job named in `cmd` after a caught
+  /// CommError; `world` has already completed fault_recover.
+  void recover(parx::Comm& world, const Cmd& cmd, const std::string& what);
+  /// Swap a fault domain in/out at a barrier-bracketed quiescent point.
+  void swap_domain(parx::Comm& world, const std::shared_ptr<parx::FaultDomain>& d);
+  void destroy_sims(parx::Comm& world, std::uint64_t id);  ///< collective
+  void construct_sims(parx::Comm& world, std::uint64_t id);  ///< collective
+  JobStatus status_locked(const Job& j) const;
+  void publish_job_event(const Job& j, std::string_view type,
+                         std::string_view detail = {});
+  void finalize_locked(Job& j, JobState state);  ///< stamp + counters + notify
+
+  ServiceConfig cfg_;
+  parx::Runtime* rt_ = nullptr;           ///< cfg_.use_shared_runtime
+  std::unique_ptr<parx::Runtime> owned_rt_;
+  telemetry::LiveEndpoint* ep_ = nullptr;  ///< attach_endpoint target
+
+  mutable std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::map<std::uint64_t, Job> jobs_;  ///< ordered: FIFO admission by id
+  FairShareScheduler sched_;
+  std::uint64_t next_id_ = 1;
+  bool shutdown_ = false;
+  bool dispatcher_done_ = false;  ///< rank loop exited (shutdown or error)
+  std::string dispatcher_error_;
+
+  /// sims_[id][rank]: each rank thread touches only its own slot; the map
+  /// itself mutates only on rank 0 while every other rank is parked at a
+  /// barrier of the same command (commands are serialized), so no lock.
+  std::map<std::uint64_t, std::vector<std::unique_ptr<core::ParallelSimulation>>> sims_;
+
+  std::thread thread_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Collective: gather the full particle set of `sim` onto rank 0 and sort
+/// it by id -- the canonical final state both the daemon's final.bin and
+/// a solo baseline write, so the bitwise contract is a byte compare.
+/// Returns the sorted particles on rank 0, empty elsewhere.
+std::vector<core::Particle> gather_sorted(parx::Comm& world,
+                                          const core::ParallelSimulation& sim);
+
+/// FNV-1a fingerprint of a canonical state (packed particle bytes + clock).
+std::uint64_t state_hash(std::span<const core::Particle> particles, double clock);
+
+}  // namespace greem::svc

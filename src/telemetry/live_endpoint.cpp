@@ -71,13 +71,28 @@ void LiveEndpoint::stop() {
     listen_fd_ = -1;
   }
   std::lock_guard lock(mu_);
-  for (const int fd : clients_) ::close(fd);
+  for (const auto& c : clients_) ::close(c.fd);
   clients_.clear();
 }
 
 std::size_t LiveEndpoint::clients() const {
   std::lock_guard lock(mu_);
   return clients_.size();
+}
+
+void LiveEndpoint::set_command_handler(CommandHandler handler) {
+  std::lock_guard lock(handler_mu_);
+  handler_ = std::move(handler);
+}
+
+void LiveEndpoint::watch(std::uint64_t client, std::string topic) {
+  std::lock_guard lock(mu_);
+  for (auto& c : clients_) {
+    if (c.id != client) continue;
+    if (std::find(c.topics.begin(), c.topics.end(), topic) == c.topics.end())
+      c.topics.push_back(std::move(topic));
+    return;
+  }
 }
 
 void LiveEndpoint::send_line(int fd, std::string_view line) {
@@ -94,19 +109,39 @@ void LiveEndpoint::send_line(int fd, std::string_view line) {
   }
 }
 
-void LiveEndpoint::publish(std::string_view json_line) {
+void LiveEndpoint::drop_client_locked(std::size_t index) {
+  ::close(clients_[index].fd);
+  clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(index));
+  Registry::global().counter("telemetry/live/clients_dropped").add();
+}
+
+template <class Want>
+void LiveEndpoint::publish_where(std::string_view line, Want&& want) {
   if (!running()) return;
   std::lock_guard lock(mu_);
   for (std::size_t i = 0; i < clients_.size();) {
+    if (!want(clients_[i])) {
+      ++i;
+      continue;
+    }
     try {
-      send_line(clients_[i], json_line);
+      send_line(clients_[i].fd, line);
       ++i;
     } catch (const std::exception&) {
-      ::close(clients_[i]);
-      clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(i));
+      drop_client_locked(i);
     }
   }
   published_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LiveEndpoint::publish(std::string_view json_line) {
+  publish_where(json_line, [](const Client&) { return true; });
+}
+
+void LiveEndpoint::publish_topic(std::string_view topic, std::string_view json_line) {
+  publish_where(json_line, [&](const Client& c) {
+    return std::find(c.topics.begin(), c.topics.end(), topic) != c.topics.end();
+  });
 }
 
 void LiveEndpoint::publish_event(std::string_view type, std::string_view detail) {
@@ -119,13 +154,52 @@ void LiveEndpoint::publish_event(std::string_view type, std::string_view detail)
   publish(os.str());
 }
 
+void LiveEndpoint::handle_command(std::uint64_t client_id, std::string_view line) {
+  // Trim surrounding whitespace/CR; ignore blank keep-alive lines.
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\r' || line.front() == '\t'))
+    line.remove_prefix(1);
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\r' || line.back() == '\t'))
+    line.remove_suffix(1);
+  if (line.empty()) return;
+
+  std::vector<std::string> replies;
+  if (line.find("metrics") != std::string_view::npos &&
+      line.find("\"cmd\"") == std::string_view::npos) {
+    // Back-compat plain-text command from proto 1 clients.
+    replies.push_back(metrics_snapshot_json());
+  } else {
+    CommandHandler handler;
+    {
+      std::lock_guard lock(handler_mu_);
+      handler = handler_;
+    }
+    if (handler) replies = handler(client_id, line);
+  }
+  if (replies.empty()) return;
+
+  std::lock_guard lock(mu_);
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    if (clients_[i].id != client_id) continue;
+    try {
+      for (const auto& r : replies) send_line(clients_[i].fd, r);
+    } catch (const std::exception&) {
+      drop_client_locked(i);
+    }
+    return;
+  }
+}
+
 void LiveEndpoint::serve() {
   while (running()) {
     std::vector<pollfd> fds;
+    std::vector<std::uint64_t> ids;  // ids[i] pairs with fds[i + 1]
     fds.push_back({listen_fd_, POLLIN, 0});
     {
       std::lock_guard lock(mu_);
-      for (const int fd : clients_) fds.push_back({fd, POLLIN, 0});
+      for (const auto& c : clients_) {
+        fds.push_back({c.fd, POLLIN, 0});
+        ids.push_back(c.id);
+      }
     }
     const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (n <= 0) continue;
@@ -137,37 +211,53 @@ void LiveEndpoint::serve() {
         ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
         int one = 1;
         ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        std::ostringstream hello;
+        JsonWriter w(hello, /*pretty=*/false);
+        w.begin_object();
+        w.field("type", "hello");
+        w.field("service", "greem");
+        w.field("version", 1);
+        w.field("proto", kLiveProtoVersion);
+        w.end_object();
         std::lock_guard lock(mu_);
         try {
-          send_line(cfd, "{\"type\":\"hello\",\"service\":\"greem\",\"version\":1}");
+          send_line(cfd, hello.str());
           send_line(cfd, metrics_snapshot_json());
-          clients_.push_back(cfd);
+          Client c;
+          c.fd = cfd;
+          c.id = next_client_id_++;
+          clients_.push_back(std::move(c));
         } catch (const std::exception&) {
           ::close(cfd);
+          Registry::global().counter("telemetry/live/clients_dropped").add();
         }
       }
     }
     for (std::size_t i = 1; i < fds.size(); ++i) {
       if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      char buf[256];
-      const ssize_t r = ::recv(fds[i].fd, buf, sizeof(buf) - 1, 0);
-      std::lock_guard lock(mu_);
-      const auto it = std::find(clients_.begin(), clients_.end(), fds[i].fd);
-      if (it == clients_.end()) continue;
-      if (r <= 0) {  // peer closed (or error): drop the client
-        ::close(*it);
-        clients_.erase(it);
-        continue;
-      }
-      buf[r] = '\0';
-      if (std::string_view(buf).find("metrics") != std::string_view::npos) {
-        try {
-          send_line(*it, metrics_snapshot_json());
-        } catch (const std::exception&) {
-          ::close(*it);
-          clients_.erase(it);
+      char buf[512];
+      const ssize_t r = ::recv(fds[i].fd, buf, sizeof(buf), 0);
+      const std::uint64_t id = ids[i - 1];
+      std::vector<std::string> lines;
+      {
+        std::lock_guard lock(mu_);
+        const auto it = std::find_if(clients_.begin(), clients_.end(),
+                                     [&](const Client& c) { return c.id == id; });
+        if (it == clients_.end()) continue;
+        if (r <= 0) {  // peer closed or errored
+          drop_client_locked(static_cast<std::size_t>(it - clients_.begin()));
+          continue;
         }
+        it->rxbuf.append(buf, static_cast<std::size_t>(r));
+        std::size_t start = 0, nl;
+        while ((nl = it->rxbuf.find('\n', start)) != std::string::npos) {
+          lines.emplace_back(it->rxbuf, start, nl - start);
+          start = nl + 1;
+        }
+        it->rxbuf.erase(0, start);
       }
+      // Dispatch outside mu_: handlers may call watch()/publish*().
+      for (const auto& line : lines) handle_command(id, line);
     }
   }
 }

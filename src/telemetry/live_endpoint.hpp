@@ -1,26 +1,41 @@
 #pragma once
 // Live introspection endpoint: a tiny per-process TCP server (loopback
-// only) streaming newline-delimited JSON to connected clients -- the first
-// brick of the "simulation as a service" roadmap item.
+// only) streaming newline-delimited JSON to connected clients -- the
+// transport of the "simulation as a service" job-control protocol
+// (docs/service.md) and of the plain per-run step stream.
 //
 // Protocol (one JSON document per line, both directions):
-//   server -> client on connect:  {"type":"hello",...} then a metrics
-//                                 snapshot line
+//   server -> client on connect:  {"type":"hello","proto":N,...} then a
+//                                 metrics snapshot line.  `proto` is the
+//                                 protocol version; clients must ignore
+//                                 unknown fields and unknown line types,
+//                                 so reconnecting against a newer server
+//                                 stays safe (proto 1 had no field).
 //   server -> client streamed:    whatever publish() is handed -- per-step
 //                                 StepReport records (parallel_sim),
-//                                 watchdog / sentinel / recovery events
-//   client -> server commands:    "metrics\n" requests a fresh metrics
-//                                 snapshot line; anything else is ignored
+//                                 watchdog / sentinel / recovery events.
+//                                 publish_topic() lines go only to the
+//                                 clients subscribed to that topic (the
+//                                 per-job `watch` streams).
+//   client -> server commands:    one command per line.  "metrics"
+//                                 requests a fresh metrics snapshot line;
+//                                 every other non-empty line goes to the
+//                                 installed command handler (the svc
+//                                 job-control grammar) and is otherwise
+//                                 ignored.
 //
 // The server is passive with respect to the simulation: publish() writes
-// to whoever is connected and drops clients whose sockets fail; nothing
-// blocks the step loop beyond a bounded send (1s SO_SNDTIMEO).
+// to whoever is connected and drops clients whose sockets fail or
+// disconnect (every removal except stop() counts in
+// telemetry/live/clients_dropped, so a flapping watcher is visible);
+// nothing blocks the step loop beyond a bounded send (1s SO_SNDTIMEO).
 //
 // Always compiled (plain sockets + JSON, like JsonWriter); under
 // GREEM_TELEMETRY=OFF the metrics snapshot is simply empty.
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -29,11 +44,23 @@
 
 namespace greem::telemetry {
 
+/// Wire protocol version advertised in the hello line.  2 added the
+/// `proto` field itself, topic subscriptions and the command handler.
+inline constexpr int kLiveProtoVersion = 2;
+
 /// One JSON document: {"type":"metrics","counters":{...},"gauges":{...}}.
 std::string metrics_snapshot_json();
 
 class LiveEndpoint {
  public:
+  /// Handles one client command line (anything but "metrics"); returns
+  /// the response lines to send to that client.  Runs on the serve
+  /// thread with no endpoint lock held, so it may call watch()/publish*
+  /// but must not block for long.  `client` identifies the sender for
+  /// watch(); ids are unique for the lifetime of the endpoint.
+  using CommandHandler =
+      std::function<std::vector<std::string>(std::uint64_t client, std::string_view line)>;
+
   /// The process-wide endpoint publishers use (started on demand by
   /// whoever owns the process entry point; publish() on a non-running
   /// endpoint is a cheap no-op).
@@ -56,21 +83,49 @@ class LiveEndpoint {
   std::size_t clients() const;
   std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
 
+  /// Install (or clear, with nullptr) the command handler.
+  void set_command_handler(CommandHandler handler);
+
+  /// Subscribe `client` to `topic`: publish_topic(topic, ...) lines will
+  /// be sent to it.  No-op when the client is gone.  Subscriptions are
+  /// additive and live until the client disconnects.
+  void watch(std::uint64_t client, std::string topic);
+
   /// Broadcast one JSON document (no trailing newline -- added here) to
   /// every connected client.  No-op when not running.
   void publish(std::string_view json_line);
+
+  /// Send one JSON document only to the clients subscribed to `topic`
+  /// via watch().  Counts toward published() like publish().
+  void publish_topic(std::string_view topic, std::string_view json_line);
 
   /// Convenience: publish {"type":<type>,"detail":<detail>}.
   void publish_event(std::string_view type, std::string_view detail);
 
  private:
+  struct Client {
+    int fd = -1;
+    std::uint64_t id = 0;
+    std::string rxbuf;                ///< partial command line
+    std::vector<std::string> topics;  ///< watch() subscriptions
+  };
+
   void serve();
   void send_line(int fd, std::string_view line);  ///< callers hold mu_
+  /// Send `line` to every client passing `want`; drops (and counts) the
+  /// clients whose sockets fail.  Callers must not hold mu_.
+  template <class Want>
+  void publish_where(std::string_view line, Want&& want);
+  void drop_client_locked(std::size_t index);  ///< callers hold mu_
+  void handle_command(std::uint64_t client_id, std::string_view line);
 
   mutable std::mutex mu_;  ///< guards clients_ and all writes to them
-  std::vector<int> clients_;
+  std::vector<Client> clients_;
+  std::mutex handler_mu_;  ///< guards handler_
+  CommandHandler handler_;
   int listen_fd_ = -1;
   int port_ = 0;
+  std::uint64_t next_client_id_ = 1;  ///< guarded by mu_
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> published_{0};
   std::thread thread_;

@@ -23,6 +23,7 @@ void write_breakdown(JsonWriter& w, std::string_view key, const TimingBreakdown&
 void write_jsonl(std::ostream& os, const StepRecord& r) {
   JsonWriter w(os, /*pretty=*/false);
   w.begin_object();
+  if (!r.job.empty()) w.field("job", r.job);
   w.field("step", r.step);
   w.field("t", r.t);
   w.field("ranks", r.ranks);

@@ -21,6 +21,7 @@
 namespace greem::telemetry {
 
 struct StepRecord {
+  std::string job;          ///< owning job label under a service, "" solo
   std::uint64_t step = 0;   ///< 1-based step index
   double t = 0;             ///< simulation clock after the step
   int ranks = 1;

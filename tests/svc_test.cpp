@@ -1,0 +1,519 @@
+// Tests of the simulation-as-a-service layer (src/svc): fair-share
+// scheduling, job lifecycle, per-job output namespacing, rollback
+// isolation (a fault in job A never perturbs job B), the solo-vs-daemon
+// bitwise contract, and the JSONL job-control protocol.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "io/snapshot.hpp"
+#include "parx/runtime.hpp"
+#include "svc/job.hpp"
+#include "svc/protocol.hpp"
+#include "svc/scheduler.hpp"
+#include "svc/service.hpp"
+#include "telemetry/live_endpoint.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace greem {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("greem_svc_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+svc::JobSpec small_spec(std::uint64_t seed) {
+  svc::JobSpec s;
+  s.n_particles = 512;
+  s.n_mesh = 16;
+  s.steps = 2;
+  s.seed = seed;
+  s.nclusters = 2;
+  return s;
+}
+
+/// Solo baseline: the same spec run outside the daemon, canonical final
+/// state (sorted by id) on return.
+std::vector<core::Particle> run_solo(const svc::JobSpec& spec, int nranks,
+                                     double* clock_out = nullptr) {
+  parx::Runtime rt(nranks);
+  std::vector<core::Particle> result;
+  double clock = 0;
+  rt.run([&](parx::Comm& world) {
+    auto cfg = svc::make_sim_config(spec, world.size());
+    std::vector<core::Particle> local;
+    if (world.rank() == 0) local = svc::make_initial_particles(spec);
+    core::ParallelSimulation sim(world, std::move(cfg), std::move(local), 0.0);
+    for (std::uint64_t s = 1; s <= spec.steps; ++s)
+      sim.step(static_cast<double>(s) * spec.dt);
+    sim.synchronize();
+    auto sorted = svc::gather_sorted(world, sim);
+    if (world.rank() == 0) {
+      result = std::move(sorted);
+      clock = sim.clock();
+    }
+  });
+  if (clock_out) *clock_out = clock;
+  return result;
+}
+
+bool same_particles(std::span<const core::Particle> a,
+                    std::span<const core::Particle> b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size_bytes()) == 0);
+}
+
+TEST(FairShareScheduler, ProportionalToWeightAndDeterministic) {
+  auto run_once = [] {
+    svc::FairShareScheduler sched;
+    sched.add(1, 1);
+    sched.add(2, 3);
+    std::vector<std::uint64_t> picks;
+    for (int i = 0; i < 40; ++i) {
+      const auto id = sched.pick();
+      picks.push_back(*id);
+      sched.charge(*id, 100);
+    }
+    return picks;
+  };
+  const auto picks = run_once();
+  EXPECT_EQ(picks, run_once());  // bit-for-bit replayable schedule
+  const auto n2 = std::count(picks.begin(), picks.end(), 2ull);
+  const auto n1 = std::count(picks.begin(), picks.end(), 1ull);
+  EXPECT_EQ(n1 + n2, 40);
+  EXPECT_GE(n2, n1 * 5 / 2);  // weight 3 gets ~3x the slices of weight 1
+}
+
+TEST(FairShareScheduler, LateArrivalEntersAtMinPassAndRemoveWorks) {
+  svc::FairShareScheduler sched;
+  sched.add(1, 1);
+  for (int i = 0; i < 100; ++i) sched.charge(1, 1000);
+  sched.add(2, 1);  // enters at job 1's pass, not at zero
+  std::vector<std::uint64_t> picks;
+  for (int i = 0; i < 6; ++i) {
+    const auto id = sched.pick();
+    picks.push_back(*id);
+    sched.charge(*id, 1000);
+  }
+  EXPECT_EQ(std::count(picks.begin(), picks.end(), 2ull), 3);
+  sched.remove(2);
+  EXPECT_FALSE(sched.contains(2));
+  EXPECT_EQ(*sched.pick(), 1ull);
+  sched.remove(1);
+  EXPECT_FALSE(sched.pick().has_value());
+}
+
+TEST(JobSpec, DimsForFactorsNearCubic) {
+  EXPECT_EQ(svc::dims_for(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(svc::dims_for(12), (std::array<int, 3>{3, 2, 2}));
+  EXPECT_EQ(svc::dims_for(6), (std::array<int, 3>{3, 2, 1}));
+  EXPECT_EQ(svc::dims_for(1), (std::array<int, 3>{1, 1, 1}));
+}
+
+TEST(JobSpec, JsonRoundTrip) {
+  svc::JobSpec s = small_spec(7);
+  s.name = "round-trip";
+  s.priority = 4;
+  s.faults = {"2:pp:0", "*:any:*:drop@0.01"};
+  s.checkpoint_every = 1;
+  s.max_attempts = 5;
+  s.snapshot_every = 2;
+  s.final_snapshot = false;
+  const auto doc = telemetry::parse_json(svc::spec_to_json(s));
+  ASSERT_TRUE(doc.has_value());
+  const auto back = svc::spec_from_json(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->name, s.name);
+  EXPECT_EQ(back->priority, s.priority);
+  EXPECT_EQ(back->steps, s.steps);
+  EXPECT_EQ(back->n_particles, s.n_particles);
+  EXPECT_EQ(back->seed, s.seed);
+  EXPECT_EQ(back->faults, s.faults);
+  EXPECT_EQ(back->checkpoint_every, s.checkpoint_every);
+  EXPECT_EQ(back->max_attempts, s.max_attempts);
+  EXPECT_EQ(back->snapshot_every, s.snapshot_every);
+  EXPECT_EQ(back->final_snapshot, s.final_snapshot);
+  // Malformed: zero steps rejected.
+  const auto bad = telemetry::parse_json(R"({"steps":0})");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_FALSE(svc::spec_from_json(*bad).has_value());
+}
+
+TEST(SimService, RunsJobsToCompletionWithStatusAndList) {
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("run");
+  svc::SimService service(cfg);
+  service.start();
+  const auto id1 = service.submit(small_spec(1));
+  const auto id2 = service.submit(small_spec(2));
+  ASSERT_TRUE(service.wait(id1));
+  ASSERT_TRUE(service.wait(id2));
+  const auto s1 = service.status(id1);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->state, svc::JobState::kDone);
+  EXPECT_EQ(s1->steps_done, 2u);
+  EXPECT_GE(s1->first_step_s, 0.0);
+  EXPECT_GE(s1->finish_s, s1->first_step_s);
+  EXPECT_EQ(service.list().size(), 2u);
+  EXPECT_TRUE(fs::exists(service.job_dir(id1) + "/final.bin"));
+  EXPECT_TRUE(fs::exists(service.job_dir(id2) + "/final.bin"));
+  service.stop();
+  EXPECT_TRUE(service.dispatcher_error().empty());
+}
+
+// Satellite: two jobs using default paths never clobber each other --
+// every output (step-report JSONL, checkpoints, snapshots) is namespaced
+// under <root>/job-<id>/.
+TEST(SimService, DefaultOutputPathsDoNotCollide) {
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("paths");
+  svc::SimService service(cfg);
+  service.start();
+  auto spec = small_spec(3);
+  spec.checkpoint_every = 1;
+  const auto a = service.submit(spec);
+  spec.seed = 4;
+  const auto b = service.submit(spec);
+  ASSERT_TRUE(service.wait(a));
+  ASSERT_TRUE(service.wait(b));
+  service.stop();
+
+  EXPECT_NE(service.job_dir(a), service.job_dir(b));
+  EXPECT_TRUE(fs::exists(service.job_dir(a) + "/final.bin"));
+  EXPECT_TRUE(fs::exists(service.job_dir(b) + "/final.bin"));
+  EXPECT_FALSE(fs::is_empty(service.job_dir(a) + "/ckpt"));
+  EXPECT_FALSE(fs::is_empty(service.job_dir(b) + "/ckpt"));
+  if (telemetry::enabled()) {
+    // Each job's JSONL stream holds only records labeled with its own id.
+    for (const auto id : {a, b}) {
+      std::ifstream in(service.job_dir(id) + "/steps.jsonl");
+      ASSERT_TRUE(in.good());
+      std::string line;
+      std::size_t lines = 0;
+      while (std::getline(in, line)) {
+        ++lines;
+        EXPECT_NE(line.find("\"job\":\"" + svc::SimService::job_label(id) + "\""),
+                  std::string::npos)
+            << line;
+      }
+      EXPECT_EQ(lines, 2u);  // one record per step, nobody else's
+    }
+  }
+}
+
+// The determinism contract (EXPERIMENTS.md): same spec + seed is bitwise
+// identical run solo or under the daemon with contention.
+TEST(SimService, SoloAndDaemonFinalStatesAreBitwiseIdentical) {
+  const auto spec = small_spec(11);
+  const auto solo = run_solo(spec, 8);
+  ASSERT_EQ(solo.size(), spec.n_particles);
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("bitwise");
+  svc::SimService service(cfg);
+  service.start();
+  // Contention: a second job time-slicing against the one under test.
+  service.submit(small_spec(12));
+  const auto id = service.submit(spec);
+  ASSERT_TRUE(service.wait(id));
+  service.stop();
+
+  const auto snap = io::read_snapshot(service.job_dir(id) + "/final.bin");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(same_particles(snap->particles, solo));
+}
+
+// Satellite: rollback isolation.  Job A trips an injected fault and rolls
+// back to its own checkpoint; job B runs the same steps concurrently and
+// must be bitwise identical to a solo run of B.
+TEST(SimService, RollbackIsolatesTheFaultedJob) {
+  const auto spec_b = small_spec(21);
+  const auto solo_b = run_solo(spec_b, 8);
+  auto spec_a = small_spec(20);
+  spec_a.steps = 3;
+  spec_a.checkpoint_every = 1;
+  spec_a.faults = {"2:pp:0"};  // rank 0 aborts in step 2's PP phase, once
+  const auto solo_a = run_solo(spec_a, 8);  // faults don't apply solo
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("isolation");
+  svc::SimService service(cfg);
+  service.start();
+  const auto a = service.submit(spec_a);
+  const auto b = service.submit(spec_b);
+  ASSERT_TRUE(service.wait(a));
+  ASSERT_TRUE(service.wait(b));
+  service.stop();
+  ASSERT_TRUE(service.dispatcher_error().empty());
+
+  const auto sa = service.status(a);
+  ASSERT_TRUE(sa.has_value());
+  EXPECT_EQ(sa->state, svc::JobState::kDone);
+  EXPECT_GE(sa->rollbacks, 1);
+  const auto sb = service.status(b);
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sb->state, svc::JobState::kDone);
+  EXPECT_EQ(sb->rollbacks, 0);
+
+  // B is untouched by A's fault; A's own recovery is bitwise too.
+  const auto snap_b = io::read_snapshot(service.job_dir(b) + "/final.bin");
+  ASSERT_TRUE(snap_b.has_value());
+  EXPECT_TRUE(same_particles(snap_b->particles, solo_b));
+  const auto snap_a = io::read_snapshot(service.job_dir(a) + "/final.bin");
+  ASSERT_TRUE(snap_a.has_value());
+  EXPECT_TRUE(same_particles(snap_a->particles, solo_a));
+}
+
+TEST(SimService, UnrecoverableFaultFailsOnlyThatJob) {
+  auto spec_a = small_spec(30);
+  spec_a.steps = 3;
+  spec_a.checkpoint_every = 1;
+  spec_a.max_attempts = 2;
+  // One abort per retry, all on rank 0 (the injector spends one matching
+  // spec per firing): the fault outlasts the attempt budget.
+  spec_a.faults = {"2:pp:0", "2:pp:0", "2:pp:0", "2:pp:0"};
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("fail");
+  svc::SimService service(cfg);
+  service.start();
+  const auto a = service.submit(spec_a);
+  const auto b = service.submit(small_spec(31));
+  ASSERT_TRUE(service.wait(a));
+  ASSERT_TRUE(service.wait(b));
+  service.stop();
+  ASSERT_TRUE(service.dispatcher_error().empty());
+
+  const auto sa = service.status(a);
+  ASSERT_TRUE(sa.has_value());
+  EXPECT_EQ(sa->state, svc::JobState::kFailed);
+  EXPECT_FALSE(sa->error.empty());
+  EXPECT_EQ(sa->rollbacks, 3);  // max_attempts + 1 trips
+  const auto sb = service.status(b);
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sb->state, svc::JobState::kDone);
+}
+
+TEST(SimService, CancelQueuedAndResidentJobs) {
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("cancel");
+  svc::SimService service(cfg);
+  // Not started yet: submitted jobs stay queued.
+  auto spec = small_spec(40);
+  spec.steps = 50;
+  const auto a = service.submit(spec);
+  EXPECT_TRUE(service.cancel(a));
+  EXPECT_EQ(service.status(a)->state, svc::JobState::kCancelled);
+  EXPECT_FALSE(service.cancel(a));      // already terminal
+  EXPECT_FALSE(service.cancel(99999));  // unknown
+
+  service.start();
+  const auto b = service.submit(spec);  // long job, cancelled mid-flight
+  while (service.status(b)->steps_done == 0 &&
+         !svc::is_terminal(service.status(b)->state))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(service.cancel(b));
+  ASSERT_TRUE(service.wait(b));
+  EXPECT_EQ(service.status(b)->state, svc::JobState::kCancelled);
+  EXPECT_LT(service.status(b)->steps_done, spec.steps);
+  service.stop();
+  EXPECT_TRUE(service.dispatcher_error().empty());
+}
+
+TEST(SimService, SnapshotFramesAreWrittenAtTheConfiguredCadence) {
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("frames");
+  svc::SimService service(cfg);
+  service.start();
+  auto spec = small_spec(50);
+  spec.steps = 4;
+  spec.snapshot_every = 2;
+  const auto id = service.submit(spec);
+  ASSERT_TRUE(service.wait(id));
+  service.stop();
+  EXPECT_TRUE(fs::exists(service.job_dir(id) + "/frame_2.bin"));
+  EXPECT_TRUE(fs::exists(service.job_dir(id) + "/final.bin"));
+  EXPECT_FALSE(fs::exists(service.job_dir(id) + "/frame_4.bin"));  // final covers it
+}
+
+// ---- protocol ----
+
+class LineClient {
+ public:
+  explicit LineClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    timeval tv{20, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  ~LineClient() { close(); }
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+  bool connected() const { return connected_; }
+
+  void send_line(const std::string& line) {
+    const std::string out = line + "\n";
+    ASSERT_EQ(::send(fd_, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+  }
+
+  /// Next full line (without '\n'), or nullopt on timeout/EOF.
+  std::optional<std::string> read_line() {
+    for (;;) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char tmp[512];
+      const ssize_t r = ::recv(fd_, tmp, sizeof(tmp), 0);
+      if (r <= 0) return std::nullopt;
+      buf_.append(tmp, static_cast<std::size_t>(r));
+    }
+  }
+
+  /// Read lines until one contains `needle` (returns it) or EOF/timeout.
+  std::optional<std::string> read_until(const std::string& needle) {
+    while (auto line = read_line()) {
+      if (line->find(needle) != std::string::npos) return line;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+TEST(ServiceProtocol, SubmitWatchListCancelOverTheWire) {
+  auto& ep = telemetry::LiveEndpoint::global();
+  ASSERT_TRUE(ep.start(0));
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("proto");
+  svc::SimService service(cfg);
+  service.attach_endpoint(ep);
+
+  LineClient client(ep.port());
+  ASSERT_TRUE(client.connected());
+  // Reconnect-friendly hello: versioned protocol, then a metrics line.
+  const auto hello = client.read_line();
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_NE(hello->find("\"type\":\"hello\""), std::string::npos);
+  EXPECT_NE(hello->find("\"proto\":2"), std::string::npos);
+  ASSERT_TRUE(client.read_line().has_value());  // metrics snapshot
+
+  // Submit + watch while the dispatcher is not yet running, so the watch
+  // subscription provably precedes every record of the job.
+  client.send_line(R"({"cmd":"submit","spec":{"name":"wire","steps":2,)"
+                   R"("n_particles":512,"n_mesh":16,"seed":60}})");
+  const auto submitted = client.read_until("\"type\":\"submitted\"");
+  ASSERT_TRUE(submitted.has_value());
+  EXPECT_NE(submitted->find("\"id\":1"), std::string::npos);
+  client.send_line(R"({"cmd":"watch","id":1})");
+  ASSERT_TRUE(client.read_until("\"type\":\"watching\"").has_value());
+
+  // Unknown command and malformed JSON produce error lines, not drops.
+  client.send_line(R"({"cmd":"frobnicate"})");
+  ASSERT_TRUE(client.read_until("\"type\":\"error\"").has_value());
+  client.send_line("{not json");
+  ASSERT_TRUE(client.read_until("\"type\":\"error\"").has_value());
+  // Legacy plain-text metrics command still answered.
+  client.send_line("metrics");
+  ASSERT_TRUE(client.read_until("\"type\":\"metrics\"").has_value());
+
+  service.start();
+  // The watch stream carries the job's records/events through to "done".
+  const auto done = client.read_until("\"state\":\"done\"");
+  ASSERT_TRUE(done.has_value());
+  if (telemetry::enabled()) {
+    // StepRecords were streamed to the watcher, tagged with the job.
+    ASSERT_TRUE(service.wait(1));
+  }
+  client.send_line(R"({"cmd":"status","id":1})");
+  const auto status = client.read_until("\"type\":\"status\"");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("\"state\":\"done\""), std::string::npos);
+  client.send_line(R"({"cmd":"list"})");
+  ASSERT_TRUE(client.read_until("\"type\":\"jobs\"").has_value());
+  client.send_line(R"({"cmd":"cancel","id":1})");
+  const auto cancelled = client.read_until("\"type\":\"cancelled\"");
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_NE(cancelled->find("\"ok\":false"), std::string::npos);  // already done
+
+  client.close();
+  service.stop();
+  ep.stop();
+}
+
+// Satellite: watchers that vanish are dropped and counted.
+TEST(LiveEndpointService, DroppedClientsAreCounted) {
+  auto& ep = telemetry::LiveEndpoint::global();
+  ASSERT_TRUE(ep.start(0));
+  const auto before =
+      telemetry::Registry::global().counter("telemetry/live/clients_dropped").value();
+  {
+    LineClient client(ep.port());
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.read_line().has_value());  // hello
+  }  // abrupt disconnect
+  for (int i = 0; i < 2000 && ep.clients() > 0; ++i) {
+    ep.publish("{\"type\":\"tick\"}");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ep.clients(), 0u);
+  if (telemetry::enabled()) {
+    EXPECT_GT(
+        telemetry::Registry::global().counter("telemetry/live/clients_dropped").value(),
+        before);
+  }
+  ep.stop();
+}
+
+TEST(RuntimeShared, SingletonSizeIsSticky) {
+  auto& rt = parx::Runtime::shared(4);
+  EXPECT_EQ(rt.nranks(), 4);
+  EXPECT_EQ(&parx::Runtime::shared(), &rt);
+  EXPECT_EQ(&parx::Runtime::shared(4), &rt);
+  EXPECT_THROW(parx::Runtime::shared(8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace greem
