@@ -23,6 +23,7 @@
 // or failed job, so CI can gate on the binary alone.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +31,7 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "io/snapshot.hpp"
@@ -236,6 +238,84 @@ int main(int argc, char** argv) {
   const Pcts sp = percentiles(sched_lat);
   const Pcts tp = percentiles(turnaround);
 
+  // -- phase 4: restart recovery ------------------------------------------
+  // A mixed-priority batch is yanked mid-flight (hard shutdown: residents
+  // destroyed where they stand, every live job journaled as requeued); a
+  // second service on the same root replays the journal, resumes from
+  // checkpoints, and must still match every solo baseline.  Measures the
+  // two restart latencies the daemon adds: journal replay (constructor)
+  // and resume-to-drain wall time.
+  const int restart_jobs = std::min(opt.jobs, 12);
+  const std::string rroot = opt.root + "_restart";
+  std::filesystem::remove_all(rroot);
+  double replay_s = 0, resume_wall_s = 0;
+  int restart_requeued = 0, restart_mismatches = 0, restart_failed = 0;
+  std::vector<std::uint64_t> rids;
+  svc::ServiceConfig rcfg;
+  rcfg.nranks = opt.ranks;
+  rcfg.root = rroot;
+  rcfg.max_active = opt.max_active;
+  {
+    svc::SimService first(rcfg);
+    first.start();
+    for (int i = 0; i < restart_jobs; ++i) {
+      auto spec = base_spec(opt, i);
+      spec.name = "restart-" + std::to_string(i);
+      spec.checkpoint_every = 1;
+      rids.push_back(first.submit(std::move(spec)));
+    }
+    // Let the batch make some progress, then yank the service mid-flight.
+    for (int i = 0; i < 20000; ++i) {
+      std::uint64_t steps = 0;
+      for (const auto& s : first.list()) steps += s.steps_done;
+      if (steps >= static_cast<std::uint64_t>(restart_jobs)) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    first.request_shutdown();
+    first.stop();
+    if (!first.dispatcher_error().empty()) {
+      std::fprintf(stderr, "FAIL: restart phase 1 dispatcher died: %s\n",
+                   first.dispatcher_error().c_str());
+      return 1;
+    }
+  }
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    svc::SimService second(rcfg);  // journal replay happens here
+    replay_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                   .count();
+    restart_requeued = static_cast<int>(second.recovered_jobs());
+    const auto t1 = std::chrono::steady_clock::now();
+    second.start();
+    if (!second.wait_all_idle(/*timeout_s=*/600)) {
+      std::fprintf(stderr, "FAIL: restart batch did not drain\n");
+      return 1;
+    }
+    resume_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1).count();
+    second.stop();
+    for (int i = 0; i < restart_jobs; ++i) {
+      const auto st = second.status(rids[static_cast<std::size_t>(i)]);
+      if (!st || st->state != svc::JobState::kDone) {
+        ++restart_failed;
+        continue;
+      }
+      const auto spec = base_spec(opt, i);
+      const auto snap = io::read_snapshot(second.job_dir(st->id) + "/final.bin");
+      if (!snap || svc::state_hash(snap->particles, snap->header.clock) !=
+                       baseline.at(spec.seed)) {
+        ++restart_mismatches;
+        std::fprintf(stderr,
+                     "RESTART MISMATCH: job %llu differs from solo after resume\n",
+                     static_cast<unsigned long long>(st->id));
+      }
+    }
+  }
+  std::printf("restart: %d jobs, %d requeued, replay %.3fs, resume %.2fs, "
+              "%d failed, %d mismatches\n",
+              restart_jobs, restart_requeued, replay_s, resume_wall_s,
+              restart_failed, restart_mismatches);
+
   std::printf("%d/%d done, %d failed, %d rollbacks, %d mismatches, %.2fs wall "
               "(%.1f jobs/s, %.1f steps/s)\n",
               done, opt.jobs, failed, rollbacks, mismatches, wall, done / wall,
@@ -282,9 +362,20 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    w.key("restart_recovery").begin_object();
+    w.field("jobs", restart_jobs);
+    w.field("requeued", restart_requeued);
+    w.field("replay_seconds", replay_s);
+    w.field("resume_wall_seconds", resume_wall_s);
+    w.field("failed", restart_failed);
+    w.field("interference_mismatches", restart_mismatches);
+    w.end_object();
     w.end_object();
     os << "\n";
     std::printf("wrote %s\n", opt.out.c_str());
   }
-  return (mismatches == 0 && failed == 0) ? 0 : 1;
+  return (mismatches == 0 && failed == 0 && restart_failed == 0 &&
+          restart_mismatches == 0)
+             ? 0
+             : 1;
 }

@@ -19,6 +19,16 @@
 //   --root DIR   per-job output root (default greem_jobs)
 //   --pool N     TaskPool threads (default 0 = leave as is)
 //   --max-active N  jobs resident at once (default 4)
+//   --no-journal    disable the write-ahead job journal
+//
+// Durability (docs/service.md): every job transition is journaled under
+// <root>/journal/ before it happens, so restarting against the same
+// --root resumes interrupted work -- even after kill -9.  SIGTERM drains
+// (checkpoint + requeue residents, then a clean-shutdown record) and the
+// process exits 3 to distinguish "drained, work remains" from a plain
+// shutdown's 0.  SIGINT requests an immediate shutdown (still journaled,
+// still resumable -- residents just restart from their last checkpoint
+// instead of a fresh one).
 
 #include <csignal>
 #include <cstdio>
@@ -60,6 +70,8 @@ int main(int argc, char** argv) {
       cfg.pool_threads = static_cast<std::size_t>(std::atoll(need()));
     } else if (!std::strcmp(a, "--max-active")) {
       cfg.max_active = static_cast<std::size_t>(std::atoll(need()));
+    } else if (!std::strcmp(a, "--no-journal")) {
+      cfg.journal = false;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       return 2;
@@ -74,6 +86,9 @@ int main(int argc, char** argv) {
 
   svc::SimService service(cfg);
   service.attach_endpoint(ep);
+  if (service.recovered_from_crash())
+    std::printf("greem_serve: crash recovery: %zu job(s) requeued from the journal\n",
+                service.recovered_jobs());
   service.start();
   std::printf("greem_serve: %d ranks, listening on 127.0.0.1:%d, root %s\n",
               cfg.nranks, ep.port(), cfg.root.c_str());
@@ -81,9 +96,18 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
-  // The dispatcher exits when a shutdown command (or a signal) arrives.
-  while (service.running() && g_signal == 0)
+  // The dispatcher exits when a shutdown/drain command (or a signal)
+  // arrives.  SIGTERM maps to drain -- the k8s/systemd stop semantic.
+  bool drain_signalled = false;
+  while (service.running()) {
+    if (g_signal == SIGTERM && !drain_signalled) {
+      drain_signalled = true;
+      service.request_drain();
+    } else if (g_signal == SIGINT) {
+      break;
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 
   service.stop();
   ep.stop();
@@ -91,6 +115,10 @@ int main(int argc, char** argv) {
   if (!err.empty()) {
     std::fprintf(stderr, "greem_serve: dispatcher died: %s\n", err.c_str());
     return 1;
+  }
+  if (service.drained()) {
+    std::printf("greem_serve: drained\n");
+    return 3;  // clean drain: distinct from a plain shutdown's 0
   }
   std::printf("greem_serve: bye\n");
   return 0;

@@ -1,0 +1,152 @@
+#include "ckpt/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "ckpt/atomic_file.hpp"
+#include "util/hash.hpp"
+
+namespace greem::ckpt {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8 + 4;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out.append(b, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out.append(b, 8);
+}
+
+std::uint32_t get_u32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Best-effort fsync of the directory holding `path` (same contract as
+/// AtomicFileWriter: the append itself is durable once fsync'd; the
+/// directory entry only needs syncing when the file is first created,
+/// which open(O_CREAT) + this covers).
+void fsync_parent(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+bool write_all(int fd, const char* p, std::size_t n) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encode_journal_record(std::uint64_t tag, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kJournalMagic);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u64(out, tag);
+  put_u32(out, util::crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+JournalWriter::JournalWriter(std::string path) : path_(std::move(path)) {
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd_ >= 0) fsync_parent(path_);
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool JournalWriter::append(std::uint64_t tag, std::string_view payload) {
+  if (fd_ < 0 || payload.size() > kJournalMaxRecord) return false;
+  const std::string rec = encode_journal_record(tag, payload);
+  if (!write_all(fd_, rec.data(), rec.size())) return false;
+  if (::fsync(fd_) != 0) return false;
+  ++appends_;
+  return true;
+}
+
+bool JournalWriter::compact(std::uint64_t tag, std::string_view snapshot_payload) {
+  if (snapshot_payload.size() > kJournalMaxRecord) return false;
+  AtomicFileWriter w(path_);
+  const std::string rec = encode_journal_record(tag, snapshot_payload);
+  if (!w.write(rec.data(), rec.size()) || !w.commit()) return false;
+  // The rename replaced the file under our append fd; reopen on the new one.
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
+  appends_ = 1;
+  return fd_ >= 0;
+}
+
+std::optional<JournalReadResult> read_journal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+
+  JournalReadResult out;
+  std::size_t off = 0;
+  while (off < data.size()) {
+    if (data.size() - off < kHeaderBytes) {  // partial header: crash tail
+      out.truncated = true;
+      break;
+    }
+    const char* h = data.data() + off;
+    const std::uint32_t magic = get_u32(h);
+    const std::uint32_t len = get_u32(h + 4);
+    const std::uint64_t tag = get_u64(h + 8);
+    const std::uint32_t crc = get_u32(h + 16);
+    if (magic != kJournalMagic || len > kJournalMaxRecord) {
+      out.truncated = true;  // lost framing: nothing past here is trusted
+      break;
+    }
+    if (data.size() - off - kHeaderBytes < len) {  // payload past EOF
+      out.truncated = true;
+      break;
+    }
+    const char* payload = h + kHeaderBytes;
+    if (util::crc32(payload, len) != crc) {
+      // Framing is intact (magic + bounded len), the payload is not:
+      // skip this one record, let the owner of its tag deal with it.
+      out.corrupt_tags.push_back(tag);
+      out.bytes_dropped += kHeaderBytes + len;
+    } else {
+      out.records.push_back({tag, std::string(payload, len)});
+    }
+    off += kHeaderBytes + len;
+  }
+  if (out.truncated) out.bytes_dropped += data.size() - off;
+  return out;
+}
+
+}  // namespace greem::ckpt

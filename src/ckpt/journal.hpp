@@ -1,0 +1,95 @@
+#pragma once
+// Write-ahead journal: an append-only log of CRC-framed records with an
+// fsync per append, plus atomic compaction into a single snapshot record.
+// The service layer journals every job-lifecycle transition through this
+// before acting on it, so a daemon killed at any instant can rebuild its
+// job table on restart (docs/service.md, "Durability and restart
+// semantics").
+//
+// On-disk format: a sequence of records, each
+//
+//   u32 magic      'GJL1' (framing sentinel)
+//   u32 len        payload bytes (bounded; a garbage len fails framing)
+//   u64 tag        caller-defined attribution (svc: the job id; 0 = global)
+//   u32 crc32      CRC32 of the payload
+//   len bytes      payload (one JSON document, by convention)
+//
+// Reader semantics (the well-defined corruption states svc_test pins):
+//   * a tail that cannot be framed (partial header, payload past EOF,
+//     wrong magic) ends the scan: `truncated` is set and the tail ignored
+//     -- the signature of a crash mid-append;
+//   * a framed record whose CRC mismatches is SKIPPED and its tag
+//     reported in `corrupt_tags`, so the owner of that one record can be
+//     failed without discarding everyone else's history;
+//   * a missing file is "no journal" (nullopt), distinct from an empty
+//     journal.
+//
+// Appends are fsync'd before returning (the write-ahead contract);
+// compact() rewrites the log as one snapshot record via AtomicFileWriter
+// (temp + fsync + rename + directory fsync), so a crash during compaction
+// leaves either the old log or the new one, never a mix.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace greem::ckpt {
+
+inline constexpr std::uint32_t kJournalMagic = 0x314c4a47;  // "GJL1"
+/// Framing sanity bound: a record longer than this fails framing (a
+/// corrupt length field would otherwise swallow the rest of the file).
+inline constexpr std::uint32_t kJournalMaxRecord = 64u << 20;
+
+struct JournalRecord {
+  std::uint64_t tag = 0;
+  std::string payload;
+};
+
+class JournalWriter {
+ public:
+  /// Opens `path` for appending (created, along with nothing else -- the
+  /// caller owns the directory).  ok() is false if the open failed.
+  explicit JournalWriter(std::string path);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool ok() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  std::uint64_t appends() const { return appends_; }
+
+  /// Append one record and fsync before returning.  False on I/O failure
+  /// (the record may then be partially written -- exactly the truncated
+  /// tail the reader ignores).
+  bool append(std::uint64_t tag, std::string_view payload);
+
+  /// Atomically replace the whole log with a single snapshot record and
+  /// reopen for appending.  On failure the old log is left untouched.
+  bool compact(std::uint64_t tag, std::string_view snapshot_payload);
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t appends_ = 0;
+};
+
+struct JournalReadResult {
+  std::vector<JournalRecord> records;        ///< CRC-valid records, in order
+  std::vector<std::uint64_t> corrupt_tags;   ///< tags of skipped CRC-bad records
+  bool truncated = false;                    ///< unframeable tail was ignored
+  std::uint64_t bytes_dropped = 0;           ///< tail + corrupt-record bytes
+};
+
+/// Scan the journal at `path`.  nullopt when the file does not exist (no
+/// journal is not an error); otherwise every readable record per the
+/// semantics above.
+std::optional<JournalReadResult> read_journal(const std::string& path);
+
+/// Serialize one record exactly as JournalWriter does (tests use this to
+/// craft journals byte-by-byte).
+std::string encode_journal_record(std::uint64_t tag, std::string_view payload);
+
+}  // namespace greem::ckpt

@@ -20,6 +20,14 @@ std::string_view to_string(JobState s) {
   return "unknown";
 }
 
+std::optional<JobState> state_from_string(std::string_view s) {
+  for (const JobState st :
+       {JobState::kQueued, JobState::kRunning, JobState::kCheckpointing,
+        JobState::kDone, JobState::kFailed, JobState::kCancelled})
+    if (s == to_string(st)) return st;
+  return std::nullopt;
+}
+
 bool is_terminal(JobState s) {
   return s == JobState::kDone || s == JobState::kFailed || s == JobState::kCancelled;
 }
@@ -57,8 +65,24 @@ std::string spec_to_json(const JobSpec& spec) {
   return os.str();
 }
 
-std::optional<JobSpec> spec_from_json(const telemetry::JsonValue& v) {
-  if (!v.is_object()) return std::nullopt;
+std::string spec_problem(const JobSpec& s) {
+  if (s.priority < 1) return "priority must be >= 1";
+  if (s.steps == 0) return "steps must be >= 1";
+  if (s.n_particles == 0) return "n_particles must be >= 1";
+  if (s.nsub < 1) return "nsub must be >= 1";
+  if (s.n_mesh < 4) return "n_mesh must be >= 4";
+  if (!(s.dt > 0)) return "dt must be > 0";
+  if (s.max_attempts < 1) return "max_attempts must be >= 1";
+  return {};
+}
+
+std::optional<JobSpec> spec_from_json(const telemetry::JsonValue& v,
+                                      std::string* reason) {
+  const auto fail = [&](std::string_view why) -> std::optional<JobSpec> {
+    if (reason) *reason = std::string(why);
+    return std::nullopt;
+  };
+  if (!v.is_object()) return fail("spec must be a JSON object");
   JobSpec s;
   s.name = v.string_or("name", s.name);
   s.priority = static_cast<int>(v.number_or("priority", s.priority));
@@ -74,9 +98,9 @@ std::optional<JobSpec> spec_from_json(const telemetry::JsonValue& v) {
   s.eps = v.number_or("eps", s.eps);
   s.nsub = static_cast<int>(v.number_or("nsub", s.nsub));
   if (const auto* f = v.find("faults")) {
-    if (!f->is_array()) return std::nullopt;
+    if (!f->is_array()) return fail("faults must be an array of strings");
     for (const auto& item : f->items()) {
-      if (!item.is_string()) return std::nullopt;
+      if (!item.is_string()) return fail("faults must be an array of strings");
       s.faults.push_back(item.as_string());
     }
   }
@@ -88,9 +112,7 @@ std::optional<JobSpec> spec_from_json(const telemetry::JsonValue& v) {
   s.snapshot_every = v.u64_or("snapshot_every", s.snapshot_every);
   if (const auto* b = v.find("final_snapshot")) s.final_snapshot = b->as_bool(true);
   if (const auto* b = v.find("step_report")) s.step_report = b->as_bool(true);
-  if (s.priority < 1 || s.steps == 0 || s.n_particles == 0 || s.nsub < 1 ||
-      s.n_mesh < 4 || s.dt <= 0 || s.max_attempts < 0)
-    return std::nullopt;
+  if (const std::string why = spec_problem(s); !why.empty()) return fail(why);
   return s;
 }
 

@@ -39,6 +39,8 @@ enum class JobState {
 };
 
 std::string_view to_string(JobState s);
+/// Inverse of to_string (journal snapshots round-trip states through it).
+std::optional<JobState> state_from_string(std::string_view s);
 bool is_terminal(JobState s);
 
 /// Client-facing description of one simulation.  Defaults are sized for
@@ -86,8 +88,15 @@ std::string spec_to_json(const JobSpec& spec);
 
 /// Build a spec from a parsed JSON object; unknown fields are ignored,
 /// absent fields keep their defaults.  Returns nullopt when `v` is not an
-/// object or a present field is malformed (negative counts, zero steps).
-std::optional<JobSpec> spec_from_json(const telemetry::JsonValue& v);
+/// object or a present field is malformed (negative counts, zero steps,
+/// max_attempts < 1); when `reason` is non-null it receives a one-line
+/// description of the first problem, for structured error replies.
+std::optional<JobSpec> spec_from_json(const telemetry::JsonValue& v,
+                                      std::string* reason = nullptr);
+
+/// Validate a spec wherever it came from (JSON or the C++ API): returns
+/// an empty string when acceptable, else the reason it is not.
+std::string spec_problem(const JobSpec& spec);
 
 /// Near-cubic rank grid with product == nranks (greedy prime split).
 std::array<int, 3> dims_for(int nranks);

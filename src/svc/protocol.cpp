@@ -18,6 +18,7 @@ void write_status_fields(telemetry::JsonWriter& w, const JobStatus& s) {
   w.field("steps_done", s.steps_done);
   w.field("steps_total", s.steps_total);
   w.field("rollbacks", s.rollbacks);
+  if (s.recovered) w.field("recovered", true);
   if (!s.error.empty()) w.field("error", s.error);
 }
 
@@ -27,6 +28,22 @@ std::string error_line(std::string_view what) {
   w.begin_object();
   w.field("type", "error");
   w.field("error", what);
+  // Structured rejection reason (same text; `reason` is the documented
+  // field, `error` the historical one).
+  w.field("reason", what);
+  w.end_object();
+  return os.str();
+}
+
+std::string requeued_reply(std::string_view type, const std::vector<std::uint64_t>& ids) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", type);
+  w.field("ok", true);
+  w.key("requeued").begin_array();
+  for (const std::uint64_t id : ids) w.value(id);
+  w.end_array();
   w.end_object();
   return os.str();
 }
@@ -54,8 +71,11 @@ std::vector<std::string> handle_command_line(SimService& svc,
   if (cmd == "submit") {
     const telemetry::JsonValue* spec_v = doc->find("spec");
     if (!spec_v) spec_v = &*doc;  // flat form: spec fields at top level
-    const auto spec = spec_from_json(*spec_v);
-    if (!spec) return {error_line("malformed job spec")};
+    std::string why;
+    const auto spec = spec_from_json(*spec_v, &why);
+    if (!spec)
+      return {error_line(why.empty() ? "malformed job spec"
+                                     : "malformed job spec: " + why)};
     try {
       const std::uint64_t id = svc.submit(*spec);
       std::ostringstream os;
@@ -121,14 +141,16 @@ std::vector<std::string> handle_command_line(SimService& svc,
   }
 
   if (cmd == "shutdown") {
-    svc.request_shutdown();
-    std::ostringstream os;
-    telemetry::JsonWriter w(os, /*pretty=*/false);
-    w.begin_object();
-    w.field("type", "shutdown");
-    w.field("ok", true);
-    w.end_object();
-    return {os.str()};
+    // The reply names every job journaled as requeued-on-shutdown: the
+    // client knows exactly what will resume when the daemon next starts
+    // against the same root.
+    return {requeued_reply("shutdown", svc.request_shutdown())};
+  }
+
+  if (cmd == "drain") {
+    // Graceful wind-down: stop admission, checkpoint + park residents,
+    // then exit cleanly.  The listed jobs resume on the next start.
+    return {requeued_reply("draining", svc.request_drain())};
   }
 
   return {error_line("unknown command: " + cmd)};

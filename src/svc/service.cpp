@@ -9,6 +9,7 @@
 #include "io/snapshot.hpp"
 #include "svc/protocol.hpp"
 #include "telemetry/json.hpp"
+#include "telemetry/json_reader.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/hash.hpp"
 
@@ -16,9 +17,72 @@ namespace greem::svc {
 
 namespace {
 constexpr std::uint64_t kNoJob = 0;
+
+// Journal payloads: one JSON document per lifecycle record, tagged with
+// the job id so a CRC-corrupt record can be attributed to its owner.
+std::string ev_json(std::string_view event, std::uint64_t id) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("event", event);
+  w.field("id", id);
+  w.end_object();
+  return os.str();
+}
+
+std::string ev_step_json(std::string_view event, std::uint64_t id, std::uint64_t step) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("event", event);
+  w.field("id", id);
+  w.field("step", step);
+  w.end_object();
+  return os.str();
+}
+
+std::string submit_json(std::uint64_t id, const std::string& spec_json) {
+  return "{\"event\":\"submit\",\"id\":" + std::to_string(id) +
+         ",\"spec\":" + spec_json + "}";
+}
+
+std::string terminal_json(std::uint64_t id, JobState state, const std::string& error) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("event", "terminal");
+  w.field("id", id);
+  w.field("state", to_string(state));
+  if (!error.empty()) w.field("error", error);
+  w.end_object();
+  return os.str();
+}
+
+std::string rollback_json(std::uint64_t id, int rollbacks) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("event", "rollback");
+  w.field("id", id);
+  w.field("rollbacks", rollbacks);
+  w.end_object();
+  return os.str();
+}
+
+std::string shutdown_json(bool drained) {
+  std::ostringstream os;
+  telemetry::JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("event", "shutdown");
+  w.field("drained", drained);
+  w.end_object();
+  return os.str();
+}
 }  // namespace
 
 SimService::SimService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.root.empty())
+    throw std::invalid_argument("svc: output root must not be empty");
   if (cfg_.use_shared_runtime) {
     rt_ = &parx::Runtime::shared(cfg_.nranks);
   } else {
@@ -28,6 +92,10 @@ SimService::SimService(ServiceConfig cfg) : cfg_(std::move(cfg)) {
   ep_ = &telemetry::LiveEndpoint::global();
   std::filesystem::create_directories(cfg_.root);
   t0_ = std::chrono::steady_clock::now();
+  if (cfg_.journal) {
+    std::filesystem::create_directories(cfg_.root + "/journal");
+    replay_journal();
+  }
 }
 
 SimService::~SimService() { stop(); }
@@ -49,19 +117,44 @@ std::string SimService::dispatcher_error() const {
   return dispatcher_error_;
 }
 
+std::string SimService::journal_path() const {
+  return cfg_.journal ? cfg_.root + "/journal/journal.log" : std::string();
+}
+
 void SimService::start() {
   std::lock_guard lock(jobs_mu_);
   if (started_) return;
   shutdown_ = false;
+  drain_ = false;
+  drained_ = false;
+  shutdown_journaled_ = false;
   dispatcher_done_ = false;
   dispatcher_error_.clear();
   thread_ = std::thread([this] { dispatcher(); });
   started_ = true;
 }
 
-void SimService::request_shutdown() {
+std::vector<std::uint64_t> SimService::request_shutdown() {
   std::lock_guard lock(jobs_mu_);
   shutdown_ = true;
+  auto requeued = journal_shutdown_locked(/*drained=*/false);
+  jobs_cv_.notify_all();
+  return requeued;
+}
+
+std::vector<std::uint64_t> SimService::request_drain() {
+  std::lock_guard lock(jobs_mu_);
+  drain_ = true;
+  telemetry::Registry::global().counter("svc/drains").add();
+  std::vector<std::uint64_t> live;
+  for (const auto& [id, j] : jobs_)
+    if (!is_terminal(j.state)) live.push_back(id);
+  return live;
+}
+
+bool SimService::drained() const {
+  std::lock_guard lock(jobs_mu_);
+  return drained_;
 }
 
 void SimService::stop() {
@@ -81,15 +174,29 @@ bool SimService::running() const {
 }
 
 std::uint64_t SimService::submit(JobSpec spec) {
+  if (const std::string why = spec_problem(spec); !why.empty())
+    throw std::invalid_argument("svc: invalid spec: " + why);
   // Arm the fault domain up front: a malformed fault spec rejects the
   // submit instead of detonating mid-run, and fire-once budgets live in
   // one injector for the job's whole life.
   auto domain = rt_->make_fault_domain(make_fault_plan(spec));
+  std::string spec_json = spec_to_json(spec);
   std::lock_guard lock(jobs_mu_);
+  if (shutdown_ || drain_)
+    throw std::invalid_argument("svc: service is shutting down");
+  // Reject byte-identical duplicates of live jobs: the canonical spec
+  // rendering doubles as the identity (resubmitting a FINISHED spec is
+  // fine -- reruns are legitimate; two live copies racing on the same
+  // outputs are not).
+  for (const auto& [oid, oj] : jobs_)
+    if (!is_terminal(oj.state) && oj.spec_json == spec_json)
+      throw std::invalid_argument("svc: duplicate of live job " + std::to_string(oid));
   const std::uint64_t id = next_id_++;
+  journal_locked(id, submit_json(id, spec_json));
   Job j;
   j.id = id;
   j.spec = std::move(spec);
+  j.spec_json = std::move(spec_json);
   j.domain = std::move(domain);
   j.submit_s = now_s();
   jobs_.emplace(id, std::move(j));
@@ -119,6 +226,7 @@ JobStatus SimService::status_locked(const Job& j) const {
   s.steps_total = j.spec.steps;
   s.rollbacks = j.rollbacks;
   s.error = j.error;
+  s.recovered = j.recovered;
   s.submit_s = j.submit_s;
   s.first_step_s = j.first_step_s;
   s.finish_s = j.finish_s;
@@ -187,6 +295,10 @@ void SimService::publish_job_event(const Job& j, std::string_view type,
 }
 
 void SimService::finalize_locked(Job& j, JobState state) {
+  // Write-ahead: the terminal record is durable before the in-memory
+  // transition, so a crash straddling it reports the job terminal on
+  // restart instead of silently rerunning it.
+  journal_locked(j.id, terminal_json(j.id, state, j.error));
   j.state = state;
   j.finish_s = now_s();
   sched_.remove(j.id);
@@ -196,6 +308,187 @@ void SimService::finalize_locked(Job& j, JobState state) {
   telemetry::Registry::global().counter(counter).add();
   publish_job_event(j, "job");
   jobs_cv_.notify_all();
+}
+
+void SimService::journal_locked(std::uint64_t tag, std::string payload) {
+  if (!journal_) return;
+  if (!journal_->append(tag, payload)) {
+    // The journal is a recovery aid; the running service stays
+    // authoritative.  Count the failure and keep going.
+    telemetry::Registry::global().counter("svc/journal_errors").add();
+    return;
+  }
+  telemetry::Registry::global().counter("svc/journal_appends").add();
+  if (cfg_.journal_compact_every > 0 &&
+      journal_->appends() >= cfg_.journal_compact_every) {
+    if (journal_->compact(0, snapshot_payload_locked()))
+      telemetry::Registry::global().counter("svc/journal_compactions").add();
+  }
+}
+
+std::string SimService::snapshot_payload_locked() const {
+  // {"event":"snapshot","next_id":N,"jobs":[...]} -- everything replay
+  // needs, so compaction can discard the per-transition history.
+  std::string out =
+      "{\"event\":\"snapshot\",\"next_id\":" + std::to_string(next_id_) + ",\"jobs\":[";
+  bool first = true;
+  for (const auto& [id, j] : jobs_) {
+    if (!first) out += ',';
+    first = false;
+    std::ostringstream os;
+    telemetry::JsonWriter w(os, /*pretty=*/false);
+    w.begin_object();
+    w.field("id", j.id);
+    w.field("state", to_string(j.state));
+    w.field("steps_done", j.steps_done);
+    w.field("rollbacks", j.rollbacks);
+    // Once admitted, the job has a ckpt dir of its own to restore from.
+    w.field("resume", j.resume || j.state == JobState::kRunning ||
+                          j.state == JobState::kCheckpointing);
+    w.field("recovered", j.recovered);
+    if (!j.error.empty()) w.field("error", j.error);
+    w.end_object();
+    std::string entry = os.str();
+    const std::string& spec = j.spec_json;
+    entry.insert(entry.size() - 1,
+                 ",\"spec\":" + (spec.empty() ? spec_to_json(j.spec) : spec));
+    out += entry;
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<std::uint64_t> SimService::journal_shutdown_locked(bool drained) {
+  std::vector<std::uint64_t> live;
+  for (const auto& [id, j] : jobs_)
+    if (!is_terminal(j.state)) live.push_back(id);
+  if (shutdown_journaled_) return live;
+  shutdown_journaled_ = true;
+  for (const std::uint64_t id : live) journal_locked(id, ev_json("requeued", id));
+  journal_locked(0, shutdown_json(drained));
+  return live;
+}
+
+void SimService::replay_journal() {
+  const std::string path = cfg_.root + "/journal/journal.log";
+  const auto rr = ckpt::read_journal(path);
+  journal_ = std::make_unique<ckpt::JournalWriter>(path);
+  if (!rr) return;  // fresh root: nothing to replay
+
+  // `clean` tracks whether the log ends in a quiesced shutdown: a
+  // shutdown record followed at most by terminal/requeued bookkeeping
+  // from an in-flight command.  New activity (submit/admit/slice)
+  // invalidates it.
+  bool clean = false;
+  for (const auto& rec : rr->records) {
+    const auto v = telemetry::parse_json(rec.payload);
+    if (!v || !v->is_object()) continue;
+    const std::string ev = v->string_or("event", "");
+    if (ev == "shutdown") clean = true;
+    else if (ev == "submit" || ev == "admit" || ev == "slice") clean = false;
+
+    if (ev == "snapshot") {
+      jobs_.clear();
+      next_id_ = std::max<std::uint64_t>(1, v->u64_or("next_id", next_id_));
+      const auto* arr = v->find("jobs");
+      if (!arr || !arr->is_array()) continue;
+      for (const auto& item : arr->items()) {
+        if (!item.is_object()) continue;
+        const std::uint64_t id = item.u64_or("id", 0);
+        const auto* sp = item.find("spec");
+        auto spec = sp ? spec_from_json(*sp) : std::nullopt;
+        if (id == 0 || !spec) continue;
+        Job j;
+        j.id = id;
+        j.spec = std::move(*spec);
+        j.spec_json = spec_to_json(j.spec);
+        j.state = state_from_string(item.string_or("state", "queued"))
+                      .value_or(JobState::kQueued);
+        j.steps_done = item.u64_or("steps_done", 0);
+        j.rollbacks = static_cast<int>(item.number_or("rollbacks", 0));
+        if (const auto* b = item.find("resume")) j.resume = b->as_bool(false);
+        j.error = item.string_or("error", "");
+        jobs_[id] = std::move(j);
+        next_id_ = std::max(next_id_, id + 1);
+      }
+    } else if (ev == "submit") {
+      const std::uint64_t id = v->u64_or("id", 0);
+      const auto* sp = v->find("spec");
+      auto spec = sp ? spec_from_json(*sp) : std::nullopt;
+      if (id == 0 || !spec) continue;
+      Job j;
+      j.id = id;
+      j.spec = std::move(*spec);
+      j.spec_json = spec_to_json(j.spec);
+      jobs_[id] = std::move(j);
+      next_id_ = std::max(next_id_, id + 1);
+    } else {
+      const auto it = jobs_.find(v->u64_or("id", 0));
+      if (it == jobs_.end()) continue;
+      Job& j = it->second;
+      if (ev == "admit") {
+        j.resume = true;  // it owns a ckpt dir now; restore on readmission
+      } else if (ev == "ckpt") {
+        j.steps_done = v->u64_or("step", j.steps_done);
+      } else if (ev == "rollback") {
+        j.rollbacks = static_cast<int>(v->number_or("rollbacks", j.rollbacks + 1));
+      } else if (ev == "terminal") {
+        if (const auto st = state_from_string(v->string_or("state", "")))
+          j.state = *st;
+        j.error = v->string_or("error", j.error);
+      } else if (ev == "requeued") {
+        if (!is_terminal(j.state)) j.state = JobState::kQueued;
+      }
+    }
+  }
+  // A framed-but-CRC-corrupt record fails ITS job only; everyone else's
+  // history already replayed fine.
+  for (const std::uint64_t tag : rr->corrupt_tags) {
+    clean = false;
+    if (tag == 0) continue;  // global record: crash signature, no owner
+    auto it = jobs_.find(tag);
+    if (it == jobs_.end()) {
+      Job j;
+      j.id = tag;
+      j.state = JobState::kFailed;
+      j.error = "journal record corrupt";
+      j.spec_json = spec_to_json(j.spec);
+      jobs_[tag] = std::move(j);
+      next_id_ = std::max(next_id_, tag + 1);
+    } else if (!is_terminal(it->second.state)) {
+      it->second.state = JobState::kFailed;
+      it->second.error = "journal record corrupt";
+    }
+  }
+  if (rr->truncated) {
+    clean = false;
+    telemetry::Registry::global().counter("svc/journal_truncated_tails").add();
+  }
+  recovered_from_crash_ = !clean;
+
+  // Live jobs re-enter the queue (admission keeps priority-then-FIFO
+  // order because jobs_ is id-ordered); their fault domains are re-armed
+  // fresh -- fire-once budgets do not survive a daemon restart, which is
+  // the documented semantic (docs/service.md).
+  for (auto& [id, j] : jobs_) {
+    j.recovered = true;
+    j.submit_s = now_s();
+    if (is_terminal(j.state)) continue;
+    j.state = JobState::kQueued;
+    try {
+      j.domain = rt_->make_fault_domain(make_fault_plan(j.spec));
+    } catch (const std::exception& e) {
+      j.state = JobState::kFailed;
+      j.error = e.what();
+      continue;
+    }
+    ++recovered_jobs_;
+  }
+  telemetry::Registry::global().counter("svc/jobs_recovered").add(
+      static_cast<std::uint64_t>(recovered_jobs_));
+  // Start this incarnation from one clean snapshot record: replay cost
+  // stays bounded and any corrupt/truncated tail is scrubbed.
+  if (journal_->ok()) journal_->compact(0, snapshot_payload_locked());
 }
 
 void SimService::dispatcher() {
@@ -256,6 +549,25 @@ SimService::Cmd SimService::decide() {
       return {static_cast<std::uint64_t>(Op::kFinish), id};
     }
   }
+  // Drain: no new admissions or steps; checkpoint each resident job,
+  // park it back to the queue, then write the clean-shutdown record and
+  // wind down.  Cancellations and completions above still win, so a job
+  // already at its last step finishes instead of parking.
+  if (drain_) {
+    for (auto& [id, j] : jobs_) {
+      if (is_terminal(j.state) || !sims_.count(id)) continue;
+      if (j.drain_stage == 0) {
+        j.drain_stage = 1;
+        return {static_cast<std::uint64_t>(Op::kCheckpoint), id};
+      }
+      return {static_cast<std::uint64_t>(Op::kPark), id};
+    }
+    journal_shutdown_locked(/*drained=*/true);
+    drained_ = true;
+    shutdown_ = true;
+    jobs_cv_.notify_all();
+    return {static_cast<std::uint64_t>(Op::kShutdown), kNoJob};
+  }
   for (auto& [id, j] : jobs_) {
     if (j.ckpt_due) {
       j.ckpt_due = false;
@@ -277,14 +589,18 @@ SimService::Cmd SimService::decide() {
       if (!best || j.spec.priority > best->spec.priority) best = &j;
     }
     if (best) {
+      journal_locked(best->id, ev_json("admit", best->id));
       best->state = JobState::kRunning;
       sched_.add(best->id, best->spec.priority);
       return {static_cast<std::uint64_t>(Op::kStart), best->id};
     }
   }
   // 4. Fair-share pick among runnable jobs.
-  if (const auto id = sched_.pick())
+  if (const auto id = sched_.pick()) {
+    const Job& j = jobs_.at(*id);
+    journal_locked(*id, ev_step_json("slice", *id, j.steps_done + 1));
     return {static_cast<std::uint64_t>(Op::kStep), *id};
+  }
   return {static_cast<std::uint64_t>(Op::kIdle), kNoJob};
 }
 
@@ -299,6 +615,7 @@ void SimService::execute(parx::Comm& world, const Cmd& cmd) {
     case Op::kSnapshot: return exec_snapshot(world, cmd);
     case Op::kFinish: return exec_finish(world, cmd);
     case Op::kCancel: return exec_teardown(world, cmd, JobState::kCancelled);
+    case Op::kPark: return exec_park(world, cmd);
     case Op::kShutdown: return;  // handled in rank_loop
   }
 }
@@ -315,19 +632,55 @@ void SimService::swap_domain(parx::Comm& world,
 
 void SimService::construct_sims(parx::Comm& world, std::uint64_t id) {
   JobSpec spec;
+  bool resume = false;
   {
     std::lock_guard lock(jobs_mu_);
-    spec = jobs_.at(id).spec;
+    const Job& j = jobs_.at(id);
+    spec = j.spec;
+    resume = j.resume;
   }
-  auto cfg = make_sim_config(spec, world.size());
-  cfg.job_label = job_label(id);
-  cfg.pool_threads = cfg_.pool_threads;
-  if (spec.step_report) cfg.step_report_path = job_dir(id) + "/steps.jsonl";
-  std::vector<core::Particle> local;
-  if (world.rank() == 0) local = make_initial_particles(spec);
-  sims_.at(id)[static_cast<std::size_t>(world.rank())] =
-      std::make_unique<core::ParallelSimulation>(world, std::move(cfg),
-                                                 std::move(local), /*t_start=*/0.0);
+  const auto make = [&] {
+    auto cfg = make_sim_config(spec, world.size());
+    cfg.job_label = job_label(id);
+    cfg.pool_threads = cfg_.pool_threads;
+    if (spec.step_report) cfg.step_report_path = job_dir(id) + "/steps.jsonl";
+    std::vector<core::Particle> local;
+    if (world.rank() == 0) local = make_initial_particles(spec);
+    sims_.at(id)[static_cast<std::size_t>(world.rank())] =
+        std::make_unique<core::ParallelSimulation>(world, std::move(cfg),
+                                                   std::move(local), /*t_start=*/0.0);
+  };
+  make();
+  if (resume) {
+    // Restored/parked job readmitted (possibly by a later daemon
+    // incarnation): restore from its newest checkpoint.  Restore failures
+    // can be rank-local (one corrupt shard), so every rank votes and the
+    // job either restores everywhere or is rebuilt everywhere from the
+    // deterministic IC -- a well-defined degraded state, never a mix.
+    std::uint64_t ok = 1;
+    if (const auto latest = ckpt::find_latest(job_dir(id) + "/ckpt")) {
+      try {
+        sims_.at(id)[static_cast<std::size_t>(world.rank())]->restore_checkpoint(*latest);
+      } catch (const std::exception&) {
+        ok = 0;
+      }
+    } else {
+      ok = 0;  // no (valid) checkpoint: rebuild from IC
+    }
+    const auto votes = world.gatherv(std::span<const std::uint64_t>(&ok, 1), 0);
+    std::uint64_t all_ok = 0;
+    if (world.rank() == 0)
+      all_ok = std::all_of(votes.begin(), votes.end(),
+                           [](std::uint64_t v) { return v == 1; })
+                   ? 1
+                   : 0;
+    world.bcast_span(std::span<std::uint64_t>(&all_ok, 1), 0);
+    if (all_ok == 0) {
+      sims_.at(id)[static_cast<std::size_t>(world.rank())].reset();
+      world.barrier();
+      make();
+    }
+  }
   parx::set_fault_context(parx::kNoFaultStep, parx::FaultPhase::kAny);
   world.barrier();
 }
@@ -347,7 +700,21 @@ void SimService::exec_start(parx::Comm& world, const Cmd& cmd) {
   construct_sims(world, cmd.job);
   if (world.rank() == 0) {
     std::lock_guard lock(jobs_mu_);
-    publish_job_event(jobs_.at(cmd.job), "job");
+    Job& j = jobs_.at(cmd.job);
+    if (j.resume) {
+      j.resume = false;
+      // Resync bookkeeping to wherever the restore landed (step 0 when
+      // it rebuilt from the IC).
+      j.steps_done = sims_.at(cmd.job)[0]->step_index();
+      if (j.steps_done >= j.spec.steps) {
+        sched_.remove(j.id);
+        j.finish_due = true;
+      }
+      telemetry::Registry::global().counter("svc/jobs_resumed").add();
+      publish_job_event(j, "job", "resumed");
+    } else {
+      publish_job_event(j, "job");
+    }
   }
 }
 
@@ -409,6 +776,8 @@ void SimService::exec_checkpoint(parx::Comm& world, const Cmd& cmd) {
     std::lock_guard lock(jobs_mu_);
     Job& j = jobs_.at(cmd.job);
     j.state = JobState::kRunning;
+    // Post-commit record: restart now restores from this checkpoint.
+    journal_locked(j.id, ev_step_json("ckpt", j.id, j.steps_done));
     telemetry::Registry::global().counter("svc/checkpoints").add();
   }
 }
@@ -453,6 +822,21 @@ void SimService::exec_finish(parx::Comm& world, const Cmd& cmd) {
   }
 }
 
+void SimService::exec_park(parx::Comm& world, const Cmd& cmd) {
+  destroy_sims(world, cmd.job);
+  if (world.rank() == 0) {
+    std::lock_guard lock(jobs_mu_);
+    Job& j = jobs_.at(cmd.job);
+    journal_locked(j.id, ev_json("requeued", j.id));
+    j.state = JobState::kQueued;
+    j.resume = true;  // readmission (this run or the next) restores
+    j.drain_stage = 0;
+    sched_.remove(j.id);
+    telemetry::Registry::global().counter("svc/jobs_parked").add();
+    publish_job_event(j, "job", "parked");
+  }
+}
+
 void SimService::exec_teardown(parx::Comm& world, const Cmd& cmd, JobState final_state) {
   destroy_sims(world, cmd.job);
   if (world.rank() == 0) {
@@ -479,6 +863,7 @@ void SimService::recover(parx::Comm& world, const Cmd& cmd, const std::string& w
     if (it != jobs_.end() && !is_terminal(it->second.state) && sims_.count(cmd.job)) {
       Job& j = it->second;
       ++j.rollbacks;
+      journal_locked(j.id, rollback_json(j.id, j.rollbacks));
       telemetry::Registry::global().counter("svc/rollbacks").add();
       if (++j.attempts > j.spec.max_attempts) {
         j.error = what;

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/journal.hpp"
 #include "core/parallel_sim.hpp"
 #include "parx/runtime.hpp"
 #include "svc/job.hpp"
@@ -57,6 +58,14 @@ struct ServiceConfig {
   /// runtime -- the daemon mode.  Tests keep private runtimes so suites
   /// with different rank counts coexist in one process.
   bool use_shared_runtime = false;
+  /// Write-ahead journal (<root>/journal/journal.log): every lifecycle
+  /// transition is journaled + fsync'd BEFORE it is acted on, and the
+  /// constructor replays the log so a daemon killed at any instant
+  /// rebuilds its job table on restart (docs/service.md).
+  bool journal = true;
+  /// Appends between compactions into a single snapshot record (bounds
+  /// journal size and replay time; 0 = never compact).
+  std::uint64_t journal_compact_every = 256;
 };
 
 /// External view of one job (returned by status()/list()).
@@ -69,6 +78,7 @@ struct JobStatus {
   std::uint64_t steps_total = 0;
   int rollbacks = 0;
   std::string error;       ///< non-empty iff state == kFailed
+  bool recovered = false;  ///< survived a daemon restart via the journal
   double submit_s = -1;    ///< seconds since service start
   double first_step_s = -1;  ///< first step executed (-1 = none yet)
   double finish_s = -1;      ///< entered a terminal state (-1 = not yet)
@@ -76,6 +86,11 @@ struct JobStatus {
 
 class SimService {
  public:
+  /// Construction replays the write-ahead journal under cfg.root (if one
+  /// exists): terminal jobs are reported as-is, live jobs re-enter the
+  /// queue in original submit order and will restore from their newest
+  /// checkpoint (or rebuild from the deterministic IC when none exists)
+  /// once admitted.  Throws std::invalid_argument on an empty root.
   explicit SimService(ServiceConfig cfg);
   ~SimService();  ///< stop()s if still running
 
@@ -89,12 +104,31 @@ class SimService {
   /// queued jobs stay queued in the table.
   void stop();
   /// Ask the dispatcher to wind down without joining -- safe from any
-  /// thread, including the live-endpoint serve thread.
-  void request_shutdown();
+  /// thread, including the live-endpoint serve thread.  Every job still
+  /// live is journaled as requeued-on-shutdown (it will resume on the
+  /// next start against the same root); returns their ids.
+  std::vector<std::uint64_t> request_shutdown();
+  /// Graceful drain: stop admitting, checkpoint every resident job, park
+  /// it back to the queue with a requeued journal record, then write a
+  /// clean-shutdown record and wind down.  Returns the ids of the jobs
+  /// that will be requeued (every live job).  Safe from any thread.
+  std::vector<std::uint64_t> request_drain();
+  /// True once a request_drain() shutdown completed cleanly.
+  bool drained() const;
   bool running() const;
 
+  /// True when construction found a journal whose last record was not a
+  /// clean shutdown -- i.e. the previous daemon crashed.
+  bool recovered_from_crash() const { return recovered_from_crash_; }
+  /// Jobs that re-entered the queue during journal replay.
+  std::size_t recovered_jobs() const { return recovered_jobs_; }
+  /// <root>/journal/journal.log ("" when journaling is off).
+  std::string journal_path() const;
+
   /// Enqueue a job; returns its id (ids start at 1 and never recycle).
-  /// Throws std::invalid_argument on a malformed fault spec.
+  /// Throws std::invalid_argument on a malformed fault spec, an invalid
+  /// spec (spec_problem), or a spec byte-identical to a live job's
+  /// (duplicate submission).
   std::uint64_t submit(JobSpec spec);
 
   /// Cancel a job: queued jobs flip to kCancelled immediately, resident
@@ -137,6 +171,7 @@ class SimService {
     kSnapshot,    ///< gather + write frame_<step>.bin
     kFinish,      ///< synchronize, final.bin, tear down, kDone
     kCancel,      ///< tear down resident job, kCancelled
+    kPark,        ///< drain: tear down resident job back to kQueued
     kShutdown,    ///< exit the rank loop
   };
   struct Cmd {
@@ -155,7 +190,11 @@ class SimService {
     bool frame_due = false;
     bool finish_due = false;
     bool cancel_requested = false;
+    bool resume = false;     ///< admitted before; restore from own ckpt dir
+    bool recovered = false;  ///< replayed from the journal of a prior daemon
+    int drain_stage = 0;     ///< 0 = live, 1 = drain checkpoint issued
     std::string error;
+    std::string spec_json;   ///< canonical spec bytes (duplicate detection)
     std::shared_ptr<parx::FaultDomain> domain;  ///< armed once, persists
     double submit_s = -1, first_step_s = -1, finish_s = -1;
   };
@@ -169,6 +208,7 @@ class SimService {
   void exec_checkpoint(parx::Comm& world, const Cmd& cmd);
   void exec_snapshot(parx::Comm& world, const Cmd& cmd);
   void exec_finish(parx::Comm& world, const Cmd& cmd);
+  void exec_park(parx::Comm& world, const Cmd& cmd);
   void exec_teardown(parx::Comm& world, const Cmd& cmd, JobState final_state);
   /// Collective rollback of the job named in `cmd` after a caught
   /// CommError; `world` has already completed fault_recover.
@@ -182,6 +222,18 @@ class SimService {
                          std::string_view detail = {});
   void finalize_locked(Job& j, JobState state);  ///< stamp + counters + notify
 
+  // --- write-ahead journal (all under jobs_mu_) ---
+  /// Append one fsync'd record, compacting when due.  No-op with
+  /// journaling off; an I/O failure is counted, not fatal (the journal is
+  /// a recovery aid -- the running service stays authoritative).
+  void journal_locked(std::uint64_t tag, std::string payload);
+  /// One-line {"event":...,"id":...} payload with optional extras.
+  std::string snapshot_payload_locked() const;
+  /// Journal every live job as requeued + the shutdown record, once.
+  std::vector<std::uint64_t> journal_shutdown_locked(bool drained);
+  /// Constructor-time replay of the journal into jobs_ (before start()).
+  void replay_journal();
+
   ServiceConfig cfg_;
   parx::Runtime* rt_ = nullptr;           ///< cfg_.use_shared_runtime
   std::unique_ptr<parx::Runtime> owned_rt_;
@@ -193,8 +245,15 @@ class SimService {
   FairShareScheduler sched_;
   std::uint64_t next_id_ = 1;
   bool shutdown_ = false;
+  bool drain_ = false;            ///< wind down after parking residents
+  bool drained_ = false;          ///< drain completed cleanly
+  bool shutdown_journaled_ = false;  ///< requeued + shutdown records written
   bool dispatcher_done_ = false;  ///< rank loop exited (shutdown or error)
   std::string dispatcher_error_;
+
+  std::unique_ptr<ckpt::JournalWriter> journal_;  ///< guarded by jobs_mu_
+  bool recovered_from_crash_ = false;  ///< set once at construction
+  std::size_t recovered_jobs_ = 0;     ///< set once at construction
 
   /// sims_[id][rank]: each rank thread touches only its own slot; the map
   /// itself mutates only on rank 0 while every other rank is parked at a

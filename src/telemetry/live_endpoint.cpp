@@ -1,5 +1,6 @@
 #include "telemetry/live_endpoint.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -10,7 +11,6 @@
 #include <cerrno>
 #include <cstring>
 #include <sstream>
-#include <stdexcept>
 
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
@@ -31,6 +31,25 @@ std::string metrics_snapshot_json() {
   w.end_object();
   return os.str();
 }
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::string dropped_notice_line(std::uint64_t dropped) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.field("type", "dropped_records");
+  w.field("dropped_records", dropped);
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace
 
 LiveEndpoint& LiveEndpoint::global() {
   static LiveEndpoint* e = new LiveEndpoint;  // leaked: outlives static teardown
@@ -54,6 +73,12 @@ bool LiveEndpoint::start(int port) {
     ::close(fd);
     return false;
   }
+  if (::pipe(wake_fds_) != 0) {
+    ::close(fd);
+    return false;
+  }
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
     port_ = ntohs(addr.sin_port);
@@ -65,19 +90,34 @@ bool LiveEndpoint::start(int port) {
 
 void LiveEndpoint::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  wake();
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
   }
   std::lock_guard lock(mu_);
   for (const auto& c : clients_) ::close(c.fd);
   clients_.clear();
 }
 
+void LiveEndpoint::wake() {
+  if (wake_fds_[1] < 0) return;
+  const char b = 1;
+  [[maybe_unused]] const ssize_t r = ::write(wake_fds_[1], &b, 1);  // EAGAIN = already pending
+}
+
 std::size_t LiveEndpoint::clients() const {
   std::lock_guard lock(mu_);
   return clients_.size();
+}
+
+void LiveEndpoint::set_max_queue(std::size_t lines) {
+  max_queue_.store(std::max<std::size_t>(1, lines), std::memory_order_relaxed);
 }
 
 void LiveEndpoint::set_command_handler(CommandHandler handler) {
@@ -95,17 +135,47 @@ void LiveEndpoint::watch(std::uint64_t client, std::string topic) {
   }
 }
 
-void LiveEndpoint::send_line(int fd, std::string_view line) {
-  std::string out(line);
-  out.push_back('\n');
-  std::size_t off = 0;
-  while (off < out.size()) {
-    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      throw std::runtime_error("client write failed");
+void LiveEndpoint::enqueue_locked(Client& c, std::string_view line) {
+  const std::size_t cap = max_queue_.load(std::memory_order_relaxed);
+  while (c.outq.size() >= cap) {
+    // Overflow policy: drop the OLDEST queued line (the in-flight txbuf is
+    // never touched, so framing survives) and remember the gap; the next
+    // flush surfaces it as a dropped_records notice before newer lines.
+    c.outq.pop_front();
+    ++c.dropped;
+    records_dropped_.fetch_add(1, std::memory_order_relaxed);
+    Registry::global().counter("telemetry/live/records_dropped").add();
+  }
+  c.outq.emplace_back(line);
+}
+
+bool LiveEndpoint::flush_locked(Client& c) {
+  for (;;) {
+    if (c.txoff == c.txbuf.size()) {
+      c.txbuf.clear();
+      c.txoff = 0;
+      if (c.dropped > 0) {
+        // Surface the gap in-stream before the next surviving line.
+        c.txbuf = dropped_notice_line(c.dropped);
+        c.txbuf.push_back('\n');
+        c.dropped = 0;
+      } else if (!c.outq.empty()) {
+        c.txbuf = std::move(c.outq.front());
+        c.outq.pop_front();
+        c.txbuf.push_back('\n');
+      } else {
+        return true;  // drained
+      }
     }
-    off += static_cast<std::size_t>(n);
+    const ssize_t n = ::send(c.fd, c.txbuf.data() + c.txoff, c.txbuf.size() - c.txoff,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      c.txoff += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;  // socket full
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone or hard error
   }
 }
 
@@ -118,20 +188,13 @@ void LiveEndpoint::drop_client_locked(std::size_t index) {
 template <class Want>
 void LiveEndpoint::publish_where(std::string_view line, Want&& want) {
   if (!running()) return;
-  std::lock_guard lock(mu_);
-  for (std::size_t i = 0; i < clients_.size();) {
-    if (!want(clients_[i])) {
-      ++i;
-      continue;
-    }
-    try {
-      send_line(clients_[i].fd, line);
-      ++i;
-    } catch (const std::exception&) {
-      drop_client_locked(i);
-    }
+  {
+    std::lock_guard lock(mu_);
+    for (auto& c : clients_)
+      if (want(c)) enqueue_locked(c, line);
   }
   published_.fetch_add(1, std::memory_order_relaxed);
+  wake();  // the serve thread owns the sockets; get it flushing now
 }
 
 void LiveEndpoint::publish(std::string_view json_line) {
@@ -178,13 +241,9 @@ void LiveEndpoint::handle_command(std::uint64_t client_id, std::string_view line
   if (replies.empty()) return;
 
   std::lock_guard lock(mu_);
-  for (std::size_t i = 0; i < clients_.size(); ++i) {
-    if (clients_[i].id != client_id) continue;
-    try {
-      for (const auto& r : replies) send_line(clients_[i].fd, r);
-    } catch (const std::exception&) {
-      drop_client_locked(i);
-    }
+  for (auto& c : clients_) {
+    if (c.id != client_id) continue;
+    for (const auto& r : replies) enqueue_locked(c, r);
     return;
   }
 }
@@ -192,23 +251,31 @@ void LiveEndpoint::handle_command(std::uint64_t client_id, std::string_view line
 void LiveEndpoint::serve() {
   while (running()) {
     std::vector<pollfd> fds;
-    std::vector<std::uint64_t> ids;  // ids[i] pairs with fds[i + 1]
+    std::vector<std::uint64_t> ids;  // ids[i] pairs with fds[i + 2]
     fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
     {
       std::lock_guard lock(mu_);
       for (const auto& c : clients_) {
-        fds.push_back({c.fd, POLLIN, 0});
+        const bool pending =
+            !c.outq.empty() || c.txoff < c.txbuf.size() || c.dropped > 0;
+        fds.push_back({c.fd, static_cast<short>(POLLIN | (pending ? POLLOUT : 0)), 0});
         ids.push_back(c.id);
       }
     }
     const int n = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (n <= 0) continue;
 
+    if (fds[1].revents & POLLIN) {  // drain the self-pipe
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
     if (fds[0].revents & POLLIN) {
       const int cfd = ::accept(listen_fd_, nullptr, nullptr);
       if (cfd >= 0) {
-        timeval tv{1, 0};  // bound publish() stalls on a wedged client
-        ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        set_nonblocking(cfd);
         int one = 1;
         ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
         std::ostringstream hello;
@@ -220,41 +287,54 @@ void LiveEndpoint::serve() {
         w.field("proto", kLiveProtoVersion);
         w.end_object();
         std::lock_guard lock(mu_);
-        try {
-          send_line(cfd, hello.str());
-          send_line(cfd, metrics_snapshot_json());
-          Client c;
-          c.fd = cfd;
-          c.id = next_client_id_++;
-          clients_.push_back(std::move(c));
-        } catch (const std::exception&) {
-          ::close(cfd);
-          Registry::global().counter("telemetry/live/clients_dropped").add();
-        }
+        Client c;
+        c.fd = cfd;
+        c.id = next_client_id_++;
+        clients_.push_back(std::move(c));
+        enqueue_locked(clients_.back(), hello.str());
+        enqueue_locked(clients_.back(), metrics_snapshot_json());
+        if (!flush_locked(clients_.back()))
+          drop_client_locked(clients_.size() - 1);
       }
     }
-    for (std::size_t i = 1; i < fds.size(); ++i) {
-      if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR))) continue;
-      char buf[512];
-      const ssize_t r = ::recv(fds[i].fd, buf, sizeof(buf), 0);
-      const std::uint64_t id = ids[i - 1];
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (!(fds[i].revents & (POLLIN | POLLOUT | POLLHUP | POLLERR))) continue;
+      const std::uint64_t id = ids[i - 2];
       std::vector<std::string> lines;
       {
         std::lock_guard lock(mu_);
         const auto it = std::find_if(clients_.begin(), clients_.end(),
                                      [&](const Client& c) { return c.id == id; });
         if (it == clients_.end()) continue;
-        if (r <= 0) {  // peer closed or errored
-          drop_client_locked(static_cast<std::size_t>(it - clients_.begin()));
+        const auto index = static_cast<std::size_t>(it - clients_.begin());
+        if (fds[i].revents & (POLLHUP | POLLERR)) {
+          drop_client_locked(index);
           continue;
         }
-        it->rxbuf.append(buf, static_cast<std::size_t>(r));
-        std::size_t start = 0, nl;
-        while ((nl = it->rxbuf.find('\n', start)) != std::string::npos) {
-          lines.emplace_back(it->rxbuf, start, nl - start);
-          start = nl + 1;
+        if (fds[i].revents & POLLOUT) {
+          if (!flush_locked(*it)) {
+            drop_client_locked(index);
+            continue;
+          }
         }
-        it->rxbuf.erase(0, start);
+        if (fds[i].revents & POLLIN) {
+          char buf[512];
+          const ssize_t r = ::recv(it->fd, buf, sizeof(buf), 0);
+          if (r == 0 || (r < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                         errno != EINTR)) {
+            drop_client_locked(index);
+            continue;
+          }
+          if (r > 0) {
+            it->rxbuf.append(buf, static_cast<std::size_t>(r));
+            std::size_t start = 0, nl;
+            while ((nl = it->rxbuf.find('\n', start)) != std::string::npos) {
+              lines.emplace_back(it->rxbuf, start, nl - start);
+              start = nl + 1;
+            }
+            it->rxbuf.erase(0, start);
+          }
+        }
       }
       // Dispatch outside mu_: handlers may call watch()/publish*().
       for (const auto& line : lines) handle_command(id, line);

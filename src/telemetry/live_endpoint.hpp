@@ -24,17 +24,24 @@
 //                                 job-control grammar) and is otherwise
 //                                 ignored.
 //
-// The server is passive with respect to the simulation: publish() writes
-// to whoever is connected and drops clients whose sockets fail or
-// disconnect (every removal except stop() counts in
-// telemetry/live/clients_dropped, so a flapping watcher is visible);
-// nothing blocks the step loop beyond a bounded send (1s SO_SNDTIMEO).
+// Backpressure.  publish() never blocks on a client socket: every line is
+// enqueued on a bounded per-client queue (set_max_queue) and the serve
+// thread drains queues with nonblocking sends as sockets accept data.  A
+// client that reads too slowly overflows its queue; the OLDEST queued
+// line is dropped and counted, and the next line the client receives is a
+// {"type":"dropped_records","dropped_records":N} notice covering the gap
+// -- a wedged watcher degrades (loses old frames, knowingly) instead of
+// losing its subscription.  Drops are also counted in
+// telemetry/live/records_dropped.  Clients are only disconnected when
+// their socket errors or they hang up; every removal except stop() counts
+// in telemetry/live/clients_dropped, so a flapping watcher is visible.
 //
 // Always compiled (plain sockets + JSON, like JsonWriter); under
 // GREEM_TELEMETRY=OFF the metrics snapshot is simply empty.
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -45,8 +52,10 @@
 namespace greem::telemetry {
 
 /// Wire protocol version advertised in the hello line.  2 added the
-/// `proto` field itself, topic subscriptions and the command handler.
-inline constexpr int kLiveProtoVersion = 2;
+/// `proto` field itself, topic subscriptions and the command handler; 3
+/// added bounded watch queues with "dropped_records" gap notices and the
+/// drain command of the service protocol.
+inline constexpr int kLiveProtoVersion = 3;
 
 /// One JSON document: {"type":"metrics","counters":{...},"gauges":{...}}.
 std::string metrics_snapshot_json();
@@ -82,6 +91,15 @@ class LiveEndpoint {
   int port() const { return port_; }
   std::size_t clients() const;
   std::uint64_t published() const { return published_.load(std::memory_order_relaxed); }
+  /// Lines dropped from slow clients' queues (process lifetime total).
+  std::uint64_t records_dropped() const {
+    return records_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Bound on queued-but-unsent lines per client before the oldest is
+  /// dropped (minimum 1; default 256).  Applies to subsequently enqueued
+  /// lines; safe to call while running.
+  void set_max_queue(std::size_t lines);
 
   /// Install (or clear, with nullptr) the command handler.
   void set_command_handler(CommandHandler handler);
@@ -92,7 +110,8 @@ class LiveEndpoint {
   void watch(std::uint64_t client, std::string topic);
 
   /// Broadcast one JSON document (no trailing newline -- added here) to
-  /// every connected client.  No-op when not running.
+  /// every connected client.  No-op when not running.  Never blocks on a
+  /// client socket (see Backpressure above).
   void publish(std::string_view json_line);
 
   /// Send one JSON document only to the clients subscribed to `topic`
@@ -108,26 +127,39 @@ class LiveEndpoint {
     std::uint64_t id = 0;
     std::string rxbuf;                ///< partial command line
     std::vector<std::string> topics;  ///< watch() subscriptions
+    std::deque<std::string> outq;     ///< whole lines awaiting the socket
+    std::uint64_t dropped = 0;        ///< lines dropped since the last notice
+    std::string txbuf;                ///< line being sent (framing: never dropped)
+    std::size_t txoff = 0;            ///< bytes of txbuf already sent
   };
 
   void serve();
-  void send_line(int fd, std::string_view line);  ///< callers hold mu_
-  /// Send `line` to every client passing `want`; drops (and counts) the
-  /// clients whose sockets fail.  Callers must not hold mu_.
+  void wake();  ///< nudge the serve thread's poll
+  /// Append one line to `c`'s queue, dropping the oldest on overflow.
+  /// Callers hold mu_.
+  void enqueue_locked(Client& c, std::string_view line);
+  /// Nonblocking drain of `c`'s queue; false when the socket died.
+  /// Callers hold mu_.
+  bool flush_locked(Client& c);
+  /// Enqueue `line` to every client passing `want`.  Callers must not
+  /// hold mu_.
   template <class Want>
   void publish_where(std::string_view line, Want&& want);
   void drop_client_locked(std::size_t index);  ///< callers hold mu_
   void handle_command(std::uint64_t client_id, std::string_view line);
 
-  mutable std::mutex mu_;  ///< guards clients_ and all writes to them
+  mutable std::mutex mu_;  ///< guards clients_ and all queues
   std::vector<Client> clients_;
   std::mutex handler_mu_;  ///< guards handler_
   CommandHandler handler_;
   int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: publish -> poll wakeup
   int port_ = 0;
-  std::uint64_t next_client_id_ = 1;  ///< guarded by mu_
+  std::uint64_t next_client_id_ = 1;        ///< guarded by mu_
+  std::atomic<std::size_t> max_queue_{256};
   std::atomic<bool> running_{false};
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> records_dropped_{0};
   std::thread thread_;
 };
 

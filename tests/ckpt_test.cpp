@@ -14,6 +14,7 @@
 #include "ckpt/atomic_file.hpp"
 #include "ckpt/checkpoint.hpp"
 #include "ckpt/hash.hpp"
+#include "ckpt/journal.hpp"
 #include "ckpt/manifest.hpp"
 #include "ckpt/recovery.hpp"
 #include "core/parallel_sim.hpp"
@@ -33,6 +34,119 @@ namespace fs = std::filesystem;
 
 TEST(CkptHash, ReexportResolvesToUtilImplementation) {
   EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+// ---------------------------------------------------------- job journal --
+
+TEST(Journal, AppendReadRoundTripAndMissingFileIsNoJournal) {
+  const std::string path = testing::TempDir() + "/journal_roundtrip.log";
+  fs::remove(path);
+  EXPECT_FALSE(read_journal(path).has_value());  // missing != empty
+  {
+    JournalWriter w(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.append(1, "{\"event\":\"a\"}"));
+    ASSERT_TRUE(w.append(2, "{\"event\":\"b\"}"));
+    ASSERT_TRUE(w.append(0, ""));  // empty payloads are legal
+    EXPECT_EQ(w.appends(), 3u);
+  }
+  const auto rr = read_journal(path);
+  ASSERT_TRUE(rr.has_value());
+  EXPECT_FALSE(rr->truncated);
+  EXPECT_TRUE(rr->corrupt_tags.empty());
+  ASSERT_EQ(rr->records.size(), 3u);
+  EXPECT_EQ(rr->records[0].tag, 1u);
+  EXPECT_EQ(rr->records[0].payload, "{\"event\":\"a\"}");
+  EXPECT_EQ(rr->records[1].tag, 2u);
+  EXPECT_EQ(rr->records[2].payload, "");
+}
+
+TEST(Journal, CompactionReplacesHistoryWithOneSnapshotRecord) {
+  const std::string path = testing::TempDir() + "/journal_compact.log";
+  fs::remove(path);
+  JournalWriter w(path);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(w.append(7, "x"));
+  ASSERT_TRUE(w.compact(0, "{\"event\":\"snapshot\"}"));
+  EXPECT_EQ(w.appends(), 1u);  // the snapshot counts as the first append
+  ASSERT_TRUE(w.append(8, "y"));  // the reopened fd keeps appending
+  const auto rr = read_journal(path);
+  ASSERT_TRUE(rr.has_value());
+  ASSERT_EQ(rr->records.size(), 2u);
+  EXPECT_EQ(rr->records[0].payload, "{\"event\":\"snapshot\"}");
+  EXPECT_EQ(rr->records[1].tag, 8u);
+}
+
+TEST(Journal, TruncatedTailIsIgnoredNotFatal) {
+  const std::string path = testing::TempDir() + "/journal_trunc.log";
+  fs::remove(path);
+  {
+    JournalWriter w(path);
+    ASSERT_TRUE(w.append(1, "survives"));
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const std::string partial = encode_journal_record(2, "lost to the crash");
+    out.write(partial.data(), static_cast<std::streamsize>(partial.size() / 2));
+  }
+  const auto rr = read_journal(path);
+  ASSERT_TRUE(rr.has_value());
+  EXPECT_TRUE(rr->truncated);
+  EXPECT_GT(rr->bytes_dropped, 0u);
+  ASSERT_EQ(rr->records.size(), 1u);
+  EXPECT_EQ(rr->records[0].payload, "survives");
+}
+
+TEST(Journal, CrcMismatchSkipsRecordAndReportsTag) {
+  const std::string path = testing::TempDir() + "/journal_crc.log";
+  fs::remove(path);
+  const std::string rec1 = encode_journal_record(1, "first");
+  {
+    JournalWriter w(path);
+    ASSERT_TRUE(w.append(1, "first"));
+    ASSERT_TRUE(w.append(42, "second"));
+    ASSERT_TRUE(w.append(3, "third"));
+  }
+  {
+    // Corrupt one payload byte of record 42: framing stays intact, so the
+    // scan skips it, attributes it, and keeps going.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(rec1.size() + 20));
+    f.put('!');
+  }
+  const auto rr = read_journal(path);
+  ASSERT_TRUE(rr.has_value());
+  EXPECT_FALSE(rr->truncated);
+  ASSERT_EQ(rr->corrupt_tags.size(), 1u);
+  EXPECT_EQ(rr->corrupt_tags[0], 42u);
+  ASSERT_EQ(rr->records.size(), 2u);
+  EXPECT_EQ(rr->records[0].payload, "first");
+  EXPECT_EQ(rr->records[1].payload, "third");
+}
+
+TEST(Journal, GarbageLengthFailsFramingInsteadOfSwallowingTheFile) {
+  const std::string path = testing::TempDir() + "/journal_len.log";
+  fs::remove(path);
+  {
+    JournalWriter w(path);
+    ASSERT_TRUE(w.append(1, "ok"));
+  }
+  {
+    // A header whose length field is garbage (> kJournalMaxRecord): the
+    // reader must stop at the framing boundary, not trust the length.
+    std::string bad;
+    const std::uint32_t magic = kJournalMagic, len = 0xffffffffu, crc = 0;
+    const std::uint64_t tag = 9;
+    bad.append(reinterpret_cast<const char*>(&magic), 4);
+    bad.append(reinterpret_cast<const char*>(&len), 4);
+    bad.append(reinterpret_cast<const char*>(&tag), 8);
+    bad.append(reinterpret_cast<const char*>(&crc), 4);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+  }
+  const auto rr = read_journal(path);
+  ASSERT_TRUE(rr.has_value());
+  EXPECT_TRUE(rr->truncated);
+  ASSERT_EQ(rr->records.size(), 1u);
 }
 
 // ----------------------------------------------------------- atomic file --

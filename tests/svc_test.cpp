@@ -1,7 +1,9 @@
 // Tests of the simulation-as-a-service layer (src/svc): fair-share
 // scheduling, job lifecycle, per-job output namespacing, rollback
 // isolation (a fault in job A never perturbs job B), the solo-vs-daemon
-// bitwise contract, and the JSONL job-control protocol.
+// bitwise contract, the JSONL job-control protocol, and the crash
+// durability story -- write-ahead journal replay, restart resume,
+// journal corruption semantics, drain, and watch backpressure.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -21,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/journal.hpp"
 #include "gtest/gtest.h"
 #include "io/snapshot.hpp"
 #include "parx/runtime.hpp"
@@ -365,6 +368,318 @@ TEST(SimService, SnapshotFramesAreWrittenAtTheConfiguredCadence) {
   EXPECT_FALSE(fs::exists(service.job_dir(id) + "/frame_4.bin"));  // final covers it
 }
 
+// ---- durability: journal replay, restart resume, drain ----
+
+/// Wait until `id` has taken at least `steps` steps (or gone terminal).
+void wait_steps(svc::SimService& service, std::uint64_t id, std::uint64_t steps) {
+  for (;;) {
+    const auto s = service.status(id);
+    ASSERT_TRUE(s.has_value());
+    if (s->steps_done >= steps || svc::is_terminal(s->state)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// The restart contract: a job interrupted by a daemon death resumes from
+// its newest checkpoint under the next daemon and finishes bitwise
+// identical to a solo uninterrupted run.  The unframeable garbage
+// appended to the journal is the on-disk signature of a crash mid-append.
+TEST(SimService, RestartResumesInterruptedJobBitwise) {
+  auto spec = small_spec(70);
+  spec.steps = 10;
+  spec.checkpoint_every = 2;
+  const auto solo = run_solo(spec, 8);
+
+  const auto root = fresh_dir("restart");
+  std::uint64_t id = 0;
+  std::string journal_path;
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = 8;
+    cfg.root = root;
+    svc::SimService service(cfg);
+    EXPECT_FALSE(service.recovered_from_crash());
+    journal_path = service.journal_path();
+    ASSERT_FALSE(journal_path.empty());
+    service.start();
+    id = service.submit(spec);
+    wait_steps(service, id, 2);  // at least one checkpoint committed
+    service.stop();
+    ASSERT_TRUE(service.dispatcher_error().empty());
+    ASSERT_FALSE(svc::is_terminal(service.status(id)->state));
+  }
+  {
+    // Crash signature: a partial record at the tail (as if the power went
+    // out mid-append).  Replay must ignore it.
+    std::ofstream out(journal_path, std::ios::binary | std::ios::app);
+    out << "GJL";  // half a header
+  }
+
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = root;
+  svc::SimService service(cfg);
+  EXPECT_TRUE(service.recovered_from_crash());
+  EXPECT_EQ(service.recovered_jobs(), 1u);
+  {
+    const auto s = service.status(id);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->state, svc::JobState::kQueued);
+    EXPECT_TRUE(s->recovered);
+  }
+  service.start();
+  ASSERT_TRUE(service.wait(id));
+  service.stop();
+  ASSERT_TRUE(service.dispatcher_error().empty());
+  EXPECT_EQ(service.status(id)->state, svc::JobState::kDone);
+
+  const auto snap = io::read_snapshot(service.job_dir(id) + "/final.bin");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(same_particles(snap->particles, solo));
+}
+
+// Terminal jobs replay as terminal (no rerun), ids never recycle across
+// restarts, and a clean stop() is not reported as a crash.
+TEST(SimService, TerminalJobsAndIdsSurviveRestart) {
+  const auto root = fresh_dir("terminal_restart");
+  std::uint64_t id = 0;
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = 8;
+    cfg.root = root;
+    svc::SimService service(cfg);
+    service.start();
+    id = service.submit(small_spec(71));
+    ASSERT_TRUE(service.wait(id));
+    service.stop();
+  }
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = root;
+  svc::SimService service(cfg);
+  EXPECT_FALSE(service.recovered_from_crash());
+  EXPECT_EQ(service.recovered_jobs(), 0u);
+  const auto s = service.status(id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, svc::JobState::kDone);
+  EXPECT_TRUE(s->recovered);
+  // A fresh submit continues the id sequence instead of reusing job-1's
+  // directory.
+  service.start();
+  const auto id2 = service.submit(small_spec(72));
+  EXPECT_GT(id2, id);
+  ASSERT_TRUE(service.wait(id2));
+  service.stop();
+}
+
+// Satellite: request_shutdown() journals every live job as
+// requeued-on-shutdown and reports them; they come back on restart.
+TEST(SimService, ShutdownReportsAndRequeuesLiveJobs) {
+  const auto root = fresh_dir("requeue");
+  std::uint64_t a = 0, b = 0;
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = 8;
+    cfg.root = root;
+    svc::SimService service(cfg);
+    a = service.submit(small_spec(73));
+    b = service.submit(small_spec(74));
+    const auto requeued = service.request_shutdown();
+    EXPECT_EQ(requeued, (std::vector<std::uint64_t>{a, b}));
+    EXPECT_THROW(service.submit(small_spec(75)), std::invalid_argument);
+    service.stop();
+  }
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = root;
+  svc::SimService service(cfg);
+  EXPECT_FALSE(service.recovered_from_crash());  // shutdown record = clean
+  EXPECT_EQ(service.recovered_jobs(), 2u);
+  service.start();
+  ASSERT_TRUE(service.wait(a));
+  ASSERT_TRUE(service.wait(b));
+  service.stop();
+  EXPECT_EQ(service.status(a)->state, svc::JobState::kDone);
+  EXPECT_EQ(service.status(b)->state, svc::JobState::kDone);
+}
+
+// Drain: residents get a checkpoint + requeue, the journal records a
+// clean shutdown, and the drained job later resumes bitwise mid-stream
+// even though it never asked for checkpoints itself.
+TEST(SimService, DrainCheckpointsAndRequeuesResidents) {
+  auto spec = small_spec(76);
+  spec.steps = 12;  // no checkpoint_every: the drain checkpoint is the only one
+  const auto solo = run_solo(spec, 8);
+
+  const auto root = fresh_dir("drain");
+  std::uint64_t id = 0;
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = 8;
+    cfg.root = root;
+    svc::SimService service(cfg);
+    service.start();
+    id = service.submit(spec);
+    wait_steps(service, id, 1);
+    const auto requeued = service.request_drain();
+    EXPECT_EQ(requeued, std::vector<std::uint64_t>{id});
+    // The dispatcher parks the resident and winds itself down.
+    for (int i = 0; i < 20000 && service.running(); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_FALSE(service.running());
+    EXPECT_TRUE(service.drained());
+    service.stop();
+    ASSERT_TRUE(service.dispatcher_error().empty());
+    const auto s = service.status(id);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->state, svc::JobState::kQueued);
+    EXPECT_FALSE(fs::is_empty(service.job_dir(id) + "/ckpt"));  // drain ckpt
+  }
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = root;
+  svc::SimService service(cfg);
+  EXPECT_FALSE(service.recovered_from_crash());  // drain = clean shutdown
+  EXPECT_EQ(service.recovered_jobs(), 1u);
+  service.start();
+  ASSERT_TRUE(service.wait(id));
+  service.stop();
+  const auto snap = io::read_snapshot(service.job_dir(id) + "/final.bin");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(same_particles(snap->particles, solo));
+}
+
+// Satellite: the three journal corruption states are well defined.
+// (1) unframeable tail -> ignored (pinned in RestartResumesInterruptedJobBitwise);
+// (2) a CRC-corrupt record fails ITS job only;
+// (3) a snapshot referencing a missing checkpoint dir -> rebuild from IC.
+TEST(SimService, CorruptJournalRecordFailsOnlyThatJob) {
+  const auto root = fresh_dir("crc");
+  fs::create_directories(root + "/journal");
+  const std::string path = root + "/journal/journal.log";
+  const auto submit_payload = [](std::uint64_t id, const svc::JobSpec& s) {
+    return "{\"event\":\"submit\",\"id\":" + std::to_string(id) +
+           ",\"spec\":" + svc::spec_to_json(s) + "}";
+  };
+  const std::string rec1 = ckpt::encode_journal_record(1, submit_payload(1, small_spec(77)));
+  {
+    ckpt::JournalWriter w(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w.append(1, submit_payload(1, small_spec(77))));
+    ASSERT_TRUE(w.append(2, submit_payload(2, small_spec(78))));
+  }
+  {
+    // Flip one payload byte of record 2: framing intact, CRC mismatch.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(rec1.size() + 20 + 2));
+    f.put('~');
+  }
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = root;
+  svc::SimService service(cfg);
+  EXPECT_TRUE(service.recovered_from_crash());
+  const auto s2 = service.status(2);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->state, svc::JobState::kFailed);
+  EXPECT_EQ(s2->error, "journal record corrupt");
+  // Job 1's history replayed fine and runs to completion.
+  const auto s1 = service.status(1);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->state, svc::JobState::kQueued);
+  service.start();
+  ASSERT_TRUE(service.wait(1));
+  service.stop();
+  EXPECT_EQ(service.status(1)->state, svc::JobState::kDone);
+}
+
+TEST(SimService, MissingCheckpointDirRebuildsFromInitialCondition) {
+  auto spec = small_spec(79);
+  spec.steps = 6;
+  spec.checkpoint_every = 2;
+  const auto solo = run_solo(spec, 8);
+
+  const auto root = fresh_dir("nockpt");
+  std::uint64_t id = 0;
+  {
+    svc::ServiceConfig cfg;
+    cfg.nranks = 8;
+    cfg.root = root;
+    svc::SimService service(cfg);
+    service.start();
+    id = service.submit(spec);
+    wait_steps(service, id, 2);
+    service.stop();
+    ASSERT_FALSE(svc::is_terminal(service.status(id)->state));
+    // The journal says "resume from your checkpoint" -- but the
+    // checkpoint dir is gone.  Recovery must degrade to the
+    // deterministic IC, not wedge or crash.
+    fs::remove_all(service.job_dir(id) + "/ckpt");
+  }
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = root;
+  svc::SimService service(cfg);
+  EXPECT_EQ(service.recovered_jobs(), 1u);
+  service.start();
+  ASSERT_TRUE(service.wait(id));
+  service.stop();
+  ASSERT_TRUE(service.dispatcher_error().empty());
+  EXPECT_EQ(service.status(id)->state, svc::JobState::kDone);
+  const auto snap = io::read_snapshot(service.job_dir(id) + "/final.bin");
+  ASSERT_TRUE(snap.has_value());
+  EXPECT_TRUE(same_particles(snap->particles, solo));  // IC rerun = solo run
+}
+
+// Satellite: malformed and duplicate submissions are rejected with a
+// structured reason instead of being accepted or dropped.
+TEST(SimService, SubmitValidationAndDuplicateRejection) {
+  {
+    svc::ServiceConfig cfg;
+    cfg.root = "";
+    EXPECT_THROW(svc::SimService bad(cfg), std::invalid_argument);
+  }
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("validate");
+  svc::SimService service(cfg);
+
+  auto bad = small_spec(80);
+  bad.max_attempts = 0;
+  try {
+    service.submit(bad);
+    FAIL() << "max_attempts=0 accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max_attempts"), std::string::npos);
+  }
+
+  const auto spec = small_spec(81);
+  const auto id = service.submit(spec);
+  try {
+    service.submit(spec);  // byte-identical spec while job `id` is live
+    FAIL() << "duplicate accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+  }
+  // Once the first is terminal, rerunning the same spec is legitimate.
+  EXPECT_TRUE(service.cancel(id));
+  EXPECT_GT(service.submit(spec), id);
+
+  // The wire-level reason field (spec_from_json's reason out-param).
+  std::string why;
+  const auto parsed = telemetry::parse_json(R"({"max_attempts":0})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(svc::spec_from_json(*parsed, &why).has_value());
+  EXPECT_NE(why.find("max_attempts"), std::string::npos);
+  const auto replies = svc::handle_command_line(
+      service, telemetry::LiveEndpoint::global(), 0,
+      R"({"cmd":"submit","spec":{"steps":0}})");
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_NE(replies[0].find("\"type\":\"error\""), std::string::npos);
+  EXPECT_NE(replies[0].find("\"reason\":"), std::string::npos);
+  EXPECT_NE(replies[0].find("steps"), std::string::npos);
+}
+
 // ---- protocol ----
 
 class LineClient {
@@ -437,7 +752,7 @@ TEST(ServiceProtocol, SubmitWatchListCancelOverTheWire) {
   const auto hello = client.read_line();
   ASSERT_TRUE(hello.has_value());
   EXPECT_NE(hello->find("\"type\":\"hello\""), std::string::npos);
-  EXPECT_NE(hello->find("\"proto\":2"), std::string::npos);
+  EXPECT_NE(hello->find("\"proto\":3"), std::string::npos);
   ASSERT_TRUE(client.read_line().has_value());  // metrics snapshot
 
   // Submit + watch while the dispatcher is not yet running, so the watch
@@ -478,8 +793,52 @@ TEST(ServiceProtocol, SubmitWatchListCancelOverTheWire) {
   ASSERT_TRUE(cancelled.has_value());
   EXPECT_NE(cancelled->find("\"ok\":false"), std::string::npos);  // already done
 
+  // Drain over the wire: nothing is live, so "requeued" is empty and the
+  // dispatcher winds down into the drained state.
+  client.send_line(R"({"cmd":"drain"})");
+  const auto draining = client.read_until("\"type\":\"draining\"");
+  ASSERT_TRUE(draining.has_value());
+  EXPECT_NE(draining->find("\"requeued\":[]"), std::string::npos);
+  for (int i = 0; i < 20000 && service.running(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(service.drained());
+
   client.close();
   service.stop();
+  ep.stop();
+}
+
+// Tentpole satellite: a wedged watcher does not stall publishers or lose
+// its subscription -- its bounded queue drops the OLDEST lines and the
+// next thing it reads includes a {"type":"dropped_records"} notice with
+// the gap size.
+TEST(LiveEndpointService, SlowWatcherSeesDroppedRecordsNotice) {
+  auto& ep = telemetry::LiveEndpoint::global();
+  ASSERT_TRUE(ep.start(0));
+  ep.set_max_queue(8);
+
+  LineClient client(ep.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.read_line().has_value());  // hello
+  ASSERT_TRUE(client.read_line().has_value());  // metrics
+
+  // The client stops reading; lines pile into the kernel buffers, then
+  // into the bounded queue, then drop.  Publishing never blocks.
+  const auto before = ep.records_dropped();
+  const std::string line = "{\"type\":\"blob\",\"pad\":\"" + std::string(4096, 'x') + "\"}";
+  int published = 0;
+  for (; published < 20000 && ep.records_dropped() == before; ++published)
+    ep.publish(line);
+  ASSERT_GT(ep.records_dropped(), before) << "no drops after " << published << " lines";
+  EXPECT_EQ(ep.clients(), 1u);  // still connected, not kicked
+
+  // Catching up, the client finds the in-stream gap notice.
+  const auto notice = client.read_until("\"type\":\"dropped_records\"");
+  ASSERT_TRUE(notice.has_value());
+  EXPECT_NE(notice->find("\"dropped_records\":"), std::string::npos);
+
+  ep.set_max_queue(256);  // restore the default for other tests
+  client.close();
   ep.stop();
 }
 

@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Crash/drain CI driver for greem_serve.
+
+Exercises the durability contract end-to-end, the same way an operator
+would (docs/service.md, "Durability and restart semantics"):
+
+  1. Run an uninterrupted reference daemon: submit a mixed-priority
+     batch, wait for completion, shut down cleanly, keep the final.bin
+     of every job.
+  2. Run a second daemon on a fresh root, submit the same batch, and
+     kill -9 the process mid-batch.  Restart against the same --root:
+     the journal must requeue the interrupted jobs, every job must
+     finish, and each final.bin must byte-match the reference.
+  3. Submit one more job, SIGTERM the daemon mid-job: it must drain
+     (checkpoint + requeue) and exit with code 3.  A third start must
+     resume that job from the drain checkpoint and still byte-match.
+
+Usage: ci_service_restart.py <path-to-greem_serve> <scratch-dir>
+Exits non-zero (with a message) on the first violated invariant.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+RANKS = 8
+BATCH = 10  # mixed-priority batch killed mid-flight
+STEPS = 20
+
+
+def spec(i):
+    return {
+        "name": f"ci-{i}",
+        "steps": STEPS,
+        "n_particles": 2048,
+        "n_mesh": 16,
+        "nclusters": 2,
+        "seed": i + 1,
+        "checkpoint_every": 2,
+        "priority": [1, 2, 4][i % 3],
+    }
+
+
+DRAIN_SPEC = dict(spec(98), name="ci-drain", seed=99)
+
+
+class Daemon:
+    def __init__(self, binary, root):
+        self.proc = subprocess.Popen(
+            [binary, "--ranks", str(RANKS), "--port", "0", "--root", root],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        self.banner = []
+        self.port = None
+        for line in self.proc.stdout:
+            self.banner.append(line.rstrip("\n"))
+            m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+            if m:
+                self.port = int(m.group(1))
+                break
+        if self.port is None:
+            raise SystemExit(f"daemon never came up: {self.banner}")
+
+    def recovered(self):
+        for line in self.banner:
+            m = re.search(r"crash recovery: (\d+) job\(s\) requeued", line)
+            if m:
+                return int(m.group(1))
+        return 0
+
+    def rpc(self, cmd, reply_type):
+        s = socket.create_connection(("127.0.0.1", self.port), timeout=10)
+        with s, s.makefile("rw") as f:
+            f.write(json.dumps(cmd) + "\n")
+            f.flush()
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                doc = json.loads(f.readline())
+                if doc.get("type") == "error":
+                    raise SystemExit(f"rpc {cmd} -> {doc}")
+                # Skip the hello/metrics/record chatter the endpoint
+                # volunteers; command replies are typed.
+                if doc.get("type") == reply_type:
+                    return doc
+        raise SystemExit(f"rpc {cmd}: no {reply_type} reply")
+
+    def jobs(self):
+        return self.rpc({"cmd": "list"}, "jobs")["jobs"]
+
+    def wait_done(self, timeout=600):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            jobs = self.jobs()
+            if jobs and all(j["state"] in ("done", "failed", "cancelled")
+                            for j in jobs):
+                bad = [j for j in jobs if j["state"] != "done"]
+                if bad:
+                    raise SystemExit(f"jobs did not complete: {bad}")
+                return jobs
+            time.sleep(0.2)
+        raise SystemExit("timeout waiting for batch completion")
+
+    def wait_mid_batch(self, min_steps, timeout=300):
+        """Block until real work is in flight but the batch is not done."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            jobs = self.jobs()
+            total = sum(j["steps_done"] for j in jobs)
+            live = [j for j in jobs
+                    if j["state"] not in ("done", "failed", "cancelled")]
+            if total >= min_steps and live:
+                return jobs
+            if jobs and not live:
+                raise SystemExit("batch finished before the kill landed; "
+                                 "raise STEPS")
+            time.sleep(0.05)
+        raise SystemExit("timeout waiting for mid-batch state")
+
+
+def finals(root, ids):
+    out = {}
+    for i in ids:
+        path = os.path.join(root, f"job-{i}", "final.bin")
+        with open(path, "rb") as f:
+            out[i] = f.read()
+    return out
+
+
+def main():
+    binary, scratch = sys.argv[1], sys.argv[2]
+    ref_root = os.path.join(scratch, "ref")
+    crash_root = os.path.join(scratch, "crash")
+
+    # --- 1. uninterrupted reference ------------------------------------
+    ref = Daemon(binary, ref_root)
+    for i in range(BATCH):
+        ref.rpc({"cmd": "submit", "spec": spec(i)}, "submitted")
+    ref.rpc({"cmd": "submit", "spec": DRAIN_SPEC}, "submitted")
+    ref.wait_done()
+    ref.rpc({"cmd": "shutdown"}, "shutdown")
+    if ref.proc.wait(timeout=60) != 0:
+        raise SystemExit(f"reference daemon exit {ref.proc.returncode}")
+    reference = finals(ref_root, range(1, BATCH + 2))
+    print(f"reference: {BATCH + 1} jobs done")
+
+    # --- 2. kill -9 mid-batch, restart, bitwise gate --------------------
+    d = Daemon(binary, crash_root)
+    for i in range(BATCH):
+        d.rpc({"cmd": "submit", "spec": spec(i)}, "submitted")
+    d.wait_mid_batch(min_steps=2 * BATCH)
+    d.proc.send_signal(signal.SIGKILL)
+    if d.proc.wait(timeout=60) != -signal.SIGKILL:
+        raise SystemExit(f"expected SIGKILL death, got {d.proc.returncode}")
+
+    d = Daemon(binary, crash_root)
+    if d.recovered() == 0:
+        raise SystemExit(f"restart did not report crash recovery: {d.banner}")
+    jobs = d.wait_done()
+    if not any(j.get("recovered") for j in jobs):
+        raise SystemExit(f"no job carries the recovered flag: {jobs}")
+    mismatches = [i for i, b in finals(crash_root, range(1, BATCH + 1)).items()
+                  if b != reference[i]]
+    if mismatches:
+        raise SystemExit(f"final.bin mismatch vs reference: jobs {mismatches}")
+    print(f"crash restart: {d.recovered()} requeued, "
+          f"{len(jobs)} done, 0 mismatches")
+
+    # --- 3. SIGTERM drain -> exit 3 -> resume from drain checkpoint -----
+    drain_id = d.rpc({"cmd": "submit", "spec": DRAIN_SPEC}, "submitted")["id"]
+    while d.rpc({"cmd": "status", "id": drain_id}, "status")["steps_done"] < 2:
+        time.sleep(0.05)
+    d.proc.send_signal(signal.SIGTERM)
+    if d.proc.wait(timeout=300) != 3:
+        raise SystemExit(f"drain exit code {d.proc.returncode}, want 3")
+    if not any("drained" in line for line in
+               d.proc.stdout.read().splitlines() + d.banner):
+        raise SystemExit("daemon never printed 'drained'")
+
+    d = Daemon(binary, crash_root)
+    d.wait_done()
+    d.rpc({"cmd": "shutdown"}, "shutdown")
+    if d.proc.wait(timeout=60) != 0:
+        raise SystemExit(f"final daemon exit {d.proc.returncode}")
+    if finals(crash_root, [drain_id])[drain_id] != reference[BATCH + 1]:
+        raise SystemExit("drained job's final.bin mismatches reference")
+    print(f"drain: job {drain_id} resumed from drain checkpoint, bitwise OK")
+    print("service-restart OK")
+
+
+if __name__ == "__main__":
+    main()
