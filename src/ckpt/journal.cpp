@@ -90,8 +90,19 @@ JournalWriter::~JournalWriter() {
 bool JournalWriter::append(std::uint64_t tag, std::string_view payload) {
   if (fd_ < 0 || payload.size() > kJournalMaxRecord) return false;
   const std::string rec = encode_journal_record(tag, payload);
-  if (!write_all(fd_, rec.data(), rec.size())) return false;
-  if (::fsync(fd_) != 0) return false;
+  const ::off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0 || !write_all(fd_, rec.data(), rec.size()) || ::fsync(fd_) != 0) {
+    // A partial record left at `end` would unframe every later append --
+    // the reader stops at the garbage and silently drops the good records
+    // behind it.  Rewind to the pre-append length; if even that fails,
+    // retire the fd so later appends are rejected (and counted by the
+    // caller) instead of landing after the poison.
+    if (end < 0 || ::ftruncate(fd_, end) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return false;
+  }
   ++appends_;
   return true;
 }

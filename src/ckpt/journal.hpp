@@ -61,9 +61,11 @@ class JournalWriter {
   const std::string& path() const { return path_; }
   std::uint64_t appends() const { return appends_; }
 
-  /// Append one record and fsync before returning.  False on I/O failure
-  /// (the record may then be partially written -- exactly the truncated
-  /// tail the reader ignores).
+  /// Append one record and fsync before returning.  False on I/O failure;
+  /// the file is then rewound to its pre-append length so a partial
+  /// record never unframes later successful appends.  If the rewind
+  /// itself fails the writer retires its fd (ok() goes false) rather than
+  /// keep appending records the reader could never reach.
   bool append(std::uint64_t tag, std::string_view payload);
 
   /// Atomically replace the whole log with a single snapshot record and

@@ -200,6 +200,7 @@ std::uint64_t SimService::submit(JobSpec spec) {
   j.domain = std::move(domain);
   j.submit_s = now_s();
   jobs_.emplace(id, std::move(j));
+  maybe_compact_locked();  // the submit record's own compaction, post-emplace
   telemetry::Registry::global().counter("svc/jobs_submitted").add();
   return id;
 }
@@ -306,6 +307,7 @@ void SimService::finalize_locked(Job& j, JobState state) {
                         : state == JobState::kFailed ? "svc/jobs_failed"
                                                      : "svc/jobs_cancelled";
   telemetry::Registry::global().counter(counter).add();
+  maybe_compact_locked();  // terminal state applied; a snapshot is safe now
   publish_job_event(j, "job");
   jobs_cv_.notify_all();
 }
@@ -319,11 +321,21 @@ void SimService::journal_locked(std::uint64_t tag, std::string payload) {
     return;
   }
   telemetry::Registry::global().counter("svc/journal_appends").add();
+  // Compaction is only MARKED due here: journal_locked runs write-ahead,
+  // i.e. before the in-memory transition its record announces, so a
+  // snapshot taken now would omit that transition (a submit compacted
+  // away before jobs_.emplace, a terminal job snapshotted still live).
+  // maybe_compact_locked() runs it once the job table is consistent.
   if (cfg_.journal_compact_every > 0 &&
-      journal_->appends() >= cfg_.journal_compact_every) {
-    if (journal_->compact(0, snapshot_payload_locked()))
-      telemetry::Registry::global().counter("svc/journal_compactions").add();
-  }
+      journal_->appends() >= cfg_.journal_compact_every)
+    compact_pending_ = true;
+}
+
+void SimService::maybe_compact_locked() {
+  if (!journal_ || !compact_pending_) return;
+  compact_pending_ = false;
+  if (journal_->compact(0, snapshot_payload_locked()))
+    telemetry::Registry::global().counter("svc/journal_compactions").add();
 }
 
 std::string SimService::snapshot_payload_locked() const {
@@ -531,6 +543,9 @@ void SimService::rank_loop(parx::Comm& world) {
 
 SimService::Cmd SimService::decide() {
   std::lock_guard lock(jobs_mu_);
+  // Every transition of the previous command is fully applied by now, so
+  // a compaction left pending mid-transition can snapshot safely.
+  maybe_compact_locked();
   if (shutdown_) return {static_cast<std::uint64_t>(Op::kShutdown), kNoJob};
 
   // 1. Cancellations of resident jobs (queued ones were finalized in

@@ -223,10 +223,16 @@ class SimService {
   void finalize_locked(Job& j, JobState state);  ///< stamp + counters + notify
 
   // --- write-ahead journal (all under jobs_mu_) ---
-  /// Append one fsync'd record, compacting when due.  No-op with
-  /// journaling off; an I/O failure is counted, not fatal (the journal is
-  /// a recovery aid -- the running service stays authoritative).
+  /// Append one fsync'd record, marking a compaction due when the append
+  /// budget is spent.  No-op with journaling off; an I/O failure is
+  /// counted, not fatal (the journal is a recovery aid -- the running
+  /// service stays authoritative).
   void journal_locked(std::uint64_t tag, std::string payload);
+  /// Run a due compaction.  Callers must only invoke this with jobs_ in a
+  /// fully applied state: journal_locked() itself may run mid-transition
+  /// (write-ahead records precede the in-memory change), and a snapshot
+  /// taken there would drop the very transition that triggered it.
+  void maybe_compact_locked();
   /// One-line {"event":...,"id":...} payload with optional extras.
   std::string snapshot_payload_locked() const;
   /// Journal every live job as requeued + the shutdown record, once.
@@ -252,6 +258,7 @@ class SimService {
   std::string dispatcher_error_;
 
   std::unique_ptr<ckpt::JournalWriter> journal_;  ///< guarded by jobs_mu_
+  bool compact_pending_ = false;       ///< compaction due; run at a safe point
   bool recovered_from_crash_ = false;  ///< set once at construction
   std::size_t recovered_jobs_ = 0;     ///< set once at construction
 

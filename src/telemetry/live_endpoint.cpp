@@ -73,12 +73,20 @@ bool LiveEndpoint::start(int port) {
     ::close(fd);
     return false;
   }
-  if (::pipe(wake_fds_) != 0) {
+  int pfd[2];
+  if (::pipe(pfd) != 0) {
     ::close(fd);
     return false;
   }
-  set_nonblocking(wake_fds_[0]);
-  set_nonblocking(wake_fds_[1]);
+  set_nonblocking(pfd[0]);
+  set_nonblocking(pfd[1]);
+  {
+    // wake_fds_ is read by wake() on publisher threads; publish under mu_
+    // like every other mutation of it.
+    std::lock_guard lock(mu_);
+    wake_fds_[0] = pfd[0];
+    wake_fds_[1] = pfd[1];
+  }
   socklen_t len = sizeof(addr);
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
     port_ = ntohs(addr.sin_port);
@@ -96,16 +104,20 @@ void LiveEndpoint::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  // The wake pipe is closed under mu_ and wake() writes under mu_, so a
+  // publisher that passed the running() check can never write to a closed
+  // (and possibly kernel-reused) fd.
+  std::lock_guard lock(mu_);
   for (int& fd : wake_fds_) {
     if (fd >= 0) ::close(fd);
     fd = -1;
   }
-  std::lock_guard lock(mu_);
   for (const auto& c : clients_) ::close(c.fd);
   clients_.clear();
 }
 
 void LiveEndpoint::wake() {
+  std::lock_guard lock(mu_);
   if (wake_fds_[1] < 0) return;
   const char b = 1;
   [[maybe_unused]] const ssize_t r = ::write(wake_fds_[1], &b, 1);  // EAGAIN = already pending

@@ -153,7 +153,10 @@ class LiveEndpoint {
   std::mutex handler_mu_;  ///< guards handler_
   CommandHandler handler_;
   int listen_fd_ = -1;
-  int wake_fds_[2] = {-1, -1};  ///< self-pipe: publish -> poll wakeup
+  /// Self-pipe: publish -> poll wakeup.  Mutated (start/stop) and written
+  /// to by wake() under mu_ so a publisher never races stop()'s close;
+  /// the serve thread's reads are ordered by thread creation/join.
+  int wake_fds_[2] = {-1, -1};
   int port_ = 0;
   std::uint64_t next_client_id_ = 1;        ///< guarded by mu_
   std::atomic<std::size_t> max_queue_{256};

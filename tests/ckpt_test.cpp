@@ -149,6 +149,22 @@ TEST(Journal, GarbageLengthFailsFramingInsteadOfSwallowingTheFile) {
   ASSERT_EQ(rr->records.size(), 1u);
 }
 
+TEST(Journal, FailedAppendRetiresWriterInsteadOfPoisoningTheLog) {
+  // /dev/full accepts the open but fails every write with ENOSPC, and as
+  // a device it cannot be ftruncate'd back -- the rewind is impossible,
+  // so the writer must retire its fd.  The invariant under test: after a
+  // failed append the writer NEVER keeps appending past partial bytes
+  // (which would leave every later good record behind an unframeable
+  // tail the reader drops).
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full not available";
+  JournalWriter w("/dev/full");
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(w.append(1, "{\"event\":\"doomed\"}"));
+  EXPECT_FALSE(w.ok());  // retired: rewind impossible on a device
+  EXPECT_FALSE(w.append(2, "{\"event\":\"after\"}"));
+  EXPECT_EQ(w.appends(), 0u);
+}
+
 // ----------------------------------------------------------- atomic file --
 
 TEST(AtomicFile, CommitPublishesExactlyOnce) {

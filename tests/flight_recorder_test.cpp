@@ -270,6 +270,26 @@ TEST(LiveEndpoint, HelloPublishAndMetricsRoundTrip) {
   ep.stop();
 }
 
+// Regression (tsan-visible): wake() used to read the wake-pipe fd with no
+// synchronization against stop() closing it, so a publisher thread could
+// pass the running() check and write into a closed -- or kernel-reused --
+// descriptor.  Both sides now go through mu_; hammer the window.
+TEST(LiveEndpoint, ConcurrentPublishDuringStopIsSafe) {
+  LiveEndpoint ep;
+  for (int round = 0; round < 25; ++round) {
+    ASSERT_TRUE(ep.start(0));
+    std::atomic<bool> go{false};
+    std::thread pub([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 200; ++i) ep.publish("{\"type\":\"x\"}");
+    });
+    go.store(true, std::memory_order_release);
+    ep.stop();
+    pub.join();
+  }
+}
+
 TEST(LiveEndpoint, PublishEventFormatsTypeAndDetail) {
   LiveEndpoint ep;
   ASSERT_TRUE(ep.start(0));

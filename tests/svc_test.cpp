@@ -631,6 +631,58 @@ TEST(SimService, MissingCheckpointDirRebuildsFromInitialCondition) {
   EXPECT_TRUE(same_particles(snap->particles, solo));  // IC rerun = solo run
 }
 
+// Regression: a compaction due on the very append that announces a
+// transition must not snapshot the PRE-transition job table.  Records
+// are write-ahead (submit journals before jobs_.emplace, terminal before
+// j.state flips), so an inline compaction used to rewrite the log from a
+// snapshot missing the transition it was just told about -- losing a
+// submitted job, or resurrecting a finished one, across a crash.  The
+// journal bytes are copied aside mid-life to simulate kill -9 at the
+// exact window (a clean stop() appends shutdown records that mask it).
+TEST(SimService, CompactionNeverSnapshotsPreTransitionState) {
+  const auto replay_root = [](const std::string& journal, const std::string& name) {
+    const auto root = fresh_dir(name);
+    fs::create_directories(root + "/journal");
+    fs::copy_file(journal, root + "/journal/journal.log",
+                  fs::copy_options::overwrite_existing);
+    return root;
+  };
+  svc::ServiceConfig cfg;
+  cfg.nranks = 8;
+  cfg.root = fresh_dir("compact_wal");
+  cfg.journal_compact_every = 1;  // every append makes a compaction due
+  svc::SimService service(cfg);
+  const auto id = service.submit(small_spec(90));
+
+  {
+    // Crash right after submit() returned: the journal must still know
+    // the job.
+    svc::ServiceConfig cfg2;
+    cfg2.nranks = 8;
+    cfg2.root = replay_root(service.journal_path(), "compact_wal_submit");
+    svc::SimService replayed(cfg2);
+    const auto s = replayed.status(id);
+    ASSERT_TRUE(s.has_value()) << "submitted job compacted away";
+    EXPECT_EQ(s->state, svc::JobState::kQueued);
+  }
+
+  service.start();
+  ASSERT_TRUE(service.wait(id));
+  // Crash right after the job went terminal: the journal must already
+  // report it done, not requeue a rerun.
+  const auto done_root = replay_root(service.journal_path(), "compact_wal_done");
+  service.stop();
+  ASSERT_TRUE(service.dispatcher_error().empty());
+  svc::ServiceConfig cfg3;
+  cfg3.nranks = 8;
+  cfg3.root = done_root;
+  svc::SimService replayed(cfg3);
+  const auto s = replayed.status(id);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, svc::JobState::kDone);
+  EXPECT_EQ(replayed.recovered_jobs(), 0u);  // nothing to rerun
+}
+
 // Satellite: malformed and duplicate submissions are rejected with a
 // structured reason instead of being accepted or dropped.
 TEST(SimService, SubmitValidationAndDuplicateRejection) {
