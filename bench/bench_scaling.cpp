@@ -38,10 +38,18 @@ namespace {
 
 struct ScalingPoint {
   int ranks = 0;
+  std::size_t n_particles = 0;
   double max_interactions = 0;  ///< busiest rank, per step
   double sum_interactions = 0;
   double fft_seconds = 0;
   double balance = 0;  ///< max/mean interactions
+  // Table-I-style phase shares of the last step (phase totals are the max
+  // over ranks, the paper's convention; shares are of their sum).
+  double pp_share = 0, pm_share = 0, dd_share = 0;
+  // Load-balance v2 trend lines (docs/load-balance.md).
+  double pp_imbalance = 0;         ///< max/mean traversal+force seconds
+  double predicted_imbalance = 0;  ///< max/mean published costs
+  std::uint64_t donated_groups = 0, donated_interactions = 0;
 };
 
 ScalingPoint run(std::array<int, 3> dims, const std::vector<core::Particle>& particles) {
@@ -55,9 +63,13 @@ ScalingPoint run(std::array<int, 3> dims, const std::vector<core::Particle>& par
   cfg.ncrit = 100;
   cfg.eps = 1e-3;
   cfg.sampling.target_samples = 20000;
+  // Deterministic cost weighting so the campaign's trend lines are
+  // reproducible run to run (same contract as the bitwise CI paths).
+  cfg.cost_metric = core::CostMetric::kInteractions;
 
   ScalingPoint out;
   out.ranks = p;
+  out.n_particles = particles.size();
   std::mutex mu;
   parx::run_ranks(p, [&](parx::Comm& world) {
     std::vector<core::Particle> local =
@@ -69,15 +81,54 @@ ScalingPoint run(std::array<int, 3> dims, const std::vector<core::Particle>& par
     const double maxi = world.allreduce_max(mine);
     const double sum = world.allreduce_sum(mine);
     const double fft = world.allreduce_max(sim.last_step().pm.get("FFT"));
+    const double pp_total = world.allreduce_max(sim.last_step().pp.total());
+    const double pm_total = world.allreduce_max(sim.last_step().pm.total());
+    const double dd_total = world.allreduce_max(sim.last_step().dd.total());
+    const double pp_local = sim.last_step().pp.get("tree traversal") +
+                            sim.last_step().pp.get("force calculation");
+    const double pp_max = world.allreduce_max(pp_local);
+    const double pp_mean = world.allreduce_sum(pp_local) / static_cast<double>(p);
+    std::uint64_t dn[2] = {sim.last_step().donated_groups,
+                           sim.last_step().donated_interactions};
+    world.allreduce_sum(std::span<std::uint64_t>(dn, 2));
     if (world.rank() == 0) {
       std::lock_guard lock(mu);
       out.max_interactions = maxi;
       out.sum_interactions = sum;
       out.fft_seconds = fft;
       out.balance = maxi / (sum / p);
+      const double denom = pp_total + pm_total + dd_total;
+      if (denom > 0) {
+        out.pp_share = pp_total / denom;
+        out.pm_share = pm_total / denom;
+        out.dd_share = dd_total / denom;
+      }
+      out.pp_imbalance = pp_mean > 0 ? pp_max / pp_mean : 0.0;
+      out.predicted_imbalance = sim.last_step().predicted_imbalance;
+      out.donated_groups = dn[0];
+      out.donated_interactions = dn[1];
     }
   });
   return out;
+}
+
+void json_scaling_point(telemetry::JsonWriter& jw, const ScalingPoint& pt, double eff) {
+  jw.begin_object();
+  jw.field("ranks", pt.ranks);
+  jw.field("n_particles", pt.n_particles);
+  jw.field("max_interactions", pt.max_interactions);
+  jw.field("sum_interactions", pt.sum_interactions);
+  jw.field("parallel_eff", eff);
+  jw.field("balance", pt.balance);
+  jw.field("fft_seconds", pt.fft_seconds);
+  jw.field("pp_share", pt.pp_share);
+  jw.field("pm_share", pt.pm_share);
+  jw.field("dd_share", pt.dd_share);
+  jw.field("pp_imbalance", pt.pp_imbalance);
+  jw.field("lb_predicted_imbalance", pt.predicted_imbalance);
+  jw.field("lb_donated_groups", pt.donated_groups);
+  jw.field("lb_donated_interactions", pt.donated_interactions);
+  jw.end_object();
 }
 
 // ------------------------------------------------------- thread scaling --
@@ -207,13 +258,20 @@ int main() {
 
   TextTable t;
   t.header({"ranks", "max inter/rank", "ideal", "parallel eff", "balance max/mean",
-            "FFT (s)"});
+            "FFT (s)", "donated"});
   double base = 0;
   int base_ranks = 0;
   std::vector<ScalingPoint> rank_pts;
   std::vector<double> rank_eff;
-  for (const auto dims : std::vector<std::array<int, 3>>{
-           {1, 1, 1}, {2, 1, 1}, {2, 2, 1}, {2, 2, 2}, {4, 2, 2}, {4, 4, 2}}) {
+  for (const auto dims : std::vector<std::array<int, 3>>{{1, 1, 1},
+                                                         {2, 1, 1},
+                                                         {2, 2, 1},
+                                                         {2, 2, 2},
+                                                         {4, 2, 2},
+                                                         {4, 4, 2},
+                                                         {4, 4, 4},
+                                                         {8, 4, 4},
+                                                         {8, 8, 4}}) {
     const auto pt = run(dims, particles);
     if (base == 0) {
       base = pt.max_interactions;
@@ -224,9 +282,39 @@ int main() {
     rank_eff.push_back(ideal / pt.max_interactions);
     t.row({TextTable::num((long long)pt.ranks), TextTable::num(pt.max_interactions, 4),
            TextTable::num(ideal, 4), TextTable::num(ideal / pt.max_interactions, 3),
-           TextTable::num(pt.balance, 3), TextTable::num(pt.fft_seconds, 3)});
+           TextTable::num(pt.balance, 3), TextTable::num(pt.fft_seconds, 3),
+           TextTable::num((long long)pt.donated_groups)});
   }
   t.print(std::cout);
+
+  // -- weak scaling: fixed particles per rank, ranks 8 -> 256 ------------
+  // The paper's trillion-body configuration is weak-scaled (fixed N per
+  // node); here the per-rank share stays constant while the rank grid
+  // grows to a few hundred simulated ranks.  The interesting trend lines
+  // are the busiest rank's interactions (flat = ideal), the PP time
+  // imbalance with v2 + donation active, and the Table-I phase shares.
+  constexpr std::size_t kWeakPerRank = 2048;
+  std::printf("\nWeak scaling (N = %zu per rank).\n\n", kWeakPerRank);
+  TextTable wt;
+  wt.header({"ranks", "N", "max inter/rank", "balance", "pp imb", "donated",
+             "pp/pm/dd shares"});
+  std::vector<ScalingPoint> weak_pts;
+  for (const auto dims : std::vector<std::array<int, 3>>{
+           {2, 2, 2}, {4, 2, 2}, {4, 4, 2}, {4, 4, 4}, {8, 4, 4}, {8, 8, 4}}) {
+    const int p = dims[0] * dims[1] * dims[2];
+    auto wparticles = core::clustered_particles(kWeakPerRank * static_cast<std::size_t>(p),
+                                                1.0, 6, 0.7, 0.03, 31415);
+    const auto pt = run(dims, wparticles);
+    weak_pts.push_back(pt);
+    char shares[64];
+    std::snprintf(shares, sizeof shares, "%.2f/%.2f/%.2f", pt.pp_share, pt.pm_share,
+                  pt.dd_share);
+    wt.row({TextTable::num((long long)pt.ranks), TextTable::num((long long)pt.n_particles),
+            TextTable::num(pt.max_interactions, 4), TextTable::num(pt.balance, 3),
+            TextTable::num(pt.pp_imbalance, 3),
+            TextTable::num((long long)pt.donated_groups), shares});
+  }
+  wt.print(std::cout);
 
   if (std::ofstream os("BENCH_scaling.json"); os) {
     telemetry::JsonWriter jw(os);
@@ -246,16 +334,21 @@ int main() {
     jw.field("pool_vs_spawn_efficiency_8t", gain8);
     jw.end_object();
     jw.key("rank_scaling").begin_array();
-    for (std::size_t i = 0; i < rank_pts.size(); ++i) {
-      jw.begin_object();
-      jw.field("ranks", rank_pts[i].ranks);
-      jw.field("max_interactions", rank_pts[i].max_interactions);
-      jw.field("parallel_eff", rank_eff[i]);
-      jw.field("balance", rank_pts[i].balance);
-      jw.field("fft_seconds", rank_pts[i].fft_seconds);
-      jw.end_object();
+    for (std::size_t i = 0; i < rank_pts.size(); ++i)
+      json_scaling_point(jw, rank_pts[i], rank_eff[i]);
+    jw.end_array();
+    jw.key("weak_scaling").begin_object();
+    jw.field("particles_per_rank", kWeakPerRank);
+    jw.key("points").begin_array();
+    for (const auto& pt : weak_pts) {
+      // Weak-scaling efficiency: base point's per-rank work over this one's.
+      const double eff =
+          pt.max_interactions > 0 ? weak_pts.front().max_interactions / pt.max_interactions
+                                  : 0.0;
+      json_scaling_point(jw, pt, eff);
     }
     jw.end_array();
+    jw.end_object();
     jw.end_object();
     os << "\n";
     std::printf("\nwrote BENCH_scaling.json\n");

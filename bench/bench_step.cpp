@@ -237,6 +237,11 @@ struct OverlapProbe {
   double fraction = 0;
   double pp_imbalance = 0;
   double pool_imbalance = 0;
+  // Load-balance v2 activity of the last step (global sums / published
+  // prediction); zero when donation is off.
+  double predicted_imbalance = 0;
+  std::uint64_t donated_groups = 0;
+  std::uint64_t donated_interactions = 0;
 };
 
 /// Median of 5 samples after one discarded warmup run: probes report a
@@ -281,12 +286,18 @@ OverlapProbe overlap_steps_probe(const core::ParallelSimConfig& cfg,
     const double pp_max = world.allreduce_max(pp_local);
     const double pp_mean =
         world.allreduce_sum(pp_local) / static_cast<double>(world.size());
+    std::uint64_t dn[2] = {sim.last_step().donated_groups,
+                           sim.last_step().donated_interactions};
+    world.allreduce_sum(std::span<std::uint64_t>(dn, 2));
     if (world.rank() == 0) {
       std::lock_guard lock(mu);
       out.seconds = seconds;
       out.fraction = ov[0] + ov[1] > 0 ? ov[1] / (ov[0] + ov[1]) : 0.0;
       out.pp_imbalance = pp_mean > 0 ? pp_max / pp_mean : 0.0;
       out.pool_imbalance = TaskPool::global().stats().imbalance();
+      out.predicted_imbalance = sim.last_step().predicted_imbalance;
+      out.donated_groups = dn[0];
+      out.donated_interactions = dn[1];
     }
   });
   return out;
@@ -426,6 +437,11 @@ int main(int argc, char** argv) {
     std::size_t n = 0, n_mesh = 0;
     double no_plan_s = 0, rate0_s = 0, on_s = 0, off_s = 0, fraction_on = 0;
     double pp_imbalance = 0, pool_imbalance = 0;  ///< from the overlap-off leg
+    /// Load-balance A/B: the same point with v1 rank-cost sampling and
+    /// donation off (the seed behavior) vs the default v2 leg above.
+    double pp_imbalance_v1 = 0;
+    double predicted_imbalance = 0;
+    std::uint64_t donated_groups = 0, donated_interactions = 0;
   };
   std::vector<SweepPoint> sweep;
   if (!opt.large_n.empty() && opt.faults.empty() && opt.watchdog_s <= 0) {
@@ -456,6 +472,16 @@ int main(int argc, char** argv) {
       p.fraction_on = on.fraction;
       p.pp_imbalance = off.pp_imbalance;
       p.pool_imbalance = off.pool_imbalance;
+      p.predicted_imbalance = off.predicted_imbalance;
+      p.donated_groups = off.donated_groups;
+      p.donated_interactions = off.donated_interactions;
+      // Load-balance v1 baseline leg (the seed's scalar rank cost, no
+      // donation) for the imbalance A/B the perf gate reads.
+      auto v1cfg = scfg;
+      v1cfg.lb_mode = core::LoadBalanceMode::kRankCost;
+      v1cfg.donation.enabled = false;
+      p.pp_imbalance_v1 =
+          overlap_steps_probe(v1cfg, pts, kRanks, kSweepSteps, dt, false).pp_imbalance;
       sweep.push_back(p);
     }
   }
@@ -645,7 +671,11 @@ int main(int argc, char** argv) {
         jw.field("overlap_fraction_on", p.fraction_on);
         jw.field("overlap_speedup", p.on_s > 0 ? p.off_s / p.on_s : 0.0);
         jw.field("pp_imbalance", p.pp_imbalance);
+        jw.field("pp_imbalance_v1", p.pp_imbalance_v1);
         jw.field("pool_imbalance", p.pool_imbalance);
+        jw.field("lb_predicted_imbalance", p.predicted_imbalance);
+        jw.field("lb_donated_groups", p.donated_groups);
+        jw.field("lb_donated_interactions", p.donated_interactions);
         jw.end_object();
       }
       jw.end_array();

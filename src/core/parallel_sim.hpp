@@ -26,6 +26,7 @@
 
 #include "core/integrator.hpp"
 #include "core/particle.hpp"
+#include "domain/donation.hpp"
 #include "domain/multisection.hpp"
 #include "domain/sampling.hpp"
 #include "parx/comm.hpp"
@@ -44,6 +45,16 @@ namespace greem::core {
 /// interaction count, which is bit-reproducible and makes whole runs --
 /// including checkpoint/restore round trips -- bitwise deterministic.
 enum class CostMetric { kWallTime, kInteractions };
+
+/// How the cost feeding the sampling rates is resolved spatially
+/// (docs/load-balance.md).  kRankCost is load-balance v1: one scalar per
+/// rank (the paper's measured force time), uniform sampling within the
+/// rank.  kGroupCost is v2: the per-group tree::GroupCost attribution is
+/// scattered onto each group's particles (Particle::lb_w) and used as
+/// per-particle sampling weights, so the cuts move toward where the work
+/// sits *inside* a domain.  Changes the cuts and therefore the dynamics:
+/// part of config_fingerprint.
+enum class LoadBalanceMode { kRankCost, kGroupCost };
 
 /// Per-step invariant sentinel: a cheap collective check that converts
 /// silent state corruption (a bit flip that slipped past the transport
@@ -83,6 +94,15 @@ struct ParallelSimConfig {
   TimeMetric metric;
   int nsub = 2;
   CostMetric cost_metric = CostMetric::kWallTime;
+  LoadBalanceMode lb_mode = LoadBalanceMode::kGroupCost;
+
+  /// Inter-rank work donation for tail groups (docs/load-balance.md).
+  /// Excluded from config_fingerprint: donation relocates kernel
+  /// evaluations without changing any arithmetic, so ON and OFF produce
+  /// bitwise-identical snapshots (like `overlap`) and checkpoints move
+  /// freely between settings.  Must be set identically on every rank (the
+  /// donation exchange is collective).  Inactive under kNewtonQuad.
+  domain::DonationConfig donation;
 
   /// Overlap the PM cycle's conversions and FFT with the final substep's
   /// PP ghost exchange and tree build (paper §II-B runs the two parts
@@ -201,6 +221,15 @@ class ParallelSimulation {
     /// seconds, interactions, ghost imports per group) -- rank-local, in
     /// tree.groups(ncrit) order; the load-balance v2 input.
     std::vector<tree::GroupCost> pp_group_costs;
+    /// Work-donation activity, accumulated over the step's PP cycles
+    /// (donor-side counts; every rank sees the same plan, so the transfer
+    /// list is identical everywhere).
+    std::uint64_t donated_groups = 0;
+    std::uint64_t donated_interactions = 0;
+    std::vector<domain::DonationTransfer> donation_transfers;
+    /// max/mean of the published per-rank predicted costs that fed the
+    /// last donation plan (0 until costs have been published).
+    double predicted_imbalance = 0;
     OverlapStats overlap;            ///< final-substep combined force cycle
     /// Global traffic per phase bucket, accumulated from ledger epochs.
     /// Observed on rank 0 only (the ledger is global); empty elsewhere
@@ -232,6 +261,16 @@ class ParallelSimulation {
   /// to the blocking exchange), builds the tree and computes acc_s.
   GhostWork pp_start();
   void pp_finish(GhostWork& g);
+  /// Collective donation exchange inside pp_finish: ship the deferred
+  /// groups assigned by `plan`, evaluate inbound requests, gather
+  /// accelerations back, and evaluate unassigned leftovers locally.
+  void donation_cycle(const tree::Octree& octree, const tree::TraversalParams& tp,
+                      std::size_t n_local, std::vector<tree::DeferredGroup>& deferred,
+                      const domain::DonationPlan& plan, std::span<Vec3> acc);
+  /// Collective: publish this rank's deterministic PP cost (summed group
+  /// interactions) for the next cycle's donation plan; updates
+  /// report_.predicted_imbalance.
+  void publish_rank_costs();
   /// Exactly pp_start + pp_finish under one traffic epoch.
   void pp_force_cycle();
 
@@ -261,6 +300,12 @@ class ParallelSimulation {
   double clock_;
   double pending_long_kick_ = 0;
   double last_force_cost_ = -1;  ///< <0: use particle count as proxy
+  /// Published per-rank predicted PP costs (interaction counts) from the
+  /// previous PP cycle; input to the donation plan.  Empty until the first
+  /// cycle publishes, and deliberately NOT checkpointed: a restored run's
+  /// first cycle simply runs without donation (placement may differ from
+  /// the uninterrupted run, the result bits never do).
+  std::vector<std::uint64_t> rank_pred_;
   std::uint64_t substep_counter_ = 0;
   std::uint64_t step_counter_ = 0;
   StepReport report_;

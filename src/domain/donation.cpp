@@ -1,0 +1,60 @@
+#include "domain/donation.hpp"
+
+#include <algorithm>
+
+namespace greem::domain {
+
+DonationPlan plan_donation(std::span<const std::uint64_t> rank_cost, const DonationConfig& cfg) {
+  DonationPlan plan;
+  const std::size_t p = rank_cost.size();
+  if (!cfg.enabled || p < 2) return plan;
+
+  std::uint64_t total = 0;
+  for (std::uint64_t c : rank_cost) total += c;
+  if (total == 0) return plan;
+  const double mean = static_cast<double>(total) / static_cast<double>(p);
+
+  struct Node {
+    std::uint64_t amount;  // excess (donor) or headroom (donee)
+    int rank;
+  };
+  std::vector<Node> donors, donees;
+  for (std::size_t r = 0; r < p; ++r) {
+    const auto cost = static_cast<double>(rank_cost[r]);
+    if (cost > cfg.trigger * mean) {
+      // Export down to the mean, but never more than the configured
+      // fraction of the donor's own work.
+      double excess = std::min(cost - mean, cfg.max_export_fraction * cost);
+      if (excess > 0)
+        donors.push_back({static_cast<std::uint64_t>(excess), static_cast<int>(r)});
+    } else if (cost < mean) {
+      donees.push_back({static_cast<std::uint64_t>(mean - cost), static_cast<int>(r)});
+    }
+  }
+  if (donors.empty() || donees.empty()) return plan;
+
+  auto by_amount = [](const Node& a, const Node& b) {
+    if (a.amount != b.amount) return a.amount > b.amount;
+    return a.rank < b.rank;
+  };
+  std::sort(donors.begin(), donors.end(), by_amount);
+  std::sort(donees.begin(), donees.end(), by_amount);
+
+  // Greedy water-fill: the most overloaded donor pours into the emptiest
+  // donee until one side is exhausted, then advances.  Deterministic given
+  // the sorted orders above.
+  const std::uint64_t min_tx = std::max<std::uint64_t>(1, cfg.min_transfer_interactions);
+  std::size_t di = 0, ei = 0;
+  while (di < donors.size() && ei < donees.size()) {
+    std::uint64_t amount = std::min(donors[di].amount, donees[ei].amount);
+    if (amount >= min_tx)
+      plan.transfers.push_back({donors[di].rank, donees[ei].rank, amount});
+    donors[di].amount -= amount;
+    donees[ei].amount -= amount;
+    if (donors[di].amount < min_tx) ++di;
+    if (donees[ei].amount < min_tx) ++ei;
+  }
+  return plan;
+}
+
+}  // namespace greem::domain

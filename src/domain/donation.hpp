@@ -1,0 +1,75 @@
+#pragma once
+// Inter-rank work donation for tail groups (load-balance v2, second leg).
+//
+// Domain decomposition reacts to measured cost with one step of lag and in
+// units of whole domains; a clustered IC still leaves a tail of ranks whose
+// predicted PP time sits well above the mean.  Donation shaves that tail
+// within the step: ranks whose *predicted* cost (published interaction
+// counts from the previous PP cycle) exceeds the mean by a configurable
+// trigger export whole Barnes groups -- targets plus their already-imported
+// ghost sources -- to the least-loaded ranks, which evaluate the forces and
+// send the accelerations back.
+//
+// Determinism contract (docs/load-balance.md): the plan is a pure function
+// of the allgathered per-rank cost vector, so every rank computes the
+// identical donor->donee assignment with no extra communication; the donee
+// replays the exact kernel arithmetic on the exact doubles the donor would
+// have used, so donated results are bitwise-identical to local evaluation
+// (asserted by DonationOnAndOffAreBitwiseIdentical and the thread-count
+// determinism test).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace greem::domain {
+
+struct DonationConfig {
+  bool enabled = true;
+  /// Donate only when predicted cost > trigger * mean cost.
+  double trigger = 1.10;
+  /// At most this fraction of a donor's predicted cost may be exported
+  /// (guards against thrashing when the prediction is stale).
+  double max_export_fraction = 0.5;
+  /// Transfers predicted below this many interactions are dropped: the
+  /// pack/ship/unpack overhead would exceed the force work moved.
+  std::uint64_t min_transfer_interactions = 2048;
+};
+
+/// One donor->donee edge with its interaction budget.
+struct DonationTransfer {
+  int donor = -1;
+  int donee = -1;
+  std::uint64_t interactions = 0;
+};
+
+struct DonationPlan {
+  std::vector<DonationTransfer> transfers;
+
+  bool active() const { return !transfers.empty(); }
+
+  /// Total interactions rank `r` is scheduled to export.
+  std::uint64_t donor_budget(int r) const {
+    std::uint64_t b = 0;
+    for (const auto& t : transfers)
+      if (t.donor == r) b += t.interactions;
+    return b;
+  }
+
+  /// The transfers rank `r` donates, in plan order (donees of a donor are
+  /// visited in this order when assigning deferred groups).
+  std::vector<DonationTransfer> transfers_from(int r) const {
+    std::vector<DonationTransfer> out;
+    for (const auto& t : transfers)
+      if (t.donor == r) out.push_back(t);
+    return out;
+  }
+};
+
+/// Compute the donation plan from the published per-rank predicted costs
+/// (interaction counts).  Deterministic: donors are matched to donees by a
+/// greedy water-fill over (excess desc, rank asc) x (headroom desc, rank
+/// asc), and every rank running this on the same vector gets the same plan.
+DonationPlan plan_donation(std::span<const std::uint64_t> rank_cost, const DonationConfig& cfg);
+
+}  // namespace greem::domain

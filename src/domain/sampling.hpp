@@ -1,12 +1,28 @@
 #pragma once
 // The sampling method (Blackston & Suel) with the paper's cost-weighted
 // sampling rates: each rank samples its particles at a rate proportional
-// to its measured force-calculation time, the root gathers the samples and
+// to its measured force-calculation cost, the root gathers the samples and
 // builds a multi-section decomposition with equal sample counts per
 // domain, so expensive regions get smaller domains.
+//
+// Two cost models feed the rates (docs/load-balance.md):
+//   - sample_and_decompose: one scalar cost per rank (load-balance v1, the
+//     paper's measured force time); particles are sampled uniformly within
+//     the rank.
+//   - sample_and_decompose_weighted: one weight per particle (load-balance
+//     v2, derived from the per-group tree::GroupCost attribution), so the
+//     sample density follows where the work actually sits inside a domain,
+//     not just how much of it each rank holds.
+//
+// Per-rank sample quotas use largest-remainder apportionment with a
+// >= 1-sample floor for every rank that holds particles: gathered totals
+// are exact (no per-rank rounding drift) and a rank whose measured cost is
+// zero can still move its boundaries.  All sampling is without replacement
+// and deterministic per (seed, step, rank).
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "domain/multisection.hpp"
 #include "parx/comm.hpp"
@@ -20,12 +36,52 @@ struct SamplingParams {
   std::uint64_t seed = 12345;
 };
 
-/// Collective: sample local particles (rate proportional to local_cost /
-/// total_cost), gather at root (rank 0), build the decomposition there and
-/// broadcast it.  `local_cost` is the measured force time of this rank for
-/// the previous step (use nlocal as a proxy for the first step).
+/// Largest-remainder (Hamilton) apportionment of `target` samples over
+/// ranks proportional to `weights`, capped at `capacities` (a rank cannot
+/// contribute more samples than particles) and floored at >= 1 for every
+/// rank with nonzero capacity whenever the target allows it.  Negative
+/// weights count as zero; when every weight is zero the capacities
+/// themselves act as weights (uniform-density sampling).  The returned
+/// quotas sum to min(target, sum of capacities) exactly.  Deterministic:
+/// ties break toward the lower rank.
+std::vector<std::size_t> apportion_samples(std::span<const double> weights,
+                                           std::span<const std::size_t> capacities,
+                                           std::size_t target);
+
+/// Choose `k` distinct indices out of [0, n) by a partial Fisher-Yates
+/// shuffle (sampling *without* replacement -- duplicates would skew the
+/// equal-count multisection cuts).  Returned in increasing order;
+/// deterministic for a given rng state.  k is clamped to n.
+std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k, Rng& rng);
+
+/// Weighted sampling without replacement (Efraimidis-Spirakis): draw `k`
+/// distinct indices with inclusion probability increasing in weights[i],
+/// via the key u^(1/w) order statistic.  Zero/negative-weight items are
+/// only drawn once every positive-weight item is exhausted.  Returned in
+/// increasing order; deterministic for a given rng state (ties break by
+/// index).  k is clamped to weights.size().
+std::vector<std::size_t> sample_weighted_without_replacement(std::span<const double> weights,
+                                                             std::size_t k, Rng& rng);
+
+/// Collective: sample local particles (rank quota proportional to
+/// local_cost over the allgathered total), gather at root (rank 0), build
+/// the decomposition there and broadcast it.  `local_cost` is the measured
+/// force cost of this rank for the previous cycle (use nlocal as a proxy
+/// before the first measurement).  Within the rank, samples are drawn
+/// uniformly without replacement.
 Decomposition sample_and_decompose(parx::Comm& comm, std::array<int, 3> dims,
                                    std::span<const Vec3> local_pos, double local_cost,
                                    const SamplingParams& params, std::uint64_t step);
+
+/// Collective: as above, but with one non-negative cost weight per local
+/// particle (load-balance v2: tree::GroupCost scattered onto the group's
+/// members).  The rank quota follows the summed weights and the samples
+/// within the rank are drawn weighted-without-replacement, so expensive
+/// subregions of a domain are over-sampled and therefore shrunk.
+/// `weights.size()` must equal `local_pos.size()`.
+Decomposition sample_and_decompose_weighted(parx::Comm& comm, std::array<int, 3> dims,
+                                            std::span<const Vec3> local_pos,
+                                            std::span<const double> weights,
+                                            const SamplingParams& params, std::uint64_t step);
 
 }  // namespace greem::domain

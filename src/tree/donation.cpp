@@ -1,0 +1,126 @@
+#include "tree/donation.hpp"
+
+#include "util/timer.hpp"
+
+namespace greem::tree {
+
+void evaluate_group_kernel(std::span<const Vec3> targets, pp::InteractionList& list,
+                           const TraversalParams& params, std::span<Vec3> group_acc) {
+  switch (params.kernel) {
+    case KernelKind::kScalar:
+      pp_kernel_scalar(targets, group_acc, list, params.rcut, params.eps2);
+      break;
+    case KernelKind::kPhantom:
+      list.pad4();
+      pp_kernel_phantom(targets, group_acc, list, params.rcut, params.eps2);
+      break;
+    case KernelKind::kNewton:
+    case KernelKind::kNewtonQuad:  // quad groups are never deferred
+      pp_kernel_newton(targets, group_acc, list, params.eps2);
+      break;
+  }
+}
+
+std::vector<double> pack_donation(const Octree& tree,
+                                  std::span<const DeferredGroup> deferred,
+                                  std::span<const std::size_t> which) {
+  std::size_t total = 1;
+  for (std::size_t i : which) {
+    const DeferredGroup& d = deferred[i];
+    total += 3 + 3 * static_cast<std::size_t>(d.count) + 4 * d.list.size();
+  }
+  std::vector<double> out;
+  out.reserve(total);
+  out.push_back(static_cast<double>(which.size()));
+  const auto pos = tree.sorted_pos();
+  for (std::size_t i : which) {
+    const DeferredGroup& d = deferred[i];
+    out.push_back(static_cast<double>(d.gidx));
+    out.push_back(static_cast<double>(d.count));
+    out.push_back(static_cast<double>(d.list.size()));
+    for (std::uint32_t k = d.first; k < d.first + d.count; ++k) {
+      out.push_back(pos[k].x);
+      out.push_back(pos[k].y);
+      out.push_back(pos[k].z);
+    }
+    for (std::size_t k = 0; k < d.list.size(); ++k) {
+      out.push_back(d.list.x[k]);
+      out.push_back(d.list.y[k]);
+      out.push_back(d.list.z[k]);
+      out.push_back(d.list.m[k]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> evaluate_donation(std::span<const double> request,
+                                      const TraversalParams& params, double* force_seconds) {
+  std::vector<double> reply;
+  if (request.empty()) {
+    reply.push_back(0.0);
+    return reply;
+  }
+  std::size_t off = 0;
+  const auto ngroups = static_cast<std::size_t>(request[off++]);
+  reply.push_back(static_cast<double>(ngroups));
+
+  std::vector<Vec3> targets;
+  std::vector<Vec3> group_acc;
+  pp::InteractionList list;
+  Stopwatch sw;
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    const auto gidx = request[off++];
+    const auto count = static_cast<std::size_t>(request[off++]);
+    const auto nj = static_cast<std::size_t>(request[off++]);
+    targets.resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      targets[k] = Vec3{request[off], request[off + 1], request[off + 2]};
+      off += 3;
+    }
+    list.clear();
+    list.reserve(nj);
+    for (std::size_t k = 0; k < nj; ++k) {
+      list.add(Vec3{request[off], request[off + 1], request[off + 2]}, request[off + 3]);
+      off += 4;
+    }
+
+    sw.restart();
+    group_acc.assign(count, Vec3{});
+    evaluate_group_kernel(targets, list, params, group_acc);
+    const double force_s = sw.seconds();
+    if (force_seconds) *force_seconds += force_s;
+
+    reply.push_back(gidx);
+    reply.push_back(static_cast<double>(count));
+    reply.push_back(force_s);
+    for (const Vec3& a : group_acc) {
+      reply.push_back(a.x);
+      reply.push_back(a.y);
+      reply.push_back(a.z);
+    }
+  }
+  return reply;
+}
+
+std::vector<DonationResult> unpack_donation_reply(std::span<const double> reply) {
+  std::vector<DonationResult> out;
+  if (reply.empty()) return out;
+  std::size_t off = 0;
+  const auto ngroups = static_cast<std::size_t>(reply[off++]);
+  out.reserve(ngroups);
+  for (std::size_t g = 0; g < ngroups; ++g) {
+    DonationResult r;
+    r.gidx = static_cast<std::uint32_t>(reply[off++]);
+    const auto count = static_cast<std::size_t>(reply[off++]);
+    r.force_s = reply[off++];
+    r.acc.resize(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      r.acc[k] = Vec3{reply[off], reply[off + 1], reply[off + 2]};
+      off += 3;
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace greem::tree

@@ -1,0 +1,57 @@
+#pragma once
+// Wire format and evaluation helpers for inter-rank group donation
+// (docs/load-balance.md).  A donor ships whole deferred Barnes groups --
+// the group's particles (targets + ghosts, in tree sorted order) and the
+// already-built interaction list -- as a flat double stream; the donee
+// replays the exact kernel the donor's traversal would have run and ships
+// the per-particle accelerations back.
+//
+// Bitwise contract: the request carries the identical doubles the donor's
+// kernel would have consumed (same target positions from sorted_pos, same
+// list entries in walk order), and evaluate_donation applies the identical
+// kernel dispatch (pad4 + phantom, scalar, newton) inside the same
+// process, so the returned accelerations are bit-for-bit what local
+// evaluation would have produced.  kNewtonQuad lists are never deferred.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tree/octree.hpp"
+#include "tree/traversal.hpp"
+
+namespace greem::tree {
+
+/// Evaluate one group's kernel exactly as run_traversal would (same
+/// dispatch, same pad4-for-phantom rule).  `group_acc` must be sized to
+/// targets.size() and zeroed by the caller; `list` may be padded in place.
+void evaluate_group_kernel(std::span<const Vec3> targets, pp::InteractionList& list,
+                           const TraversalParams& params, std::span<Vec3> group_acc);
+
+/// Pack the deferred groups selected by `which` (indices into `deferred`)
+/// into a flat request stream:
+///   [ngroups | per group: gidx, count, nj | count x (px py pz) | nj x (x y z m)]
+/// Target positions come from tree.sorted_pos() so the donee sees the
+/// exact doubles the donor's kernel would have read.
+std::vector<double> pack_donation(const Octree& tree,
+                                  std::span<const DeferredGroup> deferred,
+                                  std::span<const std::size_t> which);
+
+/// Evaluate a request stream, returning the reply stream:
+///   [ngroups | per group: gidx, count, force_s | count x (ax ay az)]
+/// Kernel seconds are accumulated into *force_seconds (donee-side Table-I
+/// "force calculation" attribution).
+std::vector<double> evaluate_donation(std::span<const double> request,
+                                      const TraversalParams& params, double* force_seconds);
+
+/// One unpacked reply group.
+struct DonationResult {
+  std::uint32_t gidx = 0;
+  double force_s = 0;
+  std::vector<Vec3> acc;  ///< per group particle, tree sorted order
+};
+
+/// Parse a reply stream produced by evaluate_donation.
+std::vector<DonationResult> unpack_donation_reply(std::span<const double> reply);
+
+}  // namespace greem::tree
